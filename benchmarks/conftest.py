@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates the rows of one paper table or figure.  Because a
+single regeneration involves many simulation runs, benchmarks execute exactly
+one round (``benchmark.pedantic(..., rounds=1, iterations=1)``) — the timing
+is reported for completeness, but the real output is the reproduced table,
+which each benchmark writes to ``benchmarks/results/<experiment>.txt`` so it
+can be inspected after a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Return a callable persisting an ExperimentResult to benchmarks/results/."""
+    from repro.experiments.base import ExperimentResult, format_table
+
+    def _save(result: ExperimentResult, name: str = "") -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        target = RESULTS_DIR / f"{name or result.experiment_id}.txt"
+        target.write_text(format_table(result) + "\n")
+        return target
+
+    return _save
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Figure 3 and the Section 4.2 optimality check.
+
+Measured refresh rates for fixed widths on random-walk data, plus an adaptive
+run whose cost is compared against the best fixed width (the paper reports
+the adaptive algorithm within a few percent of optimal; see EXPERIMENTS.md
+for the measured gap in this reproduction).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure03_optimality
+from repro.experiments.base import ExperimentResult
+
+
+def test_figure03_width_sweep_and_adaptive(benchmark, save_result):
+    result = run_once(benchmark, figure03_optimality.run)
+    save_result(result)
+    p_vr = result.column("P_vr (measured)")
+    p_qr = result.column("P_qr (measured)")
+    omega = result.column("Omega (measured)")
+    # Measured shapes: P_vr decreasing in W, P_qr increasing in W, interior minimum.
+    assert p_vr[0] > p_vr[-1]
+    assert p_qr[0] < p_qr[-1]
+    best_index = omega.index(min(omega))
+    assert 0 < best_index < len(omega) - 1
+
+
+def test_figure03_convergence_grid(benchmark, save_result):
+    checks = run_once(
+        benchmark,
+        lambda: figure03_optimality.convergence_report(duration=2000.0),
+    )
+    rows = [
+        (
+            check.query_period,
+            check.constraint_average,
+            check.cost_factor,
+            check.best_fixed_width,
+            check.best_fixed_cost_rate,
+            check.adaptive_cost_rate,
+            check.regret,
+        )
+        for check in checks
+    ]
+    result = ExperimentResult(
+        experiment_id="figure03_convergence",
+        title="Adaptive vs best fixed width across the Section 4.2 grid",
+        columns=("T_q", "delta_avg", "rho", "best W", "best Omega", "adaptive Omega", "regret"),
+        rows=rows,
+        notes="Paper: within 5% of optimal across the grid; see EXPERIMENTS.md for measured gaps.",
+    )
+    save_result(result)
+    # The adaptive algorithm must stay in the same cost regime as the optimum
+    # in every configuration of the grid.
+    assert all(check.regret < 0.6 for check in checks)

@@ -1,0 +1,90 @@
+"""Microbenchmarks of the core primitives (real repeated-timing benchmarks).
+
+Unlike the figure benchmarks (which run one large regeneration per test),
+these measure the throughput of the hot paths a deployment would care about:
+the width controller, the cache, refresh selection, and the simulator's event
+loop.
+"""
+
+import random
+
+from repro.caching.cache import ApproximateCache
+from repro.caching.policies.adaptive import AdaptivePrecisionPolicy
+from repro.core.parameters import PrecisionParameters
+from repro.core.policy import AdaptiveWidthController
+from repro.data.random_walk import RandomWalkGenerator
+from repro.data.streams import RandomWalkStream
+from repro.intervals.interval import Interval
+from repro.queries.refresh_selection import select_sum_refreshes
+from repro.simulation.config import SimulationConfig
+from repro.simulation.simulator import CacheSimulation
+
+
+def test_controller_adjustment_throughput(benchmark):
+    controller = AdaptiveWidthController(
+        PrecisionParameters(), initial_width=4.0, rng=random.Random(0)
+    )
+
+    def adjust_many():
+        for _ in range(500):
+            controller.on_value_initiated_refresh()
+            controller.on_query_initiated_refresh()
+        return controller.width
+
+    width = benchmark(adjust_many)
+    assert width > 0
+
+
+def test_cache_put_get_throughput(benchmark):
+    cache = ApproximateCache(capacity=256)
+    rng = random.Random(1)
+
+    def churn():
+        for index in range(1000):
+            key = index % 512
+            cache.put(key, Interval.centered(rng.random(), rng.random()), rng.random(), float(index))
+            cache.get(key, float(index))
+        return len(cache)
+
+    size = benchmark(churn)
+    assert size <= 256
+
+
+def test_sum_refresh_selection_throughput(benchmark):
+    rng = random.Random(2)
+    intervals = {
+        index: Interval.centered(rng.uniform(0, 100), rng.uniform(0, 50))
+        for index in range(200)
+    }
+
+    def select():
+        return select_sum_refreshes(intervals, constraint=500.0)
+
+    refreshed = benchmark(select)
+    assert isinstance(refreshed, list)
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_small_simulation():
+        streams = {
+            f"walk-{index}": RandomWalkStream(
+                RandomWalkGenerator(start=100.0, rng=random.Random(index))
+            )
+            for index in range(5)
+        }
+        config = SimulationConfig(
+            duration=200.0,
+            warmup=20.0,
+            query_period=1.0,
+            query_size=3,
+            constraint_average=20.0,
+            constraint_variation=1.0,
+            seed=3,
+        )
+        policy = AdaptivePrecisionPolicy(
+            PrecisionParameters(), initial_width=4.0, rng=random.Random(3)
+        )
+        return CacheSimulation(config, streams, policy).run()
+
+    result = benchmark(run_small_simulation)
+    assert result.duration > 0

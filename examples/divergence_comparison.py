@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Stale-value caching: our algorithm vs Divergence Caching (Section 4.7).
+
+Here the cached objects are not numeric measurements but arbitrary values
+whose precision is measured by *how many source updates the cached copy may
+miss*.  The source value in the simulation is simply the source's update
+counter; a cached approximation is a one-sided interval over that counter.
+
+Two policies compete:
+
+* the HSW94 Divergence Caching baseline, which re-projects the optimal
+  allowance from moving windows of recent reads and writes, and
+* the paper's adaptive algorithm specialised to stale-value approximations
+  (one-sided intervals, cost factor rho' = C_vr / C_qr).
+
+Run with:  python examples/divergence_comparison.py
+"""
+
+import random
+
+from repro import AdaptivePrecisionPolicy, CacheSimulation, DivergenceCachingPolicy, PrecisionParameters
+from repro.data.streams import CounterStream
+from repro.intervals.placement import OneSidedPlacement
+from repro.simulation.config import SimulationConfig
+
+
+def build_streams(count: int = 8, seed: int = 3):
+    """Objects whose updates arrive as Poisson processes (1 update/s on average)."""
+    return {
+        f"object-{index}": CounterStream(
+            mean_interval=1.0, poisson=True, rng=random.Random(seed * 100 + index)
+        )
+        for index in range(count)
+    }
+
+
+def build_config(staleness_tolerance: float, query_period: float = 1.0) -> SimulationConfig:
+    return SimulationConfig(
+        duration=2000.0,
+        warmup=400.0,
+        query_period=query_period,
+        query_size=1,
+        constraint_average=staleness_tolerance,
+        constraint_variation=1.0,
+        value_refresh_cost=1.0,
+        query_refresh_cost=2.0,
+        seed=3,
+    )
+
+
+def adaptive_policy() -> AdaptivePrecisionPolicy:
+    parameters = PrecisionParameters(
+        value_refresh_cost=1.0,
+        query_refresh_cost=2.0,
+        adaptivity=1.0,
+        lower_threshold=1.0,
+        cost_factor_multiplier=1.0,  # rho' = C_vr / C_qr for stale values
+    )
+    return AdaptivePrecisionPolicy(
+        parameters, initial_width=1.0, placement=OneSidedPlacement(), rng=random.Random(3)
+    )
+
+
+def main() -> None:
+    print("Stale-value caching: adaptive allowances vs Divergence Caching")
+    print("=" * 72)
+    print(f"{'max staleness (updates)':>24}  {'ours':>8}  {'divergence caching':>19}")
+    for tolerance in (0.0, 2.0, 4.0, 8.0, 14.0):
+        ours = CacheSimulation(
+            build_config(tolerance), build_streams(), adaptive_policy()
+        ).run()
+        theirs = CacheSimulation(
+            build_config(tolerance), build_streams(), DivergenceCachingPolicy(window_size=23)
+        ).run()
+        print(f"{tolerance:24.0f}  {ours.cost_rate:8.3f}  {theirs.cost_rate:19.3f}")
+    print()
+    print("The adaptive algorithm stays in the same cost regime as Divergence")
+    print("Caching without keeping any read/write history: it reacts only to the")
+    print("refreshes themselves, and the gap closes as the tolerance loosens.")
+
+
+if __name__ == "__main__":
+    main()

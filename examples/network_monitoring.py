@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Network-monitoring scenario: the paper's motivating application.
+
+Fifty hosts report their traffic level (a one-minute moving average sampled
+every second); a monitoring dashboard asks for the SUM of the traffic over
+random groups of ten hosts every second, tolerating a bounded error.  The
+cache keeps interval approximations of each host's traffic and the adaptive
+algorithm sets each interval's width.
+
+The example prints how the cost rate falls as the dashboard's error tolerance
+grows, and shows the cached interval chosen for the busiest host.
+
+Run with:  python examples/network_monitoring.py
+"""
+
+import math
+import random
+
+from repro import AdaptivePrecisionPolicy, CacheSimulation, PrecisionParameters
+from repro.data.streams import streams_from_trace
+from repro.data.traffic import SyntheticTrafficTraceGenerator
+from repro.queries.aggregates import AggregateKind
+from repro.simulation.config import SimulationConfig
+
+KILO = 1_000.0
+
+
+def build_trace():
+    """A synthetic stand-in for the PF95 wide-area traffic trace (see DESIGN.md)."""
+    return SyntheticTrafficTraceGenerator(
+        host_count=30, duration_seconds=1800, seed=42
+    ).generate()
+
+
+def run_with_tolerance(trace, delta_avg: float):
+    """Run the monitoring workload with the given average precision constraint."""
+    busiest = trace.top_keys_by_total(1)[0]
+    config = SimulationConfig(
+        duration=trace.duration,
+        warmup=trace.duration * 0.2,
+        query_period=1.0,
+        query_size=6,
+        aggregates=(AggregateKind.SUM,),
+        constraint_average=delta_avg,
+        constraint_variation=1.0,
+        value_refresh_cost=1.0,
+        query_refresh_cost=2.0,
+        seed=7,
+        track_keys=(busiest,),
+    )
+    policy = AdaptivePrecisionPolicy(
+        PrecisionParameters(adaptivity=1.0, lower_threshold=1.0 * KILO),
+        initial_width=1.0 * KILO,
+        rng=random.Random(7),
+    )
+    result = CacheSimulation(config, streams_from_trace(trace), policy).run()
+    return result, busiest
+
+
+def main() -> None:
+    trace = build_trace()
+    print("Network monitoring with approximate caching")
+    print("=" * 72)
+    print(f"hosts: {len(trace.keys)}, trace duration: {trace.duration:.0f} s")
+    print()
+    print(f"{'error tolerance':>18}  {'cost rate':>10}  {'value refr/s':>13}  {'query refr/s':>13}")
+    for delta_avg in (0.0, 10.0 * KILO, 50.0 * KILO, 200.0 * KILO, 500.0 * KILO):
+        result, busiest = run_with_tolerance(trace, delta_avg)
+        label = "exact answers" if delta_avg == 0 else f"{delta_avg / KILO:.0f}K bytes/s"
+        print(
+            f"{label:>18}  {result.cost_rate:10.2f}  "
+            f"{result.value_refresh_rate:13.3f}  {result.query_refresh_rate:13.3f}"
+        )
+    print()
+    result, busiest = run_with_tolerance(trace, 200.0 * KILO)
+    samples = [
+        sample
+        for sample in result.interval_samples[busiest]
+        if sample.interval is not None and not sample.interval.is_unbounded
+    ]
+    if samples:
+        mean_width = sum(sample.interval.width for sample in samples) / len(samples)
+        print(f"busiest host: {busiest}")
+        print(f"  mean cached interval width at 200K tolerance: {mean_width / KILO:.1f}K")
+        last = samples[-1]
+        print(
+            f"  final sample: value {last.value / KILO:.1f}K inside "
+            f"[{last.interval.low / KILO:.1f}K, {last.interval.high / KILO:.1f}K]"
+        )
+    print()
+    print("Looser dashboards are dramatically cheaper to keep fresh — the cache")
+    print("widens exactly the intervals whose sources fluctuate the most.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: adaptive precision setting on a single volatile value.
+
+This example builds the smallest possible deployment of the paper's system:
+one data source whose value performs a random walk, one cache, and a query
+stream with a bounded-imprecision requirement.  It runs the same workload
+three times — with an interval that is clearly too narrow, one that is
+clearly too wide, and with the adaptive algorithm — and prints the resulting
+cost rates, illustrating the core point of the paper: the adaptive controller
+finds a good width without being told anything about the data or workload.
+
+Run with:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    AdaptivePrecisionPolicy,
+    CacheSimulation,
+    PrecisionParameters,
+    SimulationConfig,
+    StaticWidthPolicy,
+)
+from repro.data.random_walk import RandomWalkGenerator
+from repro.data.streams import RandomWalkStream
+
+
+def build_config(seed: int = 0) -> SimulationConfig:
+    """One random-walk source, a query every 2 s, constraints averaging 20."""
+    return SimulationConfig(
+        duration=4000.0,
+        warmup=400.0,
+        query_period=2.0,
+        query_size=1,
+        constraint_average=20.0,
+        constraint_variation=1.0,
+        value_refresh_cost=1.0,   # C_vr: loose-consistency push
+        query_refresh_cost=2.0,   # C_qr: request + response
+        seed=seed,
+    )
+
+
+def build_streams(seed: int = 0):
+    """A single random-walk value, one step of magnitude U[0.5, 1.5] per second."""
+    walk = RandomWalkGenerator(start=100.0, rng=random.Random(seed))
+    return {"sensor": RandomWalkStream(walk)}
+
+
+def run_fixed(width: float) -> float:
+    """Cost rate with a fixed interval width (the non-adaptive strawman)."""
+    simulation = CacheSimulation(build_config(), build_streams(), StaticWidthPolicy(width))
+    return simulation.run().cost_rate
+
+
+def run_adaptive() -> tuple:
+    """Cost rate with the paper's adaptive width controller."""
+    policy = AdaptivePrecisionPolicy(
+        PrecisionParameters(adaptivity=1.0),  # alpha = 1: double / halve
+        initial_width=1.0,
+        rng=random.Random(0),
+    )
+    simulation = CacheSimulation(build_config(), build_streams(), policy)
+    result = simulation.run()
+    return result.cost_rate, policy.current_width("sensor")
+
+
+def main() -> None:
+    print("Adaptive precision setting for cached approximate values — quickstart")
+    print("=" * 72)
+    narrow = run_fixed(1.0)
+    wide = run_fixed(50.0)
+    adaptive_cost, converged_width = run_adaptive()
+    print(f"fixed width W = 1   (too precise) : cost rate Omega = {narrow:7.3f}")
+    print(f"fixed width W = 50  (too sloppy)  : cost rate Omega = {wide:7.3f}")
+    print(f"adaptive widths (alpha = 1)       : cost rate Omega = {adaptive_cost:7.3f}")
+    print(f"adaptive controller converged near W = {converged_width:.2f}")
+    print()
+    print("The adaptive controller needs no knowledge of the data volatility or")
+    print("of the query precision constraints: it reacts only to which kind of")
+    print("refresh (value- or query-initiated) actually occurs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Analytical tools: Appendix A math, optimal-width sweeps, convergence checks."""
+
+from repro.analysis.convergence import convergence_report, relative_regret
+from repro.analysis.optimal_width import WidthSweepResult, sweep_widths
+from repro.analysis.refresh_probability import (
+    chebyshev_escape_probability,
+    query_refresh_probability,
+    random_walk_variance,
+    value_refresh_probability,
+)
+
+__all__ = [
+    "random_walk_variance",
+    "chebyshev_escape_probability",
+    "value_refresh_probability",
+    "query_refresh_probability",
+    "WidthSweepResult",
+    "sweep_widths",
+    "relative_regret",
+    "convergence_report",
+]

@@ -1,0 +1,95 @@
+"""Empirical optimal-width sweeps (the Figure 3 methodology).
+
+The paper validates the cost model by fixing the interval width per run,
+sweeping the width across runs, measuring the refresh rates and cost rate of
+each run, and checking that the minimum cost occurs where the weighted
+refresh probabilities cross.  :func:`sweep_widths` automates that procedure
+for any simulation factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.simulation.metrics import SimulationResult
+
+
+@dataclass(frozen=True)
+class WidthSweepPoint:
+    """Measurements of one fixed-width run."""
+
+    width: float
+    cost_rate: float
+    value_refresh_rate: float
+    query_refresh_rate: float
+
+
+@dataclass(frozen=True)
+class WidthSweepResult:
+    """All points of a width sweep plus the empirically best width."""
+
+    points: List[WidthSweepPoint]
+
+    @property
+    def best_point(self) -> WidthSweepPoint:
+        """The sweep point with the lowest measured cost rate."""
+        if not self.points:
+            raise ValueError("the sweep produced no points")
+        return min(self.points, key=lambda point: point.cost_rate)
+
+    @property
+    def best_width(self) -> float:
+        """The width of :attr:`best_point`."""
+        return self.best_point.width
+
+    @property
+    def best_cost_rate(self) -> float:
+        """The cost rate of :attr:`best_point`."""
+        return self.best_point.cost_rate
+
+    def crossing_width(self, cost_factor: float = 1.0) -> float:
+        """Width where ``cost_factor * P_vr`` and ``P_qr`` are closest.
+
+        The paper's key observation is that this crossing coincides with the
+        cost-rate minimum; returning it lets experiments verify that claim on
+        measured data.
+        """
+        if not self.points:
+            raise ValueError("the sweep produced no points")
+        return min(
+            self.points,
+            key=lambda point: abs(
+                cost_factor * point.value_refresh_rate - point.query_refresh_rate
+            ),
+        ).width
+
+
+SimulationRunner = Callable[[float], SimulationResult]
+
+
+def sweep_widths(run_with_width: SimulationRunner, widths: Sequence[float]) -> WidthSweepResult:
+    """Run ``run_with_width`` once per width and collect the sweep points.
+
+    Parameters
+    ----------
+    run_with_width:
+        Callable executing one fixed-width simulation and returning its
+        :class:`~repro.simulation.metrics.SimulationResult`.
+    widths:
+        The widths to evaluate, in any order; results preserve the order.
+    """
+    if not widths:
+        raise ValueError("at least one width is required")
+    points = []
+    for width in widths:
+        result = run_with_width(width)
+        points.append(
+            WidthSweepPoint(
+                width=width,
+                cost_rate=result.cost_rate,
+                value_refresh_rate=result.value_refresh_rate,
+                query_refresh_rate=result.query_refresh_rate,
+            )
+        )
+    return WidthSweepResult(points=points)

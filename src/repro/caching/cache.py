@@ -1,0 +1,192 @@
+"""The approximate cache.
+
+The cache holds up to ``capacity`` interval approximations of source values.
+When it is full and a new approximation arrives, an eviction policy chooses a
+victim (the paper evicts the widest original width).  The cache does not have
+to notify sources of evictions (Section 2): whether the source learns about
+an eviction is a property of the precision policy, handled by the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from repro.caching.eviction import EvictionPolicy, WidestFirstEviction
+from repro.intervals.interval import UNBOUNDED, Interval
+
+
+@dataclass
+class CacheEntry:
+    """One cached approximation plus its bookkeeping metadata.
+
+    ``original_width`` is the policy's unclamped width, used for eviction
+    decisions exactly as the paper prescribes ("this decision also is based on
+    original widths, not on 0 or infinite widths due to thresholds").
+    """
+
+    key: Hashable
+    interval: Interval
+    original_width: float
+    installed_at: float
+    last_access_time: float
+
+    def touch(self, time: float) -> None:
+        """Record an access at ``time`` (used by LRU-style eviction)."""
+        if time < self.last_access_time:
+            raise ValueError("access times must be non-decreasing")
+        self.last_access_time = time
+
+
+@dataclass
+class CacheStatistics:
+    """Running counters describing cache behaviour."""
+
+    insertions: int = 0
+    evictions: int = 0
+    hits: int = 0
+    misses: int = 0
+    rejected_insertions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+
+class ApproximateCache:
+    """A bounded store of interval approximations keyed by source value id.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of approximations held (the paper's ``kappa``).
+        ``None`` means unbounded.
+    eviction_policy:
+        Strategy choosing the victim when over capacity; defaults to the
+        paper's widest-first rule.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        eviction_policy: Optional[EvictionPolicy] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be at least 1 (or None for unbounded)")
+        self._capacity = capacity
+        self._eviction_policy = eviction_policy or WidestFirstEviction()
+        self._entries: Dict[Hashable, CacheEntry] = {}
+        self.statistics = CacheStatistics()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """The maximum number of entries (``None`` = unbounded)."""
+        return self._capacity
+
+    def keys(self) -> List[Hashable]:
+        """Return the keys currently cached."""
+        return list(self._entries.keys())
+
+    def entries(self) -> List[CacheEntry]:
+        """Return the cached entries (in insertion order)."""
+        return list(self._entries.values())
+
+    def get(self, key: Hashable, time: Optional[float] = None) -> Optional[CacheEntry]:
+        """Return the entry for ``key`` or ``None``; updates hit/miss counters."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.statistics.misses += 1
+            return None
+        self.statistics.hits += 1
+        if time is not None:
+            entry.touch(time)
+        return entry
+
+    def approximation(self, key: Hashable, time: Optional[float] = None) -> Interval:
+        """Return the cached interval for ``key``, or ``UNBOUNDED`` if absent.
+
+        A missing approximation carries no information, which is exactly what
+        the unbounded interval represents; queries treat the two identically.
+        """
+        entry = self.get(key, time)
+        if entry is None:
+            return UNBOUNDED
+        return entry.interval
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        key: Hashable,
+        interval: Interval,
+        original_width: float,
+        time: float,
+    ) -> List[Hashable]:
+        """Install an approximation, evicting if needed.
+
+        Returns the list of evicted keys (possibly containing ``key`` itself
+        when the incoming approximation is immediately chosen as the victim,
+        which the paper explicitly allows).
+        """
+        if original_width < 0:
+            raise ValueError("original_width must be non-negative")
+        entry = CacheEntry(
+            key=key,
+            interval=interval,
+            original_width=original_width,
+            installed_at=time,
+            last_access_time=time,
+        )
+        existing = self._entries.pop(key, None)
+        self._entries[key] = entry
+        if existing is None:
+            self.statistics.insertions += 1
+        evicted: List[Hashable] = []
+        while self._capacity is not None and len(self._entries) > self._capacity:
+            victim_key = self._eviction_policy.select_victim(list(self._entries.values()))
+            del self._entries[victim_key]
+            evicted.append(victim_key)
+            if victim_key == key:
+                self.statistics.rejected_insertions += 1
+            else:
+                self.statistics.evictions += 1
+        return evicted
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop ``key`` from the cache; returns True if it was present."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Remove every entry (statistics are preserved)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+    # ------------------------------------------------------------------
+    def total_width(self) -> float:
+        """Sum of cached interval widths (``inf`` if any entry is unbounded)."""
+        total = 0.0
+        for entry in self._entries.values():
+            if entry.interval.is_unbounded:
+                return math.inf
+            total += entry.interval.width
+        return total
+
+    def widths(self) -> Dict[Hashable, float]:
+        """Mapping of key to cached interval width."""
+        return {key: entry.interval.width for key, entry in self._entries.items()}

@@ -1,0 +1,85 @@
+"""Cache eviction policies.
+
+The paper's cache evicts the *widest* intervals when space runs out, "since
+they are the least precise approximations and thus contribute least to
+overall cache precision" (Section 2), and the decision is based on original
+(unclamped) widths.  LRU and random eviction are provided as ablation
+baselines.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Hashable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from repro.caching.cache import CacheEntry
+
+
+class EvictionPolicy(ABC):
+    """Chooses which cache entry to evict when the cache is over capacity."""
+
+    @abstractmethod
+    def select_victim(self, entries: Sequence["CacheEntry"]) -> Hashable:
+        """Return the key of the entry to evict from ``entries`` (non-empty)."""
+
+    def describe(self) -> str:
+        """Short human-readable name, used in ablation reports."""
+        return type(self).__name__
+
+    @staticmethod
+    def _require_entries(entries: Sequence["CacheEntry"]) -> None:
+        if not entries:
+            raise ValueError("cannot select an eviction victim from an empty cache")
+
+
+class WidestFirstEviction(EvictionPolicy):
+    """The paper's policy: evict the entry with the largest original width.
+
+    Ties are broken by least-recent access so behaviour is deterministic.
+    """
+
+    def select_victim(self, entries: Sequence["CacheEntry"]) -> Hashable:
+        self._require_entries(entries)
+        victim = max(entries, key=lambda e: (e.original_width, -e.last_access_time))
+        return victim.key
+
+
+class LeastRecentlyUsedEviction(EvictionPolicy):
+    """Classic LRU eviction, as an ablation baseline."""
+
+    def select_victim(self, entries: Sequence["CacheEntry"]) -> Hashable:
+        self._require_entries(entries)
+        victim = min(entries, key=lambda e: e.last_access_time)
+        return victim.key
+
+
+class RandomEviction(EvictionPolicy):
+    """Uniformly random eviction, as an ablation baseline."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng if rng is not None else random.Random()
+
+    def select_victim(self, entries: Sequence["CacheEntry"]) -> Hashable:
+        self._require_entries(entries)
+        return self._rng.choice(list(entries)).key
+
+
+class LowestValueEviction(EvictionPolicy):
+    """Evict the entry with the smallest externally supplied benefit score.
+
+    Used by the WJH97 exact-caching baseline, which evicts the value with the
+    lowest projected cost difference ``C_nc - C_c``.  The score is looked up
+    through a callable so the policy owning the statistics stays in charge.
+    """
+
+    def __init__(self, score) -> None:
+        if not callable(score):
+            raise TypeError("score must be a callable mapping key -> float")
+        self._score = score
+
+    def select_victim(self, entries: Sequence["CacheEntry"]) -> Hashable:
+        self._require_entries(entries)
+        victim = min(entries, key=lambda e: (self._score(e.key), e.last_access_time))
+        return victim.key

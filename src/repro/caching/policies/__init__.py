@@ -1,0 +1,31 @@
+"""Precision policies: pluggable strategies that set refreshed interval widths.
+
+All policies share the :class:`~repro.caching.policies.base.PrecisionPolicy`
+interface used by the simulator.  The paper's contribution is
+:class:`~repro.caching.policies.adaptive.AdaptivePrecisionPolicy`; the
+baselines it is compared against are
+:class:`~repro.caching.policies.exact_caching.ExactCachingPolicy` (WJH97
+adaptive replication, Section 4.6) and
+:class:`~repro.caching.policies.divergence.DivergenceCachingPolicy`
+(HSW94, Section 4.7).  :class:`~repro.caching.policies.static.StaticWidthPolicy`
+fixes the width, which is how the Figure 3 optimality sweep is produced.
+"""
+
+from repro.caching.policies.adaptive import (
+    AdaptivePrecisionPolicy,
+    UncenteredAdaptivePolicy,
+)
+from repro.caching.policies.base import PrecisionDecision, PrecisionPolicy
+from repro.caching.policies.divergence import DivergenceCachingPolicy
+from repro.caching.policies.exact_caching import ExactCachingPolicy
+from repro.caching.policies.static import StaticWidthPolicy
+
+__all__ = [
+    "PrecisionPolicy",
+    "PrecisionDecision",
+    "AdaptivePrecisionPolicy",
+    "UncenteredAdaptivePolicy",
+    "ExactCachingPolicy",
+    "DivergenceCachingPolicy",
+    "StaticWidthPolicy",
+]

@@ -1,0 +1,66 @@
+"""Command-line interface: run any reproduced experiment and print its table.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run figure03
+    python -m repro.cli run-all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.base import format_table, registry
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Adaptive Precision Setting for Cached Approximate "
+            "Values' (Olston, Loo, Widom, SIGMOD 2001)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list the available experiments")
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id (see 'list')")
+    subparsers.add_parser("run-all", help="run every experiment (may take a while)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    experiments = registry()
+    if args.command == "list":
+        for experiment_id in sorted(experiments):
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        runner = experiments.get(args.experiment)
+        if runner is None:
+            print(
+                f"unknown experiment {args.experiment!r}; "
+                f"available: {', '.join(sorted(experiments))}",
+                file=sys.stderr,
+            )
+            return 2
+        print(format_table(runner()))
+        return 0
+    if args.command == "run-all":
+        for experiment_id in sorted(experiments):
+            print(format_table(experiments[experiment_id]()))
+            print()
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

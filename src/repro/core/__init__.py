@@ -1,0 +1,34 @@
+"""The paper's primary contribution: adaptive precision (width) setting.
+
+The central class is :class:`~repro.core.policy.AdaptiveWidthController`,
+which implements the Section 2 algorithm: grow the interval width on
+value-initiated refreshes and shrink it on query-initiated refreshes, with
+adjustment probabilities derived from the cost factor
+``rho = 2 * C_vr / C_qr``, and clamp the width using the lower/upper
+thresholds ``theta_0`` / ``theta_1``.
+
+The analytical model of Section 3 / Appendix A lives in
+:class:`~repro.core.cost_model.CostModel`, and the "unsuccessful variations"
+of Section 4.5 in :mod:`repro.core.variations`.
+"""
+
+from repro.core.cost_model import CostModel
+from repro.core.parameters import PrecisionParameters
+from repro.core.policy import AdaptiveWidthController, WidthAdjustment
+from repro.core.thresholds import apply_thresholds
+from repro.core.variations import (
+    HistoryWindowController,
+    TimeVaryingWidthController,
+    UncenteredWidthController,
+)
+
+__all__ = [
+    "PrecisionParameters",
+    "AdaptiveWidthController",
+    "WidthAdjustment",
+    "CostModel",
+    "apply_thresholds",
+    "UncenteredWidthController",
+    "TimeVaryingWidthController",
+    "HistoryWindowController",
+]

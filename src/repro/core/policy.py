@@ -1,0 +1,151 @@
+"""The adaptive width controller (Section 2 of the paper).
+
+One :class:`AdaptiveWidthController` instance manages the interval width of a
+single cached value.  Every refresh is an adaptation opportunity:
+
+* **value-initiated refresh** — the exact value escaped the cached interval, a
+  signal that the interval was too narrow.  With probability
+  ``min(rho, 1)`` the width is grown to ``W * (1 + alpha)``.
+* **query-initiated refresh** — a query found the interval too wide and
+  fetched the exact value.  With probability ``min(1 / rho, 1)`` the width is
+  shrunk to ``W / (1 + alpha)``.
+
+The controller keeps the *original* (unclamped) width for future adaptation,
+while :meth:`published_width` applies the ``theta_0`` / ``theta_1`` thresholds
+to obtain the width actually installed in the cache, exactly as Section 2
+prescribes ("the source still retains the original width, and uses it when
+setting the next width").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.core.parameters import PrecisionParameters
+from repro.core.thresholds import apply_thresholds
+
+
+class WidthAdjustment(Enum):
+    """Outcome of a refresh from the controller's point of view."""
+
+    GREW = "grew"
+    SHRANK = "shrank"
+    UNCHANGED = "unchanged"
+
+
+@dataclass
+class ControllerState:
+    """Snapshot of a controller's internal counters (useful for diagnostics)."""
+
+    width: float
+    published_width: float
+    value_refreshes: int
+    query_refreshes: int
+    growth_events: int
+    shrink_events: int
+
+
+class AdaptiveWidthController:
+    """Adaptive precision setting for a single cached approximate value.
+
+    Parameters
+    ----------
+    parameters:
+        The five algorithm parameters (costs, adaptivity, thresholds).
+    initial_width:
+        Starting width ``W``; must be positive so multiplicative updates can
+        move it in both directions.  The paper does not prescribe a starting
+        point because the algorithm converges from any positive width.
+    rng:
+        Source of randomness for the probabilistic adjustments.  Pass a seeded
+        :class:`random.Random` for reproducible simulations.
+    """
+
+    def __init__(
+        self,
+        parameters: PrecisionParameters,
+        initial_width: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if initial_width <= 0:
+            raise ValueError(
+                "initial_width must be positive so the width can adapt in both "
+                f"directions, got {initial_width}"
+            )
+        self._parameters = parameters
+        self._width = float(initial_width)
+        self._rng = rng if rng is not None else random.Random()
+        self._value_refreshes = 0
+        self._query_refreshes = 0
+        self._growth_events = 0
+        self._shrink_events = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> PrecisionParameters:
+        """The parameter bundle this controller was configured with."""
+        return self._parameters
+
+    @property
+    def width(self) -> float:
+        """The internal ("original") width, never clamped by thresholds."""
+        return self._width
+
+    def published_width(self) -> float:
+        """The width to install in the cache, after threshold clamping."""
+        return apply_thresholds(
+            self._width,
+            self._parameters.lower_threshold,
+            self._parameters.upper_threshold,
+        )
+
+    def state(self) -> ControllerState:
+        """Return a snapshot of widths and refresh counters."""
+        return ControllerState(
+            width=self._width,
+            published_width=self.published_width(),
+            value_refreshes=self._value_refreshes,
+            query_refreshes=self._query_refreshes,
+            growth_events=self._growth_events,
+            shrink_events=self._shrink_events,
+        )
+
+    # ------------------------------------------------------------------
+    # Adaptation
+    # ------------------------------------------------------------------
+    def on_value_initiated_refresh(self) -> WidthAdjustment:
+        """Record a value-initiated refresh ("interval too narrow").
+
+        Returns the adjustment decision; call :meth:`published_width` for the
+        width to ship with the refreshed interval.
+        """
+        self._value_refreshes += 1
+        if self._parameters.adaptivity == 0:
+            return WidthAdjustment.UNCHANGED
+        if self._rng.random() < self._parameters.growth_probability:
+            self._width *= self._parameters.growth_factor
+            self._growth_events += 1
+            return WidthAdjustment.GREW
+        return WidthAdjustment.UNCHANGED
+
+    def on_query_initiated_refresh(self) -> WidthAdjustment:
+        """Record a query-initiated refresh ("interval too wide")."""
+        self._query_refreshes += 1
+        if self._parameters.adaptivity == 0:
+            return WidthAdjustment.UNCHANGED
+        if self._rng.random() < self._parameters.shrink_probability:
+            self._width /= self._parameters.growth_factor
+            self._shrink_events += 1
+            return WidthAdjustment.SHRANK
+        return WidthAdjustment.UNCHANGED
+
+    def reset(self, width: float) -> None:
+        """Reset the internal width (used by experiments, not by the algorithm)."""
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self._width = float(width)

@@ -1,0 +1,31 @@
+"""Data substrate: update streams, random walks, and the synthetic trace.
+
+The paper evaluates on two kinds of data: synthetic one-dimensional random
+walks (Section 4.2) and a real two-hour wide-area network traffic trace of the
+50 most heavily trafficked hosts [PF95] (Section 4.3).  The trace itself is
+not redistributable, so :mod:`repro.data.traffic` generates a synthetic
+stand-in with the same structure (bursty, heavy-tailed ON/OFF behaviour,
+one-minute moving-window averaging, the same value range); see DESIGN.md for
+the substitution rationale.
+"""
+
+from repro.data.random_walk import RandomWalkGenerator
+from repro.data.streams import (
+    CounterStream,
+    RandomWalkStream,
+    TraceStream,
+    UpdateStream,
+)
+from repro.data.trace import Trace, moving_window_average
+from repro.data.traffic import SyntheticTrafficTraceGenerator
+
+__all__ = [
+    "RandomWalkGenerator",
+    "UpdateStream",
+    "RandomWalkStream",
+    "TraceStream",
+    "CounterStream",
+    "Trace",
+    "moving_window_average",
+    "SyntheticTrafficTraceGenerator",
+]

@@ -1,0 +1,140 @@
+"""Update streams: the sequences of source updates driving a simulation.
+
+Every data source in a simulation is fed by an :class:`UpdateStream` that
+yields ``(time, new_value)`` pairs in increasing time order.  Three concrete
+streams cover the paper's workloads:
+
+* :class:`RandomWalkStream` — one random-walk step per second (Section 4.2),
+* :class:`TraceStream` — replay of a trace series (Section 4.3),
+* :class:`CounterStream` — a monotone update counter, used for the stale-value
+  (Divergence Caching) experiments of Section 4.7 where only the *number* of
+  updates matters.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.data.random_walk import RandomWalkGenerator
+from repro.data.trace import Trace
+
+UpdateEventTuple = Tuple[float, float]
+
+
+class UpdateStream(ABC):
+    """A time-ordered stream of updates to one source value."""
+
+    @property
+    @abstractmethod
+    def initial_value(self) -> float:
+        """The source value before the first update."""
+
+    @abstractmethod
+    def updates(self, duration: float) -> Iterator[UpdateEventTuple]:
+        """Yield ``(time, value)`` pairs for all updates in ``(0, duration]``."""
+
+
+class RandomWalkStream(UpdateStream):
+    """A random-walk value updated once every ``interval`` seconds."""
+
+    def __init__(
+        self,
+        walk: Optional[RandomWalkGenerator] = None,
+        interval: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._walk = walk if walk is not None else RandomWalkGenerator(rng=rng)
+        self._interval = interval
+        self._initial = self._walk.value
+
+    @property
+    def initial_value(self) -> float:
+        return self._initial
+
+    @property
+    def interval(self) -> float:
+        """Seconds between consecutive updates."""
+        return self._interval
+
+    def updates(self, duration: float) -> Iterator[UpdateEventTuple]:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        time = self._interval
+        while time <= duration + 1e-9:
+            yield (round(time, 9), self._walk.step())
+            time += self._interval
+
+
+class TraceStream(UpdateStream):
+    """Replays one series of a :class:`~repro.data.trace.Trace`."""
+
+    def __init__(self, trace: Trace, key: Hashable) -> None:
+        if key not in trace.series:
+            raise KeyError(f"key {key!r} not present in trace")
+        self._values: Sequence[float] = trace.series[key]
+        self._interval = trace.sample_interval
+
+    @property
+    def initial_value(self) -> float:
+        return self._values[0]
+
+    def updates(self, duration: float) -> Iterator[UpdateEventTuple]:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        for index in range(1, len(self._values)):
+            time = index * self._interval
+            if time > duration + 1e-9:
+                break
+            yield (time, self._values[index])
+
+
+class CounterStream(UpdateStream):
+    """A monotone counter incremented on every update.
+
+    Updates arrive either at a fixed period or as a Poisson process with the
+    given mean inter-update time, modelling the update-frequency-only view of
+    Divergence Caching.
+    """
+
+    def __init__(
+        self,
+        mean_interval: float = 1.0,
+        poisson: bool = False,
+        start: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if mean_interval <= 0:
+            raise ValueError("mean_interval must be positive")
+        self._mean_interval = mean_interval
+        self._poisson = poisson
+        self._start = float(start)
+        self._rng = rng if rng is not None else random.Random()
+
+    @property
+    def initial_value(self) -> float:
+        return self._start
+
+    def updates(self, duration: float) -> Iterator[UpdateEventTuple]:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        value = self._start
+        time = 0.0
+        while True:
+            if self._poisson:
+                time += self._rng.expovariate(1.0 / self._mean_interval)
+            else:
+                time += self._mean_interval
+            if time > duration + 1e-9:
+                return
+            value += 1.0
+            yield (time, value)
+
+
+def streams_from_trace(trace: Trace, keys: Optional[Sequence[Hashable]] = None) -> dict:
+    """Build a ``{key: TraceStream}`` mapping for the given (or all) trace keys."""
+    selected = list(keys) if keys is not None else trace.keys
+    return {key: TraceStream(trace, key) for key in selected}

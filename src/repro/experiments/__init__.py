@@ -1,0 +1,12 @@
+"""Experiments reproducing every table and figure of the paper.
+
+Each module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.base.ExperimentResult` whose rows correspond to the
+series of the paper's table or figure.  The modules default to laptop-scale
+parameters (shorter traces, fewer hosts) so the whole suite runs in minutes;
+pass ``paper_scale=True`` where available to use the paper's full settings.
+"""
+
+from repro.experiments.base import ExperimentResult, format_table, registry
+
+__all__ = ["ExperimentResult", "format_table", "registry"]

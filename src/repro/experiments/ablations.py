@@ -1,0 +1,144 @@
+"""Ablations of design choices the paper calls out but does not plot.
+
+Two design decisions of the algorithm/system are ablated:
+
+* **Width-adjustment probabilities** — the algorithm grows on value refreshes
+  with probability ``min(rho, 1)`` and shrinks on query refreshes with
+  probability ``min(1/rho, 1)``; the ablation always adjusts (probability 1
+  on both sides), which the Section 3 analysis predicts is suboptimal for
+  ``rho != 1``.
+* **Eviction policy** — the paper evicts the widest original width; the
+  ablation compares against LRU and random eviction on a space-constrained
+  cache.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, Tuple
+
+from repro.caching.eviction import (
+    LeastRecentlyUsedEviction,
+    RandomEviction,
+    WidestFirstEviction,
+)
+from repro.caching.policies.adaptive import AdaptivePrecisionPolicy
+from repro.core.parameters import PrecisionParameters
+from repro.experiments.base import ExperimentResult
+from repro.experiments.workloads import (
+    DEFAULT_HOST_COUNT,
+    DEFAULT_TRACE_DURATION,
+    KILO,
+    adaptive_policy,
+    traffic_config,
+    traffic_streams,
+    traffic_trace,
+)
+from repro.simulation.simulator import CacheSimulation
+
+
+class _AlwaysAdjustPolicy(AdaptivePrecisionPolicy):
+    """Ablated policy that ignores the probabilistic adjustment rule.
+
+    It forces the cost-factor-derived probabilities to 1 by building the
+    controller with ``rho = 1`` while still charging the true costs in the
+    simulation, so the only difference from the paper's policy is *when* the
+    width is adjusted.
+    """
+
+
+def _always_adjust_policy(seed: int) -> _AlwaysAdjustPolicy:
+    parameters = PrecisionParameters(
+        value_refresh_cost=1.0,
+        query_refresh_cost=2.0,
+        adaptivity=1.0,
+        lower_threshold=0.0,
+        upper_threshold=math.inf,
+    )
+    return _AlwaysAdjustPolicy(parameters, initial_width=KILO, rng=random.Random(seed))
+
+
+def run_probability_ablation(
+    cost_factor: float = 4.0,
+    host_count: int = DEFAULT_HOST_COUNT,
+    duration: int = DEFAULT_TRACE_DURATION,
+    seed: int = 29,
+) -> List[Tuple]:
+    """Probabilistic adjustment (paper) vs always adjusting, at ``rho != 1``."""
+    trace = traffic_trace(host_count=host_count, duration=duration)
+    config = traffic_config(
+        trace,
+        query_period=1.0,
+        constraint_average=100.0 * KILO,
+        constraint_variation=1.0,
+        cost_factor=cost_factor,
+        seed=seed,
+    )
+    paper_policy = adaptive_policy(
+        cost_factor=cost_factor,
+        adaptivity=1.0,
+        initial_width=KILO,
+        seed=seed,
+    )
+    paper = CacheSimulation(config, traffic_streams(trace), paper_policy).run()
+    ablated = CacheSimulation(
+        config, traffic_streams(trace), _always_adjust_policy(seed)
+    ).run()
+    return [
+        ("adjustment probabilities", f"min(rho,1)/min(1/rho,1), rho={cost_factor:g}", paper.cost_rate),
+        ("adjustment probabilities", "always adjust (ablated)", ablated.cost_rate),
+    ]
+
+
+def run_eviction_ablation(
+    host_count: int = DEFAULT_HOST_COUNT,
+    duration: int = DEFAULT_TRACE_DURATION,
+    seed: int = 29,
+) -> List[Tuple]:
+    """Widest-first (paper) vs LRU vs random eviction on a small cache."""
+    trace = traffic_trace(host_count=host_count, duration=duration)
+    capacity = max(host_count * 2 // 5, 2)
+    rows: List[Tuple] = []
+    eviction_policies = (
+        ("widest-first (paper)", WidestFirstEviction()),
+        ("LRU", LeastRecentlyUsedEviction()),
+        ("random", RandomEviction(rng=random.Random(seed))),
+    )
+    for label, eviction in eviction_policies:
+        config = traffic_config(
+            trace,
+            query_period=1.0,
+            constraint_average=100.0 * KILO,
+            constraint_variation=1.0,
+            cost_factor=1.0,
+            cache_capacity=capacity,
+            seed=seed,
+        )
+        policy = adaptive_policy(
+            cost_factor=1.0, adaptivity=1.0, initial_width=KILO, seed=seed
+        )
+        result = CacheSimulation(config, traffic_streams(trace), policy, eviction).run()
+        rows.append(("eviction policy", label, result.cost_rate))
+    return rows
+
+
+def run(
+    host_count: int = DEFAULT_HOST_COUNT,
+    duration: int = DEFAULT_TRACE_DURATION,
+    seed: int = 29,
+) -> ExperimentResult:
+    """Run both ablations."""
+    rows = run_probability_ablation(host_count=host_count, duration=duration, seed=seed)
+    rows.extend(run_eviction_ablation(host_count=host_count, duration=duration, seed=seed))
+    return ExperimentResult(
+        experiment_id="ablations",
+        title="Design-choice ablations: adjustment probabilities and eviction policy",
+        columns=("ablation", "variant", "Omega"),
+        rows=rows,
+        notes=(
+            "Expected: the paper's probabilistic adjustment is at least as good as "
+            "always adjusting when rho != 1; widest-first eviction is competitive "
+            "with or better than LRU/random for bounded caches."
+        ),
+    )

@@ -1,0 +1,51 @@
+"""Figure 2: analytical cost rate and refresh probabilities vs interval width.
+
+The paper plots ``P_vr = K1 / W**2``, ``P_qr = K2 * W`` and the resulting
+cost rate ``Omega(W)`` for ``rho = 1`` with ``K1 = 1`` and ``K2 = 1/200``
+(values "set based roughly on a query period of 10 seconds and an average
+precision constraint of 10"), showing that the cost minimum coincides with
+the crossing of the two probability curves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cost_model import CostModel
+from repro.core.parameters import PrecisionParameters
+from repro.experiments.base import ExperimentResult
+
+#: The constants the paper quotes for Figure 2.
+PAPER_K1 = 1.0
+PAPER_K2 = 1.0 / 200.0
+
+
+def run(
+    widths: Sequence[float] = tuple(range(1, 21)),
+    cost_factor: float = 1.0,
+    k1: float = PAPER_K1,
+    k2: float = PAPER_K2,
+) -> ExperimentResult:
+    """Sample the analytical curves over ``widths``."""
+    parameters = PrecisionParameters.for_cost_factor(cost_factor)
+    model = CostModel(parameters=parameters, k1=k1, k2=k2)
+    rows = []
+    for width, p_vr, p_qr, omega in model.sample_curves(list(widths)):
+        rows.append((width, p_vr, p_qr, omega))
+    optimal = model.optimal_width()
+    return ExperimentResult(
+        experiment_id="figure02",
+        title="Analytical refresh probabilities and cost rate vs width (rho=1)",
+        columns=("W", "P_vr", "P_qr", "Omega"),
+        rows=rows,
+        notes=(
+            f"W* = (rho*K1/K2)^(1/3) = {optimal:.3f}; the cost minimum coincides "
+            "with the crossing of rho*P_vr and P_qr."
+        ),
+    )
+
+
+def optimal_width(cost_factor: float = 1.0, k1: float = PAPER_K1, k2: float = PAPER_K2) -> float:
+    """Convenience accessor for the closed-form optimum used in the notes."""
+    parameters = PrecisionParameters.for_cost_factor(cost_factor)
+    return CostModel(parameters=parameters, k1=k1, k2=k2).optimal_width()

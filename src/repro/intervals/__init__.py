@@ -1,0 +1,39 @@
+"""Interval approximations to numeric values.
+
+This subpackage provides the approximation substrate used throughout the
+library: closed numeric intervals (:class:`~repro.intervals.interval.Interval`),
+placement strategies that turn an exact value plus a target width into a new
+interval (:mod:`repro.intervals.placement`), and stale-value approximations
+used when emulating Divergence Caching
+(:class:`~repro.intervals.staleness.StalenessBound`).
+"""
+
+from repro.intervals.interval import (
+    EXACT_ZERO,
+    UNBOUNDED,
+    Interval,
+    hull,
+    intersection,
+)
+from repro.intervals.placement import (
+    CenteredPlacement,
+    IntervalPlacement,
+    LinearGrowthPlacement,
+    OneSidedPlacement,
+    UncenteredPlacement,
+)
+from repro.intervals.staleness import StalenessBound
+
+__all__ = [
+    "Interval",
+    "UNBOUNDED",
+    "EXACT_ZERO",
+    "hull",
+    "intersection",
+    "IntervalPlacement",
+    "CenteredPlacement",
+    "OneSidedPlacement",
+    "UncenteredPlacement",
+    "LinearGrowthPlacement",
+    "StalenessBound",
+]

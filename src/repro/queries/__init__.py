@@ -1,0 +1,40 @@
+"""Query substrate: bounded aggregates over cached approximations.
+
+The workload in the paper's performance study (Section 4.1) issues SUM or MAX
+aggregates over a set of cached intervals, each accompanied by a precision
+constraint ``delta`` bounding the acceptable width of the result interval.
+When the cached intervals are too wide, a subset of them is refreshed (at
+cost ``C_qr`` each) until the constraint is met, following the selection
+algorithms of TRAPP [OW00].
+"""
+
+from repro.queries.aggregates import (
+    AggregateKind,
+    average_bound,
+    count_below_bound,
+    max_bound,
+    min_bound,
+    sum_bound,
+)
+from repro.queries.constraints import PrecisionConstraintGenerator
+from repro.queries.refresh_selection import (
+    QueryExecution,
+    execute_bounded_query,
+    select_sum_refreshes,
+)
+from repro.queries.workload import Query, QueryWorkload
+
+__all__ = [
+    "AggregateKind",
+    "sum_bound",
+    "max_bound",
+    "min_bound",
+    "average_bound",
+    "count_below_bound",
+    "PrecisionConstraintGenerator",
+    "QueryExecution",
+    "execute_bounded_query",
+    "select_sum_refreshes",
+    "Query",
+    "QueryWorkload",
+]

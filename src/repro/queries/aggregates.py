@@ -1,0 +1,96 @@
+"""Interval bounds for aggregate queries over approximate values.
+
+Given interval approximations ``[L_i, H_i]`` of a set of exact values, the
+result of an aggregate over those values can itself be bounded by an interval
+computed from the endpoints (this is the TRAPP / "bounded aggregate" idea of
+[OW00] that the paper's query workload is modelled on):
+
+* ``SUM``  — ``[sum L_i, sum H_i]``
+* ``MAX``  — ``[max L_i, max H_i]``
+* ``MIN``  — ``[min L_i, min H_i]``
+* ``AVG``  — the SUM bound divided by the count
+* ``COUNT(<= threshold)`` — how many values are certainly / possibly below a
+  threshold, expressed as an integer interval.
+
+All functions accept any iterable of :class:`~repro.intervals.interval.Interval`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, List, Sequence
+
+from repro.intervals.interval import Interval
+
+
+class AggregateKind(Enum):
+    """Aggregate functions supported by the query workload."""
+
+    SUM = "sum"
+    MAX = "max"
+    MIN = "min"
+    AVG = "avg"
+
+
+def _materialise(intervals: Iterable[Interval]) -> List[Interval]:
+    result = list(intervals)
+    if not result:
+        raise ValueError("aggregate bounds require at least one interval")
+    return result
+
+
+def sum_bound(intervals: Iterable[Interval]) -> Interval:
+    """Interval bounding the SUM of the underlying exact values."""
+    items = _materialise(intervals)
+    low = sum(interval.low for interval in items)
+    high = sum(interval.high for interval in items)
+    return Interval(low, high)
+
+
+def max_bound(intervals: Iterable[Interval]) -> Interval:
+    """Interval bounding the MAX of the underlying exact values."""
+    items = _materialise(intervals)
+    low = max(interval.low for interval in items)
+    high = max(interval.high for interval in items)
+    return Interval(low, high)
+
+
+def min_bound(intervals: Iterable[Interval]) -> Interval:
+    """Interval bounding the MIN of the underlying exact values."""
+    items = _materialise(intervals)
+    low = min(interval.low for interval in items)
+    high = min(interval.high for interval in items)
+    return Interval(low, high)
+
+
+def average_bound(intervals: Iterable[Interval]) -> Interval:
+    """Interval bounding the arithmetic mean of the underlying exact values."""
+    items = _materialise(intervals)
+    total = sum_bound(items)
+    return total.scale(1.0 / len(items))
+
+
+def count_below_bound(intervals: Iterable[Interval], threshold: float) -> Interval:
+    """Integer interval bounding ``COUNT(value <= threshold)``.
+
+    A value is *certainly* counted when its whole interval lies at or below
+    the threshold, and *possibly* counted when its interval merely reaches the
+    threshold.
+    """
+    items = _materialise(intervals)
+    certain = sum(1 for interval in items if interval.high <= threshold)
+    possible = sum(1 for interval in items if interval.low <= threshold)
+    return Interval(float(certain), float(possible))
+
+
+def aggregate_bound(kind: AggregateKind, intervals: Sequence[Interval]) -> Interval:
+    """Dispatch to the bound function for ``kind``."""
+    if kind is AggregateKind.SUM:
+        return sum_bound(intervals)
+    if kind is AggregateKind.MAX:
+        return max_bound(intervals)
+    if kind is AggregateKind.MIN:
+        return min_bound(intervals)
+    if kind is AggregateKind.AVG:
+        return average_bound(intervals)
+    raise ValueError(f"unsupported aggregate kind: {kind!r}")

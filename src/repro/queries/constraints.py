@@ -1,0 +1,109 @@
+"""Generation of query precision constraints.
+
+Each query carries a precision constraint ``delta >= 0``, the maximum
+acceptable width of its result interval.  The paper's workload samples
+constraints uniformly between ``delta_min = delta_avg * (1 - sigma)`` and
+``delta_max = delta_avg * (1 + sigma)``, where ``delta_avg`` is the average
+constraint and ``sigma`` the constraint variation (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ConstraintDistribution:
+    """The (min, max) range from which constraints are drawn."""
+
+    minimum: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if self.minimum < 0:
+            raise ValueError("constraint minimum must be non-negative")
+        if self.maximum < self.minimum:
+            raise ValueError("constraint maximum must be >= minimum")
+
+    @property
+    def average(self) -> float:
+        """Midpoint of the range."""
+        return (self.minimum + self.maximum) / 2.0
+
+
+class PrecisionConstraintGenerator:
+    """Samples precision constraints uniformly from ``[delta_min, delta_max]``.
+
+    Parameters
+    ----------
+    average:
+        ``delta_avg`` — the average precision constraint.
+    variation:
+        ``sigma >= 0`` — the relative half-width of the constraint range.
+        ``sigma = 0`` makes every query use exactly ``delta_avg``; ``sigma = 1``
+        spreads constraints over ``[0, 2 * delta_avg]``.  Values above 1 would
+        produce negative lower bounds, which are clamped to zero.
+    rng:
+        Randomness source (pass a seeded instance for reproducibility).
+    """
+
+    def __init__(
+        self,
+        average: float,
+        variation: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if average < 0:
+            raise ValueError("average constraint (delta_avg) must be non-negative")
+        if variation < 0:
+            raise ValueError("constraint variation (sigma) must be non-negative")
+        self._average = average
+        self._variation = variation
+        self._rng = rng if rng is not None else random.Random()
+
+    @property
+    def distribution(self) -> ConstraintDistribution:
+        """The effective ``[delta_min, delta_max]`` range."""
+        minimum = max(self._average * (1.0 - self._variation), 0.0)
+        maximum = self._average * (1.0 + self._variation)
+        return ConstraintDistribution(minimum=minimum, maximum=maximum)
+
+    @property
+    def average(self) -> float:
+        """The configured ``delta_avg``."""
+        return self._average
+
+    @property
+    def variation(self) -> float:
+        """The configured ``sigma``."""
+        return self._variation
+
+    def sample(self) -> float:
+        """Draw one precision constraint."""
+        dist = self.distribution
+        if dist.minimum == dist.maximum:
+            return dist.minimum
+        return self._rng.uniform(dist.minimum, dist.maximum)
+
+    @classmethod
+    def from_bounds(
+        cls,
+        minimum: float,
+        maximum: float,
+        rng: Optional[random.Random] = None,
+    ) -> "PrecisionConstraintGenerator":
+        """Build a generator from explicit ``(delta_min, delta_max)`` bounds.
+
+        Several paper figures specify the range directly (e.g. ``(0, 100K)``
+        or ``(50K, 150K)`` in Figure 6); this constructor converts the range
+        into the equivalent ``(delta_avg, sigma)`` pair.
+        """
+        if minimum < 0 or maximum < minimum:
+            raise ValueError("require 0 <= minimum <= maximum")
+        average = (minimum + maximum) / 2.0
+        if average == 0:
+            return cls(average=0.0, variation=0.0, rng=rng)
+        variation = (maximum - minimum) / (2.0 * average)
+        return cls(average=average, variation=variation, rng=rng)

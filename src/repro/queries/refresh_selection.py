@@ -1,0 +1,207 @@
+"""Choosing which approximations a query must refresh (OW00-style).
+
+A bounded-aggregate query over cached intervals succeeds immediately when the
+width of its result bound is within the query's precision constraint
+``delta``.  Otherwise, some of the contributing intervals must be refreshed
+(their exact values fetched from the sources, each at cost ``C_qr``) until the
+constraint holds.  After a refresh the contributing interval is exact, so its
+contribution to the result width vanishes.
+
+Two selection strategies are implemented, matching the paper's SUM and MAX
+workloads:
+
+* **SUM** — the result width is the sum of the contributing widths, so the
+  cheapest way to meet the constraint is to refresh the widest intervals
+  until the remaining total width is within ``delta``.  This choice is static
+  (it does not depend on the fetched values), so it can be made up-front.
+* **MAX** — the result bound is ``[max L_i, max H_i]``.  Knowing an exact
+  value can raise the lower bound and thereby rule out other candidates, so
+  refreshes are chosen iteratively: fetch the interval with the largest upper
+  endpoint, recompute the bound, and repeat until the constraint holds.  This
+  is why cached non-exact intervals remain useful for MAX even when queries
+  demand exact answers (Section 4.4).
+
+The functions below work against a ``fetch_exact`` callback supplied by the
+simulator; the callback performs the actual query-initiated refresh (cost
+accounting, new interval installation) and returns the exact value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Sequence
+
+from repro.intervals.interval import Interval
+from repro.queries.aggregates import AggregateKind, aggregate_bound
+
+FetchExact = Callable[[Hashable], float]
+
+
+@dataclass
+class QueryExecution:
+    """Outcome of executing one bounded-aggregate query.
+
+    Attributes
+    ----------
+    result_bound:
+        The final interval bounding the aggregate (width <= the constraint,
+        unless the constraint was unsatisfiable, which cannot happen since
+        refreshing everything yields a zero-width bound).
+    refreshed_keys:
+        Keys whose exact values were fetched, in fetch order.
+    constraint:
+        The precision constraint the query carried.
+    """
+
+    result_bound: Interval
+    refreshed_keys: List[Hashable]
+    constraint: float
+
+    @property
+    def refresh_count(self) -> int:
+        """Number of query-initiated refreshes this query caused."""
+        return len(self.refreshed_keys)
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the final bound meets the constraint."""
+        return self.result_bound.width <= self.constraint
+
+
+def select_sum_refreshes(
+    intervals: Dict[Hashable, Interval], constraint: float
+) -> List[Hashable]:
+    """Return the keys a SUM query must refresh, widest first.
+
+    The remaining (unrefreshed) intervals' total width must not exceed the
+    constraint; refreshed intervals contribute zero width.
+    """
+    if constraint < 0:
+        raise ValueError("constraint must be non-negative")
+    ordered = sorted(
+        intervals.items(), key=lambda item: item[1].width, reverse=True
+    )
+    # Track the remaining total width as (number of unbounded intervals,
+    # finite remainder) so that subtracting an infinite width is well-defined.
+    unbounded_remaining = sum(1 for _, interval in ordered if math.isinf(interval.width))
+    finite_remaining = sum(
+        interval.width for _, interval in ordered if not math.isinf(interval.width)
+    )
+    refreshes: List[Hashable] = []
+    for key, interval in ordered:
+        remaining = math.inf if unbounded_remaining else finite_remaining
+        if remaining <= constraint:
+            break
+        refreshes.append(key)
+        if math.isinf(interval.width):
+            unbounded_remaining -= 1
+        else:
+            finite_remaining -= interval.width
+    return refreshes
+
+
+def _execute_sum(
+    intervals: Dict[Hashable, Interval],
+    constraint: float,
+    fetch_exact: FetchExact,
+) -> QueryExecution:
+    working = dict(intervals)
+    refreshed: List[Hashable] = []
+    for key in select_sum_refreshes(working, constraint):
+        exact = fetch_exact(key)
+        working[key] = Interval.exact(exact)
+        refreshed.append(key)
+    return QueryExecution(
+        result_bound=aggregate_bound(AggregateKind.SUM, list(working.values())),
+        refreshed_keys=refreshed,
+        constraint=constraint,
+    )
+
+
+def _execute_extremum(
+    intervals: Dict[Hashable, Interval],
+    constraint: float,
+    fetch_exact: FetchExact,
+    kind: AggregateKind,
+) -> QueryExecution:
+    working = dict(intervals)
+    refreshed: List[Hashable] = []
+    while True:
+        bound = aggregate_bound(kind, list(working.values()))
+        if bound.width <= constraint:
+            break
+        candidates = [key for key, interval in working.items() if not interval.is_exact]
+        if not candidates:
+            break
+        if kind is AggregateKind.MAX:
+            # The interval reaching highest is the one keeping the bound wide.
+            victim = max(candidates, key=lambda key: working[key].high)
+        else:
+            victim = min(candidates, key=lambda key: working[key].low)
+        exact = fetch_exact(victim)
+        working[victim] = Interval.exact(exact)
+        refreshed.append(victim)
+    return QueryExecution(
+        result_bound=aggregate_bound(kind, list(working.values())),
+        refreshed_keys=refreshed,
+        constraint=constraint,
+    )
+
+
+def _execute_average(
+    intervals: Dict[Hashable, Interval],
+    constraint: float,
+    fetch_exact: FetchExact,
+) -> QueryExecution:
+    # AVG is SUM scaled by 1/n, so a constraint delta on the average equals a
+    # constraint n * delta on the sum.
+    count = len(intervals)
+    scaled = _execute_sum(intervals, constraint * count, fetch_exact)
+    return QueryExecution(
+        result_bound=scaled.result_bound.scale(1.0 / count),
+        refreshed_keys=scaled.refreshed_keys,
+        constraint=constraint,
+    )
+
+
+def execute_bounded_query(
+    kind: AggregateKind,
+    intervals: Dict[Hashable, Interval],
+    constraint: float,
+    fetch_exact: FetchExact,
+) -> QueryExecution:
+    """Execute a bounded aggregate, refreshing just enough approximations.
+
+    Parameters
+    ----------
+    kind:
+        The aggregate function (SUM, MAX, MIN or AVG).
+    intervals:
+        Mapping of key to the currently cached interval for every value the
+        query touches (missing cache entries should be passed as the
+        unbounded interval).
+    constraint:
+        Maximum acceptable width of the result bound (``math.inf`` disables
+        refreshing entirely).
+    fetch_exact:
+        Callback performing a query-initiated refresh of one key and
+        returning the exact value.
+    """
+    if not intervals:
+        raise ValueError("a query must touch at least one value")
+    if constraint < 0:
+        raise ValueError("constraint must be non-negative")
+    if math.isinf(constraint):
+        return QueryExecution(
+            result_bound=aggregate_bound(kind, list(intervals.values())),
+            refreshed_keys=[],
+            constraint=constraint,
+        )
+    if kind is AggregateKind.SUM:
+        return _execute_sum(intervals, constraint, fetch_exact)
+    if kind in (AggregateKind.MAX, AggregateKind.MIN):
+        return _execute_extremum(intervals, constraint, fetch_exact, kind)
+    if kind is AggregateKind.AVG:
+        return _execute_average(intervals, constraint, fetch_exact)
+    raise ValueError(f"unsupported aggregate kind: {kind!r}")

@@ -1,0 +1,115 @@
+"""Query workload generation.
+
+The paper's simulated workload (Section 4.1 / 4.3) executes one query every
+``T_q`` seconds at the cache.  Each query computes either the SUM or the MAX
+of the values hosted by a randomly chosen subset of sources (10 of the 50
+hosts for the network-monitoring experiments) and carries a precision
+constraint drawn from the configured constraint distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.queries.aggregates import AggregateKind
+from repro.queries.constraints import PrecisionConstraintGenerator
+
+
+@dataclass(frozen=True)
+class Query:
+    """One bounded-aggregate query issued at the cache."""
+
+    time: float
+    kind: AggregateKind
+    keys: Tuple[Hashable, ...]
+    constraint: float
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise ValueError("a query must touch at least one key")
+        if self.constraint < 0:
+            raise ValueError("constraint must be non-negative")
+        if self.time < 0:
+            raise ValueError("query time must be non-negative")
+
+
+class QueryWorkload:
+    """Generates the periodic bounded-aggregate query stream.
+
+    Parameters
+    ----------
+    keys:
+        The population of value identifiers queries can touch.
+    period:
+        ``T_q`` — seconds between consecutive queries.
+    constraint_generator:
+        Source of per-query precision constraints.
+    query_size:
+        Number of distinct values each query touches (10 in the paper's
+        network experiments; clamped to the population size).
+    aggregates:
+        The aggregate kinds to alternate among, chosen uniformly at random
+        per query (the paper uses SUM or MAX; single-kind workloads pass a
+        one-element sequence).
+    rng:
+        Randomness source (pass a seeded instance for reproducibility).
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[Hashable],
+        period: float,
+        constraint_generator: PrecisionConstraintGenerator,
+        query_size: int = 10,
+        aggregates: Sequence[AggregateKind] = (AggregateKind.SUM,),
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not keys:
+            raise ValueError("the workload needs at least one key")
+        if period <= 0:
+            raise ValueError("query period (T_q) must be positive")
+        if query_size < 1:
+            raise ValueError("query_size must be at least 1")
+        if not aggregates:
+            raise ValueError("at least one aggregate kind is required")
+        self._keys = list(keys)
+        self._period = float(period)
+        self._constraints = constraint_generator
+        self._query_size = min(query_size, len(self._keys))
+        self._aggregates = list(aggregates)
+        self._rng = rng if rng is not None else random.Random()
+
+    @property
+    def period(self) -> float:
+        """Seconds between queries (``T_q``)."""
+        return self._period
+
+    @property
+    def query_size(self) -> int:
+        """Number of values each query touches."""
+        return self._query_size
+
+    @property
+    def constraint_generator(self) -> PrecisionConstraintGenerator:
+        """The constraint distribution used by this workload."""
+        return self._constraints
+
+    def query_times(self, duration: float) -> List[float]:
+        """Return all query instants in ``(0, duration]``."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        times = []
+        time = self._period
+        while time <= duration + 1e-9:
+            times.append(round(time, 9))
+            time += self._period
+        return times
+
+    def generate(self, time: float) -> Query:
+        """Generate the query issued at ``time``."""
+        keys = tuple(self._rng.sample(self._keys, self._query_size))
+        kind = self._rng.choice(self._aggregates)
+        constraint = self._constraints.sample()
+        return Query(time=time, kind=kind, keys=keys, constraint=constraint)

@@ -1,0 +1,107 @@
+"""A small, dependency-free discrete-event scheduler.
+
+The scheduler maintains a priority queue of :class:`SimulationEvent` objects
+ordered by ``(time, priority, insertion order)`` and executes them until the
+queue is exhausted or a time horizon is reached.  Event actions may schedule
+further events, which is how periodic processes (update streams, the query
+clock) are expressed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.simulation.events import EventPriority, SimulationEvent
+
+
+class EventScheduler:
+    """Priority-queue based discrete-event executor."""
+
+    def __init__(self) -> None:
+        self._queue: List[SimulationEvent] = []
+        self._now = 0.0
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The timestamp of the most recently executed event."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, event: SimulationEvent) -> None:
+        """Queue an event; it must not lie in the scheduler's past."""
+        if event.time + 1e-12 < self._now:
+            raise ValueError(
+                f"cannot schedule event at {event.time} before current time {self._now}"
+            )
+        heapq.heappush(self._queue, event)
+
+    def schedule_at(
+        self,
+        time: float,
+        priority: EventPriority,
+        action: Callable[[SimulationEvent], None],
+        key=None,
+        payload=None,
+    ) -> SimulationEvent:
+        """Convenience wrapper creating and scheduling an event."""
+        event = SimulationEvent.create(
+            time=time, priority=priority, action=action, key=key, payload=payload
+        )
+        self.schedule(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> int:
+        """Execute queued events in order.
+
+        Parameters
+        ----------
+        until:
+            Optional time horizon; events strictly after it remain queued.
+
+        Returns
+        -------
+        int
+            The number of events executed by this call.
+        """
+        executed = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until + 1e-9:
+                break
+            event = heapq.heappop(self._queue)
+            self._now = max(self._now, event.time)
+            event.action(event)
+            executed += 1
+            self._processed += 1
+        if until is not None:
+            self._now = max(self._now, until)
+        return executed
+
+    def step(self) -> Optional[SimulationEvent]:
+        """Execute exactly one event (or return ``None`` if idle)."""
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self._now = max(self._now, event.time)
+        event.action(event)
+        self._processed += 1
+        return event

@@ -1,0 +1,61 @@
+"""Event types used by the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Callable, Hashable, Optional
+
+
+class EventPriority(IntEnum):
+    """Tie-breaking order for events scheduled at the same instant.
+
+    Source updates are applied before queries issued at the same instant, so
+    a query always sees the freshest data — this matches a cache that
+    processes pushed refreshes before serving reads.
+    """
+
+    UPDATE = 0
+    QUERY = 1
+    CONTROL = 2
+
+
+_sequence = itertools.count()
+
+
+@dataclass(order=True, frozen=True)
+class SimulationEvent:
+    """An event in the simulation timeline.
+
+    Events order by ``(time, priority, sequence)``; the payload fields do not
+    participate in ordering.
+    """
+
+    time: float
+    priority: int
+    sequence: int = field(compare=True)
+    action: Callable[["SimulationEvent"], None] = field(compare=False)
+    key: Optional[Hashable] = field(compare=False, default=None)
+    payload: Any = field(compare=False, default=None)
+
+    @classmethod
+    def create(
+        cls,
+        time: float,
+        priority: EventPriority,
+        action: Callable[["SimulationEvent"], None],
+        key: Optional[Hashable] = None,
+        payload: Any = None,
+    ) -> "SimulationEvent":
+        """Build an event with an automatically assigned tie-break sequence."""
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        return cls(
+            time=time,
+            priority=int(priority),
+            sequence=next(_sequence),
+            action=action,
+            key=key,
+            payload=payload,
+        )

@@ -1,0 +1,170 @@
+"""Metric collection with warm-up exclusion.
+
+Every experiment in the paper reports the average cost per time unit ``Omega``
+measured *after an initial warm-up period* so that transient start-up effects
+(the empty cache, unconverged widths) do not pollute the steady-state
+numbers.  :class:`MetricsCollector` implements exactly that accounting and
+optionally keeps time series used by the Figure 4/5 style plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.caching.refresh import CostAccountant, RefreshEvent, RefreshKind
+from repro.intervals.interval import Interval
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """One (time, exact value, cached interval) sample for a tracked key."""
+
+    time: float
+    value: float
+    interval: Optional[Interval]
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulation run (post warm-up).
+
+    Attributes
+    ----------
+    cost_rate:
+        Average cost per time unit — the paper's ``Omega``.
+    duration:
+        Length of the measured (post warm-up) period.
+    value_refresh_count / query_refresh_count:
+        Refresh counts of each kind during the measured period.
+    value_refresh_rate / query_refresh_rate:
+        Refreshes of each kind per time unit — the measured ``P_vr`` / ``P_qr``
+        of Figure 3 (per time step, since updates arrive once per second).
+    total_cost:
+        Total cost accumulated during the measured period.
+    query_count:
+        Number of queries executed during the measured period.
+    interval_samples:
+        Optional time series of exact value and cached interval for tracked
+        keys (Figures 4 and 5).
+    final_widths:
+        The unclamped width of each value's controller at the end of the run,
+        where the policy exposes one (used for convergence diagnostics).
+    """
+
+    cost_rate: float
+    duration: float
+    value_refresh_count: int
+    query_refresh_count: int
+    value_refresh_rate: float
+    query_refresh_rate: float
+    total_cost: float
+    query_count: int
+    interval_samples: Dict[Hashable, List[IntervalSample]] = field(default_factory=dict)
+    final_widths: Dict[Hashable, float] = field(default_factory=dict)
+    cache_hit_rate: float = 0.0
+
+    @property
+    def refresh_count(self) -> int:
+        """Total refreshes of both kinds in the measured period."""
+        return self.value_refresh_count + self.query_refresh_count
+
+
+class MetricsCollector:
+    """Accumulates refresh costs, discarding everything before the warm-up end.
+
+    Parameters
+    ----------
+    warmup:
+        Length of the initial period whose refreshes are ignored.
+    track_keys:
+        Keys whose (value, interval) evolution should be sampled after every
+        change, for the time-series figures.
+    """
+
+    def __init__(
+        self,
+        warmup: float = 0.0,
+        track_keys: Optional[List[Hashable]] = None,
+    ) -> None:
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        self._warmup = warmup
+        self._accountant = CostAccountant()
+        self._query_count = 0
+        self._interval_samples: Dict[Hashable, List[IntervalSample]] = {
+            key: [] for key in (track_keys or [])
+        }
+
+    @property
+    def warmup(self) -> float:
+        """The configured warm-up length."""
+        return self._warmup
+
+    @property
+    def accountant(self) -> CostAccountant:
+        """The underlying post-warm-up cost accountant."""
+        return self._accountant
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_refresh(self, event: RefreshEvent) -> None:
+        """Record one refresh (ignored when it falls inside the warm-up)."""
+        if event.time < self._warmup:
+            return
+        self._accountant.record(event)
+
+    def record_query(self, time: float) -> None:
+        """Count one executed query (ignored during warm-up)."""
+        if time < self._warmup:
+            return
+        self._query_count += 1
+
+    def record_interval_sample(
+        self, key: Hashable, time: float, value: float, interval: Optional[Interval]
+    ) -> None:
+        """Record a (value, interval) sample for a tracked key.
+
+        Samples are kept for the whole run (including warm-up) because the
+        time-series figures intentionally show transient behaviour.
+        """
+        if key not in self._interval_samples:
+            return
+        self._interval_samples[key].append(
+            IntervalSample(time=time, value=value, interval=interval)
+        )
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        end_time: float,
+        final_widths: Optional[Dict[Hashable, float]] = None,
+        cache_hit_rate: float = 0.0,
+    ) -> SimulationResult:
+        """Build the :class:`SimulationResult` for a run ending at ``end_time``."""
+        if end_time <= self._warmup:
+            raise ValueError("end_time must exceed the warm-up period")
+        duration = end_time - self._warmup
+        accountant = self._accountant
+        return SimulationResult(
+            cost_rate=accountant.cost_rate(duration),
+            duration=duration,
+            value_refresh_count=accountant.value_refresh_count,
+            query_refresh_count=accountant.query_refresh_count,
+            value_refresh_rate=accountant.refresh_rate(
+                RefreshKind.VALUE_INITIATED, duration
+            ),
+            query_refresh_rate=accountant.refresh_rate(
+                RefreshKind.QUERY_INITIATED, duration
+            ),
+            total_cost=accountant.total_cost,
+            query_count=self._query_count,
+            interval_samples={
+                key: list(samples) for key, samples in self._interval_samples.items()
+            },
+            final_widths=dict(final_widths or {}),
+            cache_hit_rate=cache_hit_rate,
+        )

@@ -1,0 +1,88 @@
+"""Network cost model: what a refresh costs in messages.
+
+The paper abstracts network behaviour into two per-refresh costs (Section
+4.3): a query-initiated refresh is one request plus one response message
+(``C_qr = 2``); a value-initiated refresh costs ``C_vr = 4`` under two-phase
+locking (two round trips) or ``C_vr = 1`` when updates are simply pushed
+(loose consistency).  :class:`NetworkModel` carries those costs and also
+counts raw messages, which is occasionally useful for sanity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.parameters import PrecisionParameters
+
+
+@dataclass
+class NetworkModel:
+    """Per-refresh message costs plus running message counters.
+
+    Parameters
+    ----------
+    value_refresh_cost:
+        Cost charged per value-initiated refresh (``C_vr``).
+    query_refresh_cost:
+        Cost charged per query-initiated refresh (``C_qr``).
+    messages_per_value_refresh / messages_per_query_refresh:
+        Raw message counts per refresh, for the message-count statistics.
+    """
+
+    value_refresh_cost: float = 1.0
+    query_refresh_cost: float = 2.0
+    messages_per_value_refresh: int = 1
+    messages_per_query_refresh: int = 2
+    messages_sent: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.value_refresh_cost <= 0 or self.query_refresh_cost <= 0:
+            raise ValueError("refresh costs must be positive")
+        if self.messages_per_value_refresh < 1 or self.messages_per_query_refresh < 1:
+            raise ValueError("message counts must be at least 1")
+
+    @classmethod
+    def from_parameters(cls, parameters: PrecisionParameters) -> "NetworkModel":
+        """Build a network model carrying a parameter bundle's costs."""
+        messages_per_value_refresh = max(int(round(parameters.value_refresh_cost)), 1)
+        return cls(
+            value_refresh_cost=parameters.value_refresh_cost,
+            query_refresh_cost=parameters.query_refresh_cost,
+            messages_per_value_refresh=messages_per_value_refresh,
+            messages_per_query_refresh=max(
+                int(round(parameters.query_refresh_cost)), 1
+            ),
+        )
+
+    @classmethod
+    def loose_consistency(cls) -> "NetworkModel":
+        """The paper's ``rho = 1`` configuration: ``C_vr = 1``, ``C_qr = 2``."""
+        return cls(value_refresh_cost=1.0, query_refresh_cost=2.0)
+
+    @classmethod
+    def two_phase_locking(cls) -> "NetworkModel":
+        """The paper's ``rho = 4`` configuration: ``C_vr = 4``, ``C_qr = 2``."""
+        return cls(
+            value_refresh_cost=4.0,
+            query_refresh_cost=2.0,
+            messages_per_value_refresh=4,
+            messages_per_query_refresh=2,
+        )
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+    def charge_value_refresh(self) -> float:
+        """Record the messages of one value-initiated refresh, return its cost."""
+        self.messages_sent += self.messages_per_value_refresh
+        return self.value_refresh_cost
+
+    def charge_query_refresh(self) -> float:
+        """Record the messages of one query-initiated refresh, return its cost."""
+        self.messages_sent += self.messages_per_query_refresh
+        return self.query_refresh_cost
+
+    @property
+    def cost_factor(self) -> float:
+        """The implied ``rho = 2 * C_vr / C_qr``."""
+        return 2.0 * self.value_refresh_cost / self.query_refresh_cost

@@ -1,0 +1,277 @@
+"""The approximate-caching simulator (Section 4.1).
+
+:class:`CacheSimulation` wires together the substrates: per-source update
+streams drive :class:`~repro.caching.source.DataSource` objects, a precision
+policy decides the approximation sent on every refresh, an
+:class:`~repro.caching.cache.ApproximateCache` stores the approximations (with
+widest-first eviction when space-constrained), and a
+:class:`~repro.queries.workload.QueryWorkload` issues bounded aggregates every
+``T_q`` seconds whose unmet precision constraints trigger query-initiated
+refreshes.  Costs are charged through a :class:`~repro.simulation.network.NetworkModel`
+and aggregated by a :class:`~repro.simulation.metrics.MetricsCollector`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Iterator, Mapping, Optional, Tuple
+
+from repro.caching.cache import ApproximateCache
+from repro.caching.eviction import EvictionPolicy
+from repro.caching.policies.base import PrecisionDecision, PrecisionPolicy
+from repro.caching.refresh import RefreshEvent, RefreshKind
+from repro.caching.source import DataSource
+from repro.data.streams import UpdateStream
+from repro.intervals.interval import UNBOUNDED
+from repro.queries.refresh_selection import execute_bounded_query
+from repro.queries.workload import QueryWorkload
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import EventScheduler
+from repro.simulation.events import EventPriority, SimulationEvent
+from repro.simulation.metrics import MetricsCollector, SimulationResult
+from repro.simulation.network import NetworkModel
+
+
+class CacheSimulation:
+    """One simulation run of the approximate caching environment.
+
+    Parameters
+    ----------
+    config:
+        Scalar simulation parameters (duration, ``T_q``, constraints, costs,
+        cache capacity, seed, ...).
+    streams:
+        Mapping of source key to the update stream driving it; the mapping's
+        keys define the population of source values.
+    policy:
+        The precision policy deciding refreshed approximations (the paper's
+        adaptive policy, or one of the baselines).
+    eviction_policy:
+        Optional override of the cache's eviction strategy (defaults to the
+        paper's widest-first rule).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        streams: Mapping[Hashable, UpdateStream],
+        policy: PrecisionPolicy,
+        eviction_policy: Optional[EvictionPolicy] = None,
+    ) -> None:
+        if not streams:
+            raise ValueError("at least one update stream is required")
+        self._config = config
+        self._policy = policy
+        self._network = NetworkModel(
+            value_refresh_cost=config.value_refresh_cost,
+            query_refresh_cost=config.query_refresh_cost,
+        )
+        self._cache = ApproximateCache(
+            capacity=config.cache_capacity, eviction_policy=eviction_policy
+        )
+        self._metrics = MetricsCollector(
+            warmup=config.warmup, track_keys=list(config.track_keys)
+        )
+        self._scheduler = EventScheduler()
+        self._sources: Dict[Hashable, DataSource] = {}
+        self._update_iterators: Dict[Hashable, Iterator[Tuple[float, float]]] = {}
+        for key, stream in streams.items():
+            self._sources[key] = DataSource(key=key, value=stream.initial_value)
+            self._update_iterators[key] = stream.updates(config.duration)
+        workload_rng = random.Random(config.seed)
+        constraint_rng = random.Random(config.seed + 1)
+        self._workload = QueryWorkload(
+            keys=list(streams.keys()),
+            period=config.query_period,
+            constraint_generator=config.constraint_generator(constraint_rng),
+            query_size=config.query_size,
+            aggregates=config.aggregates,
+            rng=workload_rng,
+        )
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Public accessors (useful to tests and experiments)
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> SimulationConfig:
+        """The configuration of this run."""
+        return self._config
+
+    @property
+    def cache(self) -> ApproximateCache:
+        """The simulated cache."""
+        return self._cache
+
+    @property
+    def sources(self) -> Dict[Hashable, DataSource]:
+        """The simulated sources, keyed by value id."""
+        return self._sources
+
+    @property
+    def policy(self) -> PrecisionPolicy:
+        """The precision policy under test."""
+        return self._policy
+
+    @property
+    def network(self) -> NetworkModel:
+        """The cost/message model used for charging refreshes."""
+        return self._network
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the run and return its post-warm-up metrics."""
+        if self._ran:
+            raise RuntimeError("a CacheSimulation instance can only be run once")
+        self._ran = True
+        for key in self._sources:
+            self._schedule_next_update(key)
+        self._schedule_query(self._config.query_period)
+        self._scheduler.run(until=self._config.duration)
+        return self._metrics.finalize(
+            end_time=self._config.duration,
+            final_widths=self._collect_final_widths(),
+            cache_hit_rate=self._cache.statistics.hit_rate,
+        )
+
+    # ------------------------------------------------------------------
+    # Update handling
+    # ------------------------------------------------------------------
+    def _schedule_next_update(self, key: Hashable) -> None:
+        iterator = self._update_iterators[key]
+        try:
+            time, value = next(iterator)
+        except StopIteration:
+            return
+        self._scheduler.schedule_at(
+            time=time,
+            priority=EventPriority.UPDATE,
+            action=self._handle_update,
+            key=key,
+            payload=value,
+        )
+
+    def _handle_update(self, event: SimulationEvent) -> None:
+        key = event.key
+        source = self._sources[key]
+        if event.payload == source.value:
+            # Not a modification: the stream re-reported the same value (idle
+            # periods in trace replays).  Nothing changes — no write is
+            # recorded and no refresh can be needed.
+            self._schedule_next_update(key)
+            return
+        needs_refresh = source.apply_update(event.payload, event.time)
+        self._policy.record_write(key, event.time)
+        if needs_refresh:
+            self._value_initiated_refresh(key, event.time)
+        else:
+            self._metrics.record_interval_sample(
+                key, event.time, source.value, source.published_interval
+            )
+        self._schedule_next_update(key)
+
+    def _value_initiated_refresh(self, key: Hashable, time: float) -> None:
+        source = self._sources[key]
+        decision = self._policy.on_value_initiated_refresh(key, source.value, time)
+        cost = self._network.charge_value_refresh()
+        self._metrics.record_refresh(
+            RefreshEvent(
+                kind=RefreshKind.VALUE_INITIATED,
+                key=key,
+                time=time,
+                cost=cost,
+                published_width=decision.interval.width,
+            )
+        )
+        self._install(key, decision, time)
+
+    # ------------------------------------------------------------------
+    # Query handling
+    # ------------------------------------------------------------------
+    def _schedule_query(self, time: float) -> None:
+        if time > self._config.duration + 1e-9:
+            return
+        self._scheduler.schedule_at(
+            time=time,
+            priority=EventPriority.QUERY,
+            action=self._handle_query,
+        )
+
+    def _handle_query(self, event: SimulationEvent) -> None:
+        time = event.time
+        query = self._workload.generate(time)
+        self._metrics.record_query(time)
+        intervals = {}
+        for key in query.keys:
+            entry = self._cache.get(key, time)
+            intervals[key] = entry.interval if entry is not None else UNBOUNDED
+            self._policy.record_read(
+                key, time, served_from_cache=entry is not None
+            )
+            self._policy.record_constraint(key, query.constraint, time)
+
+        def fetch_exact(key: Hashable) -> float:
+            return self._query_initiated_refresh(key, time)
+
+        execute_bounded_query(query.kind, intervals, query.constraint, fetch_exact)
+        self._schedule_query(time + self._config.query_period)
+
+    def _query_initiated_refresh(self, key: Hashable, time: float) -> float:
+        source = self._sources[key]
+        decision = self._policy.on_query_initiated_refresh(key, source.value, time)
+        cost = self._network.charge_query_refresh()
+        self._metrics.record_refresh(
+            RefreshEvent(
+                kind=RefreshKind.QUERY_INITIATED,
+                key=key,
+                time=time,
+                cost=cost,
+                published_width=decision.interval.width,
+            )
+        )
+        self._install(key, decision, time)
+        return source.value
+
+    # ------------------------------------------------------------------
+    # Installation and eviction bookkeeping
+    # ------------------------------------------------------------------
+    def _install(self, key: Hashable, decision: PrecisionDecision, time: float) -> None:
+        source = self._sources[key]
+        if decision.interval.is_unbounded and self._policy.notifies_source_on_eviction():
+            # Policies that track replicas explicitly (WJH97 exact caching)
+            # interpret an unbounded approximation as "do not cache at all":
+            # the cache drops the value and the source stops propagating
+            # writes to it.
+            self._cache.invalidate(key)
+            source.forget_publication()
+        else:
+            source.publish(decision.interval, decision.original_width, time)
+            evicted = self._cache.put(
+                key, decision.interval, decision.original_width, time
+            )
+            if self._policy.notifies_source_on_eviction():
+                for evicted_key in evicted:
+                    self._sources[evicted_key].forget_publication()
+        self._metrics.record_interval_sample(
+            key, time, source.value, source.published_interval
+        )
+
+    def _collect_final_widths(self) -> Dict[Hashable, float]:
+        current_width = getattr(self._policy, "current_width", None)
+        if current_width is None:
+            return {}
+        tracked_keys = getattr(self._policy, "tracked_keys", None)
+        keys = tracked_keys() if callable(tracked_keys) else list(self._sources.keys())
+        return {key: current_width(key) for key in keys}
+
+
+def run_simulation(
+    config: SimulationConfig,
+    streams: Mapping[Hashable, UpdateStream],
+    policy: PrecisionPolicy,
+    eviction_policy: Optional[EvictionPolicy] = None,
+) -> SimulationResult:
+    """Convenience one-shot wrapper around :class:`CacheSimulation`."""
+    return CacheSimulation(config, streams, policy, eviction_policy).run()

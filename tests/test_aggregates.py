@@ -1,0 +1,118 @@
+"""Unit tests for bounded aggregate computation over intervals."""
+
+import math
+
+import pytest
+
+from repro.intervals.interval import UNBOUNDED, Interval
+from repro.queries.aggregates import (
+    AggregateKind,
+    aggregate_bound,
+    average_bound,
+    count_below_bound,
+    max_bound,
+    min_bound,
+    sum_bound,
+)
+
+
+INTERVALS = [Interval(0.0, 2.0), Interval(5.0, 7.0), Interval(1.0, 10.0)]
+
+
+class TestSumBound:
+    def test_sum_of_exact_intervals_is_exact(self):
+        exact = [Interval.exact(1.0), Interval.exact(2.0), Interval.exact(3.0)]
+        assert sum_bound(exact) == Interval.exact(6.0)
+
+    def test_sum_bound_endpoints(self):
+        assert sum_bound(INTERVALS) == Interval(6.0, 19.0)
+
+    def test_sum_width_is_total_width(self):
+        assert sum_bound(INTERVALS).width == pytest.approx(
+            sum(interval.width for interval in INTERVALS)
+        )
+
+    def test_sum_with_unbounded_is_unbounded(self):
+        assert sum_bound(INTERVALS + [UNBOUNDED]).is_unbounded
+
+    def test_sum_contains_true_sum(self):
+        exact_values = [1.0, 6.0, 4.0]
+        assert sum_bound(INTERVALS).contains(sum(exact_values))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sum_bound([])
+
+
+class TestMaxMinBounds:
+    def test_max_bound_endpoints(self):
+        assert max_bound(INTERVALS) == Interval(5.0, 10.0)
+
+    def test_min_bound_endpoints(self):
+        assert min_bound(INTERVALS) == Interval(0.0, 2.0)
+
+    def test_max_bound_contains_true_max(self):
+        # Any selection of exact values inside the intervals has its max in the bound.
+        assert max_bound(INTERVALS).contains(max(1.5, 6.5, 9.0))
+
+    def test_min_bound_contains_true_min(self):
+        assert min_bound(INTERVALS).contains(min(1.5, 6.5, 9.0))
+
+    def test_max_of_exact_intervals(self):
+        exact = [Interval.exact(3.0), Interval.exact(8.0)]
+        assert max_bound(exact) == Interval.exact(8.0)
+
+    def test_single_interval(self):
+        assert max_bound([Interval(1.0, 2.0)]) == Interval(1.0, 2.0)
+        assert min_bound([Interval(1.0, 2.0)]) == Interval(1.0, 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_bound([])
+        with pytest.raises(ValueError):
+            min_bound([])
+
+
+class TestAverageBound:
+    def test_average_is_scaled_sum(self):
+        expected = sum_bound(INTERVALS).scale(1.0 / len(INTERVALS))
+        assert average_bound(INTERVALS) == expected
+
+    def test_average_of_exact(self):
+        exact = [Interval.exact(2.0), Interval.exact(4.0)]
+        assert average_bound(exact) == Interval.exact(3.0)
+
+
+class TestCountBelowBound:
+    def test_counts_certain_and_possible(self):
+        result = count_below_bound(INTERVALS, threshold=2.0)
+        # Certainly below: [0,2].  Possibly below: [0,2] and [1,10].
+        assert result == Interval(1.0, 2.0)
+
+    def test_all_certain(self):
+        result = count_below_bound(INTERVALS, threshold=100.0)
+        assert result == Interval(3.0, 3.0)
+
+    def test_none_possible(self):
+        result = count_below_bound(INTERVALS, threshold=-1.0)
+        assert result == Interval(0.0, 0.0)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            (AggregateKind.SUM, Interval(6.0, 19.0)),
+            (AggregateKind.MAX, Interval(5.0, 10.0)),
+            (AggregateKind.MIN, Interval(0.0, 2.0)),
+        ],
+    )
+    def test_dispatch(self, kind, expected):
+        assert aggregate_bound(kind, INTERVALS) == expected
+
+    def test_dispatch_avg(self):
+        assert aggregate_bound(AggregateKind.AVG, INTERVALS) == average_bound(INTERVALS)
+
+    def test_dispatch_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            aggregate_bound("median", INTERVALS)  # type: ignore[arg-type]

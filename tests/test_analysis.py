@@ -1,0 +1,165 @@
+"""Unit tests for the analysis helpers (Appendix A math, sweeps, convergence)."""
+
+import math
+
+import pytest
+
+from repro.analysis.convergence import convergence_report, relative_regret
+from repro.analysis.optimal_width import WidthSweepPoint, WidthSweepResult, sweep_widths
+from repro.analysis.refresh_probability import (
+    chebyshev_escape_probability,
+    model_constants,
+    query_refresh_probability,
+    random_walk_variance,
+    value_refresh_probability,
+)
+from repro.simulation.metrics import SimulationResult
+
+
+def _result(cost_rate, value_rate=0.1, query_rate=0.1):
+    return SimulationResult(
+        cost_rate=cost_rate,
+        duration=100.0,
+        value_refresh_count=int(value_rate * 100),
+        query_refresh_count=int(query_rate * 100),
+        value_refresh_rate=value_rate,
+        query_refresh_rate=query_rate,
+        total_cost=cost_rate * 100.0,
+        query_count=100,
+    )
+
+
+class TestRefreshProbabilityFormulas:
+    def test_random_walk_variance(self):
+        assert random_walk_variance(step_size=2.0, steps=5.0) == pytest.approx(20.0)
+
+    def test_variance_validation(self):
+        with pytest.raises(ValueError):
+            random_walk_variance(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            random_walk_variance(1.0, -1.0)
+
+    def test_chebyshev_bound_formula(self):
+        # steps * (s / k)^2 = 4 * (1/4)^2 = 0.25
+        assert chebyshev_escape_probability(1.0, 4.0, 4.0) == pytest.approx(0.25)
+
+    def test_chebyshev_bound_capped_at_one(self):
+        assert chebyshev_escape_probability(10.0, 100.0, 1.0) == 1.0
+
+    def test_chebyshev_requires_positive_distance(self):
+        with pytest.raises(ValueError):
+            chebyshev_escape_probability(1.0, 1.0, 0.0)
+
+    def test_value_refresh_probability_quarter_width_distance(self):
+        # Escaping a centred interval of width W requires covering W/2:
+        # P = steps * (2 s / W)^2.
+        assert value_refresh_probability(1.0, 1.0, 4.0) == pytest.approx(0.25)
+
+    def test_value_refresh_probability_inverse_square_in_width(self):
+        p_narrow = value_refresh_probability(1.0, 1.0, 4.0)
+        p_wide = value_refresh_probability(1.0, 1.0, 8.0)
+        assert p_narrow / p_wide == pytest.approx(4.0)
+
+    def test_value_refresh_probability_extremes(self):
+        assert value_refresh_probability(1.0, 1.0, 0.0) == 1.0
+        assert value_refresh_probability(1.0, 1.0, math.inf) == 0.0
+
+    def test_query_refresh_probability_formula(self):
+        # W / (T_q * delta_max) = 10 / (2 * 40)
+        assert query_refresh_probability(10.0, 2.0, 40.0) == pytest.approx(0.125)
+
+    def test_query_refresh_probability_linear_in_width(self):
+        assert query_refresh_probability(20.0, 2.0, 40.0) == pytest.approx(
+            2 * query_refresh_probability(10.0, 2.0, 40.0)
+        )
+
+    def test_query_refresh_probability_exact_constraints(self):
+        assert query_refresh_probability(0.0, 1.0, 0.0) == 0.0
+        assert query_refresh_probability(5.0, 1.0, 0.0) == 1.0
+
+    def test_query_refresh_probability_validation(self):
+        with pytest.raises(ValueError):
+            query_refresh_probability(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            query_refresh_probability(1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            query_refresh_probability(1.0, 1.0, -1.0)
+
+    def test_model_constants(self):
+        k1, k2 = model_constants(step_size=1.0, query_period=2.0, max_constraint=40.0)
+        assert k1 == pytest.approx(4.0)
+        assert k2 == pytest.approx(1.0 / 80.0)
+
+    def test_model_constants_validation(self):
+        with pytest.raises(ValueError):
+            model_constants(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            model_constants(1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            model_constants(1.0, 1.0, 0.0)
+
+
+class TestWidthSweep:
+    def test_sweep_runs_each_width(self):
+        seen = []
+
+        def runner(width):
+            seen.append(width)
+            return _result(cost_rate=abs(width - 5.0) + 1.0)
+
+        sweep = sweep_widths(runner, [2.0, 5.0, 8.0])
+        assert seen == [2.0, 5.0, 8.0]
+        assert sweep.best_width == 5.0
+        assert sweep.best_cost_rate == pytest.approx(1.0)
+
+    def test_crossing_width(self):
+        points = [
+            WidthSweepPoint(width=1.0, cost_rate=3.0, value_refresh_rate=0.9, query_refresh_rate=0.1),
+            WidthSweepPoint(width=2.0, cost_rate=2.0, value_refresh_rate=0.5, query_refresh_rate=0.4),
+            WidthSweepPoint(width=3.0, cost_rate=2.5, value_refresh_rate=0.2, query_refresh_rate=0.8),
+        ]
+        assert WidthSweepResult(points).crossing_width() == 2.0
+
+    def test_crossing_width_respects_cost_factor(self):
+        points = [
+            WidthSweepPoint(width=1.0, cost_rate=3.0, value_refresh_rate=0.4, query_refresh_rate=0.1),
+            WidthSweepPoint(width=2.0, cost_rate=2.0, value_refresh_rate=0.1, query_refresh_rate=0.4),
+        ]
+        # With rho = 4 the weighted value rate at width 1 is 1.6 vs 0.1 -> the
+        # closest balance point moves to width 2 (0.4 vs 0.4).
+        assert WidthSweepResult(points).crossing_width(cost_factor=4.0) == 2.0
+
+    def test_sweep_requires_widths(self):
+        with pytest.raises(ValueError):
+            sweep_widths(lambda width: _result(1.0), [])
+
+    def test_empty_sweep_result_rejected(self):
+        with pytest.raises(ValueError):
+            WidthSweepResult([]).best_point
+
+
+class TestConvergence:
+    def test_relative_regret(self):
+        assert relative_regret(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_regret(0.95, 1.0) == pytest.approx(-0.05)
+
+    def test_relative_regret_requires_positive_optimum(self):
+        with pytest.raises(ValueError):
+            relative_regret(1.0, 0.0)
+
+    def test_convergence_report(self):
+        report = convergence_report({"a": 4.0, "b": 8.0}, reference_width=4.0)
+        assert report.mean_final_width == pytest.approx(6.0)
+        assert report.median_final_width == pytest.approx(6.0)
+        assert report.mean_relative_error == pytest.approx(0.5)
+        assert report.converged_within == report.mean_relative_error
+
+    def test_convergence_report_ignores_infinite_widths(self):
+        report = convergence_report({"a": 4.0, "b": math.inf}, reference_width=4.0)
+        assert report.mean_final_width == pytest.approx(4.0)
+
+    def test_convergence_report_validation(self):
+        with pytest.raises(ValueError):
+            convergence_report({"a": 1.0}, reference_width=0.0)
+        with pytest.raises(ValueError):
+            convergence_report({"a": math.inf}, reference_width=1.0)

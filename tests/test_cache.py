@@ -1,0 +1,171 @@
+"""Unit tests for the approximate cache."""
+
+import math
+
+import pytest
+
+from repro.caching.cache import ApproximateCache, CacheEntry
+from repro.caching.eviction import LeastRecentlyUsedEviction
+from repro.intervals.interval import UNBOUNDED, Interval
+
+
+class TestBasicOperations:
+    def test_put_and_get(self):
+        cache = ApproximateCache()
+        cache.put("a", Interval(0.0, 2.0), original_width=2.0, time=1.0)
+        entry = cache.get("a")
+        assert entry is not None
+        assert entry.interval == Interval(0.0, 2.0)
+
+    def test_missing_key_returns_none_and_counts_miss(self):
+        cache = ApproximateCache()
+        assert cache.get("missing") is None
+        assert cache.statistics.misses == 1
+
+    def test_hit_counts(self):
+        cache = ApproximateCache()
+        cache.put("a", Interval(0.0, 1.0), 1.0, 0.0)
+        cache.get("a")
+        cache.get("a")
+        assert cache.statistics.hits == 2
+        assert cache.statistics.hit_rate == pytest.approx(1.0)
+
+    def test_hit_rate_with_no_lookups_is_zero(self):
+        assert ApproximateCache().statistics.hit_rate == 0.0
+
+    def test_approximation_returns_unbounded_for_missing(self):
+        cache = ApproximateCache()
+        assert cache.approximation("missing") == UNBOUNDED
+
+    def test_approximation_returns_cached_interval(self):
+        cache = ApproximateCache()
+        cache.put("a", Interval(1.0, 2.0), 1.0, 0.0)
+        assert cache.approximation("a") == Interval(1.0, 2.0)
+
+    def test_contains_and_len(self):
+        cache = ApproximateCache()
+        cache.put("a", Interval(0.0, 1.0), 1.0, 0.0)
+        assert "a" in cache
+        assert "b" not in cache
+        assert len(cache) == 1
+
+    def test_put_overwrites_existing_entry(self):
+        cache = ApproximateCache()
+        cache.put("a", Interval(0.0, 1.0), 1.0, 0.0)
+        cache.put("a", Interval(5.0, 6.0), 1.0, 1.0)
+        assert cache.approximation("a") == Interval(5.0, 6.0)
+        assert len(cache) == 1
+
+    def test_invalidate(self):
+        cache = ApproximateCache()
+        cache.put("a", Interval(0.0, 1.0), 1.0, 0.0)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        assert "a" not in cache
+
+    def test_clear(self):
+        cache = ApproximateCache()
+        cache.put("a", Interval(0.0, 1.0), 1.0, 0.0)
+        cache.put("b", Interval(0.0, 1.0), 1.0, 0.0)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_keys_and_entries(self):
+        cache = ApproximateCache()
+        cache.put("a", Interval(0.0, 1.0), 1.0, 0.0)
+        cache.put("b", Interval(0.0, 2.0), 2.0, 0.0)
+        assert set(cache.keys()) == {"a", "b"}
+        assert len(cache.entries()) == 2
+
+    def test_rejects_negative_original_width(self):
+        cache = ApproximateCache()
+        with pytest.raises(ValueError):
+            cache.put("a", Interval(0.0, 1.0), original_width=-1.0, time=0.0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ApproximateCache(capacity=0)
+
+
+class TestEvictionBehaviour:
+    def test_capacity_enforced(self):
+        cache = ApproximateCache(capacity=2)
+        cache.put("a", Interval.centered(0.0, 1.0), 1.0, 0.0)
+        cache.put("b", Interval.centered(0.0, 2.0), 2.0, 1.0)
+        evicted = cache.put("c", Interval.centered(0.0, 3.0), 3.0, 2.0)
+        assert len(cache) == 2
+        assert evicted == ["c"]  # the widest is the incoming entry itself
+
+    def test_widest_original_width_evicted_first(self):
+        cache = ApproximateCache(capacity=2)
+        cache.put("narrow", Interval.centered(0.0, 1.0), 1.0, 0.0)
+        cache.put("wide", Interval.centered(0.0, 100.0), 100.0, 1.0)
+        evicted = cache.put("medium", Interval.centered(0.0, 10.0), 10.0, 2.0)
+        assert evicted == ["wide"]
+        assert "wide" not in cache
+        assert "narrow" in cache and "medium" in cache
+
+    def test_eviction_uses_original_not_published_width(self):
+        # An entry whose published interval was clamped to exact (width 0) but
+        # whose original width is huge should still be the eviction victim.
+        cache = ApproximateCache(capacity=1)
+        cache.put("clamped", Interval.exact(5.0), original_width=1000.0, time=0.0)
+        evicted = cache.put("normal", Interval.centered(0.0, 10.0), 10.0, 1.0)
+        assert evicted == ["clamped"]
+
+    def test_incoming_entry_can_be_rejected(self):
+        cache = ApproximateCache(capacity=1)
+        cache.put("small", Interval.centered(0.0, 1.0), 1.0, 0.0)
+        evicted = cache.put("huge", UNBOUNDED, math.inf, 1.0)
+        assert evicted == ["huge"]
+        assert "small" in cache
+        assert cache.statistics.rejected_insertions == 1
+
+    def test_custom_eviction_policy(self):
+        cache = ApproximateCache(capacity=2, eviction_policy=LeastRecentlyUsedEviction())
+        cache.put("old", Interval.centered(0.0, 1.0), 1.0, 0.0)
+        cache.put("new", Interval.centered(0.0, 100.0), 100.0, 5.0)
+        evicted = cache.put("newest", Interval.centered(0.0, 2.0), 2.0, 6.0)
+        assert evicted == ["old"]
+
+    def test_eviction_statistics(self):
+        cache = ApproximateCache(capacity=1)
+        cache.put("a", Interval.centered(0.0, 5.0), 5.0, 0.0)
+        cache.put("b", Interval.centered(0.0, 1.0), 1.0, 1.0)
+        assert cache.statistics.evictions == 1
+
+    def test_unbounded_capacity_never_evicts(self):
+        cache = ApproximateCache(capacity=None)
+        for index in range(100):
+            assert cache.put(index, Interval.centered(0.0, 1.0), 1.0, float(index)) == []
+        assert len(cache) == 100
+
+
+class TestAggregateViews:
+    def test_total_width(self):
+        cache = ApproximateCache()
+        cache.put("a", Interval.centered(0.0, 2.0), 2.0, 0.0)
+        cache.put("b", Interval.centered(0.0, 3.0), 3.0, 0.0)
+        assert cache.total_width() == pytest.approx(5.0)
+
+    def test_total_width_with_unbounded_entry(self):
+        cache = ApproximateCache()
+        cache.put("a", UNBOUNDED, math.inf, 0.0)
+        assert math.isinf(cache.total_width())
+
+    def test_widths_mapping(self):
+        cache = ApproximateCache()
+        cache.put("a", Interval.centered(0.0, 2.0), 2.0, 0.0)
+        assert cache.widths() == {"a": pytest.approx(2.0)}
+
+
+class TestCacheEntry:
+    def test_touch_updates_last_access(self):
+        entry = CacheEntry("a", Interval(0.0, 1.0), 1.0, installed_at=0.0, last_access_time=0.0)
+        entry.touch(5.0)
+        assert entry.last_access_time == 5.0
+
+    def test_touch_rejects_earlier_time(self):
+        entry = CacheEntry("a", Interval(0.0, 1.0), 1.0, installed_at=5.0, last_access_time=5.0)
+        with pytest.raises(ValueError):
+            entry.touch(4.0)

@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+
+class TestMain:
+    def test_list_prints_experiment_ids(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure02" in output
+        assert "table1" in output
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "nonexistent"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "theta_0" in output
+
+    def test_run_figure02(self, capsys):
+        assert main(["run", "figure02"]) == 0
+        output = capsys.readouterr().out
+        assert "P_vr" in output and "Omega" in output

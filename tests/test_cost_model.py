@@ -1,0 +1,125 @@
+"""Unit tests for the Section 3 analytical cost model."""
+
+import math
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.parameters import PrecisionParameters
+
+
+@pytest.fixture
+def paper_model(default_parameters):
+    """The Figure 2 model: rho = 1, K1 = 1, K2 = 1/200."""
+    return CostModel(parameters=default_parameters, k1=1.0, k2=1.0 / 200.0)
+
+
+class TestProbabilities:
+    def test_value_refresh_probability_shape(self, paper_model):
+        assert paper_model.value_refresh_probability(2.0) == pytest.approx(0.25)
+        assert paper_model.value_refresh_probability(4.0) == pytest.approx(1.0 / 16.0)
+
+    def test_value_refresh_probability_capped_at_one(self, paper_model):
+        assert paper_model.value_refresh_probability(0.1) == 1.0
+
+    def test_value_refresh_probability_extremes(self, paper_model):
+        assert paper_model.value_refresh_probability(0.0) == 1.0
+        assert paper_model.value_refresh_probability(math.inf) == 0.0
+
+    def test_query_refresh_probability_shape(self, paper_model):
+        assert paper_model.query_refresh_probability(100.0) == pytest.approx(0.5)
+
+    def test_query_refresh_probability_extremes(self, paper_model):
+        assert paper_model.query_refresh_probability(0.0) == 0.0
+        assert paper_model.query_refresh_probability(math.inf) == 1.0
+
+    def test_query_refresh_probability_capped(self, paper_model):
+        assert paper_model.query_refresh_probability(1e9) == 1.0
+
+    def test_negative_width_rejected(self, paper_model):
+        with pytest.raises(ValueError):
+            paper_model.value_refresh_probability(-1.0)
+        with pytest.raises(ValueError):
+            paper_model.query_refresh_probability(-1.0)
+
+    def test_monotonicity(self, paper_model):
+        widths = [1.0, 2.0, 5.0, 10.0, 50.0]
+        p_vr = [paper_model.value_refresh_probability(w) for w in widths]
+        p_qr = [paper_model.query_refresh_probability(w) for w in widths]
+        assert p_vr == sorted(p_vr, reverse=True)
+        assert p_qr == sorted(p_qr)
+
+
+class TestOptimalWidth:
+    def test_closed_form(self, paper_model):
+        # W* = (rho * K1 / K2)^(1/3) = (1 * 200)^(1/3)
+        assert paper_model.optimal_width() == pytest.approx(200.0 ** (1.0 / 3.0))
+
+    def test_optimum_minimises_cost_on_a_grid(self, paper_model):
+        optimum = paper_model.optimal_width()
+        optimal_cost = paper_model.cost_rate(optimum)
+        for width in [optimum * factor for factor in (0.25, 0.5, 0.8, 1.25, 2.0, 4.0)]:
+            assert paper_model.cost_rate(width) >= optimal_cost - 1e-12
+
+    def test_probabilities_balance_at_optimum(self, paper_model):
+        optimum = paper_model.optimal_width()
+        assert paper_model.balance_residual(optimum) == pytest.approx(0.0, abs=1e-9)
+
+    def test_optimum_scales_with_cost_factor(self):
+        base = CostModel(PrecisionParameters.for_cost_factor(1.0), k1=1.0, k2=0.01)
+        heavier = CostModel(PrecisionParameters.for_cost_factor(4.0), k1=1.0, k2=0.01)
+        # Larger rho (value refreshes more expensive) prefers wider intervals.
+        assert heavier.optimal_width() > base.optimal_width()
+        assert heavier.optimal_width() == pytest.approx(base.optimal_width() * 4 ** (1 / 3))
+
+    def test_optimal_cost_rate(self, paper_model):
+        assert paper_model.optimal_cost_rate() == pytest.approx(
+            paper_model.cost_rate(paper_model.optimal_width())
+        )
+
+
+class TestCostRate:
+    def test_cost_rate_formula(self, paper_model):
+        width = 10.0
+        expected = 1.0 * (1.0 / 100.0) + 2.0 * (10.0 / 200.0)
+        assert paper_model.cost_rate(width) == pytest.approx(expected)
+
+    def test_cost_rate_diverges_for_tiny_and_huge_widths(self, paper_model):
+        optimum_cost = paper_model.optimal_cost_rate()
+        assert paper_model.cost_rate(0.2) > optimum_cost
+        assert paper_model.cost_rate(5000.0) > optimum_cost
+
+    def test_sample_curves(self, paper_model):
+        rows = paper_model.sample_curves([1.0, 2.0, 3.0])
+        assert len(rows) == 3
+        width, p_vr, p_qr, omega = rows[1]
+        assert width == 2.0
+        assert omega == pytest.approx(
+            paper_model.parameters.value_refresh_cost * p_vr
+            + paper_model.parameters.query_refresh_cost * p_qr
+        )
+
+
+class TestValidationAndFitting:
+    def test_rejects_non_positive_constants(self, default_parameters):
+        with pytest.raises(ValueError):
+            CostModel(default_parameters, k1=0.0, k2=1.0)
+        with pytest.raises(ValueError):
+            CostModel(default_parameters, k1=1.0, k2=-1.0)
+
+    def test_fit_recovers_constants(self, default_parameters):
+        true_model = CostModel(default_parameters, k1=4.0, k2=0.05)
+        widths = [2.0, 4.0, 6.0, 8.0]
+        p_vr = [true_model.value_refresh_probability(w) for w in widths]
+        p_qr = [true_model.query_refresh_probability(w) for w in widths]
+        fitted = CostModel.fit(default_parameters, widths, p_vr, p_qr)
+        assert fitted.k1 == pytest.approx(4.0)
+        assert fitted.k2 == pytest.approx(0.05)
+
+    def test_fit_rejects_mismatched_lengths(self, default_parameters):
+        with pytest.raises(ValueError):
+            CostModel.fit(default_parameters, [1.0], [0.1, 0.2], [0.1])
+
+    def test_fit_rejects_empty(self, default_parameters):
+        with pytest.raises(ValueError):
+            CostModel.fit(default_parameters, [], [], [])

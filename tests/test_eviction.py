@@ -1,0 +1,90 @@
+"""Unit tests for the eviction policies."""
+
+import random
+
+import pytest
+
+from repro.caching.cache import CacheEntry
+from repro.caching.eviction import (
+    LeastRecentlyUsedEviction,
+    LowestValueEviction,
+    RandomEviction,
+    WidestFirstEviction,
+)
+from repro.intervals.interval import Interval
+
+
+def _entry(key, width, last_access=0.0):
+    return CacheEntry(
+        key=key,
+        interval=Interval.centered(0.0, width),
+        original_width=width,
+        installed_at=0.0,
+        last_access_time=last_access,
+    )
+
+
+class TestWidestFirstEviction:
+    def test_selects_widest(self):
+        entries = [_entry("a", 1.0), _entry("b", 10.0), _entry("c", 5.0)]
+        assert WidestFirstEviction().select_victim(entries) == "b"
+
+    def test_tie_broken_by_least_recent_access(self):
+        entries = [_entry("recent", 10.0, last_access=9.0), _entry("old", 10.0, last_access=1.0)]
+        assert WidestFirstEviction().select_victim(entries) == "old"
+
+    def test_empty_entries_rejected(self):
+        with pytest.raises(ValueError):
+            WidestFirstEviction().select_victim([])
+
+    def test_describe(self):
+        assert "Widest" in WidestFirstEviction().describe()
+
+
+class TestLRUEviction:
+    def test_selects_least_recently_used(self):
+        entries = [_entry("a", 1.0, last_access=5.0), _entry("b", 100.0, last_access=2.0)]
+        assert LeastRecentlyUsedEviction().select_victim(entries) == "b"
+
+    def test_empty_entries_rejected(self):
+        with pytest.raises(ValueError):
+            LeastRecentlyUsedEviction().select_victim([])
+
+
+class TestRandomEviction:
+    def test_selects_member_of_entries(self):
+        entries = [_entry("a", 1.0), _entry("b", 2.0), _entry("c", 3.0)]
+        policy = RandomEviction(rng=random.Random(0))
+        for _ in range(10):
+            assert policy.select_victim(entries) in {"a", "b", "c"}
+
+    def test_deterministic_with_seed(self):
+        entries = [_entry("a", 1.0), _entry("b", 2.0), _entry("c", 3.0)]
+        first = RandomEviction(rng=random.Random(7)).select_victim(entries)
+        second = RandomEviction(rng=random.Random(7)).select_victim(entries)
+        assert first == second
+
+    def test_empty_entries_rejected(self):
+        with pytest.raises(ValueError):
+            RandomEviction(rng=random.Random(0)).select_victim([])
+
+
+class TestLowestValueEviction:
+    def test_selects_lowest_score(self):
+        scores = {"a": 5.0, "b": -2.0, "c": 1.0}
+        policy = LowestValueEviction(score=lambda key: scores[key])
+        entries = [_entry("a", 1.0), _entry("b", 1.0), _entry("c", 1.0)]
+        assert policy.select_victim(entries) == "b"
+
+    def test_tie_broken_by_last_access(self):
+        policy = LowestValueEviction(score=lambda key: 0.0)
+        entries = [_entry("late", 1.0, last_access=9.0), _entry("early", 1.0, last_access=1.0)]
+        assert policy.select_victim(entries) == "early"
+
+    def test_rejects_non_callable_score(self):
+        with pytest.raises(TypeError):
+            LowestValueEviction(score=42)
+
+    def test_empty_entries_rejected(self):
+        with pytest.raises(ValueError):
+            LowestValueEviction(score=lambda key: 0.0).select_victim([])

@@ -1,0 +1,135 @@
+"""Tests for the shared experiment workload builders."""
+
+import math
+
+import pytest
+
+from repro.caching.policies.adaptive import AdaptivePrecisionPolicy
+from repro.caching.policies.exact_caching import ExactCachingPolicy
+from repro.experiments import workloads
+from repro.experiments.figure14_15_divergence import (
+    adaptive_staleness_policy,
+    divergence_policy,
+)
+from repro.queries.aggregates import AggregateKind
+from repro.simulation.simulator import CacheSimulation
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    return workloads.traffic_trace(host_count=6, duration=300, seed=99)
+
+
+class TestTraceBuilders:
+    def test_traffic_trace_is_cached_per_parameters(self):
+        first = workloads.traffic_trace(host_count=6, duration=300, seed=99)
+        second = workloads.traffic_trace(host_count=6, duration=300, seed=99)
+        assert first is second
+
+    def test_traffic_trace_respects_host_count_and_duration(self, tiny_trace):
+        assert len(tiny_trace.keys) == 6
+        assert tiny_trace.length == 300
+
+    def test_traffic_streams_cover_every_host(self, tiny_trace):
+        streams = workloads.traffic_streams(tiny_trace)
+        assert set(streams) == set(tiny_trace.keys)
+
+    def test_random_walk_streams_deterministic_per_seed(self):
+        first = workloads.random_walk_streams(3, seed=4)
+        second = workloads.random_walk_streams(3, seed=4)
+        first_updates = list(first["walk-0"].updates(10.0))
+        second_updates = list(second["walk-0"].updates(10.0))
+        assert first_updates == second_updates
+
+
+class TestPolicyBuilders:
+    def test_adaptive_policy_carries_cost_factor_and_thresholds(self):
+        policy = workloads.adaptive_policy(
+            cost_factor=4.0, adaptivity=0.5, lower_threshold=1.0, upper_threshold=10.0
+        )
+        assert isinstance(policy, AdaptivePrecisionPolicy)
+        assert policy.parameters.cost_factor == pytest.approx(4.0)
+        assert policy.parameters.adaptivity == 0.5
+        assert policy.parameters.lower_threshold == 1.0
+        assert policy.parameters.upper_threshold == 10.0
+
+    def test_exact_caching_policy_costs_match_cost_factor(self):
+        policy = workloads.exact_caching_policy(cost_factor=4.0, reevaluation_window=7)
+        assert isinstance(policy, ExactCachingPolicy)
+        assert "x=7" in policy.describe()
+        assert "C_vr=4" in policy.describe()
+
+    def test_staleness_policy_uses_stale_value_cost_factor(self):
+        policy = adaptive_staleness_policy(constraint_average=5.0, seed=0)
+        assert policy.parameters.cost_factor == pytest.approx(0.5)
+        assert math.isinf(policy.parameters.upper_threshold)
+
+    def test_staleness_policy_exact_workload_forces_binary_widths(self):
+        policy = adaptive_staleness_policy(constraint_average=0.0, seed=0)
+        assert policy.parameters.forces_exact_caching
+
+    def test_divergence_policy_uses_paper_window(self):
+        assert "k=23" in divergence_policy().describe()
+
+
+class TestConfigBuilder:
+    def test_traffic_config_scales_query_size_with_population(self, tiny_trace):
+        config = workloads.traffic_config(tiny_trace)
+        # 6 hosts / 5 -> at least one value per query, preserving the paper's
+        # 10-of-50 read-rate ratio on reduced populations.
+        assert config.query_size == max(len(tiny_trace.keys) // 5, 1)
+
+    def test_traffic_config_explicit_query_size_wins(self, tiny_trace):
+        config = workloads.traffic_config(tiny_trace, query_size=3)
+        assert config.query_size == 3
+
+    def test_traffic_config_cost_factor(self, tiny_trace):
+        config = workloads.traffic_config(tiny_trace, cost_factor=4.0)
+        assert config.cost_factor == pytest.approx(4.0)
+        assert config.query_refresh_cost == 2.0
+
+    def test_traffic_config_duration_and_warmup(self, tiny_trace):
+        config = workloads.traffic_config(tiny_trace)
+        assert config.duration == tiny_trace.duration
+        assert 0 < config.warmup < config.duration
+
+    def test_traffic_config_constraint_bounds_pass_through(self, tiny_trace):
+        config = workloads.traffic_config(tiny_trace, constraint_bounds=(0.0, 1000.0))
+        assert config.constraint_bounds == (0.0, 1000.0)
+
+
+class TestEndToEndHelpers:
+    def test_run_traffic_simulation_produces_metrics(self, tiny_trace):
+        config = workloads.traffic_config(tiny_trace, constraint_average=100_000.0, seed=1)
+        policy = workloads.adaptive_policy(initial_width=1000.0, seed=1)
+        result = workloads.run_traffic_simulation(
+            config, workloads.traffic_streams(tiny_trace), policy
+        )
+        assert result.duration > 0
+        assert result.total_cost >= 0
+
+    def test_best_exact_caching_result_picks_cheapest_window(self, tiny_trace):
+        config = workloads.traffic_config(tiny_trace, constraint_average=0.0, seed=1)
+        best = workloads.best_exact_caching_result(
+            config,
+            stream_factory=lambda: workloads.traffic_streams(tiny_trace),
+            cost_factor=1.0,
+            windows=(5, 40),
+        )
+        for window in (5, 40):
+            policy = workloads.exact_caching_policy(1.0, reevaluation_window=window)
+            run = CacheSimulation(config, workloads.traffic_streams(tiny_trace), policy).run()
+            assert best.cost_rate <= run.cost_rate + 1e-9
+
+    def test_max_aggregate_workload_runs(self, tiny_trace):
+        config = workloads.traffic_config(
+            tiny_trace,
+            constraint_average=50_000.0,
+            aggregates=(AggregateKind.MAX,),
+            seed=2,
+        )
+        policy = workloads.adaptive_policy(initial_width=1000.0, seed=2)
+        result = workloads.run_traffic_simulation(
+            config, workloads.traffic_streams(tiny_trace), policy
+        )
+        assert result.query_count > 0

@@ -1,0 +1,113 @@
+"""Tests for the experiment framework and the fast (analytical) experiments."""
+
+import math
+
+import pytest
+
+from repro.experiments.base import ExperimentResult, format_table, registry
+from repro.experiments import figure02_model, table1
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            experiment_id="demo",
+            title="Demo",
+            columns=("name", "value"),
+            rows=[("a", 1.0), ("b", 2.0)],
+            notes="demo notes",
+        )
+
+    def test_column_access(self):
+        result = self._result()
+        assert result.column_index("value") == 1
+        assert result.column("value") == [1.0, 2.0]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ValueError):
+            self._result().column_index("missing")
+
+    def test_format_table_contains_headers_rows_and_notes(self):
+        text = format_table(self._result())
+        assert "demo" in text
+        assert "name" in text and "value" in text
+        assert "demo notes" in text
+
+    def test_format_table_handles_infinite_and_large_values(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            columns=("v",),
+            rows=[(math.inf,), (123456.0,), (0.000123,), (0,)],
+        )
+        text = format_table(result)
+        assert "inf" in text
+
+    def test_str_uses_format_table(self):
+        assert str(self._result()) == format_table(self._result())
+
+
+class TestRegistry:
+    def test_registry_contains_every_design_doc_experiment(self):
+        experiments = registry()
+        expected = {
+            "table1",
+            "figure02",
+            "figure03",
+            "figure04_05",
+            "figure06",
+            "figure07_09",
+            "figure10_13",
+            "figure14_15",
+            "section44",
+            "section45",
+            "ablations",
+        }
+        assert expected <= set(experiments)
+
+    def test_registry_values_are_callable(self):
+        assert all(callable(runner) for runner in registry().values())
+
+
+class TestTable1:
+    def test_contains_all_paper_symbols(self):
+        result = table1.run()
+        symbols = set(result.column("symbol"))
+        for symbol in ("C_vr", "C_qr", "rho", "alpha", "theta_0", "theta_1", "delta", "T_q"):
+            assert symbol in symbols
+
+    def test_each_symbol_maps_to_an_implementation(self):
+        result = table1.run()
+        assert all(row[2] for row in result.rows)
+
+
+class TestFigure02:
+    def test_rows_cover_requested_widths(self):
+        result = figure02_model.run(widths=(1.0, 2.0, 4.0))
+        assert result.column("W") == [1.0, 2.0, 4.0]
+
+    def test_value_probability_decreases_and_query_probability_increases(self):
+        result = figure02_model.run(widths=tuple(range(1, 21)))
+        p_vr = result.column("P_vr")
+        p_qr = result.column("P_qr")
+        assert p_vr == sorted(p_vr, reverse=True)
+        assert p_qr == sorted(p_qr)
+
+    def test_cost_rate_has_interior_minimum(self):
+        result = figure02_model.run(widths=tuple(range(1, 21)))
+        omega = result.column("Omega")
+        best_index = omega.index(min(omega))
+        assert 0 < best_index < len(omega) - 1
+
+    def test_minimum_close_to_closed_form_optimum(self):
+        widths = tuple(float(w) for w in range(1, 31))
+        result = figure02_model.run(widths=widths)
+        omega = result.column("Omega")
+        best_width = widths[omega.index(min(omega))]
+        assert best_width == pytest.approx(figure02_model.optimal_width(), abs=1.0)
+
+    def test_optimal_width_uses_paper_constants(self):
+        assert figure02_model.optimal_width() == pytest.approx(200.0 ** (1 / 3))
+
+    def test_notes_mention_crossing(self):
+        assert "cross" in figure02_model.run().notes.lower()

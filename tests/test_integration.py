@@ -1,0 +1,292 @@
+"""Integration tests: small end-to-end simulations exercising the paper's claims.
+
+These runs are deliberately short (a few hundred to a few thousand simulated
+seconds on a handful of sources) so the whole test suite stays fast, but they
+exercise every substrate together: update streams, sources, policies, the
+cache, bounded-aggregate queries, refresh selection and cost metrics.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.caching.policies.adaptive import AdaptivePrecisionPolicy
+from repro.caching.policies.divergence import DivergenceCachingPolicy
+from repro.caching.policies.static import StaticWidthPolicy
+from repro.core.parameters import PrecisionParameters
+from repro.data.random_walk import RandomWalkGenerator
+from repro.data.streams import CounterStream, RandomWalkStream
+from repro.experiments import figure03_optimality
+from repro.experiments.workloads import (
+    adaptive_policy,
+    exact_caching_policy,
+    random_walk_streams,
+    traffic_config,
+    traffic_streams,
+    traffic_trace,
+)
+from repro.intervals.placement import OneSidedPlacement
+from repro.queries.aggregates import AggregateKind
+from repro.simulation.config import SimulationConfig
+from repro.simulation.simulator import CacheSimulation
+
+
+def _walk_streams(count, seed, start=100.0):
+    return random_walk_streams(count, seed, start=start)
+
+
+def _walk_config(duration=800.0, constraint_average=20.0, query_period=2.0, seed=1, **overrides):
+    defaults = dict(
+        duration=duration,
+        warmup=duration * 0.1,
+        query_period=query_period,
+        query_size=1,
+        constraint_average=constraint_average,
+        constraint_variation=1.0,
+        value_refresh_cost=1.0,
+        query_refresh_cost=2.0,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestModelShape:
+    """The measured refresh rates follow the Appendix A model (Figure 3 shape)."""
+
+    def _fixed_width_run(self, width, seed=3, duration=1500.0):
+        config = _walk_config(duration=duration, seed=seed)
+        streams = _walk_streams(1, seed)
+        return CacheSimulation(config, streams, StaticWidthPolicy(width)).run()
+
+    def test_value_refresh_rate_decreases_with_width(self):
+        narrow = self._fixed_width_run(2.0)
+        wide = self._fixed_width_run(8.0)
+        assert narrow.value_refresh_rate > wide.value_refresh_rate
+
+    def test_query_refresh_rate_increases_with_width(self):
+        narrow = self._fixed_width_run(2.0)
+        wide = self._fixed_width_run(8.0)
+        assert narrow.query_refresh_rate < wide.query_refresh_rate
+
+    def test_cost_has_interior_minimum_across_widths(self):
+        costs = {width: self._fixed_width_run(width).cost_rate for width in (1.0, 6.0, 30.0)}
+        assert costs[6.0] < costs[1.0]
+        assert costs[6.0] < costs[30.0]
+
+    def test_adaptive_beats_clearly_bad_fixed_widths(self):
+        config = _walk_config(duration=1500.0, seed=3)
+        adaptive = CacheSimulation(
+            config,
+            _walk_streams(1, 3),
+            AdaptivePrecisionPolicy(
+                PrecisionParameters(), initial_width=1.0, rng=random.Random(3)
+            ),
+        ).run()
+        too_narrow = self._fixed_width_run(1.0)
+        too_wide = self._fixed_width_run(30.0)
+        assert adaptive.cost_rate < too_narrow.cost_rate
+        assert adaptive.cost_rate < too_wide.cost_rate
+
+    def test_cost_minimum_coincides_with_weighted_probability_crossing(self):
+        sweep = figure03_optimality.run_width_sweep(
+            widths=(2.0, 4.0, 6.0, 8.0, 10.0), duration=1500.0, seed=5
+        )
+        assert sweep.crossing_width() == sweep.best_width
+
+
+class TestAdaptivityToWorkloadChanges:
+    def test_widths_track_constraint_scale(self):
+        # Loose constraints should produce wider converged intervals than
+        # tight constraints on the same data.
+        results = {}
+        for constraint in (5.0, 200.0):
+            config = _walk_config(duration=800.0, constraint_average=constraint, seed=7)
+            policy = AdaptivePrecisionPolicy(
+                PrecisionParameters(), initial_width=4.0, rng=random.Random(7)
+            )
+            CacheSimulation(config, _walk_streams(1, 7), policy).run()
+            results[constraint] = policy.current_width("walk-0")
+        assert results[200.0] > results[5.0]
+
+    def test_cost_factor_controls_width_preference(self):
+        # rho > 1 (expensive value refreshes) should prefer wider intervals.
+        widths = {}
+        for cost_factor in (0.25, 4.0):
+            config = _walk_config(duration=800.0, seed=9)
+            config = config.with_changes(value_refresh_cost=cost_factor * 2.0 / 2.0)
+            policy = AdaptivePrecisionPolicy(
+                PrecisionParameters.for_cost_factor(cost_factor),
+                initial_width=4.0,
+                rng=random.Random(9),
+            )
+            CacheSimulation(config, _walk_streams(1, 9), policy).run()
+            widths[cost_factor] = policy.current_width("walk-0")
+        assert widths[4.0] > widths[0.25]
+
+    def test_exact_constraints_with_thresholds_use_exact_or_uncached_intervals(self):
+        config = _walk_config(duration=400.0, constraint_average=0.0, seed=11)
+        parameters = PrecisionParameters(
+            lower_threshold=1.0, upper_threshold=1.0, adaptivity=1.0
+        )
+        policy = AdaptivePrecisionPolicy(parameters, initial_width=1.0, rng=random.Random(11))
+        simulation = CacheSimulation(config, _walk_streams(1, 11), policy)
+        simulation.run()
+        for entry in simulation.cache.entries():
+            assert entry.interval.is_exact or entry.interval.is_unbounded
+
+
+class TestExactCachingSubsumption:
+    """Section 4.6: the adaptive algorithm vs the WJH97 baseline."""
+
+    @pytest.fixture(scope="class")
+    def small_trace(self):
+        return traffic_trace(host_count=10, duration=600)
+
+    def test_adaptive_with_thresholds_is_in_the_same_cost_regime_as_wjh97(self, small_trace):
+        config = traffic_config(small_trace, query_period=1.0, constraint_average=0.0, seed=2)
+        exact = CacheSimulation(
+            config, traffic_streams(small_trace), exact_caching_policy(1.0, 20)
+        ).run()
+        ours = CacheSimulation(
+            config,
+            traffic_streams(small_trace),
+            adaptive_policy(
+                cost_factor=1.0,
+                adaptivity=1.0,
+                lower_threshold=1000.0,
+                upper_threshold=1000.0,
+                initial_width=1000.0,
+                seed=2,
+            ),
+        ).run()
+        # "Almost precisely matches" in the paper; we accept the same regime
+        # (well within a factor of two) on the small synthetic workload.
+        assert ours.cost_rate < 2.0 * exact.cost_rate
+        assert exact.cost_rate < 2.0 * ours.cost_rate
+
+    def test_adaptive_beats_exact_caching_when_imprecision_is_allowed(self, small_trace):
+        config = traffic_config(
+            small_trace, query_period=1.0, constraint_average=200_000.0, seed=2
+        )
+        exact = CacheSimulation(
+            config, traffic_streams(small_trace), exact_caching_policy(1.0, 20)
+        ).run()
+        ours = CacheSimulation(
+            config,
+            traffic_streams(small_trace),
+            adaptive_policy(
+                cost_factor=1.0,
+                adaptivity=1.0,
+                lower_threshold=1000.0,
+                upper_threshold=math.inf,
+                initial_width=1000.0,
+                seed=2,
+            ),
+        ).run()
+        assert ours.cost_rate < exact.cost_rate
+
+    def test_small_cache_limits_the_benefit_of_imprecision(self, small_trace):
+        loose = traffic_config(
+            small_trace, query_period=1.0, constraint_average=200_000.0, seed=4
+        )
+        tight_cache = loose.with_changes(cache_capacity=3)
+        full = CacheSimulation(
+            loose,
+            traffic_streams(small_trace),
+            adaptive_policy(1.0, 1.0, 1000.0, math.inf, 1000.0, seed=4),
+        ).run()
+        constrained = CacheSimulation(
+            tight_cache,
+            traffic_streams(small_trace),
+            adaptive_policy(1.0, 1.0, 1000.0, math.inf, 1000.0, seed=4),
+        ).run()
+        assert constrained.cost_rate >= full.cost_rate
+
+
+class TestStaleValueMode:
+    """Section 4.7: stale-value approximations and the Divergence Caching baseline."""
+
+    def _counter_streams(self, count, seed):
+        return {
+            f"item-{i}": CounterStream(mean_interval=1.0, poisson=True, rng=random.Random(seed + i))
+            for i in range(count)
+        }
+
+    def _config(self, constraint, seed=6, duration=600.0, query_period=1.0):
+        return SimulationConfig(
+            duration=duration,
+            warmup=duration * 0.2,
+            query_period=query_period,
+            query_size=1,
+            constraint_average=constraint,
+            constraint_variation=1.0,
+            value_refresh_cost=1.0,
+            query_refresh_cost=2.0,
+            seed=seed,
+        )
+
+    def test_looser_staleness_constraints_reduce_cost(self):
+        costs = {}
+        for constraint in (0.0, 10.0):
+            policy = AdaptivePrecisionPolicy(
+                PrecisionParameters(
+                    lower_threshold=1.0, cost_factor_multiplier=1.0, adaptivity=1.0
+                ),
+                initial_width=1.0,
+                placement=OneSidedPlacement(),
+                rng=random.Random(6),
+            )
+            result = CacheSimulation(
+                self._config(constraint), self._counter_streams(4, 6), policy
+            ).run()
+            costs[constraint] = result.cost_rate
+        assert costs[10.0] < costs[0.0]
+
+    def test_divergence_baseline_runs_and_produces_costs(self):
+        policy = DivergenceCachingPolicy(window_size=23)
+        result = CacheSimulation(
+            self._config(6.0), self._counter_streams(4, 8), policy
+        ).run()
+        assert result.cost_rate > 0.0
+        assert result.refresh_count > 0
+
+    def test_adaptive_is_competitive_with_divergence_caching(self):
+        config = self._config(8.0, seed=10, duration=1000.0)
+        ours = CacheSimulation(
+            config,
+            self._counter_streams(4, 10),
+            AdaptivePrecisionPolicy(
+                PrecisionParameters(
+                    lower_threshold=1.0, cost_factor_multiplier=1.0, adaptivity=1.0
+                ),
+                initial_width=1.0,
+                placement=OneSidedPlacement(),
+                rng=random.Random(10),
+            ),
+        ).run()
+        theirs = CacheSimulation(
+            config,
+            self._counter_streams(4, 10),
+            DivergenceCachingPolicy(window_size=23),
+        ).run()
+        # The paper reports a modest win for the adaptive algorithm; accept
+        # anything up to parity-with-slack on this small workload.
+        assert ours.cost_rate <= theirs.cost_rate * 1.25
+
+
+class TestDeterminism:
+    def test_identical_seeds_produce_identical_results(self):
+        def run_once():
+            config = _walk_config(duration=400.0, seed=42)
+            policy = AdaptivePrecisionPolicy(
+                PrecisionParameters(), initial_width=2.0, rng=random.Random(42)
+            )
+            return CacheSimulation(config, _walk_streams(2, 42), policy).run()
+
+        first = run_once()
+        second = run_once()
+        assert first.cost_rate == second.cost_rate
+        assert first.value_refresh_count == second.value_refresh_count
+        assert first.query_refresh_count == second.query_refresh_count

@@ -1,0 +1,195 @@
+"""Unit tests for the Interval approximation type."""
+
+import math
+
+import pytest
+
+from repro.intervals.interval import EXACT_ZERO, UNBOUNDED, Interval, hull, intersection
+
+
+class TestConstruction:
+    def test_basic_interval(self):
+        interval = Interval(1.0, 3.0)
+        assert interval.low == 1.0
+        assert interval.high == 3.0
+
+    def test_rejects_inverted_endpoints(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_rejects_nan_endpoints(self):
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+        with pytest.raises(ValueError):
+            Interval(0.0, math.nan)
+
+    def test_exact_constructor(self):
+        interval = Interval.exact(5.5)
+        assert interval.low == interval.high == 5.5
+        assert interval.is_exact
+
+    def test_centered_constructor(self):
+        interval = Interval.centered(10.0, 4.0)
+        assert interval.low == 8.0
+        assert interval.high == 12.0
+        assert interval.width == pytest.approx(4.0)
+
+    def test_centered_with_infinite_width_is_unbounded(self):
+        assert Interval.centered(10.0, math.inf) == UNBOUNDED
+
+    def test_centered_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            Interval.centered(0.0, -1.0)
+
+    def test_above_constructor(self):
+        interval = Interval.above(3.0, 2.0)
+        assert interval.low == 3.0
+        assert interval.high == 5.0
+
+    def test_above_with_infinite_width(self):
+        interval = Interval.above(3.0, math.inf)
+        assert interval.low == 3.0
+        assert math.isinf(interval.high)
+
+    def test_above_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            Interval.above(0.0, -0.5)
+
+
+class TestProperties:
+    def test_width(self):
+        assert Interval(2.0, 7.0).width == 5.0
+
+    def test_center(self):
+        assert Interval(2.0, 6.0).center == 4.0
+
+    def test_center_undefined_for_unbounded(self):
+        with pytest.raises(ValueError):
+            _ = UNBOUNDED.center
+
+    def test_precision_is_reciprocal_of_width(self):
+        assert Interval(0.0, 4.0).precision == pytest.approx(0.25)
+
+    def test_precision_of_exact_interval_is_infinite(self):
+        assert Interval.exact(1.0).precision == math.inf
+
+    def test_precision_of_unbounded_interval_is_zero(self):
+        assert UNBOUNDED.precision == 0.0
+
+    def test_is_unbounded(self):
+        assert UNBOUNDED.is_unbounded
+        assert Interval(0.0, math.inf).is_unbounded
+        assert not Interval(0.0, 1.0).is_unbounded
+
+    def test_exact_zero_constant(self):
+        assert EXACT_ZERO.is_exact
+        assert EXACT_ZERO.low == 0.0
+
+
+class TestValidity:
+    def test_contains_inside(self):
+        assert Interval(1.0, 3.0).contains(2.0)
+
+    def test_contains_endpoints(self):
+        interval = Interval(1.0, 3.0)
+        assert interval.contains(1.0)
+        assert interval.contains(3.0)
+
+    def test_contains_outside(self):
+        assert not Interval(1.0, 3.0).contains(3.5)
+        assert not Interval(1.0, 3.0).contains(0.5)
+
+    def test_unbounded_contains_everything(self):
+        assert UNBOUNDED.contains(1e300)
+        assert UNBOUNDED.contains(-1e300)
+
+    def test_is_valid_for_alias(self):
+        assert Interval(0.0, 1.0).is_valid_for(0.5)
+
+    def test_meets_constraint(self):
+        assert Interval(0.0, 3.0).meets_constraint(3.0)
+        assert not Interval(0.0, 3.0).meets_constraint(2.9)
+
+    def test_meets_constraint_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, 1.0).meets_constraint(-1.0)
+
+    def test_exact_interval_meets_zero_constraint(self):
+        assert Interval.exact(4.0).meets_constraint(0.0)
+
+
+class TestSetOperations:
+    def test_intersects(self):
+        assert Interval(0.0, 2.0).intersects(Interval(1.0, 3.0))
+        assert not Interval(0.0, 1.0).intersects(Interval(2.0, 3.0))
+
+    def test_touching_intervals_intersect(self):
+        assert Interval(0.0, 1.0).intersects(Interval(1.0, 2.0))
+
+    def test_intersection(self):
+        result = Interval(0.0, 2.0).intersection(Interval(1.0, 3.0))
+        assert result == Interval(1.0, 2.0)
+
+    def test_intersection_of_disjoint_is_none(self):
+        assert Interval(0.0, 1.0).intersection(Interval(2.0, 3.0)) is None
+
+    def test_hull_method(self):
+        assert Interval(0.0, 1.0).hull(Interval(5.0, 6.0)) == Interval(0.0, 6.0)
+
+    def test_hull_function(self):
+        result = hull([Interval(0.0, 1.0), Interval(-2.0, 0.5), Interval(3.0, 4.0)])
+        assert result == Interval(-2.0, 4.0)
+
+    def test_hull_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            hull([])
+
+    def test_intersection_function(self):
+        result = intersection([Interval(0.0, 5.0), Interval(2.0, 8.0), Interval(1.0, 4.0)])
+        assert result == Interval(2.0, 4.0)
+
+    def test_intersection_function_disjoint(self):
+        assert intersection([Interval(0.0, 1.0), Interval(2.0, 3.0)]) is None
+
+    def test_intersection_function_empty(self):
+        assert intersection([]) is None
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert Interval(1.0, 2.0) + Interval(10.0, 20.0) == Interval(11.0, 22.0)
+
+    def test_negation(self):
+        assert -Interval(1.0, 2.0) == Interval(-2.0, -1.0)
+
+    def test_subtraction(self):
+        assert Interval(5.0, 6.0) - Interval(1.0, 2.0) == Interval(3.0, 5.0)
+
+    def test_scale(self):
+        assert Interval(1.0, 3.0).scale(2.0) == Interval(2.0, 6.0)
+
+    def test_scale_by_zero_gives_exact_zero(self):
+        assert Interval(1.0, 3.0).scale(0.0) == Interval.exact(0.0)
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, 1.0).scale(-1.0)
+
+    def test_shift(self):
+        assert Interval(1.0, 3.0).shift(10.0) == Interval(11.0, 13.0)
+
+    def test_clamp_value(self):
+        interval = Interval(0.0, 10.0)
+        assert interval.clamp_value(-5.0) == 0.0
+        assert interval.clamp_value(5.0) == 5.0
+        assert interval.clamp_value(15.0) == 10.0
+
+    def test_sum_width_adds_up(self):
+        a = Interval.centered(0.0, 2.0)
+        b = Interval.centered(5.0, 6.0)
+        assert (a + b).width == pytest.approx(a.width + b.width)
+
+    def test_equality_and_hash(self):
+        assert Interval(1.0, 2.0) == Interval(1.0, 2.0)
+        assert hash(Interval(1.0, 2.0)) == hash(Interval(1.0, 2.0))
+        assert Interval(1.0, 2.0) != Interval(1.0, 3.0)

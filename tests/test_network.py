@@ -1,0 +1,51 @@
+"""Unit tests for the network cost model."""
+
+import pytest
+
+from repro.core.parameters import PrecisionParameters
+from repro.simulation.network import NetworkModel
+
+
+class TestNetworkModel:
+    def test_default_costs(self):
+        model = NetworkModel()
+        assert model.value_refresh_cost == 1.0
+        assert model.query_refresh_cost == 2.0
+
+    def test_loose_consistency_preset(self):
+        model = NetworkModel.loose_consistency()
+        assert model.cost_factor == pytest.approx(1.0)
+
+    def test_two_phase_locking_preset(self):
+        model = NetworkModel.two_phase_locking()
+        assert model.value_refresh_cost == 4.0
+        assert model.cost_factor == pytest.approx(4.0)
+
+    def test_from_parameters(self):
+        params = PrecisionParameters(value_refresh_cost=4.0, query_refresh_cost=2.0)
+        model = NetworkModel.from_parameters(params)
+        assert model.value_refresh_cost == 4.0
+        assert model.query_refresh_cost == 2.0
+
+    def test_charging_returns_costs(self):
+        model = NetworkModel()
+        assert model.charge_value_refresh() == 1.0
+        assert model.charge_query_refresh() == 2.0
+
+    def test_charging_counts_messages(self):
+        model = NetworkModel.two_phase_locking()
+        model.charge_value_refresh()
+        model.charge_query_refresh()
+        assert model.messages_sent == 4 + 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(value_refresh_cost=0.0)
+        with pytest.raises(ValueError):
+            NetworkModel(query_refresh_cost=-1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(messages_per_value_refresh=0)
+
+    def test_cost_factor_property(self):
+        model = NetworkModel(value_refresh_cost=3.0, query_refresh_cost=2.0)
+        assert model.cost_factor == pytest.approx(3.0)

@@ -1,0 +1,113 @@
+"""Unit tests for interval placement strategies."""
+
+import math
+
+import pytest
+
+from repro.intervals.interval import UNBOUNDED
+from repro.intervals.placement import (
+    CenteredPlacement,
+    LinearGrowthPlacement,
+    OneSidedPlacement,
+    PowerGrowthPlacement,
+    UncenteredPlacement,
+)
+
+
+class TestCenteredPlacement:
+    def test_centers_on_value(self):
+        interval = CenteredPlacement().place(10.0, 4.0)
+        assert interval.center == pytest.approx(10.0)
+        assert interval.width == pytest.approx(4.0)
+
+    def test_zero_width_gives_exact(self):
+        interval = CenteredPlacement().place(3.0, 0.0)
+        assert interval.is_exact
+        assert interval.contains(3.0)
+
+    def test_infinite_width_gives_unbounded(self):
+        assert CenteredPlacement().place(3.0, math.inf) == UNBOUNDED
+
+    def test_describe(self):
+        assert "Centered" in CenteredPlacement().describe()
+
+
+class TestOneSidedPlacement:
+    def test_anchors_at_value(self):
+        interval = OneSidedPlacement().place(5.0, 3.0)
+        assert interval.low == 5.0
+        assert interval.high == 8.0
+
+    def test_always_contains_value(self):
+        interval = OneSidedPlacement().place(5.0, 3.0)
+        assert interval.contains(5.0)
+
+    def test_infinite_width(self):
+        interval = OneSidedPlacement().place(5.0, math.inf)
+        assert interval.low == 5.0
+        assert math.isinf(interval.high)
+
+
+class TestUncenteredPlacement:
+    def test_default_is_symmetric(self):
+        interval = UncenteredPlacement().place(10.0, 4.0)
+        assert interval.low == pytest.approx(8.0)
+        assert interval.high == pytest.approx(12.0)
+
+    def test_upper_fraction_splits_width(self):
+        interval = UncenteredPlacement(upper_fraction=0.75).place(0.0, 4.0)
+        assert interval.low == pytest.approx(-1.0)
+        assert interval.high == pytest.approx(3.0)
+        assert interval.width == pytest.approx(4.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            UncenteredPlacement(upper_fraction=1.5)
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            UncenteredPlacement().place(0.0, -1.0)
+
+    def test_infinite_width_gives_unbounded(self):
+        assert UncenteredPlacement(upper_fraction=0.9).place(0.0, math.inf) == UNBOUNDED
+
+    def test_always_contains_value(self):
+        interval = UncenteredPlacement(upper_fraction=0.1).place(7.0, 2.0)
+        assert interval.contains(7.0)
+
+
+class TestTimeVaryingPlacements:
+    def test_linear_growth_shifts_with_time(self):
+        placement = LinearGrowthPlacement(drift_rate=2.0)
+        base = placement.place(0.0, 4.0)
+        drifted = placement.at_elapsed(base, 3.0)
+        assert drifted.low == pytest.approx(base.low + 6.0)
+        assert drifted.high == pytest.approx(base.high + 6.0)
+
+    def test_linear_growth_rejects_negative_elapsed(self):
+        placement = LinearGrowthPlacement(drift_rate=1.0)
+        with pytest.raises(ValueError):
+            placement.at_elapsed(placement.place(0.0, 1.0), -1.0)
+
+    def test_linear_growth_unbounded_unchanged(self):
+        placement = LinearGrowthPlacement(drift_rate=1.0)
+        assert placement.at_elapsed(UNBOUNDED, 10.0) == UNBOUNDED
+
+    def test_power_growth_widens_with_time(self):
+        placement = PowerGrowthPlacement(exponent=0.5, growth_scale=2.0)
+        base = placement.place(0.0, 4.0)
+        grown = placement.at_elapsed(base, 4.0)
+        # extra = 2 * sqrt(4) = 4 on each side
+        assert grown.width == pytest.approx(base.width + 8.0)
+        assert grown.center == pytest.approx(base.center)
+
+    def test_power_growth_zero_elapsed_is_identity(self):
+        placement = PowerGrowthPlacement(exponent=0.5, growth_scale=2.0)
+        base = placement.place(1.0, 4.0)
+        assert placement.at_elapsed(base, 0.0) == base
+
+    def test_power_growth_validation(self):
+        with pytest.raises(ValueError):
+            PowerGrowthPlacement(exponent=0.0)
+        with pytest.raises(ValueError):
+            PowerGrowthPlacement(growth_scale=-1.0)

@@ -1,0 +1,124 @@
+"""Unit tests for the adaptive precision policy (and its uncentered variation)."""
+
+import math
+import random
+
+import pytest
+
+from repro.caching.policies.adaptive import (
+    AdaptivePrecisionPolicy,
+    UncenteredAdaptivePolicy,
+)
+from repro.core.parameters import PrecisionParameters
+from repro.intervals.placement import OneSidedPlacement
+
+
+class TestAdaptivePrecisionPolicy:
+    def test_first_refresh_uses_initial_width(self, default_parameters):
+        policy = AdaptivePrecisionPolicy(default_parameters, initial_width=4.0)
+        decision = policy.on_query_initiated_refresh("a", 10.0, time=1.0)
+        # A query refresh shrinks the initial width before publishing.
+        assert decision.original_width == pytest.approx(2.0)
+        assert decision.interval.center == pytest.approx(10.0)
+
+    def test_value_refresh_grows_width(self, default_parameters):
+        policy = AdaptivePrecisionPolicy(default_parameters, initial_width=4.0)
+        decision = policy.on_value_initiated_refresh("a", 10.0, time=1.0)
+        assert decision.original_width == pytest.approx(8.0)
+        assert decision.interval.width == pytest.approx(8.0)
+
+    def test_interval_always_contains_exact_value(self, default_parameters):
+        policy = AdaptivePrecisionPolicy(default_parameters, initial_width=4.0)
+        for step in range(10):
+            decision = policy.on_value_initiated_refresh("a", float(step), time=float(step))
+            assert decision.interval.contains(float(step))
+
+    def test_per_key_controllers_are_independent(self, default_parameters):
+        policy = AdaptivePrecisionPolicy(default_parameters, initial_width=4.0)
+        policy.on_value_initiated_refresh("a", 0.0, time=1.0)
+        policy.on_value_initiated_refresh("a", 0.0, time=2.0)
+        policy.on_query_initiated_refresh("b", 0.0, time=3.0)
+        assert policy.current_width("a") == pytest.approx(16.0)
+        assert policy.current_width("b") == pytest.approx(2.0)
+        assert set(policy.tracked_keys()) == {"a", "b"}
+
+    def test_thresholds_applied_to_published_interval(self):
+        params = PrecisionParameters(lower_threshold=5.0, adaptivity=1.0)
+        policy = AdaptivePrecisionPolicy(params, initial_width=4.0)
+        decision = policy.on_query_initiated_refresh("a", 7.0, time=1.0)
+        # width 2 < theta_0=5 so the published interval is exact, but the
+        # original width stays at 2 for future adaptation.
+        assert decision.interval.is_exact
+        assert decision.interval.contains(7.0)
+        assert decision.original_width == pytest.approx(2.0)
+
+    def test_upper_threshold_publishes_unbounded(self):
+        params = PrecisionParameters(upper_threshold=4.0, adaptivity=1.0)
+        policy = AdaptivePrecisionPolicy(params, initial_width=4.0)
+        decision = policy.on_value_initiated_refresh("a", 7.0, time=1.0)
+        assert decision.interval.is_unbounded
+        assert decision.original_width == pytest.approx(8.0)
+
+    def test_custom_placement(self, default_parameters):
+        policy = AdaptivePrecisionPolicy(
+            default_parameters, initial_width=4.0, placement=OneSidedPlacement()
+        )
+        decision = policy.on_value_initiated_refresh("a", 3.0, time=1.0)
+        assert decision.interval.low == pytest.approx(3.0)
+        assert decision.interval.width == pytest.approx(8.0)
+
+    def test_no_eviction_notifications_required(self, default_parameters):
+        assert AdaptivePrecisionPolicy(default_parameters).notifies_source_on_eviction() is False
+
+    def test_rejects_bad_initial_width(self, default_parameters):
+        with pytest.raises(ValueError):
+            AdaptivePrecisionPolicy(default_parameters, initial_width=0.0)
+
+    def test_describe_mentions_parameters(self, default_parameters):
+        description = AdaptivePrecisionPolicy(default_parameters).describe()
+        assert "rho=1" in description
+        assert "alpha=1" in description
+
+    def test_parameters_accessor(self, default_parameters):
+        assert AdaptivePrecisionPolicy(default_parameters).parameters is default_parameters
+
+
+class TestUncenteredAdaptivePolicy:
+    def test_value_above_previous_interval_grows_upper_side(self, default_parameters):
+        policy = UncenteredAdaptivePolicy(default_parameters, initial_width=4.0)
+        first = policy.on_query_initiated_refresh("a", 10.0, time=0.0)
+        assert first.interval.contains(10.0)
+        # Value escapes above the previous interval.
+        above = first.interval.high + 5.0
+        second = policy.on_value_initiated_refresh("a", above, time=1.0)
+        assert second.interval.contains(above)
+        upper_span = second.interval.high - above
+        lower_span = above - second.interval.low
+        assert upper_span > lower_span
+
+    def test_value_below_previous_interval_grows_lower_side(self, default_parameters):
+        policy = UncenteredAdaptivePolicy(default_parameters, initial_width=4.0)
+        first = policy.on_query_initiated_refresh("a", 10.0, time=0.0)
+        below = first.interval.low - 5.0
+        second = policy.on_value_initiated_refresh("a", below, time=1.0)
+        lower_span = below - second.interval.low
+        upper_span = second.interval.high - below
+        assert lower_span > upper_span
+
+    def test_query_refresh_shrinks_total_width(self, default_parameters):
+        policy = UncenteredAdaptivePolicy(default_parameters, initial_width=4.0)
+        first = policy.on_query_initiated_refresh("a", 0.0, time=0.0)
+        second = policy.on_query_initiated_refresh("a", 0.0, time=1.0)
+        assert second.interval.width < first.interval.width
+
+    def test_first_value_refresh_without_history_defaults_to_upper(self, default_parameters):
+        policy = UncenteredAdaptivePolicy(default_parameters, initial_width=4.0)
+        decision = policy.on_value_initiated_refresh("a", 5.0, time=0.0)
+        assert decision.interval.contains(5.0)
+
+    def test_rejects_bad_initial_width(self, default_parameters):
+        with pytest.raises(ValueError):
+            UncenteredAdaptivePolicy(default_parameters, initial_width=-2.0)
+
+    def test_describe(self, default_parameters):
+        assert "Uncentered" in UncenteredAdaptivePolicy(default_parameters).describe()

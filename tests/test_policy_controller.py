@@ -1,0 +1,155 @@
+"""Unit tests for the adaptive width controller (the core algorithm)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.parameters import PrecisionParameters
+from repro.core.policy import AdaptiveWidthController, WidthAdjustment
+
+
+class TestBasicAdjustment:
+    def test_initial_width(self, default_parameters):
+        controller = AdaptiveWidthController(default_parameters, initial_width=4.0)
+        assert controller.width == 4.0
+
+    def test_rejects_non_positive_initial_width(self, default_parameters):
+        with pytest.raises(ValueError):
+            AdaptiveWidthController(default_parameters, initial_width=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveWidthController(default_parameters, initial_width=-1.0)
+
+    def test_value_refresh_grows_width_at_rho_one(self, default_parameters):
+        controller = AdaptiveWidthController(default_parameters, initial_width=4.0)
+        adjustment = controller.on_value_initiated_refresh()
+        assert adjustment is WidthAdjustment.GREW
+        assert controller.width == pytest.approx(8.0)
+
+    def test_query_refresh_shrinks_width_at_rho_one(self, default_parameters):
+        controller = AdaptiveWidthController(default_parameters, initial_width=4.0)
+        adjustment = controller.on_query_initiated_refresh()
+        assert adjustment is WidthAdjustment.SHRANK
+        assert controller.width == pytest.approx(2.0)
+
+    def test_growth_factor_uses_adaptivity(self):
+        params = PrecisionParameters(adaptivity=0.5)
+        controller = AdaptiveWidthController(params, initial_width=4.0)
+        controller.on_value_initiated_refresh()
+        assert controller.width == pytest.approx(6.0)
+        controller.on_query_initiated_refresh()
+        assert controller.width == pytest.approx(4.0)
+
+    def test_zero_adaptivity_never_changes_width(self):
+        params = PrecisionParameters(adaptivity=0.0)
+        controller = AdaptiveWidthController(params, initial_width=4.0)
+        for _ in range(5):
+            assert controller.on_value_initiated_refresh() is WidthAdjustment.UNCHANGED
+            assert controller.on_query_initiated_refresh() is WidthAdjustment.UNCHANGED
+        assert controller.width == 4.0
+
+    def test_grow_shrink_round_trip_returns_to_start(self, default_parameters):
+        controller = AdaptiveWidthController(default_parameters, initial_width=3.0)
+        controller.on_value_initiated_refresh()
+        controller.on_query_initiated_refresh()
+        assert controller.width == pytest.approx(3.0)
+
+    def test_reset(self, default_parameters):
+        controller = AdaptiveWidthController(default_parameters, initial_width=3.0)
+        controller.reset(10.0)
+        assert controller.width == 10.0
+        with pytest.raises(ValueError):
+            controller.reset(0.0)
+
+
+class TestProbabilisticAdjustment:
+    def test_rho_above_one_always_grows(self, rho4_parameters):
+        controller = AdaptiveWidthController(
+            rho4_parameters, initial_width=1.0, rng=random.Random(1)
+        )
+        for _ in range(20):
+            assert controller.on_value_initiated_refresh() is WidthAdjustment.GREW
+
+    def test_rho_above_one_shrinks_about_one_in_rho(self, rho4_parameters):
+        controller = AdaptiveWidthController(
+            rho4_parameters, initial_width=1.0, rng=random.Random(2)
+        )
+        shrinks = sum(
+            controller.on_query_initiated_refresh() is WidthAdjustment.SHRANK
+            for _ in range(4000)
+        )
+        assert shrinks == pytest.approx(1000, rel=0.15)
+
+    def test_rho_below_one_always_shrinks(self):
+        params = PrecisionParameters(value_refresh_cost=0.5, query_refresh_cost=2.0)
+        controller = AdaptiveWidthController(params, initial_width=1.0, rng=random.Random(3))
+        for _ in range(20):
+            assert controller.on_query_initiated_refresh() is WidthAdjustment.SHRANK
+
+    def test_rho_below_one_grows_about_rho_fraction(self):
+        params = PrecisionParameters(value_refresh_cost=0.5, query_refresh_cost=2.0)
+        controller = AdaptiveWidthController(params, initial_width=1.0, rng=random.Random(4))
+        grows = sum(
+            controller.on_value_initiated_refresh() is WidthAdjustment.GREW
+            for _ in range(4000)
+        )
+        assert grows == pytest.approx(2000, rel=0.1)
+
+    def test_width_stays_positive(self, default_parameters):
+        controller = AdaptiveWidthController(default_parameters, initial_width=1.0)
+        for _ in range(200):
+            controller.on_query_initiated_refresh()
+        assert controller.width > 0.0
+
+
+class TestThresholdedPublication:
+    def test_published_width_applies_lower_threshold(self):
+        params = PrecisionParameters(lower_threshold=2.0)
+        controller = AdaptiveWidthController(params, initial_width=1.0)
+        assert controller.width == 1.0
+        assert controller.published_width() == 0.0
+
+    def test_published_width_applies_upper_threshold(self):
+        params = PrecisionParameters(upper_threshold=4.0)
+        controller = AdaptiveWidthController(params, initial_width=8.0)
+        assert math.isinf(controller.published_width())
+
+    def test_original_width_retained_across_threshold_clamping(self):
+        # The paper: "the source still retains the original width, and uses it
+        # when setting the next width".
+        params = PrecisionParameters(lower_threshold=2.0, adaptivity=1.0)
+        controller = AdaptiveWidthController(params, initial_width=1.5)
+        assert controller.published_width() == 0.0
+        controller.on_value_initiated_refresh()
+        assert controller.width == pytest.approx(3.0)
+        assert controller.published_width() == pytest.approx(3.0)
+
+    def test_exact_caching_specialisation_publishes_only_binary_widths(self):
+        params = PrecisionParameters(lower_threshold=2.0, upper_threshold=2.0)
+        controller = AdaptiveWidthController(params, initial_width=1.0, rng=random.Random(5))
+        seen = set()
+        for _ in range(30):
+            controller.on_value_initiated_refresh()
+            seen.add(controller.published_width())
+            controller.on_query_initiated_refresh()
+            seen.add(controller.published_width())
+        assert seen <= {0.0, math.inf}
+
+
+class TestStateTracking:
+    def test_counters(self, default_parameters):
+        controller = AdaptiveWidthController(default_parameters, initial_width=1.0)
+        controller.on_value_initiated_refresh()
+        controller.on_value_initiated_refresh()
+        controller.on_query_initiated_refresh()
+        state = controller.state()
+        assert state.value_refreshes == 2
+        assert state.query_refreshes == 1
+        assert state.growth_events == 2
+        assert state.shrink_events == 1
+        assert state.width == controller.width
+        assert state.published_width == controller.published_width()
+
+    def test_parameters_accessor(self, default_parameters):
+        controller = AdaptiveWidthController(default_parameters)
+        assert controller.parameters is default_parameters

@@ -1,0 +1,108 @@
+"""Unit tests for the HSW94 Divergence Caching baseline policy."""
+
+import math
+
+import pytest
+
+from repro.caching.policies.divergence import DivergenceCachingPolicy
+
+
+def _feed_rates(policy, key, read_period, write_period, constraint, until=100.0):
+    """Feed regular reads/writes/constraints so the windows imply clean rates."""
+    time = 0.0
+    while time <= until:
+        policy.record_write(key, time)
+        time += write_period
+    time = 0.0
+    while time <= until:
+        policy.record_read(key, time, served_from_cache=True)
+        policy.record_constraint(key, constraint, time)
+        time += read_period
+
+
+class TestProjection:
+    def test_initial_allowance_before_observations(self):
+        policy = DivergenceCachingPolicy(initial_allowance=3.0)
+        assert policy.choose_allowance("a", now=0.0) == 3.0
+
+    def test_projected_cost_decreases_in_allowance_for_invalidation_term(self):
+        policy = DivergenceCachingPolicy()
+        for step in range(10):
+            policy.record_write("a", float(step))
+        cost_exact = policy.projected_cost("a", 0.0, now=10.0)
+        cost_loose = policy.projected_cost("a", 5.0, now=10.0)
+        assert cost_loose < cost_exact
+
+    def test_projected_cost_counts_remote_reads_for_loose_allowances(self):
+        policy = DivergenceCachingPolicy()
+        for step in range(10):
+            policy.record_read("a", float(step), True)
+            policy.record_constraint("a", 2.0, float(step))
+        # An allowance above every observed constraint forces remote reads.
+        assert policy.projected_cost("a", 10.0, now=10.0) > policy.projected_cost(
+            "a", 1.0, now=10.0
+        )
+
+    def test_write_heavy_read_light_prefers_loose_allowance(self):
+        policy = DivergenceCachingPolicy(
+            value_refresh_cost=1.0, query_refresh_cost=2.0, window_size=50
+        )
+        _feed_rates(policy, "a", read_period=20.0, write_period=1.0, constraint=10.0)
+        allowance = policy.choose_allowance("a", now=100.0)
+        assert allowance >= 10.0
+
+    def test_read_heavy_write_light_prefers_tight_allowance(self):
+        policy = DivergenceCachingPolicy(
+            value_refresh_cost=1.0, query_refresh_cost=2.0, window_size=50
+        )
+        _feed_rates(policy, "a", read_period=1.0, write_period=50.0, constraint=3.0)
+        allowance = policy.choose_allowance("a", now=100.0)
+        assert allowance <= 3.0
+
+    def test_allowance_never_negative(self):
+        policy = DivergenceCachingPolicy()
+        _feed_rates(policy, "a", read_period=1.0, write_period=1.0, constraint=0.0)
+        assert policy.choose_allowance("a", now=100.0) >= 0.0
+
+    def test_rejects_negative_allowance_query(self):
+        with pytest.raises(ValueError):
+            DivergenceCachingPolicy().projected_cost("a", -1.0, now=0.0)
+
+
+class TestDecisions:
+    def test_decision_is_one_sided_interval(self):
+        policy = DivergenceCachingPolicy(initial_allowance=4.0)
+        decision = policy.on_query_initiated_refresh("a", 10.0, time=0.0)
+        assert decision.interval.low == pytest.approx(10.0)
+        assert decision.interval.high == pytest.approx(14.0)
+        assert decision.original_width == pytest.approx(4.0)
+
+    def test_decision_contains_current_value(self):
+        policy = DivergenceCachingPolicy(initial_allowance=2.0)
+        decision = policy.on_value_initiated_refresh("a", 7.0, time=0.0)
+        assert decision.interval.contains(7.0)
+
+    def test_windows_are_bounded(self):
+        policy = DivergenceCachingPolicy(window_size=5)
+        for step in range(100):
+            policy.record_write("a", float(step))
+        window = policy._window("a")
+        assert len(window.write_times) == 5
+
+    def test_constraint_validation(self):
+        with pytest.raises(ValueError):
+            DivergenceCachingPolicy().record_constraint("a", -1.0, 0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DivergenceCachingPolicy(value_refresh_cost=0.0)
+        with pytest.raises(ValueError):
+            DivergenceCachingPolicy(window_size=0)
+        with pytest.raises(ValueError):
+            DivergenceCachingPolicy(initial_allowance=-1.0)
+
+    def test_describe_mentions_window(self):
+        assert "k=23" in DivergenceCachingPolicy().describe()
+
+    def test_no_eviction_notifications(self):
+        assert DivergenceCachingPolicy().notifies_source_on_eviction() is False

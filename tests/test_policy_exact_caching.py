@@ -1,0 +1,105 @@
+"""Unit tests for the WJH97 exact-caching baseline policy."""
+
+import math
+
+import pytest
+
+from repro.caching.policies.exact_caching import ExactCachingPolicy
+
+
+class TestDecisionLogic:
+    def test_initially_cached_by_default(self):
+        policy = ExactCachingPolicy()
+        assert policy.is_cached("a") is True
+        decision = policy.on_query_initiated_refresh("a", 5.0, time=0.0)
+        assert decision.interval.is_exact
+
+    def test_initially_uncached_when_configured(self):
+        policy = ExactCachingPolicy(cache_initially=False)
+        decision = policy.on_query_initiated_refresh("a", 5.0, time=0.0)
+        assert decision.interval.is_unbounded
+        assert math.isinf(decision.original_width)
+
+    def test_write_heavy_value_becomes_uncached(self):
+        policy = ExactCachingPolicy(
+            value_refresh_cost=1.0, query_refresh_cost=2.0, reevaluation_window=4
+        )
+        # 4 writes, 0 reads: C_c = 4 >= C_nc = 0 -> do not cache.
+        for step in range(4):
+            policy.record_write("a", time=float(step))
+        assert policy.is_cached("a") is False
+
+    def test_read_heavy_value_stays_cached(self):
+        policy = ExactCachingPolicy(
+            value_refresh_cost=1.0, query_refresh_cost=2.0, reevaluation_window=4
+        )
+        for step in range(4):
+            policy.record_read("a", time=float(step), served_from_cache=True)
+        assert policy.is_cached("a") is True
+
+    def test_mixed_workload_decision_follows_cost_comparison(self):
+        policy = ExactCachingPolicy(
+            value_refresh_cost=4.0, query_refresh_cost=2.0, reevaluation_window=4
+        )
+        # 2 reads (C_nc = 4) vs 2 writes (C_c = 8): caching is more expensive.
+        policy.record_read("a", 0.0, True)
+        policy.record_write("a", 1.0)
+        policy.record_read("a", 2.0, True)
+        policy.record_write("a", 3.0)
+        assert policy.is_cached("a") is False
+
+    def test_counters_reset_after_reevaluation(self):
+        policy = ExactCachingPolicy(reevaluation_window=2)
+        policy.record_write("a", 0.0)
+        policy.record_write("a", 1.0)
+        assert policy.is_cached("a") is False
+        # After the reset, a read-dominated window flips the decision back.
+        policy.record_read("a", 2.0, False)
+        policy.record_read("a", 3.0, False)
+        assert policy.is_cached("a") is True
+
+    def test_decision_does_not_change_before_window_filled(self):
+        policy = ExactCachingPolicy(reevaluation_window=10)
+        for step in range(9):
+            policy.record_write("a", float(step))
+        assert policy.is_cached("a") is True
+
+    def test_per_key_decisions_are_independent(self):
+        policy = ExactCachingPolicy(reevaluation_window=2)
+        policy.record_write("hot-writer", 0.0)
+        policy.record_write("hot-writer", 1.0)
+        policy.record_read("hot-reader", 0.0, True)
+        policy.record_read("hot-reader", 1.0, True)
+        assert policy.is_cached("hot-writer") is False
+        assert policy.is_cached("hot-reader") is True
+
+
+class TestBenefitAndProtocol:
+    def test_benefit_is_projected_cost_difference(self):
+        policy = ExactCachingPolicy(
+            value_refresh_cost=1.0, query_refresh_cost=2.0, reevaluation_window=100
+        )
+        policy.record_read("a", 0.0, True)
+        policy.record_read("a", 1.0, True)
+        policy.record_write("a", 2.0)
+        assert policy.benefit("a") == pytest.approx(2 * 2.0 - 1 * 1.0)
+
+    def test_requires_eviction_notifications(self):
+        assert ExactCachingPolicy().notifies_source_on_eviction() is True
+
+    def test_value_refresh_decision_matches_query_refresh_decision(self):
+        policy = ExactCachingPolicy()
+        by_value = policy.on_value_initiated_refresh("a", 3.0, time=0.0)
+        by_query = policy.on_query_initiated_refresh("a", 3.0, time=0.0)
+        assert by_value.interval == by_query.interval
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExactCachingPolicy(value_refresh_cost=0.0)
+        with pytest.raises(ValueError):
+            ExactCachingPolicy(query_refresh_cost=-1.0)
+        with pytest.raises(ValueError):
+            ExactCachingPolicy(reevaluation_window=0)
+
+    def test_describe_mentions_window(self):
+        assert "x=7" in ExactCachingPolicy(reevaluation_window=7).describe()

@@ -1,0 +1,49 @@
+"""Unit tests for the fixed-width policy."""
+
+import pytest
+
+from repro.caching.policies.static import StaticWidthPolicy
+from repro.intervals.placement import OneSidedPlacement
+
+
+class TestStaticWidthPolicy:
+    def test_publishes_fixed_width_on_value_refresh(self):
+        policy = StaticWidthPolicy(width=6.0)
+        decision = policy.on_value_initiated_refresh("a", 10.0, time=1.0)
+        assert decision.interval.width == pytest.approx(6.0)
+        assert decision.interval.center == pytest.approx(10.0)
+        assert decision.original_width == 6.0
+
+    def test_publishes_fixed_width_on_query_refresh(self):
+        policy = StaticWidthPolicy(width=6.0)
+        decision = policy.on_query_initiated_refresh("a", -3.0, time=1.0)
+        assert decision.interval.width == pytest.approx(6.0)
+        assert decision.interval.contains(-3.0)
+
+    def test_width_never_changes(self):
+        policy = StaticWidthPolicy(width=2.0)
+        for step in range(5):
+            policy.on_value_initiated_refresh("a", float(step), time=float(step))
+            policy.on_query_initiated_refresh("a", float(step), time=float(step))
+        assert policy.width == 2.0
+
+    def test_zero_width_is_exact_caching(self):
+        policy = StaticWidthPolicy(width=0.0)
+        decision = policy.on_query_initiated_refresh("a", 5.0, time=0.0)
+        assert decision.interval.is_exact
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            StaticWidthPolicy(width=-1.0)
+
+    def test_custom_placement(self):
+        policy = StaticWidthPolicy(width=4.0, placement=OneSidedPlacement())
+        decision = policy.on_value_initiated_refresh("a", 2.0, time=0.0)
+        assert decision.interval.low == 2.0
+        assert decision.interval.high == 6.0
+
+    def test_describe_mentions_width(self):
+        assert "6" in StaticWidthPolicy(width=6.0).describe()
+
+    def test_does_not_require_eviction_notifications(self):
+        assert StaticWidthPolicy(width=1.0).notifies_source_on_eviction() is False

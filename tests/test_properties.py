@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+import random
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import PrecisionParameters
+from repro.core.policy import AdaptiveWidthController
+from repro.core.thresholds import apply_thresholds
+from repro.data.trace import moving_window_average
+from repro.intervals.interval import Interval
+from repro.queries.aggregates import max_bound, min_bound, sum_bound
+from repro.queries.refresh_selection import select_sum_refreshes
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+widths = st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False)
+positive_widths = st.floats(
+    min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def intervals(draw):
+    center = draw(finite_floats)
+    width = draw(widths)
+    return Interval.centered(center, width)
+
+
+class TestIntervalProperties:
+    @given(center=finite_floats, width=widths)
+    def test_centered_interval_always_contains_its_center(self, center, width):
+        assert Interval.centered(center, width).contains(center)
+
+    @given(center=finite_floats, width=widths)
+    def test_centered_interval_width_is_requested_width(self, center, width):
+        interval = Interval.centered(center, width)
+        assert interval.width == pytest.approx(width, rel=1e-9, abs=1e-6)
+
+    @given(interval=intervals(), other=intervals())
+    def test_hull_contains_both_operands(self, interval, other):
+        combined = interval.hull(other)
+        assert combined.low <= interval.low and combined.high >= interval.high
+        assert combined.low <= other.low and combined.high >= other.high
+
+    @given(interval=intervals(), other=intervals())
+    def test_intersection_symmetric_and_inside_both(self, interval, other):
+        forward = interval.intersection(other)
+        backward = other.intersection(interval)
+        assert (forward is None) == (backward is None)
+        if forward is not None:
+            assert forward.low >= max(interval.low, other.low) - 1e-9
+            assert forward.high <= min(interval.high, other.high) + 1e-9
+
+    @given(interval=intervals(), other=intervals())
+    def test_sum_width_is_sum_of_widths(self, interval, other):
+        assert (interval + other).width == pytest.approx(
+            interval.width + other.width, rel=1e-9, abs=1e-6
+        )
+
+    @given(interval=intervals(), value=finite_floats)
+    def test_precision_constraint_monotone(self, interval, value):
+        # If an interval meets a constraint, it meets every looser constraint.
+        assume(not interval.is_unbounded)
+        if interval.meets_constraint(interval.width):
+            assert interval.meets_constraint(interval.width * 2 + 1.0)
+
+
+class TestThresholdProperties:
+    @given(
+        width=widths,
+        lower=widths,
+        upper=widths,
+    )
+    def test_thresholded_width_is_zero_original_or_infinite(self, width, lower, upper):
+        assume(upper >= lower)
+        published = apply_thresholds(width, lower, upper)
+        assert published == 0.0 or published == width or math.isinf(published)
+
+    @given(width=widths, lower=widths, upper=widths)
+    def test_threshold_idempotent(self, width, lower, upper):
+        assume(upper >= lower)
+        once = apply_thresholds(width, lower, upper)
+        if math.isfinite(once):
+            assert apply_thresholds(once, lower, upper) in (0.0, once)
+
+    @given(width=widths, threshold=widths)
+    def test_equal_thresholds_always_binary(self, width, threshold):
+        published = apply_thresholds(width, threshold, threshold)
+        assert published == 0.0 or math.isinf(published)
+
+
+class TestControllerProperties:
+    @given(
+        initial=positive_widths,
+        adaptivity=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        operations=st.lists(st.booleans(), max_size=60),
+    )
+    @settings(max_examples=60)
+    def test_width_stays_positive_and_finite(self, initial, adaptivity, operations):
+        params = PrecisionParameters(adaptivity=adaptivity)
+        controller = AdaptiveWidthController(params, initial_width=initial, rng=random.Random(0))
+        for grow in operations:
+            if grow:
+                controller.on_value_initiated_refresh()
+            else:
+                controller.on_query_initiated_refresh()
+        assert controller.width > 0.0
+        assert math.isfinite(controller.width)
+
+    @given(
+        initial=positive_widths,
+        rounds=st.integers(min_value=0, max_value=30),
+    )
+    def test_balanced_refreshes_return_to_initial_width(self, initial, rounds):
+        params = PrecisionParameters(adaptivity=1.0)
+        controller = AdaptiveWidthController(params, initial_width=initial)
+        for _ in range(rounds):
+            controller.on_value_initiated_refresh()
+        for _ in range(rounds):
+            controller.on_query_initiated_refresh()
+        assert controller.width == pytest.approx(initial, rel=1e-9)
+
+    @given(initial=positive_widths, operations=st.lists(st.booleans(), max_size=40))
+    def test_published_width_consistent_with_thresholds(self, initial, operations):
+        params = PrecisionParameters(lower_threshold=1.0, upper_threshold=100.0)
+        controller = AdaptiveWidthController(params, initial_width=initial, rng=random.Random(1))
+        for grow in operations:
+            if grow:
+                controller.on_value_initiated_refresh()
+            else:
+                controller.on_query_initiated_refresh()
+        published = controller.published_width()
+        assert published == apply_thresholds(controller.width, 1.0, 100.0)
+
+
+@st.composite
+def interval_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=8))
+    return [draw(intervals()) for _ in range(count)]
+
+
+class TestAggregateProperties:
+    @given(items=interval_lists())
+    def test_bounds_contain_any_consistent_exact_values(self, items):
+        # Pick each exact value as the interval midpoint (a valid possibility)
+        # and check the aggregate bounds contain the induced aggregate, with a
+        # small slack for floating-point error.
+        values = [interval.center for interval in items]
+        total = sum_bound(items)
+        assert total.low - 1e-6 <= sum(values) <= total.high + 1e-6
+        top = max_bound(items)
+        assert top.low - 1e-9 <= max(values) <= top.high + 1e-9
+        bottom = min_bound(items)
+        assert bottom.low - 1e-9 <= min(values) <= bottom.high + 1e-9
+
+    @given(items=interval_lists(), constraint=widths)
+    def test_sum_selection_meets_constraint(self, items, constraint):
+        mapping = {index: interval for index, interval in enumerate(items)}
+        refreshed = select_sum_refreshes(mapping, constraint)
+        remaining = sum(
+            interval.width for key, interval in mapping.items() if key not in refreshed
+        )
+        assert remaining <= constraint + 1e-6
+
+    @given(items=interval_lists(), constraint=widths)
+    def test_sum_selection_never_refreshes_more_than_everything(self, items, constraint):
+        mapping = {index: interval for index, interval in enumerate(items)}
+        refreshed = select_sum_refreshes(mapping, constraint)
+        assert len(refreshed) <= len(mapping)
+        assert len(set(refreshed)) == len(refreshed)
+
+
+class TestMovingAverageProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=50,
+        ),
+        window=st.integers(min_value=1, max_value=10),
+    )
+    def test_moving_average_bounded_by_input_range(self, values, window):
+        averaged = moving_window_average(values, window)
+        assert len(averaged) == len(values)
+        assert min(averaged) >= min(values) - 1e-9
+        assert max(averaged) <= max(values) + 1e-9
+
+    @given(
+        value=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        length=st.integers(min_value=1, max_value=30),
+        window=st.integers(min_value=1, max_value=10),
+    )
+    def test_moving_average_of_constant_is_constant(self, value, length, window):
+        averaged = moving_window_average([value] * length, window)
+        assert all(sample == pytest.approx(value) for sample in averaged)

@@ -1,0 +1,84 @@
+"""Unit tests for the random-walk generator."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.data.random_walk import RandomWalkGenerator
+
+
+class TestRandomWalk:
+    def test_starts_at_start_value(self):
+        walk = RandomWalkGenerator(start=42.0)
+        assert walk.value == 42.0
+
+    def test_step_changes_value_by_bounded_amount(self):
+        walk = RandomWalkGenerator(step_low=0.5, step_high=1.5, rng=random.Random(0))
+        previous = walk.value
+        for _ in range(100):
+            current = walk.step()
+            assert 0.5 <= abs(current - previous) <= 1.5
+            previous = current
+
+    def test_walk_returns_requested_number_of_steps(self):
+        walk = RandomWalkGenerator(rng=random.Random(0))
+        values = walk.walk(25)
+        assert len(values) == 25
+
+    def test_walk_rejects_negative_steps(self):
+        with pytest.raises(ValueError):
+            RandomWalkGenerator().walk(-1)
+
+    def test_unbiased_walk_has_small_drift(self):
+        walk = RandomWalkGenerator(rng=random.Random(1))
+        values = walk.walk(4000)
+        # Mean displacement per step should be near zero relative to step size.
+        assert abs(values[-1]) / 4000 < 0.1
+
+    def test_biased_walk_drifts_upward(self):
+        walk = RandomWalkGenerator(up_probability=0.8, rng=random.Random(2))
+        values = walk.walk(1000)
+        assert values[-1] > 100.0
+
+    def test_fully_biased_walk_is_monotone(self):
+        walk = RandomWalkGenerator(up_probability=1.0, rng=random.Random(3))
+        values = walk.walk(50)
+        assert values == sorted(values)
+
+    def test_mean_step_magnitude(self):
+        walk = RandomWalkGenerator(step_low=0.5, step_high=1.5)
+        assert walk.mean_step_magnitude == pytest.approx(1.0)
+
+    def test_is_biased_flag(self):
+        assert not RandomWalkGenerator().is_biased
+        assert RandomWalkGenerator(up_probability=0.7).is_biased
+
+    def test_reproducible_with_seed(self):
+        first = RandomWalkGenerator(rng=random.Random(5)).walk(10)
+        second = RandomWalkGenerator(rng=random.Random(5)).walk(10)
+        assert first == second
+
+    def test_iterator_protocol(self):
+        walk = RandomWalkGenerator(rng=random.Random(6))
+        iterator = iter(walk)
+        values = [next(iterator) for _ in range(5)]
+        assert len(values) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkGenerator(step_low=-1.0)
+        with pytest.raises(ValueError):
+            RandomWalkGenerator(step_low=2.0, step_high=1.0)
+        with pytest.raises(ValueError):
+            RandomWalkGenerator(up_probability=1.5)
+
+    def test_step_magnitude_distribution_mean(self):
+        walk = RandomWalkGenerator(rng=random.Random(7))
+        previous = walk.value
+        magnitudes = []
+        for _ in range(4000):
+            current = walk.step()
+            magnitudes.append(abs(current - previous))
+            previous = current
+        assert statistics.fmean(magnitudes) == pytest.approx(1.0, rel=0.05)

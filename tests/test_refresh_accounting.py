@@ -1,0 +1,106 @@
+"""Unit tests for refresh events and cost accounting."""
+
+import pytest
+
+from repro.caching.refresh import CostAccountant, RefreshEvent, RefreshKind
+
+
+def _event(kind=RefreshKind.VALUE_INITIATED, key="x", time=1.0, cost=1.0, width=2.0):
+    return RefreshEvent(kind=kind, key=key, time=time, cost=cost, published_width=width)
+
+
+class TestRefreshEvent:
+    def test_fields(self):
+        event = _event()
+        assert event.kind is RefreshKind.VALUE_INITIATED
+        assert event.key == "x"
+        assert event.cost == 1.0
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            _event(cost=-1.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            _event(time=-0.5)
+
+
+class TestCostAccountant:
+    def test_records_value_refresh(self):
+        accountant = CostAccountant()
+        accountant.record(_event(kind=RefreshKind.VALUE_INITIATED, cost=3.0))
+        assert accountant.value_refresh_count == 1
+        assert accountant.query_refresh_count == 0
+        assert accountant.total_cost == 3.0
+        assert accountant.value_refresh_cost == 3.0
+
+    def test_records_query_refresh(self):
+        accountant = CostAccountant()
+        accountant.record(_event(kind=RefreshKind.QUERY_INITIATED, cost=2.0))
+        assert accountant.query_refresh_count == 1
+        assert accountant.query_refresh_cost == 2.0
+
+    def test_refresh_count_sums_both_kinds(self):
+        accountant = CostAccountant()
+        accountant.record(_event(kind=RefreshKind.VALUE_INITIATED))
+        accountant.record(_event(kind=RefreshKind.QUERY_INITIATED))
+        assert accountant.refresh_count == 2
+
+    def test_per_key_counts(self):
+        accountant = CostAccountant()
+        accountant.record(_event(key="a"))
+        accountant.record(_event(key="a"))
+        accountant.record(_event(key="b"))
+        assert accountant.per_key_counts == {"a": 2, "b": 1}
+
+    def test_cost_rate(self):
+        accountant = CostAccountant()
+        accountant.record(_event(cost=4.0))
+        accountant.record(_event(cost=6.0))
+        assert accountant.cost_rate(5.0) == pytest.approx(2.0)
+
+    def test_cost_rate_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError):
+            CostAccountant().cost_rate(0.0)
+
+    def test_refresh_rate_per_kind(self):
+        accountant = CostAccountant()
+        accountant.record(_event(kind=RefreshKind.VALUE_INITIATED))
+        accountant.record(_event(kind=RefreshKind.VALUE_INITIATED))
+        accountant.record(_event(kind=RefreshKind.QUERY_INITIATED))
+        assert accountant.refresh_rate(RefreshKind.VALUE_INITIATED, 2.0) == pytest.approx(1.0)
+        assert accountant.refresh_rate(RefreshKind.QUERY_INITIATED, 2.0) == pytest.approx(0.5)
+
+    def test_refresh_rate_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError):
+            CostAccountant().refresh_rate(RefreshKind.VALUE_INITIATED, -1.0)
+
+    def test_event_log_disabled_by_default(self):
+        accountant = CostAccountant()
+        accountant.record(_event())
+        assert accountant.events == []
+
+    def test_event_log_enabled(self):
+        accountant = CostAccountant(keep_events=True)
+        event = _event()
+        accountant.record(event)
+        assert accountant.events == [event]
+
+    def test_merge(self):
+        first = CostAccountant()
+        second = CostAccountant()
+        first.record(_event(kind=RefreshKind.VALUE_INITIATED, cost=1.0, key="a"))
+        second.record(_event(kind=RefreshKind.QUERY_INITIATED, cost=2.0, key="a"))
+        second.record(_event(kind=RefreshKind.QUERY_INITIATED, cost=2.0, key="b"))
+        first.merge(second)
+        assert first.total_cost == 5.0
+        assert first.value_refresh_count == 1
+        assert first.query_refresh_count == 2
+        assert first.per_key_counts == {"a": 2, "b": 1}
+
+    def test_snapshot(self):
+        accountant = CostAccountant()
+        accountant.record(_event(cost=2.5))
+        snapshot = accountant.snapshot()
+        assert snapshot["total_cost"] == 2.5
+        assert snapshot["value_refresh_count"] == 1.0

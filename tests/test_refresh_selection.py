@@ -1,0 +1,189 @@
+"""Unit tests for query refresh selection (the OW00-style algorithms)."""
+
+import math
+
+import pytest
+
+from repro.intervals.interval import UNBOUNDED, Interval
+from repro.queries.aggregates import AggregateKind
+from repro.queries.refresh_selection import (
+    execute_bounded_query,
+    select_sum_refreshes,
+)
+
+
+def _fetcher(exact_values, log=None):
+    def fetch(key):
+        if log is not None:
+            log.append(key)
+        return exact_values[key]
+
+    return fetch
+
+
+class TestSumSelection:
+    def test_no_refresh_when_constraint_already_met(self):
+        intervals = {"a": Interval(0.0, 1.0), "b": Interval(0.0, 2.0)}
+        assert select_sum_refreshes(intervals, constraint=5.0) == []
+
+    def test_refreshes_widest_first(self):
+        intervals = {
+            "narrow": Interval(0.0, 1.0),
+            "wide": Interval(0.0, 10.0),
+            "medium": Interval(0.0, 4.0),
+        }
+        refreshes = select_sum_refreshes(intervals, constraint=5.0)
+        assert refreshes == ["wide"]
+
+    def test_refreshes_until_constraint_met(self):
+        intervals = {
+            "a": Interval(0.0, 6.0),
+            "b": Interval(0.0, 5.0),
+            "c": Interval(0.0, 4.0),
+        }
+        refreshes = select_sum_refreshes(intervals, constraint=4.0)
+        assert refreshes == ["a", "b"]
+
+    def test_zero_constraint_refreshes_all_non_exact(self):
+        intervals = {
+            "a": Interval(0.0, 1.0),
+            "b": Interval.exact(3.0),
+            "c": Interval(0.0, 2.0),
+        }
+        refreshes = select_sum_refreshes(intervals, constraint=0.0)
+        assert set(refreshes) == {"a", "c"}
+
+    def test_unbounded_interval_always_selected_for_finite_constraint(self):
+        intervals = {"a": UNBOUNDED, "b": Interval(0.0, 1.0)}
+        refreshes = select_sum_refreshes(intervals, constraint=10.0)
+        assert refreshes == ["a"]
+
+    def test_negative_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            select_sum_refreshes({"a": Interval(0.0, 1.0)}, constraint=-1.0)
+
+
+class TestSumExecution:
+    def test_result_meets_constraint(self):
+        intervals = {"a": Interval(0.0, 6.0), "b": Interval(2.0, 8.0)}
+        exact = {"a": 3.0, "b": 5.0}
+        execution = execute_bounded_query(
+            AggregateKind.SUM, intervals, 6.0, _fetcher(exact)
+        )
+        assert execution.satisfied
+        assert execution.result_bound.width <= 6.0
+        assert execution.result_bound.contains(8.0)
+
+    def test_no_refresh_when_not_needed(self):
+        intervals = {"a": Interval(0.0, 1.0)}
+        execution = execute_bounded_query(
+            AggregateKind.SUM, intervals, 10.0, _fetcher({"a": 0.5})
+        )
+        assert execution.refresh_count == 0
+
+    def test_zero_constraint_produces_exact_sum(self):
+        intervals = {"a": Interval(0.0, 4.0), "b": Interval(0.0, 4.0)}
+        exact = {"a": 1.0, "b": 2.0}
+        execution = execute_bounded_query(
+            AggregateKind.SUM, intervals, 0.0, _fetcher(exact)
+        )
+        assert execution.result_bound == Interval.exact(3.0)
+        assert execution.refresh_count == 2
+
+    def test_infinite_constraint_never_refreshes(self):
+        intervals = {"a": UNBOUNDED, "b": Interval(0.0, 100.0)}
+        execution = execute_bounded_query(
+            AggregateKind.SUM, intervals, math.inf, _fetcher({})
+        )
+        assert execution.refresh_count == 0
+
+
+class TestMaxExecution:
+    def test_refreshes_highest_upper_endpoint_first(self):
+        intervals = {
+            "low": Interval(0.0, 2.0),
+            "high": Interval(5.0, 50.0),
+        }
+        exact = {"low": 1.0, "high": 10.0}
+        log = []
+        execution = execute_bounded_query(
+            AggregateKind.MAX, intervals, 4.0, _fetcher(exact, log)
+        )
+        assert log[0] == "high"
+        assert execution.satisfied
+
+    def test_knowing_one_value_can_avoid_other_refreshes(self):
+        # After learning high=40, the bound is [40, 42] whose width meets the
+        # constraint, so "low" never has to be fetched even though its own
+        # interval is wide.
+        intervals = {
+            "low": Interval(0.0, 30.0),
+            "high": Interval(35.0, 42.0),
+        }
+        exact = {"low": 10.0, "high": 40.0}
+        log = []
+        execution = execute_bounded_query(
+            AggregateKind.MAX, intervals, 5.0, _fetcher(exact, log)
+        )
+        assert log == ["high"]
+        assert execution.result_bound.contains(40.0)
+
+    def test_exact_constraint_on_max(self):
+        intervals = {
+            "a": Interval(0.0, 10.0),
+            "b": Interval(20.0, 30.0),
+        }
+        exact = {"a": 5.0, "b": 25.0}
+        execution = execute_bounded_query(
+            AggregateKind.MAX, intervals, 0.0, _fetcher(exact)
+        )
+        assert execution.result_bound.width == 0.0
+        assert execution.result_bound.contains(25.0)
+
+    def test_max_with_all_exact_inputs(self):
+        intervals = {"a": Interval.exact(1.0), "b": Interval.exact(9.0)}
+        execution = execute_bounded_query(
+            AggregateKind.MAX, intervals, 0.0, _fetcher({})
+        )
+        assert execution.refresh_count == 0
+        assert execution.result_bound == Interval.exact(9.0)
+
+    def test_min_refreshes_lowest_lower_endpoint_first(self):
+        intervals = {
+            "wide_low": Interval(-50.0, 0.0),
+            "narrow": Interval(3.0, 4.0),
+        }
+        exact = {"wide_low": -10.0, "narrow": 3.5}
+        log = []
+        execution = execute_bounded_query(
+            AggregateKind.MIN, intervals, 2.0, _fetcher(exact, log)
+        )
+        assert log[0] == "wide_low"
+        assert execution.satisfied
+
+
+class TestAvgExecutionAndValidation:
+    def test_avg_scales_constraint_by_count(self):
+        intervals = {"a": Interval(0.0, 8.0), "b": Interval(0.0, 8.0)}
+        exact = {"a": 2.0, "b": 4.0}
+        execution = execute_bounded_query(
+            AggregateKind.AVG, intervals, 4.0, _fetcher(exact)
+        )
+        assert execution.result_bound.width <= 4.0
+        assert execution.result_bound.contains(3.0)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            execute_bounded_query(AggregateKind.SUM, {}, 1.0, _fetcher({}))
+
+    def test_negative_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            execute_bounded_query(
+                AggregateKind.SUM, {"a": Interval(0.0, 1.0)}, -1.0, _fetcher({})
+            )
+
+    def test_execution_reports_constraint(self):
+        execution = execute_bounded_query(
+            AggregateKind.SUM, {"a": Interval(0.0, 1.0)}, 2.0, _fetcher({})
+        )
+        assert execution.constraint == 2.0

@@ -1,0 +1,77 @@
+"""Unit tests for data sources."""
+
+import pytest
+
+from repro.caching.source import DataSource
+from repro.intervals.interval import UNBOUNDED, Interval
+
+
+class TestUpdates:
+    def test_update_without_publication_needs_no_refresh(self):
+        source = DataSource(key="a", value=10.0)
+        assert source.apply_update(20.0, time=1.0) is False
+        assert source.value == 20.0
+        assert source.update_count == 1
+
+    def test_update_inside_published_interval_needs_no_refresh(self):
+        source = DataSource(key="a", value=10.0)
+        source.publish(Interval(5.0, 15.0), original_width=10.0, time=0.0)
+        assert source.apply_update(12.0, time=1.0) is False
+
+    def test_update_outside_published_interval_needs_refresh(self):
+        source = DataSource(key="a", value=10.0)
+        source.publish(Interval(5.0, 15.0), original_width=10.0, time=0.0)
+        assert source.apply_update(20.0, time=1.0) is True
+
+    def test_update_on_interval_boundary_is_still_valid(self):
+        source = DataSource(key="a", value=10.0)
+        source.publish(Interval(5.0, 15.0), original_width=10.0, time=0.0)
+        assert source.apply_update(15.0, time=1.0) is False
+
+    def test_exact_interval_invalidated_by_any_change(self):
+        source = DataSource(key="a", value=10.0)
+        source.publish(Interval.exact(10.0), original_width=0.0, time=0.0)
+        assert source.apply_update(10.000001, time=1.0) is True
+
+    def test_unbounded_interval_never_invalidated(self):
+        source = DataSource(key="a", value=10.0)
+        source.publish(UNBOUNDED, original_width=float("inf"), time=0.0)
+        assert source.apply_update(1e12, time=1.0) is False
+
+    def test_updates_must_be_time_ordered(self):
+        source = DataSource(key="a", value=0.0)
+        source.apply_update(1.0, time=5.0)
+        with pytest.raises(ValueError):
+            source.apply_update(2.0, time=4.0)
+
+    def test_update_count_accumulates(self):
+        source = DataSource(key="a", value=0.0)
+        for step in range(1, 6):
+            source.apply_update(float(step), time=float(step))
+        assert source.update_count == 5
+
+
+class TestPublication:
+    def test_publish_records_interval_and_width(self):
+        source = DataSource(key="a", value=10.0)
+        source.publish(Interval(8.0, 12.0), original_width=4.0, time=3.0)
+        assert source.published_interval == Interval(8.0, 12.0)
+        assert source.published_width == 4.0
+        assert source.last_refresh_time == 3.0
+        assert source.is_tracked
+
+    def test_publish_rejects_negative_width(self):
+        source = DataSource(key="a", value=10.0)
+        with pytest.raises(ValueError):
+            source.publish(Interval(8.0, 12.0), original_width=-1.0, time=0.0)
+
+    def test_forget_publication(self):
+        source = DataSource(key="a", value=10.0)
+        source.publish(Interval(8.0, 12.0), original_width=4.0, time=0.0)
+        source.forget_publication()
+        assert not source.is_tracked
+        # Once forgotten, updates never request refreshes.
+        assert source.apply_update(100.0, time=1.0) is False
+
+    def test_initially_untracked(self):
+        assert not DataSource(key="a", value=0.0).is_tracked

@@ -1,0 +1,70 @@
+"""Unit tests for stale-value approximations (Divergence Caching emulation)."""
+
+import math
+
+import pytest
+
+from repro.intervals.staleness import StalenessBound
+
+
+class TestStalenessBound:
+    def test_basic_fields(self):
+        bound = StalenessBound(snapshot=42.0, refresh_update_count=10, allowance=3)
+        assert bound.snapshot == 42.0
+        assert bound.width == 3
+
+    def test_rejects_negative_allowance(self):
+        with pytest.raises(ValueError):
+            StalenessBound(snapshot=0.0, refresh_update_count=0, allowance=-1)
+
+    def test_rejects_negative_refresh_count(self):
+        with pytest.raises(ValueError):
+            StalenessBound(snapshot=0.0, refresh_update_count=-2, allowance=1)
+
+    def test_precision_reciprocal(self):
+        assert StalenessBound(0.0, 0, 4).precision == pytest.approx(0.25)
+
+    def test_precision_of_exact_copy_is_infinite(self):
+        assert StalenessBound(0.0, 0, 0).precision == math.inf
+
+    def test_staleness_counts_unreflected_updates(self):
+        bound = StalenessBound(snapshot=0.0, refresh_update_count=10, allowance=5)
+        assert bound.staleness(13) == 3
+
+    def test_staleness_rejects_time_travel(self):
+        bound = StalenessBound(snapshot=0.0, refresh_update_count=10, allowance=5)
+        with pytest.raises(ValueError):
+            bound.staleness(9)
+
+    def test_is_valid_within_allowance(self):
+        bound = StalenessBound(snapshot=0.0, refresh_update_count=0, allowance=2)
+        assert bound.is_valid(0)
+        assert bound.is_valid(2)
+        assert not bound.is_valid(3)
+
+    def test_zero_allowance_invalidated_by_any_update(self):
+        bound = StalenessBound(snapshot=0.0, refresh_update_count=5, allowance=0)
+        assert bound.is_valid(5)
+        assert not bound.is_valid(6)
+
+    def test_infinite_allowance_never_expires(self):
+        bound = StalenessBound(snapshot=0.0, refresh_update_count=0, allowance=math.inf)
+        assert bound.is_valid(10**9)
+
+    def test_meets_constraint(self):
+        bound = StalenessBound(snapshot=0.0, refresh_update_count=0, allowance=4)
+        assert bound.meets_constraint(4)
+        assert not bound.meets_constraint(3)
+
+    def test_meets_constraint_rejects_negative(self):
+        bound = StalenessBound(snapshot=0.0, refresh_update_count=0, allowance=4)
+        with pytest.raises(ValueError):
+            bound.meets_constraint(-1)
+
+    def test_as_interval_bounds_the_counter(self):
+        bound = StalenessBound(snapshot=0.0, refresh_update_count=7, allowance=3)
+        interval = bound.as_interval()
+        assert interval.low == 7.0
+        assert interval.high == 10.0
+        assert interval.contains(9.0)
+        assert not interval.contains(11.0)

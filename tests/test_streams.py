@@ -1,0 +1,113 @@
+"""Unit tests for update streams."""
+
+import random
+
+import pytest
+
+from repro.data.random_walk import RandomWalkGenerator
+from repro.data.streams import (
+    CounterStream,
+    RandomWalkStream,
+    TraceStream,
+    streams_from_trace,
+)
+from repro.data.trace import Trace
+
+
+class TestRandomWalkStream:
+    def test_updates_every_interval(self):
+        stream = RandomWalkStream(RandomWalkGenerator(rng=random.Random(0)), interval=1.0)
+        updates = list(stream.updates(5.0))
+        assert [time for time, _ in updates] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_initial_value_matches_walk_start(self):
+        stream = RandomWalkStream(RandomWalkGenerator(start=7.0, rng=random.Random(0)))
+        assert stream.initial_value == 7.0
+
+    def test_fractional_interval(self):
+        stream = RandomWalkStream(RandomWalkGenerator(rng=random.Random(0)), interval=0.5)
+        updates = list(stream.updates(2.0))
+        assert len(updates) == 4
+
+    def test_values_change_every_update(self):
+        stream = RandomWalkStream(RandomWalkGenerator(rng=random.Random(1)))
+        values = [value for _, value in stream.updates(20.0)]
+        assert all(a != b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkStream(RandomWalkGenerator(), interval=0.0)
+        stream = RandomWalkStream(RandomWalkGenerator())
+        with pytest.raises(ValueError):
+            list(stream.updates(0.0))
+
+    def test_interval_accessor(self):
+        assert RandomWalkStream(RandomWalkGenerator(), interval=2.0).interval == 2.0
+
+
+class TestTraceStream:
+    def _trace(self):
+        return Trace(series={"a": [5.0, 6.0, 7.0, 8.0], "b": [0.0, 0.0, 0.0, 0.0]})
+
+    def test_initial_value_is_first_sample(self):
+        assert TraceStream(self._trace(), "a").initial_value == 5.0
+
+    def test_updates_replay_subsequent_samples(self):
+        updates = list(TraceStream(self._trace(), "a").updates(10.0))
+        assert updates == [(1.0, 6.0), (2.0, 7.0), (3.0, 8.0)]
+
+    def test_duration_limits_updates(self):
+        updates = list(TraceStream(self._trace(), "a").updates(1.5))
+        assert updates == [(1.0, 6.0)]
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(KeyError):
+            TraceStream(self._trace(), "zzz")
+
+    def test_streams_from_trace_builds_all_keys(self):
+        streams = streams_from_trace(self._trace())
+        assert set(streams) == {"a", "b"}
+
+    def test_streams_from_trace_with_subset(self):
+        streams = streams_from_trace(self._trace(), keys=["b"])
+        assert set(streams) == {"b"}
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            list(TraceStream(self._trace(), "a").updates(-1.0))
+
+
+class TestCounterStream:
+    def test_counter_increments_by_one(self):
+        stream = CounterStream(mean_interval=1.0, poisson=False)
+        updates = list(stream.updates(3.0))
+        assert [value for _, value in updates] == [1.0, 2.0, 3.0]
+
+    def test_fixed_interval_times(self):
+        stream = CounterStream(mean_interval=2.0, poisson=False)
+        updates = list(stream.updates(6.0))
+        assert [time for time, _ in updates] == [2.0, 4.0, 6.0]
+
+    def test_poisson_arrivals_are_monotone_and_counted(self):
+        stream = CounterStream(mean_interval=1.0, poisson=True, rng=random.Random(0))
+        updates = list(stream.updates(50.0))
+        times = [time for time, _ in updates]
+        values = [value for _, value in updates]
+        assert times == sorted(times)
+        assert values == [float(index + 1) for index in range(len(values))]
+
+    def test_poisson_rate_roughly_matches_mean_interval(self):
+        stream = CounterStream(mean_interval=2.0, poisson=True, rng=random.Random(1))
+        updates = list(stream.updates(2000.0))
+        assert len(updates) == pytest.approx(1000, rel=0.15)
+
+    def test_custom_start(self):
+        stream = CounterStream(start=10.0)
+        assert stream.initial_value == 10.0
+        assert list(stream.updates(1.0))[0][1] == 11.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CounterStream(mean_interval=0.0)
+        with pytest.raises(ValueError):
+            list(CounterStream().updates(0.0))

@@ -1,0 +1,64 @@
+"""Unit tests for threshold clamping."""
+
+import math
+
+import pytest
+
+from repro.core.thresholds import apply_thresholds, is_exact_width, is_uncached_width
+
+
+class TestApplyThresholds:
+    def test_width_between_thresholds_unchanged(self):
+        assert apply_thresholds(5.0, 1.0, 10.0) == 5.0
+
+    def test_width_below_lower_threshold_becomes_zero(self):
+        assert apply_thresholds(0.5, 1.0, 10.0) == 0.0
+
+    def test_width_at_lower_threshold_is_kept(self):
+        assert apply_thresholds(1.0, 1.0, 10.0) == 1.0
+
+    def test_width_at_upper_threshold_becomes_infinite(self):
+        assert math.isinf(apply_thresholds(10.0, 1.0, 10.0))
+
+    def test_width_above_upper_threshold_becomes_infinite(self):
+        assert math.isinf(apply_thresholds(50.0, 1.0, 10.0))
+
+    def test_no_thresholds_is_identity(self):
+        assert apply_thresholds(3.0, 0.0, math.inf) == 3.0
+
+    def test_equal_thresholds_force_binary_widths(self):
+        # The exact-caching specialisation: every width becomes 0 or inf.
+        assert apply_thresholds(0.5, 1.0, 1.0) == 0.0
+        assert math.isinf(apply_thresholds(1.0, 1.0, 1.0))
+        assert math.isinf(apply_thresholds(7.0, 1.0, 1.0))
+
+    def test_zero_width_stays_zero(self):
+        assert apply_thresholds(0.0, 0.0, math.inf) == 0.0
+
+    def test_zero_width_with_positive_lower_threshold(self):
+        assert apply_thresholds(0.0, 1.0, math.inf) == 0.0
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            apply_thresholds(-1.0, 0.0, math.inf)
+
+    def test_rejects_negative_thresholds(self):
+        with pytest.raises(ValueError):
+            apply_thresholds(1.0, -1.0, math.inf)
+        with pytest.raises(ValueError):
+            apply_thresholds(1.0, 0.0, -2.0)
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            apply_thresholds(1.0, 5.0, 2.0)
+
+
+class TestWidthPredicates:
+    def test_is_exact_width(self):
+        assert is_exact_width(0.0)
+        assert not is_exact_width(1.0)
+
+    def test_is_uncached_width(self):
+        assert is_uncached_width(math.inf)
+        assert not is_uncached_width(0.0)
+        assert not is_uncached_width(5.0)

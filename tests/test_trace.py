@@ -1,0 +1,108 @@
+"""Unit tests for trace containers and moving-window smoothing."""
+
+import pytest
+
+from repro.data.trace import Trace, moving_window_average
+
+
+class TestMovingWindowAverage:
+    def test_window_one_is_identity(self):
+        values = [1.0, 5.0, 3.0]
+        assert moving_window_average(values, 1) == values
+
+    def test_trailing_average(self):
+        values = [0.0, 2.0, 4.0, 6.0]
+        assert moving_window_average(values, 2) == [0.0, 1.0, 3.0, 5.0]
+
+    def test_early_positions_average_available_samples(self):
+        values = [4.0, 8.0, 12.0]
+        averaged = moving_window_average(values, 10)
+        assert averaged[0] == 4.0
+        assert averaged[1] == 6.0
+        assert averaged[2] == 8.0
+
+    def test_constant_series_unchanged(self):
+        assert moving_window_average([3.0] * 10, 4) == [3.0] * 10
+
+    def test_smoothing_reduces_variance(self):
+        values = [0.0, 10.0] * 50
+        smoothed = moving_window_average(values, 10)
+        raw_range = max(values) - min(values)
+        smooth_range = max(smoothed[10:]) - min(smoothed[10:])
+        assert smooth_range < raw_range
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            moving_window_average([1.0], 0)
+
+    def test_empty_input(self):
+        assert moving_window_average([], 5) == []
+
+
+class TestTrace:
+    def _trace(self):
+        return Trace(series={"a": [1.0, 2.0, 3.0, 4.0], "b": [10.0, 10.0, 10.0, 10.0]})
+
+    def test_shape_properties(self):
+        trace = self._trace()
+        assert set(trace.keys) == {"a", "b"}
+        assert trace.length == 4
+        assert trace.duration == 4.0
+
+    def test_value_at(self):
+        trace = self._trace()
+        assert trace.value_at("a", 0.0) == 1.0
+        assert trace.value_at("a", 2.5) == 3.0
+        assert trace.value_at("a", 100.0) == 4.0  # clamped to last sample
+
+    def test_value_at_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            self._trace().value_at("a", -1.0)
+
+    def test_initial_value(self):
+        assert self._trace().initial_value("b") == 10.0
+
+    def test_smoothed(self):
+        trace = Trace(series={"a": [0.0, 2.0, 4.0, 6.0]})
+        smoothed = trace.smoothed(2.0)
+        assert smoothed.series["a"] == [0.0, 1.0, 3.0, 5.0]
+
+    def test_restricted_to(self):
+        restricted = self._trace().restricted_to(["a"])
+        assert restricted.keys == ["a"]
+
+    def test_restricted_to_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            self._trace().restricted_to(["zzz"])
+
+    def test_top_keys_by_total(self):
+        trace = self._trace()
+        assert trace.top_keys_by_total(1) == ["b"]
+        assert set(trace.top_keys_by_total(2)) == {"a", "b"}
+
+    def test_top_keys_validation(self):
+        with pytest.raises(ValueError):
+            self._trace().top_keys_by_total(0)
+
+    def test_json_round_trip(self, tmp_path):
+        trace = self._trace()
+        path = tmp_path / "trace.json"
+        trace.to_json(path)
+        loaded = Trace.from_json(path)
+        assert loaded.series == {key: list(values) for key, values in trace.series.items()}
+        assert loaded.sample_interval == trace.sample_interval
+
+    def test_from_mapping(self):
+        trace = Trace.from_mapping({"x": (1.0, 2.0)}, sample_interval=2.0)
+        assert trace.series["x"] == [1.0, 2.0]
+        assert trace.duration == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trace(series={})
+        with pytest.raises(ValueError):
+            Trace(series={"a": [1.0], "b": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            Trace(series={"a": []})
+        with pytest.raises(ValueError):
+            Trace(series={"a": [1.0]}, sample_interval=0.0)

@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic traffic trace generator."""
+
+import pytest
+
+from repro.data.traffic import (
+    PAPER_HOST_COUNT,
+    PAPER_PEAK_TRAFFIC,
+    PAPER_TRACE_DURATION_SECONDS,
+    BurstModel,
+    SyntheticTrafficTraceGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return SyntheticTrafficTraceGenerator(
+        host_count=8, duration_seconds=600, seed=1
+    ).generate()
+
+
+class TestBurstModel:
+    def test_valid_model(self):
+        model = BurstModel(
+            mean_off_seconds=60.0,
+            pareto_shape=1.5,
+            min_burst_seconds=10.0,
+            peak_rate=1e6,
+            activity_bias=0.5,
+        )
+        assert model.peak_rate == 1e6
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mean_off_seconds": 0.0},
+            {"pareto_shape": 1.0},
+            {"min_burst_seconds": 0.0},
+            {"peak_rate": 0.0},
+            {"activity_bias": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        defaults = dict(
+            mean_off_seconds=60.0,
+            pareto_shape=1.5,
+            min_burst_seconds=10.0,
+            peak_rate=1e6,
+            activity_bias=0.5,
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            BurstModel(**defaults)
+
+
+class TestGeneratedTrace:
+    def test_shape(self, small_trace):
+        assert len(small_trace.keys) == 8
+        assert small_trace.length == 600
+
+    def test_values_within_paper_range(self, small_trace):
+        for values in small_trace.series.values():
+            assert min(values) >= 0.0
+            assert max(values) <= PAPER_PEAK_TRAFFIC
+
+    def test_deterministic_for_same_seed(self):
+        first = SyntheticTrafficTraceGenerator(host_count=3, duration_seconds=200, seed=5).generate()
+        second = SyntheticTrafficTraceGenerator(host_count=3, duration_seconds=200, seed=5).generate()
+        assert first.series == second.series
+
+    def test_different_seeds_differ(self):
+        first = SyntheticTrafficTraceGenerator(host_count=3, duration_seconds=200, seed=5).generate()
+        second = SyntheticTrafficTraceGenerator(host_count=3, duration_seconds=200, seed=6).generate()
+        assert first.series != second.series
+
+    def test_trace_has_activity(self, small_trace):
+        # At least one host must actually transmit something.
+        assert any(max(values) > 0.0 for values in small_trace.series.values())
+
+    def test_trace_has_idle_periods(self, small_trace):
+        # Bursty ON/OFF traffic must include zero-traffic samples somewhere.
+        assert any(min(values) == 0.0 for values in small_trace.series.values())
+
+    def test_hosts_are_heterogeneous(self, small_trace):
+        totals = sorted(sum(values) for values in small_trace.series.values())
+        assert totals[-1] > totals[0]
+
+    def test_smoothing_reduces_roughness(self):
+        generator = SyntheticTrafficTraceGenerator(host_count=4, duration_seconds=400, seed=2)
+        raw = generator.generate_raw()
+        smoothed = generator.generate()
+
+        def roughness(series):
+            return sum(abs(b - a) for a, b in zip(series, series[1:]))
+
+        raw_roughness = sum(roughness(v) for v in raw.series.values())
+        smooth_roughness = sum(roughness(v) for v in smoothed.series.values())
+        assert smooth_roughness < raw_roughness
+
+    def test_paper_scale_constants(self):
+        assert PAPER_HOST_COUNT == 50
+        assert PAPER_TRACE_DURATION_SECONDS == 7200
+        assert PAPER_PEAK_TRAFFIC == pytest.approx(5.2e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTrafficTraceGenerator(host_count=0)
+        with pytest.raises(ValueError):
+            SyntheticTrafficTraceGenerator(duration_seconds=1)
+        with pytest.raises(ValueError):
+            SyntheticTrafficTraceGenerator(peak_rate=0.0)
+        with pytest.raises(ValueError):
+            SyntheticTrafficTraceGenerator(smoothing_window_seconds=0.0)

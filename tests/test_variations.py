@@ -1,0 +1,163 @@
+"""Unit tests for the Section 4.5 algorithm variations."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.parameters import PrecisionParameters
+from repro.core.policy import WidthAdjustment
+from repro.core.variations import (
+    HistoryWindowController,
+    TimeVaryingWidthController,
+    UncenteredWidthController,
+)
+
+
+class TestUncenteredController:
+    def test_initial_split_is_symmetric(self, default_parameters):
+        controller = UncenteredWidthController(default_parameters, initial_width=4.0)
+        assert controller.upper_width == pytest.approx(2.0)
+        assert controller.lower_width == pytest.approx(2.0)
+        assert controller.width == pytest.approx(4.0)
+
+    def test_upper_escape_grows_only_upper_side(self, default_parameters):
+        controller = UncenteredWidthController(default_parameters, initial_width=4.0)
+        assert controller.on_upper_escape() is WidthAdjustment.GREW
+        assert controller.upper_width == pytest.approx(4.0)
+        assert controller.lower_width == pytest.approx(2.0)
+
+    def test_lower_escape_grows_only_lower_side(self, default_parameters):
+        controller = UncenteredWidthController(default_parameters, initial_width=4.0)
+        assert controller.on_lower_escape() is WidthAdjustment.GREW
+        assert controller.lower_width == pytest.approx(4.0)
+        assert controller.upper_width == pytest.approx(2.0)
+
+    def test_query_refresh_shrinks_both_sides(self, default_parameters):
+        controller = UncenteredWidthController(default_parameters, initial_width=4.0)
+        assert controller.on_query_initiated_refresh() is WidthAdjustment.SHRANK
+        assert controller.upper_width == pytest.approx(1.0)
+        assert controller.lower_width == pytest.approx(1.0)
+
+    def test_zero_adaptivity_never_adjusts(self):
+        params = PrecisionParameters(adaptivity=0.0)
+        controller = UncenteredWidthController(params, initial_width=4.0)
+        assert controller.on_upper_escape() is WidthAdjustment.UNCHANGED
+        assert controller.on_query_initiated_refresh() is WidthAdjustment.UNCHANGED
+
+    def test_published_widths_respect_thresholds(self):
+        params = PrecisionParameters(lower_threshold=10.0)
+        controller = UncenteredWidthController(params, initial_width=4.0)
+        assert controller.published_widths() == (0.0, 0.0)
+
+    def test_published_widths_infinite_when_above_upper(self):
+        params = PrecisionParameters(upper_threshold=2.0)
+        controller = UncenteredWidthController(params, initial_width=4.0)
+        lower, upper = controller.published_widths()
+        assert math.isinf(lower)
+        assert math.isinf(upper)
+
+    def test_rejects_bad_initial_width(self, default_parameters):
+        with pytest.raises(ValueError):
+            UncenteredWidthController(default_parameters, initial_width=0.0)
+
+
+class TestTimeVaryingController:
+    def test_width_grows_with_elapsed_time(self, default_parameters):
+        controller = TimeVaryingWidthController(
+            default_parameters, initial_width=2.0, exponent=0.5, growth_scale=3.0
+        )
+        assert controller.width_at(0.0) == pytest.approx(2.0)
+        assert controller.width_at(4.0) == pytest.approx(2.0 + 3.0 * 2.0)
+
+    def test_base_width_adapts_like_standard_controller(self, default_parameters):
+        controller = TimeVaryingWidthController(default_parameters, initial_width=2.0)
+        controller.on_value_initiated_refresh()
+        assert controller.base_width == pytest.approx(4.0)
+        controller.on_query_initiated_refresh()
+        assert controller.base_width == pytest.approx(2.0)
+
+    def test_rejects_negative_elapsed(self, default_parameters):
+        controller = TimeVaryingWidthController(default_parameters, initial_width=2.0)
+        with pytest.raises(ValueError):
+            controller.width_at(-1.0)
+
+    def test_validation(self, default_parameters):
+        with pytest.raises(ValueError):
+            TimeVaryingWidthController(default_parameters, initial_width=0.0)
+        with pytest.raises(ValueError):
+            TimeVaryingWidthController(default_parameters, exponent=0.0)
+        with pytest.raises(ValueError):
+            TimeVaryingWidthController(default_parameters, growth_scale=-1.0)
+
+    def test_thresholds_apply_to_grown_width(self):
+        params = PrecisionParameters(upper_threshold=5.0)
+        controller = TimeVaryingWidthController(
+            params, initial_width=2.0, exponent=1.0, growth_scale=1.0
+        )
+        assert controller.width_at(1.0) == pytest.approx(3.0)
+        assert math.isinf(controller.width_at(10.0))
+
+    def test_zero_adaptivity_freezes_base_width(self):
+        params = PrecisionParameters(adaptivity=0.0)
+        controller = TimeVaryingWidthController(params, initial_width=2.0)
+        controller.on_value_initiated_refresh()
+        controller.on_query_initiated_refresh()
+        assert controller.base_width == pytest.approx(2.0)
+
+
+class TestHistoryWindowController:
+    def test_single_event_majority_grows(self, default_parameters):
+        controller = HistoryWindowController(default_parameters, initial_width=4.0, window=3)
+        assert controller.on_value_initiated_refresh() is WidthAdjustment.GREW
+        assert controller.width == pytest.approx(8.0)
+
+    def test_majority_of_queries_shrinks(self, default_parameters):
+        controller = HistoryWindowController(default_parameters, initial_width=8.0, window=3)
+        controller.on_query_initiated_refresh()
+        controller.on_query_initiated_refresh()
+        controller.on_value_initiated_refresh()
+        # history = [query, query, value] -> majority query -> shrink
+        assert controller.width < 8.0
+
+    def test_tie_leaves_width_unchanged(self, default_parameters):
+        controller = HistoryWindowController(default_parameters, initial_width=8.0, window=2)
+        controller.on_value_initiated_refresh()  # grows (majority of 1)
+        width_before = controller.width
+        adjustment = controller.on_query_initiated_refresh()  # 1 vs 1 tie
+        assert adjustment is WidthAdjustment.UNCHANGED
+        assert controller.width == width_before
+
+    def test_window_one_behaves_like_memoryless(self, default_parameters):
+        controller = HistoryWindowController(default_parameters, initial_width=4.0, window=1)
+        controller.on_value_initiated_refresh()
+        assert controller.width == pytest.approx(8.0)
+        controller.on_query_initiated_refresh()
+        assert controller.width == pytest.approx(4.0)
+
+    def test_old_events_fall_out_of_window(self, default_parameters):
+        controller = HistoryWindowController(default_parameters, initial_width=4.0, window=2)
+        controller.on_value_initiated_refresh()  # grows: 4 -> 8
+        controller.on_query_initiated_refresh()  # tie: stays 8
+        width_before = controller.width
+        controller.on_query_initiated_refresh()
+        # history = [query, query]; the old value refresh no longer counts, so
+        # the majority is now query-initiated and the width shrinks.
+        assert controller.width < width_before
+
+    def test_published_width_thresholds(self):
+        params = PrecisionParameters(lower_threshold=10.0)
+        controller = HistoryWindowController(params, initial_width=4.0)
+        assert controller.published_width() == 0.0
+
+    def test_validation(self, default_parameters):
+        with pytest.raises(ValueError):
+            HistoryWindowController(default_parameters, initial_width=0.0)
+        with pytest.raises(ValueError):
+            HistoryWindowController(default_parameters, window=0)
+
+    def test_zero_adaptivity_never_adjusts(self):
+        params = PrecisionParameters(adaptivity=0.0)
+        controller = HistoryWindowController(params, initial_width=4.0)
+        assert controller.on_value_initiated_refresh() is WidthAdjustment.UNCHANGED
+        assert controller.width == 4.0
