@@ -1,0 +1,123 @@
+"""Perf-regression harness: persist microbenchmark medians to BENCH_micro.json.
+
+Runs the repeated-timing microbenchmarks (``test_bench_microbenchmarks.py``)
+under pytest-benchmark and appends one labelled record of median ns-per-op
+values to ``benchmarks/BENCH_micro.json``.  The file accumulates a trajectory
+across PRs so that future changes can be compared against every previously
+recorded state::
+
+    PYTHONPATH=src python benchmarks/save_bench.py --label my-change
+    PYTHONPATH=src python benchmarks/save_bench.py --label check --compare seed
+
+Records are keyed by label; re-using a label overwrites the old record (handy
+while iterating).  ``--compare A`` prints the speedup of the new record over
+record ``A`` per benchmark and exits non-zero if any benchmark regressed by
+more than ``--tolerance`` (default 20%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+RESULT_FILE = BENCH_DIR / "BENCH_micro.json"
+MICRO_FILE = BENCH_DIR / "test_bench_microbenchmarks.py"
+
+
+def run_microbenchmarks() -> dict:
+    """Run the microbenchmark suite and return ``{test_name: median_ns}``."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        env_src = str(REPO_ROOT / "src")
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(MICRO_FILE),
+            "-q",
+            "--benchmark-only",
+            f"--benchmark-json={json_path}",
+        ]
+        completed = subprocess.run(
+            command,
+            cwd=REPO_ROOT,
+            env={**__import__("os").environ, "PYTHONPATH": env_src},
+            capture_output=True,
+            text=True,
+        )
+        if completed.returncode != 0:
+            sys.stderr.write(completed.stdout)
+            sys.stderr.write(completed.stderr)
+            raise SystemExit("microbenchmark run failed")
+        payload = json.loads(json_path.read_text())
+    medians = {}
+    for bench in payload["benchmarks"]:
+        # pytest-benchmark stats are in seconds; store integer nanoseconds.
+        medians[bench["name"]] = int(round(bench["stats"]["median"] * 1e9))
+    return medians
+
+
+def load_records() -> list:
+    if RESULT_FILE.exists():
+        return json.loads(RESULT_FILE.read_text())["records"]
+    return []
+
+
+def save_records(records: list) -> None:
+    RESULT_FILE.write_text(
+        json.dumps({"unit": "median ns per op", "records": records}, indent=2) + "\n"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", required=True, help="name of this record")
+    parser.add_argument(
+        "--compare",
+        default=None,
+        help="label of an earlier record to compare against (prints speedups)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional slowdown vs the compared record (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    medians = run_microbenchmarks()
+    records = [r for r in load_records() if r["label"] != args.label]
+    records.append({"label": args.label, "median_ns": medians})
+    save_records(records)
+    print(f"recorded {len(medians)} benchmarks under label {args.label!r}:")
+    for name, value in sorted(medians.items()):
+        print(f"  {name}: {value} ns")
+
+    if args.compare is None:
+        return 0
+    baseline = next((r for r in records if r["label"] == args.compare), None)
+    if baseline is None:
+        print(f"no record labelled {args.compare!r} to compare against", file=sys.stderr)
+        return 2
+    regressed = False
+    print(f"speedup vs {args.compare!r}:")
+    for name, value in sorted(medians.items()):
+        old = baseline["median_ns"].get(name)
+        if old is None:
+            print(f"  {name}: (new benchmark)")
+            continue
+        print(f"  {name}: {old / value:.2f}x")
+        if value > old * (1.0 + args.tolerance):
+            regressed = True
+            print(f"    REGRESSION: {value} ns > {old} ns + {args.tolerance:.0%}")
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

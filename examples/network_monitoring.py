@@ -53,8 +53,9 @@ def run_with_tolerance(trace, delta_avg: float):
         initial_width=1.0 * KILO,
         rng=random.Random(7),
     )
-    result = CacheSimulation(config, streams_from_trace(trace), policy).run()
-    return result, busiest
+    simulation = CacheSimulation(config, streams_from_trace(trace), policy)
+    result = simulation.run()
+    return result, busiest, simulation
 
 
 def main() -> None:
@@ -65,14 +66,14 @@ def main() -> None:
     print()
     print(f"{'error tolerance':>18}  {'cost rate':>10}  {'value refr/s':>13}  {'query refr/s':>13}")
     for delta_avg in (0.0, 10.0 * KILO, 50.0 * KILO, 200.0 * KILO, 500.0 * KILO):
-        result, busiest = run_with_tolerance(trace, delta_avg)
+        result, busiest, _ = run_with_tolerance(trace, delta_avg)
         label = "exact answers" if delta_avg == 0 else f"{delta_avg / KILO:.0f}K bytes/s"
         print(
             f"{label:>18}  {result.cost_rate:10.2f}  "
             f"{result.value_refresh_rate:13.3f}  {result.query_refresh_rate:13.3f}"
         )
     print()
-    result, busiest = run_with_tolerance(trace, 200.0 * KILO)
+    result, busiest, simulation = run_with_tolerance(trace, 200.0 * KILO)
     samples = [
         sample
         for sample in result.interval_samples[busiest]
@@ -86,6 +87,15 @@ def main() -> None:
         print(
             f"  final sample: value {last.value / KILO:.1f}K inside "
             f"[{last.interval.low / KILO:.1f}K, {last.interval.high / KILO:.1f}K]"
+        )
+    # Post-run inspection of the live cache: record_stats=False keeps this
+    # bookkeeping read out of the workload hit rate reported above.
+    final = simulation.cache.approximation(busiest, record_stats=False)
+    print(f"  workload cache hit rate: {result.cache_hit_rate:.3f}")
+    if not final.is_unbounded:
+        print(
+            f"  interval still cached at shutdown: "
+            f"[{final.low / KILO:.1f}K, {final.high / KILO:.1f}K]"
         )
     print()
     print("Looser dashboards are dramatically cheaper to keep fresh — the cache")

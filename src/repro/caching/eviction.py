@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Hashable, Optional, Sequence
+from typing import TYPE_CHECKING, Hashable, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
     from repro.caching.cache import CacheEntry
@@ -23,6 +23,20 @@ class EvictionPolicy(ABC):
     @abstractmethod
     def select_victim(self, entries: Sequence["CacheEntry"]) -> Hashable:
         """Return the key of the entry to evict from ``entries`` (non-empty)."""
+
+    def index_priority(self, entry: "CacheEntry") -> Optional[Tuple]:
+        """Return a sortable eviction priority for ``entry``, or ``None``.
+
+        Policies whose victim is always the entry minimising a pure function
+        of the entry's own fields (ties broken by insertion order) return that
+        tuple here, enabling the cache to maintain a heap index and find
+        victims in O(log n) instead of scanning every entry.  The tuple must
+        order victims exactly as :meth:`select_victim` would: the entry with
+        the smallest priority (then the smallest insertion sequence) is the
+        victim.  Policies with external or random state return ``None`` (the
+        default) and keep the exhaustive scan.
+        """
+        return None
 
     def describe(self) -> str:
         """Short human-readable name, used in ablation reports."""
@@ -45,6 +59,9 @@ class WidestFirstEviction(EvictionPolicy):
         victim = max(entries, key=lambda e: (e.original_width, -e.last_access_time))
         return victim.key
 
+    def index_priority(self, entry: "CacheEntry") -> Tuple[float, float]:
+        return (-entry.original_width, entry.last_access_time)
+
 
 class LeastRecentlyUsedEviction(EvictionPolicy):
     """Classic LRU eviction, as an ablation baseline."""
@@ -53,6 +70,9 @@ class LeastRecentlyUsedEviction(EvictionPolicy):
         self._require_entries(entries)
         victim = min(entries, key=lambda e: e.last_access_time)
         return victim.key
+
+    def index_priority(self, entry: "CacheEntry") -> Tuple[float]:
+        return (entry.last_access_time,)
 
 
 class RandomEviction(EvictionPolicy):

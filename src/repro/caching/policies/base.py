@@ -13,15 +13,15 @@ Policies additionally observe reads and writes so that history-based baselines
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 from typing import Hashable
 
 from repro.intervals.interval import Interval
 
 
-@dataclass(frozen=True)
 class PrecisionDecision:
     """The approximation a policy chooses to publish on a refresh.
+
+    A ``__slots__`` value object (policies build one per refresh).
 
     Parameters
     ----------
@@ -33,12 +33,19 @@ class PrecisionDecision:
         this value, per Section 2.
     """
 
-    interval: Interval
-    original_width: float
+    __slots__ = ("interval", "original_width")
 
-    def __post_init__(self) -> None:
-        if self.original_width < 0:
+    def __init__(self, interval: Interval, original_width: float) -> None:
+        if original_width < 0:
             raise ValueError("original_width must be non-negative")
+        self.interval = interval
+        self.original_width = original_width
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PrecisionDecision(interval={self.interval!r}, "
+            f"original_width={self.original_width!r})"
+        )
 
 
 class PrecisionPolicy(ABC):

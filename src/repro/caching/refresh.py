@@ -76,6 +76,37 @@ class CostAccountant:
         if self.keep_events:
             self.events.append(event)
 
+    def record_refresh(
+        self,
+        kind: RefreshKind,
+        key: Hashable,
+        time: float,
+        cost: float,
+        published_width: float,
+    ) -> None:
+        """Record a refresh from its components.
+
+        Equivalent to :meth:`record` with a fresh :class:`RefreshEvent`, but
+        only materialises the event object when the log is kept — the
+        simulator records every refresh through here, and aggregate-only
+        accounting (the default) then never constructs per-refresh objects.
+        """
+        self.total_cost += cost
+        self.per_key_counts[key] = self.per_key_counts.get(key, 0) + 1
+        if kind is RefreshKind.VALUE_INITIATED:
+            self.value_refresh_count += 1
+            self.value_refresh_cost += cost
+        else:
+            self.query_refresh_count += 1
+            self.query_refresh_cost += cost
+        if self.keep_events:
+            self.events.append(
+                RefreshEvent(
+                    kind=kind, key=key, time=time, cost=cost,
+                    published_width=published_width,
+                )
+            )
+
     @property
     def refresh_count(self) -> int:
         """Total number of refreshes of both kinds."""

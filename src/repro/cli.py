@@ -4,7 +4,13 @@ Usage::
 
     python -m repro.cli list
     python -m repro.cli run figure03
-    python -m repro.cli run-all
+    python -m repro.cli run figure07_09 --workers 4
+    python -m repro.cli run-all --workers 4
+
+``--workers N`` fans the multi-configuration experiments out over N worker
+processes through :mod:`repro.experiments.runner`; the printed tables are
+identical to sequential runs (every sub-run is deterministically seeded).
+Experiments without a parallel plan simply run sequentially.
 """
 
 from __future__ import annotations
@@ -13,7 +19,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.experiments.base import format_table, registry
+from repro.experiments.base import ExperimentResult, format_table, registry
+from repro.experiments.runner import plan_registry, run_plan
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,33 +36,58 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list the available experiments")
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", help="experiment id (see 'list')")
-    subparsers.add_parser("run-all", help="run every experiment (may take a while)")
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan independent sub-runs out over this many processes",
+    )
+    run_all_parser = subparsers.add_parser(
+        "run-all", help="run every experiment (may take a while)"
+    )
+    run_all_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan independent sub-runs out over this many processes",
+    )
     return parser
+
+
+def _run_experiment(experiment_id: str, workers: Optional[int]) -> ExperimentResult:
+    """Run one experiment, through its parallel plan when it declares one."""
+    if workers is not None and workers > 1:
+        plans = plan_registry()
+        plan_factory = plans.get(experiment_id)
+        if plan_factory is not None:
+            return run_plan(plan_factory(), workers=workers)
+    return registry()[experiment_id]()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "workers", None) is not None and args.workers < 0:
+        parser.error(f"--workers must be non-negative, got {args.workers}")
     experiments = registry()
     if args.command == "list":
         for experiment_id in sorted(experiments):
             print(experiment_id)
         return 0
     if args.command == "run":
-        runner = experiments.get(args.experiment)
-        if runner is None:
+        if args.experiment not in experiments:
             print(
                 f"unknown experiment {args.experiment!r}; "
                 f"available: {', '.join(sorted(experiments))}",
                 file=sys.stderr,
             )
             return 2
-        print(format_table(runner()))
+        print(format_table(_run_experiment(args.experiment, args.workers)))
         return 0
     if args.command == "run-all":
         for experiment_id in sorted(experiments):
-            print(format_table(experiments[experiment_id]()))
+            print(format_table(_run_experiment(experiment_id, args.workers)))
             print()
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -73,11 +73,38 @@ class RandomWalkGenerator:
             self._value -= magnitude
         return self._value
 
+    def steps_array(self, count: int) -> List[float]:
+        """Advance the walk ``count`` steps and return all values at once.
+
+        Draws from the RNG in exactly the same order as ``count`` calls to
+        :meth:`step` (so seeded walks produce identical trajectories), but in
+        one tight loop with the hot attributes bound locally — this is the
+        batch path the simulator uses to pre-materialise update schedules
+        without per-step method dispatch.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        uniform = self._rng.uniform
+        rand = self._rng.random
+        step_low = self._step_low
+        step_high = self._step_high
+        up_probability = self._up_probability
+        value = self._value
+        values = []
+        append = values.append
+        for _ in range(count):
+            magnitude = uniform(step_low, step_high)
+            if rand() < up_probability:
+                value += magnitude
+            else:
+                value -= magnitude
+            append(value)
+        self._value = value
+        return values
+
     def walk(self, steps: int) -> List[float]:
         """Return the next ``steps`` values (the walk advances accordingly)."""
-        if steps < 0:
-            raise ValueError("steps must be non-negative")
-        return [self.step() for _ in range(steps)]
+        return self.steps_array(steps)
 
     def __iter__(self) -> Iterator[float]:
         while True:

@@ -35,6 +35,17 @@ class UpdateStream(ABC):
     def updates(self, duration: float) -> Iterator[UpdateEventTuple]:
         """Yield ``(time, value)`` pairs for all updates in ``(0, duration]``."""
 
+    def schedule(self, duration: float) -> List[UpdateEventTuple]:
+        """Return the whole update schedule for ``(0, duration]`` as a list.
+
+        Semantically identical to ``list(self.updates(duration))`` (the
+        default implementation), but concrete streams override it with a
+        batched construction so the simulator can pre-materialise per-source
+        timelines without paying generator dispatch per step.  Streams with
+        private randomness produce identical schedules either way.
+        """
+        return list(self.updates(duration))
+
 
 class RandomWalkStream(UpdateStream):
     """A random-walk value updated once every ``interval`` seconds."""
@@ -68,6 +79,19 @@ class RandomWalkStream(UpdateStream):
             yield (round(time, 9), self._walk.step())
             time += self._interval
 
+    def schedule(self, duration: float) -> List[UpdateEventTuple]:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        # Accumulate the times with the same float additions as ``updates``
+        # (no closed-form multiply) so both paths emit bit-identical instants,
+        # then draw all the walk values in one batch.
+        times: List[float] = []
+        time = self._interval
+        while time <= duration + 1e-9:
+            times.append(round(time, 9))
+            time += self._interval
+        return list(zip(times, self._walk.steps_array(len(times))))
+
 
 class TraceStream(UpdateStream):
     """Replays one series of a :class:`~repro.data.trace.Trace`."""
@@ -90,6 +114,19 @@ class TraceStream(UpdateStream):
             if time > duration + 1e-9:
                 break
             yield (time, self._values[index])
+
+    def schedule(self, duration: float) -> List[UpdateEventTuple]:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        interval = self._interval
+        horizon = duration + 1e-9
+        events: List[UpdateEventTuple] = []
+        for index in range(1, len(self._values)):
+            time = index * interval
+            if time > horizon:
+                break
+            events.append((time, self._values[index]))
+        return events
 
 
 class CounterStream(UpdateStream):
@@ -132,6 +169,32 @@ class CounterStream(UpdateStream):
                 return
             value += 1.0
             yield (time, value)
+
+    def schedule(self, duration: float) -> List[UpdateEventTuple]:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        horizon = duration + 1e-9
+        events: List[UpdateEventTuple] = []
+        value = self._start
+        time = 0.0
+        if self._poisson:
+            expovariate = self._rng.expovariate
+            rate = 1.0 / self._mean_interval
+            while True:
+                time += expovariate(rate)
+                if time > horizon:
+                    break
+                value += 1.0
+                events.append((time, value))
+        else:
+            mean_interval = self._mean_interval
+            while True:
+                time += mean_interval
+                if time > horizon:
+                    break
+                value += 1.0
+                events.append((time, value))
+        return events
 
 
 def streams_from_trace(trace: Trace, keys: Optional[Sequence[Hashable]] = None) -> dict:

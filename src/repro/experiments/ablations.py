@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.caching.eviction import (
     LeastRecentlyUsedEviction,
@@ -26,6 +26,7 @@ from repro.caching.eviction import (
 from repro.caching.policies.adaptive import AdaptivePrecisionPolicy
 from repro.core.parameters import PrecisionParameters
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import ExperimentPlan, SubRun, run_plan
 from repro.experiments.workloads import (
     DEFAULT_HOST_COUNT,
     DEFAULT_TRACE_DURATION,
@@ -59,13 +60,14 @@ def _always_adjust_policy(seed: int) -> _AlwaysAdjustPolicy:
     return _AlwaysAdjustPolicy(parameters, initial_width=KILO, rng=random.Random(seed))
 
 
-def run_probability_ablation(
-    cost_factor: float = 4.0,
-    host_count: int = DEFAULT_HOST_COUNT,
-    duration: int = DEFAULT_TRACE_DURATION,
-    seed: int = 29,
+def probability_ablation_rows(
+    variant: str,
+    cost_factor: float,
+    host_count: int,
+    duration: int,
+    seed: int,
 ) -> List[Tuple]:
-    """Probabilistic adjustment (paper) vs always adjusting, at ``rho != 1``."""
+    """The row for one adjustment-probability variant (picklable sub-run)."""
     trace = traffic_trace(host_count=host_count, duration=duration)
     config = traffic_config(
         trace,
@@ -75,20 +77,75 @@ def run_probability_ablation(
         cost_factor=cost_factor,
         seed=seed,
     )
-    paper_policy = adaptive_policy(
-        cost_factor=cost_factor,
-        adaptivity=1.0,
-        initial_width=KILO,
+    if variant == "paper":
+        policy = adaptive_policy(
+            cost_factor=cost_factor,
+            adaptivity=1.0,
+            initial_width=KILO,
+            seed=seed,
+        )
+        label = f"min(rho,1)/min(1/rho,1), rho={cost_factor:g}"
+    elif variant == "always-adjust":
+        policy = _always_adjust_policy(seed)
+        label = "always adjust (ablated)"
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    result = CacheSimulation(config, traffic_streams(trace), policy).run()
+    return [("adjustment probabilities", label, result.cost_rate)]
+
+
+def run_probability_ablation(
+    cost_factor: float = 4.0,
+    host_count: int = DEFAULT_HOST_COUNT,
+    duration: int = DEFAULT_TRACE_DURATION,
+    seed: int = 29,
+) -> List[Tuple]:
+    """Probabilistic adjustment (paper) vs always adjusting, at ``rho != 1``."""
+    rows: List[Tuple] = []
+    for variant in ("paper", "always-adjust"):
+        rows.extend(
+            probability_ablation_rows(
+                variant=variant,
+                cost_factor=cost_factor,
+                host_count=host_count,
+                duration=duration,
+                seed=seed,
+            )
+        )
+    return rows
+
+
+def eviction_ablation_rows(
+    eviction_kind: str,
+    host_count: int,
+    duration: int,
+    seed: int,
+) -> List[Tuple]:
+    """The row for one eviction policy on the small cache (picklable)."""
+    trace = traffic_trace(host_count=host_count, duration=duration)
+    capacity = max(host_count * 2 // 5, 2)
+    if eviction_kind == "widest":
+        label, eviction = "widest-first (paper)", WidestFirstEviction()
+    elif eviction_kind == "lru":
+        label, eviction = "LRU", LeastRecentlyUsedEviction()
+    elif eviction_kind == "random":
+        label, eviction = "random", RandomEviction(rng=random.Random(seed))
+    else:
+        raise ValueError(f"unknown eviction kind {eviction_kind!r}")
+    config = traffic_config(
+        trace,
+        query_period=1.0,
+        constraint_average=100.0 * KILO,
+        constraint_variation=1.0,
+        cost_factor=1.0,
+        cache_capacity=capacity,
         seed=seed,
     )
-    paper = CacheSimulation(config, traffic_streams(trace), paper_policy).run()
-    ablated = CacheSimulation(
-        config, traffic_streams(trace), _always_adjust_policy(seed)
-    ).run()
-    return [
-        ("adjustment probabilities", f"min(rho,1)/min(1/rho,1), rho={cost_factor:g}", paper.cost_rate),
-        ("adjustment probabilities", "always adjust (ablated)", ablated.cost_rate),
-    ]
+    policy = adaptive_policy(
+        cost_factor=1.0, adaptivity=1.0, initial_width=KILO, seed=seed
+    )
+    result = CacheSimulation(config, traffic_streams(trace), policy, eviction).run()
+    return [("eviction policy", label, result.cost_rate)]
 
 
 def run_eviction_ablation(
@@ -97,48 +154,72 @@ def run_eviction_ablation(
     seed: int = 29,
 ) -> List[Tuple]:
     """Widest-first (paper) vs LRU vs random eviction on a small cache."""
-    trace = traffic_trace(host_count=host_count, duration=duration)
-    capacity = max(host_count * 2 // 5, 2)
     rows: List[Tuple] = []
-    eviction_policies = (
-        ("widest-first (paper)", WidestFirstEviction()),
-        ("LRU", LeastRecentlyUsedEviction()),
-        ("random", RandomEviction(rng=random.Random(seed))),
-    )
-    for label, eviction in eviction_policies:
-        config = traffic_config(
-            trace,
-            query_period=1.0,
-            constraint_average=100.0 * KILO,
-            constraint_variation=1.0,
-            cost_factor=1.0,
-            cache_capacity=capacity,
-            seed=seed,
+    for eviction_kind in ("widest", "lru", "random"):
+        rows.extend(
+            eviction_ablation_rows(
+                eviction_kind=eviction_kind,
+                host_count=host_count,
+                duration=duration,
+                seed=seed,
+            )
         )
-        policy = adaptive_policy(
-            cost_factor=1.0, adaptivity=1.0, initial_width=KILO, seed=seed
-        )
-        result = CacheSimulation(config, traffic_streams(trace), policy, eviction).run()
-        rows.append(("eviction policy", label, result.cost_rate))
     return rows
+
+
+def plan(
+    host_count: int = DEFAULT_HOST_COUNT,
+    duration: int = DEFAULT_TRACE_DURATION,
+    seed: int = 29,
+) -> ExperimentPlan:
+    """Decompose both ablations into one sub-run per variant."""
+    subruns = [
+        SubRun(
+            label=f"probabilities/{variant}",
+            func=probability_ablation_rows,
+            kwargs=dict(
+                variant=variant,
+                cost_factor=4.0,
+                host_count=host_count,
+                duration=duration,
+                seed=seed,
+            ),
+        )
+        for variant in ("paper", "always-adjust")
+    ]
+    subruns.extend(
+        SubRun(
+            label=f"eviction/{eviction_kind}",
+            func=eviction_ablation_rows,
+            kwargs=dict(
+                eviction_kind=eviction_kind,
+                host_count=host_count,
+                duration=duration,
+                seed=seed,
+            ),
+        )
+        for eviction_kind in ("widest", "lru", "random")
+    )
+    return ExperimentPlan(
+        experiment_id="ablations",
+        title="Design-choice ablations: adjustment probabilities and eviction policy",
+        columns=("ablation", "variant", "Omega"),
+        subruns=tuple(subruns),
+        notes=(
+            "Expected: the paper's probabilistic adjustment is at least as good as "
+            "always adjusting when rho != 1; widest-first eviction is competitive "
+            "with or better than LRU/random for bounded caches."
+        ),
+    )
 
 
 def run(
     host_count: int = DEFAULT_HOST_COUNT,
     duration: int = DEFAULT_TRACE_DURATION,
     seed: int = 29,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run both ablations."""
-    rows = run_probability_ablation(host_count=host_count, duration=duration, seed=seed)
-    rows.extend(run_eviction_ablation(host_count=host_count, duration=duration, seed=seed))
-    return ExperimentResult(
-        experiment_id="ablations",
-        title="Design-choice ablations: adjustment probabilities and eviction policy",
-        columns=("ablation", "variant", "Omega"),
-        rows=rows,
-        notes=(
-            "Expected: the paper's probabilistic adjustment is at least as good as "
-            "always adjusting when rho != 1; widest-first eviction is competitive "
-            "with or better than LRU/random for bounded caches."
-        ),
+    return run_plan(
+        plan(host_count=host_count, duration=duration, seed=seed), workers=workers
     )

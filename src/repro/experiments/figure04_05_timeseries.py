@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import ExperimentPlan, SubRun, run_plan
 from repro.experiments.workloads import (
     DEFAULT_HOST_COUNT,
     DEFAULT_TRACE_DURATION,
@@ -87,33 +88,43 @@ def run_timeseries(
     )
 
 
-def run(
-    small_constraint: float = 50.0 * KILO,
-    large_constraint: float = 500.0 * KILO,
-    host_count: int = DEFAULT_HOST_COUNT,
-    duration: int = DEFAULT_TRACE_DURATION,
-    sample_every: int = 60,
-    seed: int = 3,
-) -> ExperimentResult:
-    """Produce downsampled (time, value, low, high) rows for both settings."""
+def timeseries_subrun(
+    label: str,
+    constraint_average: float,
+    host_count: int,
+    duration: int,
+    sample_every: int,
+    seed: int,
+) -> Dict:
+    """One tracked-host run, reduced to downsampled rows plus the mean width.
+
+    Module-level (picklable) so the parallel runner can execute it in a
+    worker process.
+    """
+    run_data = run_timeseries(
+        constraint_average=constraint_average,
+        host_count=host_count,
+        duration=duration,
+        seed=seed,
+    )
     rows = []
+    for index, sample in enumerate(run_data.samples):
+        if index % sample_every != 0:
+            continue
+        if sample.interval is None or sample.interval.is_unbounded:
+            low, high = math.nan, math.nan
+        else:
+            low, high = sample.interval.low, sample.interval.high
+        rows.append((label, sample.time, sample.value, low, high))
+    return {"label": label, "rows": rows, "mean_width": run_data.mean_finite_width()}
+
+
+def _assemble_timeseries(results: List[Dict]) -> ExperimentResult:
+    rows: List = []
     mean_widths: Dict[str, float] = {}
-    for label, constraint in (("fig4_small", small_constraint), ("fig5_large", large_constraint)):
-        run_data = run_timeseries(
-            constraint_average=constraint,
-            host_count=host_count,
-            duration=duration,
-            seed=seed,
-        )
-        mean_widths[label] = run_data.mean_finite_width()
-        for index, sample in enumerate(run_data.samples):
-            if index % sample_every != 0:
-                continue
-            if sample.interval is None or sample.interval.is_unbounded:
-                low, high = math.nan, math.nan
-            else:
-                low, high = sample.interval.low, sample.interval.high
-            rows.append((label, sample.time, sample.value, low, high))
+    for result in results:
+        rows.extend(result["rows"])
+        mean_widths[result["label"]] = result["mean_width"]
     return ExperimentResult(
         experiment_id="figure04_05",
         title="Source value and cached interval over time (small vs large constraints)",
@@ -125,4 +136,63 @@ def run(
             "(paper: widths on the order of delta_avg/10, so the large-constraint "
             "run should use roughly 10x wider intervals)."
         ),
+    )
+
+
+def plan(
+    small_constraint: float = 50.0 * KILO,
+    large_constraint: float = 500.0 * KILO,
+    host_count: int = DEFAULT_HOST_COUNT,
+    duration: int = DEFAULT_TRACE_DURATION,
+    sample_every: int = 60,
+    seed: int = 3,
+) -> ExperimentPlan:
+    """Decompose into one sub-run per constraint setting."""
+    subruns = tuple(
+        SubRun(
+            label=label,
+            func=timeseries_subrun,
+            kwargs=dict(
+                label=label,
+                constraint_average=constraint,
+                host_count=host_count,
+                duration=duration,
+                sample_every=sample_every,
+                seed=seed,
+            ),
+        )
+        for label, constraint in (
+            ("fig4_small", small_constraint),
+            ("fig5_large", large_constraint),
+        )
+    )
+    return ExperimentPlan(
+        experiment_id="figure04_05",
+        title="Source value and cached interval over time (small vs large constraints)",
+        columns=("figure", "time", "exact value", "interval low", "interval high"),
+        subruns=subruns,
+        assemble=_assemble_timeseries,
+    )
+
+
+def run(
+    small_constraint: float = 50.0 * KILO,
+    large_constraint: float = 500.0 * KILO,
+    host_count: int = DEFAULT_HOST_COUNT,
+    duration: int = DEFAULT_TRACE_DURATION,
+    sample_every: int = 60,
+    seed: int = 3,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Produce downsampled (time, value, low, high) rows for both settings."""
+    return run_plan(
+        plan(
+            small_constraint=small_constraint,
+            large_constraint=large_constraint,
+            host_count=host_count,
+            duration=duration,
+            sample_every=sample_every,
+            seed=seed,
+        ),
+        workers=workers,
     )

@@ -14,9 +14,10 @@ the cost is flat in ``delta_avg`` (precision is never exploited); with
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import ExperimentPlan, SubRun, run_plan
 from repro.experiments.workloads import (
     DEFAULT_HOST_COUNT,
     DEFAULT_TRACE_DURATION,
@@ -50,6 +51,83 @@ DEFAULT_CONSTRAINTS: Tuple[float, ...] = (
 )
 
 
+def threshold_sweep_rows(
+    query_period: float,
+    label: str,
+    upper_threshold: float,
+    constraint_averages: Sequence[float],
+    host_count: int,
+    duration: int,
+    seed: int,
+) -> List[Tuple]:
+    """Rows for one (T_q, theta_1) setting across the delta_avg sweep.
+
+    Module-level (picklable) so the parallel runner can execute it in a
+    worker process; everything is re-derived from the arguments and seed.
+    """
+    trace = traffic_trace(host_count=host_count, duration=duration)
+    rows: List[Tuple] = []
+    for constraint_average in constraint_averages:
+        config = traffic_config(
+            trace,
+            query_period=query_period,
+            constraint_average=constraint_average,
+            constraint_variation=0.5,
+            cost_factor=1.0,
+            seed=seed,
+        )
+        policy = adaptive_policy(
+            cost_factor=1.0,
+            adaptivity=1.0,
+            lower_threshold=LOWER_THRESHOLD,
+            upper_threshold=upper_threshold,
+            initial_width=KILO,
+            seed=seed,
+        )
+        result = CacheSimulation(config, traffic_streams(trace), policy).run()
+        rows.append((query_period, label, constraint_average / KILO, result.cost_rate))
+    return rows
+
+
+def plan(
+    query_periods: Sequence[float] = DEFAULT_QUERY_PERIODS,
+    constraint_averages: Sequence[float] = DEFAULT_CONSTRAINTS,
+    upper_thresholds: Sequence[Tuple[str, float]] = UPPER_THRESHOLD_SETTINGS,
+    host_count: int = DEFAULT_HOST_COUNT,
+    duration: int = DEFAULT_TRACE_DURATION,
+    seed: int = 9,
+) -> ExperimentPlan:
+    """Decompose the sweep into one sub-run per (T_q, theta_1) setting."""
+    subruns = tuple(
+        SubRun(
+            label=f"Tq={query_period:g}/{label}",
+            func=threshold_sweep_rows,
+            kwargs=dict(
+                query_period=query_period,
+                label=label,
+                upper_threshold=upper_threshold,
+                constraint_averages=tuple(constraint_averages),
+                host_count=host_count,
+                duration=duration,
+                seed=seed,
+            ),
+        )
+        for query_period in query_periods
+        for label, upper_threshold in upper_thresholds
+    )
+    return ExperimentPlan(
+        experiment_id="figure07_09",
+        title="Cost rate vs delta_avg for three theta_1 settings (T_q = 0.5, 1, 2)",
+        columns=("T_q", "theta_1", "delta_avg (K)", "Omega"),
+        subruns=subruns,
+        notes=(
+            "Expected shape: theta1=theta0 is flat in delta_avg; theta1=inf "
+            "improves as constraints loosen and is the best general setting; a "
+            "small finite theta1 only helps very tight constraints."
+        ),
+    )
+
+
 def run(
     query_periods: Sequence[float] = DEFAULT_QUERY_PERIODS,
     constraint_averages: Sequence[float] = DEFAULT_CONSTRAINTS,
@@ -57,41 +135,17 @@ def run(
     host_count: int = DEFAULT_HOST_COUNT,
     duration: int = DEFAULT_TRACE_DURATION,
     seed: int = 9,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Measure the cost rate for every (T_q, theta_1, delta_avg) combination."""
-    trace = traffic_trace(host_count=host_count, duration=duration)
-    rows: List[Tuple] = []
-    for query_period in query_periods:
-        for label, upper_threshold in upper_thresholds:
-            for constraint_average in constraint_averages:
-                config = traffic_config(
-                    trace,
-                    query_period=query_period,
-                    constraint_average=constraint_average,
-                    constraint_variation=0.5,
-                    cost_factor=1.0,
-                    seed=seed,
-                )
-                policy = adaptive_policy(
-                    cost_factor=1.0,
-                    adaptivity=1.0,
-                    lower_threshold=LOWER_THRESHOLD,
-                    upper_threshold=upper_threshold,
-                    initial_width=KILO,
-                    seed=seed,
-                )
-                result = CacheSimulation(config, traffic_streams(trace), policy).run()
-                rows.append(
-                    (query_period, label, constraint_average / KILO, result.cost_rate)
-                )
-    return ExperimentResult(
-        experiment_id="figure07_09",
-        title="Cost rate vs delta_avg for three theta_1 settings (T_q = 0.5, 1, 2)",
-        columns=("T_q", "theta_1", "delta_avg (K)", "Omega"),
-        rows=rows,
-        notes=(
-            "Expected shape: theta1=theta0 is flat in delta_avg; theta1=inf "
-            "improves as constraints loosen and is the best general setting; a "
-            "small finite theta1 only helps very tight constraints."
+    return run_plan(
+        plan(
+            query_periods=query_periods,
+            constraint_averages=constraint_averages,
+            upper_thresholds=upper_thresholds,
+            host_count=host_count,
+            duration=duration,
+            seed=seed,
         ),
+        workers=workers,
     )

@@ -21,6 +21,7 @@ import math
 from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import ExperimentPlan, SubRun, run_plan
 from repro.experiments.workloads import (
     DEFAULT_HOST_COUNT,
     DEFAULT_TRACE_DURATION,
@@ -124,40 +125,88 @@ def run_comparison(
     return rows
 
 
-def run(
+def comparison_subrun(
+    cost_factor: float,
+    cache_capacity: Optional[int],
+    query_period: float,
+    host_count: int,
+    duration: int,
+    seed: int,
+) -> List[Tuple]:
+    """Rows of one (cache size, cost factor, T_q) comparison cell.
+
+    Module-level (picklable) wrapper over :func:`run_comparison` restricted
+    to a single query period, for the parallel runner.
+    """
+    return run_comparison(
+        cost_factor=cost_factor,
+        cache_capacity=cache_capacity,
+        query_periods=(query_period,),
+        host_count=host_count,
+        duration=duration,
+        seed=seed,
+    )
+
+
+def plan(
     query_periods: Sequence[float] = (0.5, 2.0, 5.0),
     host_count: int = DEFAULT_HOST_COUNT,
     duration: int = DEFAULT_TRACE_DURATION,
     include_small_cache: bool = True,
     seed: int = 13,
-) -> ExperimentResult:
-    """Produce all four figures' rows (with a reduced default grid)."""
-    rows: List[Tuple] = []
+) -> ExperimentPlan:
+    """Decompose into one sub-run per (cache size, cost factor, T_q) cell."""
     small_capacity = max(host_count * 2 // 5, 2)
     cache_settings: List[Optional[int]] = [None]
     if include_small_cache:
         cache_settings.append(small_capacity)
-    for cache_capacity in cache_settings:
-        for cost_factor in (1.0, 4.0):
-            rows.extend(
-                run_comparison(
-                    cost_factor=cost_factor,
-                    cache_capacity=cache_capacity,
-                    query_periods=query_periods,
-                    host_count=host_count,
-                    duration=duration,
-                    seed=seed,
-                )
-            )
-    return ExperimentResult(
+    subruns = tuple(
+        SubRun(
+            label=f"kappa={cache_capacity}/rho={cost_factor:g}/Tq={query_period:g}",
+            func=comparison_subrun,
+            kwargs=dict(
+                cost_factor=cost_factor,
+                cache_capacity=cache_capacity,
+                query_period=query_period,
+                host_count=host_count,
+                duration=duration,
+                seed=seed,
+            ),
+        )
+        for cache_capacity in cache_settings
+        for cost_factor in (1.0, 4.0)
+        for query_period in query_periods
+    )
+    return ExperimentPlan(
         experiment_id="figure10_13",
         title="Adaptive precision setting vs WJH97 exact caching",
         columns=("figure", "T_q", "policy", "delta_avg (K)", "Omega"),
-        rows=rows,
+        subruns=subruns,
         notes=(
             "Expected shape: 'adaptive, theta1=theta0' tracks 'exact caching'; "
             "'adaptive, theta1=inf' beats exact caching when delta_avg > 0, with "
             "the advantage shrinking for the small cache (wide intervals get "
             "evicted)."
         ),
+    )
+
+
+def run(
+    query_periods: Sequence[float] = (0.5, 2.0, 5.0),
+    host_count: int = DEFAULT_HOST_COUNT,
+    duration: int = DEFAULT_TRACE_DURATION,
+    include_small_cache: bool = True,
+    seed: int = 13,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Produce all four figures' rows (with a reduced default grid)."""
+    return run_plan(
+        plan(
+            query_periods=query_periods,
+            host_count=host_count,
+            duration=duration,
+            include_small_cache=include_small_cache,
+            seed=seed,
+        ),
+        workers=workers,
     )

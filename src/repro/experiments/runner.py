@@ -1,0 +1,155 @@
+"""Process-pool experiment runner.
+
+The multi-configuration experiments are embarrassingly parallel: every
+(parameter combination) is an independent simulation whose randomness is
+fully determined by explicit seeds.  Each such experiment declares an
+:class:`ExperimentPlan` — an ordered tuple of :class:`SubRun` descriptors,
+each naming a module-level function and its keyword arguments — and
+:func:`run_plan` executes the sub-runs either sequentially or fanned out
+over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Because a sub-run re-derives everything it needs (trace, streams, policy)
+from its keyword arguments and seeds, executing it in a worker process
+produces exactly the rows the sequential path produces; ``run_plan``
+reassembles results in plan order, so the final table is identical for any
+worker count.
+
+Usage::
+
+    from repro.experiments import figure07_09_thresholds
+    result = run_plan(figure07_09_thresholds.plan(), workers=4)
+
+or through the CLI: ``python -m repro.cli run figure07_09 --workers 4``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.base import ExperimentResult
+
+
+@dataclass(frozen=True)
+class SubRun:
+    """One independent unit of an experiment.
+
+    Parameters
+    ----------
+    label:
+        Human-readable identifier, unique within the plan (used in errors
+        and progress reporting).
+    func:
+        A **module-level** callable (it must be picklable for the process
+        pool) returning this sub-run's result — usually a list of rows.
+    kwargs:
+        Keyword arguments passed to ``func``; they must be picklable and
+        carry every seed the sub-run needs, so the result is deterministic
+        regardless of which process executes it.
+    """
+
+    label: str
+    func: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """An experiment decomposed into independent, deterministic sub-runs.
+
+    ``assemble`` (optional, runs in the parent process) turns the ordered
+    list of sub-run results into the final :class:`ExperimentResult`; when
+    omitted, sub-run results are assumed to be row lists and are
+    concatenated in plan order.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    subruns: Tuple[SubRun, ...]
+    notes: str = ""
+    assemble: Optional[Callable[[List[Any]], ExperimentResult]] = None
+
+    def __post_init__(self) -> None:
+        labels = [subrun.label for subrun in self.subruns]
+        if len(set(labels)) != len(labels):
+            raise ValueError("sub-run labels must be unique within a plan")
+
+
+def execute_subrun(subrun: SubRun) -> Any:
+    """Execute one sub-run in the current process."""
+    return subrun.func(**subrun.kwargs)
+
+
+def _assemble(plan: ExperimentPlan, results: List[Any]) -> ExperimentResult:
+    if plan.assemble is not None:
+        return plan.assemble(results)
+    rows: List[Tuple] = []
+    for result in results:
+        rows.extend(result)
+    return ExperimentResult(
+        experiment_id=plan.experiment_id,
+        title=plan.title,
+        columns=plan.columns,
+        rows=rows,
+        notes=plan.notes,
+    )
+
+
+def run_plan(
+    plan: ExperimentPlan,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Execute a plan's sub-runs and assemble the experiment result.
+
+    Parameters
+    ----------
+    plan:
+        The experiment decomposition to execute.
+    workers:
+        ``None``, ``0`` or ``1`` runs sequentially in-process; larger values
+        fan the sub-runs out over that many worker processes.  The assembled
+        result is identical either way (sub-runs are deterministic and
+        results are reassembled in plan order).
+    """
+    if workers is not None and workers < 0:
+        raise ValueError("workers must be non-negative")
+    if not plan.subruns:
+        return _assemble(plan, [])
+    if workers is None or workers <= 1:
+        results = [execute_subrun(subrun) for subrun in plan.subruns]
+        return _assemble(plan, results)
+    max_workers = min(workers, len(plan.subruns))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(subrun.func, **subrun.kwargs) for subrun in plan.subruns
+        ]
+        results = [future.result() for future in futures]
+    return _assemble(plan, results)
+
+
+def plan_registry() -> Dict[str, Callable[[], ExperimentPlan]]:
+    """Return the experiments that declare parallelisable plans.
+
+    Keys match :func:`repro.experiments.base.registry` ids; values are
+    zero-argument factories producing the default-scale plan.  Experiments
+    absent here (single-simulation reproductions) only run sequentially.
+    """
+    from repro.experiments import (
+        ablations,
+        figure04_05_timeseries,
+        figure07_09_thresholds,
+        figure10_13_exact,
+        section44_sensitivity,
+        section45_variations,
+    )
+
+    return {
+        "figure04_05": figure04_05_timeseries.plan,
+        "figure07_09": figure07_09_thresholds.plan,
+        "figure10_13": figure10_13_exact.plan,
+        "section44": section44_sensitivity.plan,
+        "section45": section45_variations.plan,
+        "ablations": ablations.plan,
+    }

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.caching.policies.adaptive import (
     AdaptivePrecisionPolicy,
@@ -30,6 +30,7 @@ from repro.caching.policies.adaptive import (
 )
 from repro.core.parameters import PrecisionParameters
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import ExperimentPlan, SubRun, run_plan
 from repro.experiments.workloads import random_walk_streams
 from repro.queries.aggregates import AggregateKind
 from repro.simulation.config import SimulationConfig
@@ -64,42 +65,63 @@ def _parameters() -> PrecisionParameters:
     )
 
 
-def run(
+def variation_rows(
+    up_probability: float,
+    variant: str,
+    duration: float,
+    source_count: int,
+    seed: int,
+) -> List[Tuple]:
+    """The row for one (walk bias, placement variant) cell (picklable)."""
+    walk_kind = "unbiased walk" if up_probability == 0.5 else "biased walk"
+    config = _config(duration, seed)
+    if variant == "centred":
+        policy = AdaptivePrecisionPolicy(
+            _parameters(), initial_width=4.0, rng=random.Random(seed)
+        )
+        variant_label = "centred (paper default)"
+    elif variant == "uncentered":
+        policy = UncenteredAdaptivePolicy(
+            _parameters(), initial_width=4.0, rng=random.Random(seed)
+        )
+        variant_label = "uncentered (Section 4.5)"
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    result = CacheSimulation(
+        config,
+        random_walk_streams(source_count, seed, up_probability=up_probability),
+        policy,
+    ).run()
+    return [(walk_kind, variant_label, result.cost_rate)]
+
+
+def plan(
     duration: float = DEFAULT_DURATION,
     source_count: int = DEFAULT_SOURCE_COUNT,
     up_probabilities: Sequence[float] = (0.5, 0.8),
     seed: int = 23,
-) -> ExperimentResult:
-    """Compare centred vs uncentered placement on unbiased and biased walks."""
-    rows: List[Tuple] = []
-    for up_probability in up_probabilities:
-        walk_kind = "unbiased walk" if up_probability == 0.5 else "biased walk"
-        config = _config(duration, seed)
-
-        centred_policy = AdaptivePrecisionPolicy(
-            _parameters(), initial_width=4.0, rng=random.Random(seed)
+) -> ExperimentPlan:
+    """Decompose into one sub-run per (walk bias, placement variant) cell."""
+    subruns = tuple(
+        SubRun(
+            label=f"p_up={up_probability:g}/{variant}",
+            func=variation_rows,
+            kwargs=dict(
+                up_probability=up_probability,
+                variant=variant,
+                duration=duration,
+                source_count=source_count,
+                seed=seed,
+            ),
         )
-        centred = CacheSimulation(
-            config,
-            random_walk_streams(source_count, seed, up_probability=up_probability),
-            centred_policy,
-        ).run()
-        rows.append((walk_kind, "centred (paper default)", centred.cost_rate))
-
-        uncentered_policy = UncenteredAdaptivePolicy(
-            _parameters(), initial_width=4.0, rng=random.Random(seed)
-        )
-        uncentered = CacheSimulation(
-            config,
-            random_walk_streams(source_count, seed, up_probability=up_probability),
-            uncentered_policy,
-        ).run()
-        rows.append((walk_kind, "uncentered (Section 4.5)", uncentered.cost_rate))
-    return ExperimentResult(
+        for up_probability in up_probabilities
+        for variant in ("centred", "uncentered")
+    )
+    return ExperimentPlan(
         experiment_id="section45",
         title="Unsuccessful variations: centred vs uncentered intervals",
         columns=("data", "variant", "Omega"),
-        rows=rows,
+        subruns=subruns,
         notes=(
             "Expected: on the unbiased walk the centred strategy is at least as "
             "good as the uncentered one; on the strongly biased walk the "
@@ -107,3 +129,24 @@ def run(
             "it helping)."
         ),
     )
+
+
+def run(
+    duration: float = DEFAULT_DURATION,
+    source_count: int = DEFAULT_SOURCE_COUNT,
+    up_probabilities: Sequence[float] = (0.5, 0.8),
+    seed: int = 23,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Compare centred vs uncentered placement on unbiased and biased walks."""
+    return run_plan(
+        plan(
+            duration=duration,
+            source_count=source_count,
+            up_probabilities=up_probabilities,
+            seed=seed,
+        ),
+        workers=workers,
+    )
+
+

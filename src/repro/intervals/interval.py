@@ -11,17 +11,21 @@ value (infinite precision) while an unbounded interval carries no information
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Iterable, Optional
 
+_isnan = math.isnan
 
-@dataclass(frozen=True, order=False)
+
 class Interval:
     """A closed interval ``[low, high]`` approximating a numeric value.
 
-    Instances are immutable.  ``low`` may be ``-inf`` and ``high`` may be
-    ``+inf``; the fully unbounded interval is available as the module-level
-    constant :data:`UNBOUNDED`.
+    Instances are immutable (assignment raises, as with the frozen dataclass
+    this replaces — intervals hash on their endpoints and are shared, e.g.
+    the module-level :data:`UNBOUNDED` singleton).  ``low`` may be ``-inf``
+    and ``high`` may be ``+inf``.  This is a ``__slots__`` class rather than
+    a frozen dataclass: intervals are created on every refresh and
+    aggregate-bound computation, and the hand-written ``__init__`` is
+    several times cheaper there.
 
     Parameters
     ----------
@@ -31,16 +35,42 @@ class Interval:
         Upper endpoint (inclusive).  Must satisfy ``high >= low``.
     """
 
-    low: float
-    high: float
+    __slots__ = ("low", "high")
 
-    def __post_init__(self) -> None:
-        if math.isnan(self.low) or math.isnan(self.high):
-            raise ValueError("interval endpoints must not be NaN")
-        if self.high < self.low:
-            raise ValueError(
-                f"invalid interval: high ({self.high}) < low ({self.low})"
-            )
+    def __init__(self, low: float, high: float) -> None:
+        if high < low or _isnan(low) or _isnan(high):
+            if _isnan(low) or _isnan(high):
+                raise ValueError("interval endpoints must not be NaN")
+            raise ValueError(f"invalid interval: high ({high}) < low ({low})")
+        # Direct slot-descriptor writes: they bypass the immutability guard
+        # below without paying object.__setattr__'s per-call attribute lookup.
+        _set_low(self, low)
+        _set_high(self, high)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Interval is immutable")
+
+    def __delattr__(self, name):
+        raise AttributeError("Interval is immutable")
+
+    def __reduce__(self):
+        # Default __slots__ pickling restores state through setattr, which
+        # the immutability guard blocks; rebuild through __init__ instead.
+        return (Interval, (self.low, self.high))
+
+    def __eq__(self, other: object):
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return self.low == other.low and self.high == other.high
+
+    def __ne__(self, other: object):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((self.low, self.high))
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -186,6 +216,11 @@ class Interval:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Interval({self.low!r}, {self.high!r})"
 
+
+#: Slot descriptors bound once so ``Interval.__init__`` can write its fields
+#: past the immutability guard without per-call attribute-machinery overhead.
+_set_low = Interval.low.__set__
+_set_high = Interval.high.__set__
 
 #: The fully unbounded interval: a valid approximation of any value, carrying
 #: no information (zero precision).

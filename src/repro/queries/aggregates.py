@@ -33,7 +33,9 @@ class AggregateKind(Enum):
 
 
 def _materialise(intervals: Iterable[Interval]) -> List[Interval]:
-    result = list(intervals)
+    # Callers in the simulator hot path already pass freshly built lists;
+    # avoid copying those (the bound functions never mutate their input).
+    result = intervals if type(intervals) is list else list(intervals)
     if not result:
         raise ValueError("aggregate bounds require at least one interval")
     return result
@@ -42,8 +44,13 @@ def _materialise(intervals: Iterable[Interval]) -> List[Interval]:
 def sum_bound(intervals: Iterable[Interval]) -> Interval:
     """Interval bounding the SUM of the underlying exact values."""
     items = _materialise(intervals)
-    low = sum(interval.low for interval in items)
-    high = sum(interval.high for interval in items)
+    # One pass instead of two generator sums; each accumulator adds the same
+    # values in the same order, so the floats are identical.
+    low = 0
+    high = 0
+    for interval in items:
+        low += interval.low
+        high += interval.high
     return Interval(low, high)
 
 

@@ -28,6 +28,7 @@ accounting, new interval installation) and returns the exact value.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Sequence
@@ -79,25 +80,53 @@ def select_sum_refreshes(
     """
     if constraint < 0:
         raise ValueError("constraint must be non-negative")
+    # Fast path, O(n) with no sorting: when the total width is already within
+    # the constraint the answer is empty.  Float addition is order-sensitive
+    # and the exact semantics below sum in descending-width order, so the
+    # unordered total is only trusted when it clears the constraint by more
+    # than the worst-case reordering error (~n ulps of the total); anything
+    # closer falls through to the exact path.  This is the common case for
+    # satisfied queries in the simulator.
+    unbounded_count = 0
+    unordered_total = 0.0
+    for interval in intervals.values():
+        width = interval.width
+        if math.isinf(width):
+            unbounded_count += 1
+        else:
+            unordered_total += width
+    if not unbounded_count:
+        reorder_margin = 4.0 * len(intervals) * 2.220446049250313e-16 * unordered_total
+        if unordered_total + reorder_margin <= constraint:
+            return []
+    # Exact path: one stable decorated sort, widest first with ties in
+    # mapping order.  The remaining total width is tracked as (number of
+    # unbounded intervals, finite remainder) so that subtracting an infinite
+    # width is well-defined; the finite remainder is accumulated over the
+    # descending order — the residue it leaves after the subtraction loop
+    # decides whether zero-width stragglers are refreshed under tight
+    # constraints, so the summation order must match the sort.
     ordered = sorted(
-        intervals.items(), key=lambda item: item[1].width, reverse=True
+        (-interval.width, position, key)
+        for position, (key, interval) in enumerate(intervals.items())
     )
-    # Track the remaining total width as (number of unbounded intervals,
-    # finite remainder) so that subtracting an infinite width is well-defined.
-    unbounded_remaining = sum(1 for _, interval in ordered if math.isinf(interval.width))
-    finite_remaining = sum(
-        interval.width for _, interval in ordered if not math.isinf(interval.width)
-    )
+    unbounded_remaining = 0
+    finite_remaining = 0
+    for negated_width, _, _ in ordered:
+        if math.isinf(negated_width):
+            unbounded_remaining += 1
+        else:
+            finite_remaining += -negated_width
     refreshes: List[Hashable] = []
-    for key, interval in ordered:
+    for negated_width, _, key in ordered:
         remaining = math.inf if unbounded_remaining else finite_remaining
         if remaining <= constraint:
             break
         refreshes.append(key)
-        if math.isinf(interval.width):
+        if math.isinf(negated_width):
             unbounded_remaining -= 1
         else:
-            finite_remaining -= interval.width
+            finite_remaining -= -negated_width
     return refreshes
 
 
@@ -106,9 +135,17 @@ def _execute_sum(
     constraint: float,
     fetch_exact: FetchExact,
 ) -> QueryExecution:
+    selected = select_sum_refreshes(intervals, constraint)
+    if not selected:
+        # Satisfied immediately — no refreshes, so no working copy needed.
+        return QueryExecution(
+            result_bound=aggregate_bound(AggregateKind.SUM, list(intervals.values())),
+            refreshed_keys=[],
+            constraint=constraint,
+        )
     working = dict(intervals)
     refreshed: List[Hashable] = []
-    for key in select_sum_refreshes(working, constraint):
+    for key in selected:
         exact = fetch_exact(key)
         working[key] = Interval.exact(exact)
         refreshed.append(key)
@@ -125,23 +162,60 @@ def _execute_extremum(
     fetch_exact: FetchExact,
     kind: AggregateKind,
 ) -> QueryExecution:
+    """Iteratively refresh extremum contributors, maintaining the bound incrementally.
+
+    Instead of re-aggregating all n intervals per refresh iteration (O(n^2)
+    per query), the two bound endpoints and the victim choice are tracked in
+    lazy-invalidation heaps: a refresh pushes the victim's new exact endpoints
+    and stale tuples are discarded when they surface, for O(n log n) total.
+    The heap tuples carry each key's position in the input mapping so that
+    width ties resolve exactly as the naive argmax/argmin over ``working``
+    did (first key in mapping order wins).
+    """
     working = dict(intervals)
     refreshed: List[Hashable] = []
+    # For MAX the bound is [max L_i, max H_i] and the victim is the non-exact
+    # interval reaching highest; MIN mirrors it at the low endpoints.  The
+    # endpoint heaps hold (sign * endpoint, position, key) so that the heap
+    # minimum is the bound endpoint; ``sign`` is -1 for maxima.
+    sign = -1.0 if kind is AggregateKind.MAX else 1.0
+    low_heap = []
+    high_heap = []
+    candidate_heap = []
+    for position, (key, interval) in enumerate(working.items()):
+        low_heap.append((sign * interval.low, position, key))
+        high_heap.append((sign * interval.high, position, key))
+        if not interval.is_exact:
+            # The victim key: largest high for MAX, smallest low for MIN.
+            victim_rank = -interval.high if kind is AggregateKind.MAX else interval.low
+            candidate_heap.append((victim_rank, position, key))
+    heapq.heapify(low_heap)
+    heapq.heapify(high_heap)
+    heapq.heapify(candidate_heap)
+
+    def bound_endpoint(heap: List, endpoint: str) -> float:
+        # Discard tuples whose stored endpoint no longer matches the working
+        # interval (the key was refreshed since the tuple was pushed).
+        while True:
+            value, _, key = heap[0]
+            if getattr(working[key], endpoint) == sign * value:
+                return sign * value
+            heapq.heappop(heap)
+
     while True:
-        bound = aggregate_bound(kind, list(working.values()))
-        if bound.width <= constraint:
+        width = bound_endpoint(high_heap, "high") - bound_endpoint(low_heap, "low")
+        if width <= constraint:
             break
-        candidates = [key for key, interval in working.items() if not interval.is_exact]
-        if not candidates:
+        while candidate_heap and working[candidate_heap[0][2]].is_exact:
+            heapq.heappop(candidate_heap)
+        if not candidate_heap:
             break
-        if kind is AggregateKind.MAX:
-            # The interval reaching highest is the one keeping the bound wide.
-            victim = max(candidates, key=lambda key: working[key].high)
-        else:
-            victim = min(candidates, key=lambda key: working[key].low)
+        _, position, victim = heapq.heappop(candidate_heap)
         exact = fetch_exact(victim)
         working[victim] = Interval.exact(exact)
         refreshed.append(victim)
+        heapq.heappush(low_heap, (sign * exact, position, victim))
+        heapq.heappush(high_heap, (sign * exact, position, victim))
     return QueryExecution(
         result_bound=aggregate_bound(kind, list(working.values())),
         refreshed_keys=refreshed,

@@ -10,29 +10,43 @@ constraint drawn from the configured constraint distribution.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.queries.aggregates import AggregateKind
 from repro.queries.constraints import PrecisionConstraintGenerator
 
 
-@dataclass(frozen=True)
 class Query:
-    """One bounded-aggregate query issued at the cache."""
+    """One bounded-aggregate query issued at the cache.
 
-    time: float
-    kind: AggregateKind
-    keys: Tuple[Hashable, ...]
-    constraint: float
+    A ``__slots__`` value object (one is created per simulated query tick).
+    """
 
-    def __post_init__(self) -> None:
-        if not self.keys:
+    __slots__ = ("time", "kind", "keys", "constraint")
+
+    def __init__(
+        self,
+        time: float,
+        kind: AggregateKind,
+        keys: Tuple[Hashable, ...],
+        constraint: float,
+    ) -> None:
+        if not keys:
             raise ValueError("a query must touch at least one key")
-        if self.constraint < 0:
+        if constraint < 0:
             raise ValueError("constraint must be non-negative")
-        if self.time < 0:
+        if time < 0:
             raise ValueError("query time must be non-negative")
+        self.time = time
+        self.kind = kind
+        self.keys = keys
+        self.constraint = constraint
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Query(time={self.time!r}, kind={self.kind!r}, "
+            f"keys={self.keys!r}, constraint={self.constraint!r})"
+        )
 
 
 class QueryWorkload:

@@ -5,21 +5,39 @@ ordered by ``(time, priority, insertion order)`` and executes them until the
 queue is exhausted or a time horizon is reached.  Event actions may schedule
 further events, which is how periodic processes (update streams, the query
 clock) are expressed.
+
+Internally the heap stores plain ``(time, priority, sequence, event)`` tuples
+rather than the events themselves: tuple comparison short-circuits on the
+leading floats (the unique sequence guarantees the event object is never
+compared), which is markedly cheaper in the hot loop than the generated
+rich-comparison methods of an ``order=True`` dataclass.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.simulation.events import EventPriority, SimulationEvent
+from repro.simulation.events import _sequence as _event_sequence
+
+#: Slack when rejecting events scheduled in the scheduler's past; absorbs the
+#: float round-off of accumulated periodic schedules (``time += period``).
+PAST_TOLERANCE = 1e-12
+
+#: Slack when comparing event times against a time horizon (``run(until=...)``
+#: and the simulator's duration checks); an event nominally at the horizon is
+#: still executed even if accumulation error pushed it a hair past it.
+HORIZON_TOLERANCE = 1e-9
+
+_QueueItem = Tuple[float, int, int, SimulationEvent]
 
 
 class EventScheduler:
     """Priority-queue based discrete-event executor."""
 
     def __init__(self) -> None:
-        self._queue: List[SimulationEvent] = []
+        self._queue: List[_QueueItem] = []
         self._now = 0.0
         self._processed = 0
 
@@ -46,11 +64,13 @@ class EventScheduler:
     # ------------------------------------------------------------------
     def schedule(self, event: SimulationEvent) -> None:
         """Queue an event; it must not lie in the scheduler's past."""
-        if event.time + 1e-12 < self._now:
+        if event.time + PAST_TOLERANCE < self._now:
             raise ValueError(
                 f"cannot schedule event at {event.time} before current time {self._now}"
             )
-        heapq.heappush(self._queue, event)
+        heapq.heappush(
+            self._queue, (event.time, event.priority, event.sequence, event)
+        )
 
     def schedule_at(
         self,
@@ -64,7 +84,32 @@ class EventScheduler:
         event = SimulationEvent.create(
             time=time, priority=priority, action=action, key=key, payload=payload
         )
-        self.schedule(event)
+        if time + PAST_TOLERANCE < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        heapq.heappush(self._queue, (time, event.priority, event.sequence, event))
+        return event
+
+    def reschedule(
+        self, event: SimulationEvent, time: float, payload=None
+    ) -> SimulationEvent:
+        """Re-queue an already-executed event object at a new time.
+
+        Hot-path alternative to :meth:`schedule_at` for strictly periodic
+        processes (one pending occurrence at a time): the event object is
+        mutated and reused instead of reallocated, drawing a fresh tie-break
+        sequence exactly as a newly created event would.  The caller must not
+        reschedule an event that is still pending.
+        """
+        if time + PAST_TOLERANCE < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event.time = time
+        event.payload = payload
+        event.sequence = sequence = next(_event_sequence)
+        heapq.heappush(self._queue, (time, event.priority, sequence, event))
         return event
 
     # ------------------------------------------------------------------
@@ -84,24 +129,30 @@ class EventScheduler:
             The number of events executed by this call.
         """
         executed = 0
-        while self._queue:
-            if until is not None and self._queue[0].time > until + 1e-9:
+        queue = self._queue
+        heappop = heapq.heappop
+        horizon = None if until is None else until + HORIZON_TOLERANCE
+        while queue:
+            time = queue[0][0]
+            if horizon is not None and time > horizon:
                 break
-            event = heapq.heappop(self._queue)
-            self._now = max(self._now, event.time)
+            event = heappop(queue)[3]
+            if time > self._now:
+                self._now = time
             event.action(event)
             executed += 1
             self._processed += 1
-        if until is not None:
-            self._now = max(self._now, until)
+        if until is not None and until > self._now:
+            self._now = until
         return executed
 
     def step(self) -> Optional[SimulationEvent]:
         """Execute exactly one event (or return ``None`` if idle)."""
         if not self._queue:
             return None
-        event = heapq.heappop(self._queue)
-        self._now = max(self._now, event.time)
+        time, _, _, event = heapq.heappop(self._queue)
+        if time > self._now:
+            self._now = time
         event.action(event)
         self._processed += 1
         return event

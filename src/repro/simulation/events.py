@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, Callable, Hashable, Optional
 
@@ -24,20 +23,67 @@ class EventPriority(IntEnum):
 _sequence = itertools.count()
 
 
-@dataclass(order=True, frozen=True)
 class SimulationEvent:
     """An event in the simulation timeline.
 
     Events order by ``(time, priority, sequence)``; the payload fields do not
-    participate in ordering.
+    participate in ordering or equality.  This is a ``__slots__`` class (not a
+    dataclass): the simulator creates one event per update/query step, and a
+    plain ``__init__`` over slots is several times cheaper than a frozen
+    dataclass construction in that hot path.
     """
 
-    time: float
-    priority: int
-    sequence: int = field(compare=True)
-    action: Callable[["SimulationEvent"], None] = field(compare=False)
-    key: Optional[Hashable] = field(compare=False, default=None)
-    payload: Any = field(compare=False, default=None)
+    __slots__ = ("time", "priority", "sequence", "action", "key", "payload")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        action: Callable[["SimulationEvent"], None],
+        key: Optional[Hashable] = None,
+        payload: Any = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.action = action
+        self.key = key
+        self.payload = payload
+
+    def _order_key(self):
+        return (self.time, self.priority, self.sequence)
+
+    def __lt__(self, other: "SimulationEvent"):
+        if not isinstance(other, SimulationEvent):
+            return NotImplemented
+        return self._order_key() < other._order_key()
+
+    def __le__(self, other: "SimulationEvent"):
+        if not isinstance(other, SimulationEvent):
+            return NotImplemented
+        return self._order_key() <= other._order_key()
+
+    def __gt__(self, other: "SimulationEvent"):
+        if not isinstance(other, SimulationEvent):
+            return NotImplemented
+        return self._order_key() > other._order_key()
+
+    def __ge__(self, other: "SimulationEvent"):
+        if not isinstance(other, SimulationEvent):
+            return NotImplemented
+        return self._order_key() >= other._order_key()
+
+    def __eq__(self, other: object):
+        if not isinstance(other, SimulationEvent):
+            return NotImplemented
+        return self._order_key() == other._order_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationEvent(time={self.time!r}, priority={self.priority!r}, "
+            f"sequence={self.sequence!r}, key={self.key!r})"
+        )
 
     @classmethod
     def create(

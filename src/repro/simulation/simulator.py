@@ -14,19 +14,19 @@ and aggregated by a :class:`~repro.simulation.metrics.MetricsCollector`.
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.caching.cache import ApproximateCache
 from repro.caching.eviction import EvictionPolicy
 from repro.caching.policies.base import PrecisionDecision, PrecisionPolicy
-from repro.caching.refresh import RefreshEvent, RefreshKind
+from repro.caching.refresh import RefreshKind
 from repro.caching.source import DataSource
 from repro.data.streams import UpdateStream
 from repro.intervals.interval import UNBOUNDED
 from repro.queries.refresh_selection import execute_bounded_query
 from repro.queries.workload import QueryWorkload
 from repro.simulation.config import SimulationConfig
-from repro.simulation.engine import EventScheduler
+from repro.simulation.engine import HORIZON_TOLERANCE, EventScheduler
 from repro.simulation.events import EventPriority, SimulationEvent
 from repro.simulation.metrics import MetricsCollector, SimulationResult
 from repro.simulation.network import NetworkModel
@@ -74,10 +74,38 @@ class CacheSimulation:
         )
         self._scheduler = EventScheduler()
         self._sources: Dict[Hashable, DataSource] = {}
-        self._update_iterators: Dict[Hashable, Iterator[Tuple[float, float]]] = {}
+        # Pre-materialised per-source update timelines: every stream's whole
+        # schedule is drawn up-front (one batch call per stream) and replayed
+        # through a C-level list iterator, so the event loop never pays
+        # generator dispatch or StopIteration handling per step.  Streams draw
+        # from per-stream randomness, so batching does not change the values.
+        self._timelines: Dict[Hashable, List[Tuple[float, float]]] = {}
+        self._timeline_cursors: Dict[Hashable, Iterator[Tuple[float, float]]] = {}
         for key, stream in streams.items():
             self._sources[key] = DataSource(key=key, value=stream.initial_value)
-            self._update_iterators[key] = stream.updates(config.duration)
+            timeline = stream.schedule(config.duration)
+            self._timelines[key] = timeline
+            self._timeline_cursors[key] = iter(timeline)
+        # Interval samples are only collected for tracked keys; skipping the
+        # collector calls entirely when nothing is tracked saves a call per
+        # update in the hot loop.
+        self._sampling = bool(config.track_keys)
+        # Whether evictions are reported back to sources is a protocol
+        # property of the policy (constant per run), so resolve it once
+        # instead of per install.
+        self._notify_on_eviction = policy.notifies_source_on_eviction()
+        # The workload-observation hooks default to no-ops on PrecisionPolicy;
+        # when the policy under test doesn't override them (the paper's
+        # algorithm learns from refreshes alone), skip the calls entirely —
+        # they fire once per update and per queried key.
+        policy_type = type(policy)
+        self._policy_observes_writes = (
+            policy_type.record_write is not PrecisionPolicy.record_write
+        )
+        self._policy_observes_reads = (
+            policy_type.record_read is not PrecisionPolicy.record_read
+            or policy_type.record_constraint is not PrecisionPolicy.record_constraint
+        )
         workload_rng = random.Random(config.seed)
         constraint_rng = random.Random(config.seed + 1)
         self._workload = QueryWorkload(
@@ -140,50 +168,47 @@ class CacheSimulation:
     # Update handling
     # ------------------------------------------------------------------
     def _schedule_next_update(self, key: Hashable) -> None:
-        iterator = self._update_iterators[key]
-        try:
-            time, value = next(iterator)
-        except StopIteration:
+        step = next(self._timeline_cursors[key], None)
+        if step is None:
             return
         self._scheduler.schedule_at(
-            time=time,
+            time=step[0],
             priority=EventPriority.UPDATE,
             action=self._handle_update,
             key=key,
-            payload=value,
+            payload=step[1],
         )
 
     def _handle_update(self, event: SimulationEvent) -> None:
         key = event.key
         source = self._sources[key]
-        if event.payload == source.value:
-            # Not a modification: the stream re-reported the same value (idle
-            # periods in trace replays).  Nothing changes — no write is
-            # recorded and no refresh can be needed.
-            self._schedule_next_update(key)
-            return
-        needs_refresh = source.apply_update(event.payload, event.time)
-        self._policy.record_write(key, event.time)
-        if needs_refresh:
-            self._value_initiated_refresh(key, event.time)
-        else:
-            self._metrics.record_interval_sample(
-                key, event.time, source.value, source.published_interval
-            )
-        self._schedule_next_update(key)
+        time = event.time
+        payload = event.payload
+        if payload != source.value:
+            needs_refresh = source.apply_update(payload, time)
+            if self._policy_observes_writes:
+                self._policy.record_write(key, time)
+            if needs_refresh:
+                self._value_initiated_refresh(key, time)
+            elif self._sampling:
+                self._metrics.record_interval_sample(
+                    key, time, source.value, source.published_interval
+                )
+        # else: not a modification — the stream re-reported the same value
+        # (idle periods in trace replays).  Nothing changes: no write is
+        # recorded and no refresh can be needed.
+        step = next(self._timeline_cursors[key], None)
+        if step is not None:
+            # One update event per source is in flight at a time, so the
+            # event object is recycled for the source's next step.
+            self._scheduler.reschedule(event, step[0], step[1])
 
     def _value_initiated_refresh(self, key: Hashable, time: float) -> None:
         source = self._sources[key]
         decision = self._policy.on_value_initiated_refresh(key, source.value, time)
         cost = self._network.charge_value_refresh()
-        self._metrics.record_refresh(
-            RefreshEvent(
-                kind=RefreshKind.VALUE_INITIATED,
-                key=key,
-                time=time,
-                cost=cost,
-                published_width=decision.interval.width,
-            )
+        self._metrics.record_refresh_components(
+            RefreshKind.VALUE_INITIATED, key, time, cost, decision.interval.width
         )
         self._install(key, decision, time)
 
@@ -191,7 +216,7 @@ class CacheSimulation:
     # Query handling
     # ------------------------------------------------------------------
     def _schedule_query(self, time: float) -> None:
-        if time > self._config.duration + 1e-9:
+        if time > self._config.duration + HORIZON_TOLERANCE:
             return
         self._scheduler.schedule_at(
             time=time,
@@ -203,33 +228,41 @@ class CacheSimulation:
         time = event.time
         query = self._workload.generate(time)
         self._metrics.record_query(time)
+        cache_get = self._cache.get
+        constraint = query.constraint
         intervals = {}
-        for key in query.keys:
-            entry = self._cache.get(key, time)
-            intervals[key] = entry.interval if entry is not None else UNBOUNDED
-            self._policy.record_read(
-                key, time, served_from_cache=entry is not None
-            )
-            self._policy.record_constraint(key, query.constraint, time)
+        if self._policy_observes_reads:
+            record_read = self._policy.record_read
+            record_constraint = self._policy.record_constraint
+            for key in query.keys:
+                # The workload lookup — the only cache access that counts
+                # toward the hit rate.  Any bookkeeping or post-run
+                # inspection of the cache must pass ``record_stats=False``.
+                entry = cache_get(key, time)
+                intervals[key] = entry.interval if entry is not None else UNBOUNDED
+                record_read(key, time, served_from_cache=entry is not None)
+                record_constraint(key, constraint, time)
+        else:
+            for key in query.keys:
+                entry = cache_get(key, time)
+                intervals[key] = entry.interval if entry is not None else UNBOUNDED
 
         def fetch_exact(key: Hashable) -> float:
             return self._query_initiated_refresh(key, time)
 
-        execute_bounded_query(query.kind, intervals, query.constraint, fetch_exact)
-        self._schedule_query(time + self._config.query_period)
+        execute_bounded_query(query.kind, intervals, constraint, fetch_exact)
+        next_time = time + self._config.query_period
+        if next_time <= self._config.duration + HORIZON_TOLERANCE:
+            # The query clock is strictly periodic, so its event object is
+            # recycled rather than reallocated.
+            self._scheduler.reschedule(event, next_time)
 
     def _query_initiated_refresh(self, key: Hashable, time: float) -> float:
         source = self._sources[key]
         decision = self._policy.on_query_initiated_refresh(key, source.value, time)
         cost = self._network.charge_query_refresh()
-        self._metrics.record_refresh(
-            RefreshEvent(
-                kind=RefreshKind.QUERY_INITIATED,
-                key=key,
-                time=time,
-                cost=cost,
-                published_width=decision.interval.width,
-            )
+        self._metrics.record_refresh_components(
+            RefreshKind.QUERY_INITIATED, key, time, cost, decision.interval.width
         )
         self._install(key, decision, time)
         return source.value
@@ -239,7 +272,7 @@ class CacheSimulation:
     # ------------------------------------------------------------------
     def _install(self, key: Hashable, decision: PrecisionDecision, time: float) -> None:
         source = self._sources[key]
-        if decision.interval.is_unbounded and self._policy.notifies_source_on_eviction():
+        if decision.interval.is_unbounded and self._notify_on_eviction:
             # Policies that track replicas explicitly (WJH97 exact caching)
             # interpret an unbounded approximation as "do not cache at all":
             # the cache drops the value and the source stops propagating
@@ -251,12 +284,13 @@ class CacheSimulation:
             evicted = self._cache.put(
                 key, decision.interval, decision.original_width, time
             )
-            if self._policy.notifies_source_on_eviction():
+            if evicted and self._notify_on_eviction:
                 for evicted_key in evicted:
                     self._sources[evicted_key].forget_publication()
-        self._metrics.record_interval_sample(
-            key, time, source.value, source.published_interval
-        )
+        if self._sampling:
+            self._metrics.record_interval_sample(
+                key, time, source.value, source.published_interval
+            )
 
     def _collect_final_widths(self) -> Dict[Hashable, float]:
         current_width = getattr(self._policy, "current_width", None)

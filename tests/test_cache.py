@@ -33,6 +33,28 @@ class TestBasicOperations:
     def test_hit_rate_with_no_lookups_is_zero(self):
         assert ApproximateCache().statistics.hit_rate == 0.0
 
+    def test_record_stats_false_skips_hit_miss_counters(self):
+        # Internal bookkeeping lookups must not skew the workload hit rate.
+        cache = ApproximateCache()
+        cache.put("a", Interval(0.0, 1.0), 1.0, 0.0)
+        assert cache.get("a", record_stats=False) is not None
+        assert cache.get("missing", record_stats=False) is None
+        assert cache.statistics.hits == 0
+        assert cache.statistics.misses == 0
+        cache.get("a")
+        assert cache.statistics.hits == 1
+
+    def test_record_stats_false_still_touches_access_time(self):
+        cache = ApproximateCache()
+        cache.put("a", Interval(0.0, 1.0), 1.0, 0.0)
+        entry = cache.get("a", time=5.0, record_stats=False)
+        assert entry.last_access_time == 5.0
+
+    def test_approximation_record_stats_false(self):
+        cache = ApproximateCache()
+        assert cache.approximation("missing", record_stats=False) == UNBOUNDED
+        assert cache.statistics.misses == 0
+
     def test_approximation_returns_unbounded_for_missing(self):
         cache = ApproximateCache()
         assert cache.approximation("missing") == UNBOUNDED

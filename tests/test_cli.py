@@ -18,6 +18,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run"])
 
+    def test_run_accepts_workers(self):
+        args = build_parser().parse_args(["run", "section45", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_workers_defaults_to_sequential(self):
+        args = build_parser().parse_args(["run", "section45"])
+        assert args.workers is None
+
+    def test_run_all_accepts_workers(self):
+        args = build_parser().parse_args(["run-all", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "section45", "--workers", "-2"])
+
 
 class TestMain:
     def test_list_prints_experiment_ids(self, capsys):

@@ -187,3 +187,106 @@ class TestAvgExecutionAndValidation:
             AggregateKind.SUM, {"a": Interval(0.0, 1.0)}, 2.0, _fetcher({})
         )
         assert execution.constraint == 2.0
+
+
+class TestIncrementalEquivalence:
+    """The incremental (heap-based) paths must match the naive O(n^2)/O(n log n)
+    reference implementations exactly — same refresh keys in the same order,
+    same final bounds — including under heavy endpoint and width ties."""
+
+    @staticmethod
+    def _naive_extremum(intervals, constraint, fetch_exact, kind):
+        from repro.queries.aggregates import aggregate_bound
+
+        working = dict(intervals)
+        refreshed = []
+        while True:
+            bound = aggregate_bound(kind, list(working.values()))
+            if bound.width <= constraint:
+                break
+            candidates = [k for k, iv in working.items() if not iv.is_exact]
+            if not candidates:
+                break
+            if kind is AggregateKind.MAX:
+                victim = max(candidates, key=lambda k: working[k].high)
+            else:
+                victim = min(candidates, key=lambda k: working[k].low)
+            exact = fetch_exact(victim)
+            working[victim] = Interval.exact(exact)
+            refreshed.append(victim)
+        return aggregate_bound(kind, list(working.values())), refreshed
+
+    @staticmethod
+    def _naive_sum_selection(intervals, constraint):
+        ordered = sorted(
+            intervals.items(), key=lambda item: item[1].width, reverse=True
+        )
+        unbounded = sum(1 for _, iv in ordered if math.isinf(iv.width))
+        finite = sum(iv.width for _, iv in ordered if not math.isinf(iv.width))
+        refreshes = []
+        for key, iv in ordered:
+            remaining = math.inf if unbounded else finite
+            if remaining <= constraint:
+                break
+            refreshes.append(key)
+            if math.isinf(iv.width):
+                unbounded -= 1
+            else:
+                finite -= iv.width
+        return refreshes
+
+    @staticmethod
+    def _random_intervals(rng):
+        intervals = {}
+        for index in range(rng.randrange(1, 14)):
+            roll = rng.random()
+            if roll < 0.12:
+                intervals[f"k{index}"] = UNBOUNDED
+            elif roll < 0.3:
+                intervals[f"k{index}"] = Interval.exact(rng.uniform(-10, 10))
+            else:
+                # Discrete centers/widths force endpoint ties.
+                intervals[f"k{index}"] = Interval.centered(
+                    rng.choice([0.0, 1.0, 2.0]), rng.choice([1.0, 2.0, 2.0, 4.0])
+                )
+        return intervals
+
+    def test_extremum_matches_naive_reference(self):
+        import random
+
+        from repro.queries.refresh_selection import _execute_extremum
+
+        for seed in range(250):
+            rng = random.Random(seed)
+            intervals = self._random_intervals(rng)
+            constraint = rng.choice([0.0, 0.5, 1.0, 2.0, 5.0])
+            values = {
+                key: (iv.low if not iv.is_unbounded else rng.uniform(-5, 5))
+                for key, iv in intervals.items()
+            }
+            for kind in (AggregateKind.MAX, AggregateKind.MIN):
+                fast = _execute_extremum(
+                    dict(intervals), constraint, lambda k: values[k], kind
+                )
+                naive_bound, naive_refreshed = self._naive_extremum(
+                    dict(intervals), constraint, lambda k: values[k], kind
+                )
+                assert fast.refreshed_keys == naive_refreshed, (seed, kind)
+                assert fast.result_bound == naive_bound, (seed, kind)
+
+    def test_sum_selection_matches_naive_reference(self):
+        import random
+
+        for seed in range(400):
+            rng = random.Random(seed)
+            intervals = self._random_intervals(rng)
+            finite_total = sum(
+                iv.width for iv in intervals.values() if not math.isinf(iv.width)
+            )
+            for constraint in (0.0, 1.0, 5.0, finite_total, 1e9):
+                assert select_sum_refreshes(
+                    intervals, constraint
+                ) == self._naive_sum_selection(intervals, constraint), (
+                    seed,
+                    constraint,
+                )
