@@ -13,12 +13,24 @@ Records are keyed by label; re-using a label overwrites the old record (handy
 while iterating).  ``--compare A`` prints the speedup of the new record over
 record ``A`` per benchmark and exits non-zero if any benchmark regressed by
 more than ``--tolerance`` (default 20%).
+
+CI runs this as a regression gate on a reduced budget::
+
+    PYTHONPATH=src python benchmarks/save_bench.py --label ci-check --no-save \
+        --select "cache_put_get or simulator_event" \
+        --compare pr2-sharding --tolerance 0.25
+
+``--no-save`` leaves ``BENCH_micro.json`` untouched (the committed trajectory
+only records per-PR states), ``--select`` is a pytest ``-k`` expression
+restricting which microbenchmarks run, and ``--min-rounds`` lowers the
+pytest-benchmark round count for cheap smoke timings.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -30,8 +42,12 @@ RESULT_FILE = BENCH_DIR / "BENCH_micro.json"
 MICRO_FILE = BENCH_DIR / "test_bench_microbenchmarks.py"
 
 
-def run_microbenchmarks() -> dict:
-    """Run the microbenchmark suite and return ``{test_name: median_ns}``."""
+def run_microbenchmarks(select=None, min_rounds=None) -> dict:
+    """Run the microbenchmark suite and return ``{test_name: median_ns}``.
+
+    ``select`` restricts the run to benchmarks matching a pytest ``-k``
+    expression; ``min_rounds`` overrides pytest-benchmark's round floor.
+    """
     with tempfile.TemporaryDirectory() as tmp:
         json_path = Path(tmp) / "bench.json"
         env_src = str(REPO_ROOT / "src")
@@ -44,10 +60,14 @@ def run_microbenchmarks() -> dict:
             "--benchmark-only",
             f"--benchmark-json={json_path}",
         ]
+        if select:
+            command.extend(["-k", select])
+        if min_rounds is not None:
+            command.append(f"--benchmark-min-rounds={min_rounds}")
         completed = subprocess.run(
             command,
             cwd=REPO_ROOT,
-            env={**__import__("os").environ, "PYTHONPATH": env_src},
+            env={**os.environ, "PYTHONPATH": env_src},
             capture_output=True,
             text=True,
         )
@@ -89,21 +109,53 @@ def main(argv=None) -> int:
         default=0.2,
         help="allowed fractional slowdown vs the compared record (default 0.2)",
     )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="pytest -k expression restricting which microbenchmarks run",
+    )
+    parser.add_argument(
+        "--min-rounds",
+        type=int,
+        default=None,
+        help="override pytest-benchmark's minimum round count (reduced budgets)",
+    )
+    parser.add_argument(
+        "--no-save",
+        action="store_true",
+        help="do not persist the record to BENCH_micro.json (CI check mode)",
+    )
     args = parser.parse_args(argv)
+    if args.select and not args.no_save:
+        # A partial run must never overwrite a label's full record: the CI
+        # gate comparing against that label would then skip the dropped
+        # benchmarks as "(new benchmark)".
+        parser.error("--select requires --no-save (partial records are not stored)")
 
-    medians = run_microbenchmarks()
-    records = [r for r in load_records() if r["label"] != args.label]
+    medians = run_microbenchmarks(select=args.select, min_rounds=args.min_rounds)
+    if not medians:
+        print("no benchmarks matched the selection", file=sys.stderr)
+        return 2
+    stored = load_records()
+    # Resolve the comparison baseline from the *stored* records before the
+    # label is overwritten, so ``--label X --compare X`` gauges the new run
+    # against the committed X record instead of against itself.
+    baseline = next((r for r in stored if r["label"] == args.compare), None)
+    records = [r for r in stored if r["label"] != args.label]
     records.append({"label": args.label, "median_ns": medians})
-    save_records(records)
+    if not args.no_save:
+        save_records(records)
     print(f"recorded {len(medians)} benchmarks under label {args.label!r}:")
     for name, value in sorted(medians.items()):
         print(f"  {name}: {value} ns")
 
     if args.compare is None:
         return 0
-    baseline = next((r for r in records if r["label"] == args.compare), None)
     if baseline is None:
-        print(f"no record labelled {args.compare!r} to compare against", file=sys.stderr)
+        print(
+            f"no record labelled {args.compare!r} to compare against",
+            file=sys.stderr,
+        )
         return 2
     regressed = False
     print(f"speedup vs {args.compare!r}:")

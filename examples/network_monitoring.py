@@ -13,7 +13,6 @@ grows, and shows the cached interval chosen for the busiest host.
 Run with:  python examples/network_monitoring.py
 """
 
-import math
 import random
 
 from repro import AdaptivePrecisionPolicy, CacheSimulation, PrecisionParameters

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass
-from typing import Dict, Hashable, Mapping
+from typing import Hashable, Mapping
 
 
 def relative_regret(adaptive_cost_rate: float, optimal_cost_rate: float) -> float:

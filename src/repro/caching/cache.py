@@ -21,8 +21,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.caching.eviction import EvictionPolicy, WidestFirstEviction
 from repro.intervals.interval import UNBOUNDED, Interval

@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Hashable, List, Optional
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, List
 
 from repro.caching.policies.base import PrecisionDecision, PrecisionPolicy
 from repro.intervals.interval import Interval

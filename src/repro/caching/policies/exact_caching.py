@@ -17,7 +17,7 @@ argument.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable
 
 from repro.caching.policies.base import PrecisionDecision, PrecisionPolicy

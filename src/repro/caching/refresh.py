@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List
 
 
 class RefreshKind(Enum):

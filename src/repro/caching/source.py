@@ -11,7 +11,7 @@ counter used by the stale-value (Divergence Caching) experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Optional
 
 from repro.intervals.interval import Interval

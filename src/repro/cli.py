@@ -5,17 +5,23 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run figure03
     python -m repro.cli run figure07_09 --workers 4
+    python -m repro.cli run section45 --shards 4
     python -m repro.cli run-all --workers 4
 
 ``--workers N`` fans the multi-configuration experiments out over N worker
 processes through :mod:`repro.experiments.runner`; the printed tables are
 identical to sequential runs (every sub-run is deterministically seeded).
 Experiments without a parallel plan simply run sequentially.
+
+``--shards N`` runs an experiment's simulations behind the hash-partitioned
+multi-cache coordinator (:mod:`repro.sharding`).  Experiments whose plans do
+not take a shard count note on stderr that the flag was ignored.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional
 
@@ -42,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fan independent sub-runs out over this many processes",
     )
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run simulations behind this many hash-partitioned cache shards",
+    )
     run_all_parser = subparsers.add_parser(
         "run-all", help="run every experiment (may take a while)"
     )
@@ -51,17 +63,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fan independent sub-runs out over this many processes",
     )
+    run_all_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run simulations behind this many hash-partitioned cache shards",
+    )
     return parser
 
 
-def _run_experiment(experiment_id: str, workers: Optional[int]) -> ExperimentResult:
-    """Run one experiment, through its parallel plan when it declares one."""
-    if workers is not None and workers > 1:
-        plans = plan_registry()
-        plan_factory = plans.get(experiment_id)
-        if plan_factory is not None:
-            return run_plan(plan_factory(), workers=workers)
-    return registry()[experiment_id]()
+def _accepts_shards(func) -> bool:
+    """True when ``func`` takes an explicit ``shards`` keyword."""
+    try:
+        return "shards" in inspect.signature(func).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins/partials
+        return False
+
+
+def _run_experiment(
+    experiment_id: str,
+    workers: Optional[int],
+    shards: Optional[int] = None,
+) -> ExperimentResult:
+    """Run one experiment, through its parallel plan when it declares one.
+
+    ``shards`` is forwarded to experiments whose plan factory (or runner)
+    accepts a shard count; for the rest the flag is reported as ignored so
+    a sharded sweep never silently reproduces unsharded tables.
+    """
+    plan_factory = plan_registry().get(experiment_id)
+    runner = registry()[experiment_id]
+    shard_kwargs = {}
+    if shards is not None:
+        target = plan_factory if plan_factory is not None else runner
+        if _accepts_shards(target):
+            shard_kwargs = {"shards": shards}
+        else:
+            print(
+                f"note: {experiment_id} does not take a shard count; "
+                "--shards ignored",
+                file=sys.stderr,
+            )
+    if workers is not None and workers > 1 and plan_factory is not None:
+        return run_plan(plan_factory(**shard_kwargs), workers=workers)
+    if shard_kwargs and plan_factory is not None and not _accepts_shards(runner):
+        return run_plan(plan_factory(**shard_kwargs))
+    return runner(**shard_kwargs)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -70,6 +117,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "workers", None) is not None and args.workers < 0:
         parser.error(f"--workers must be non-negative, got {args.workers}")
+    if getattr(args, "shards", None) is not None and args.shards < 1:
+        parser.error(f"--shards must be at least 1, got {args.shards}")
     experiments = registry()
     if args.command == "list":
         for experiment_id in sorted(experiments):
@@ -83,11 +132,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        print(format_table(_run_experiment(args.experiment, args.workers)))
+        print(format_table(_run_experiment(args.experiment, args.workers, args.shards)))
         return 0
     if args.command == "run-all":
         for experiment_id in sorted(experiments):
-            print(format_table(_run_experiment(experiment_id, args.workers)))
+            print(
+                format_table(_run_experiment(experiment_id, args.workers, args.shards))
+            )
             print()
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -20,7 +20,7 @@ factor is ``rho' = C_vr / C_qr``, selected via ``cost_factor_multiplier``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 

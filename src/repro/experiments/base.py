@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
 
@@ -89,6 +89,7 @@ def registry() -> Dict[str, Callable[[], ExperimentResult]]:
         figure14_15_divergence,
         section44_sensitivity,
         section45_variations,
+        sharded_scaling,
         table1,
     )
 
@@ -103,5 +104,6 @@ def registry() -> Dict[str, Callable[[], ExperimentResult]]:
         "figure14_15": figure14_15_divergence.run,
         "section44": section44_sensitivity.run,
         "section45": section45_variations.run,
+        "sharded_scaling": sharded_scaling.run,
         "ablations": ablations.run,
     }

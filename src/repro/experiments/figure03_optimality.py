@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.analysis.convergence import relative_regret
 from repro.analysis.optimal_width import WidthSweepResult, sweep_widths

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import ExperimentPlan, SubRun, run_plan

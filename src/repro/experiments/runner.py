@@ -143,6 +143,7 @@ def plan_registry() -> Dict[str, Callable[[], ExperimentPlan]]:
         figure10_13_exact,
         section44_sensitivity,
         section45_variations,
+        sharded_scaling,
     )
 
     return {
@@ -151,5 +152,6 @@ def plan_registry() -> Dict[str, Callable[[], ExperimentPlan]]:
         "figure10_13": figure10_13_exact.plan,
         "section44": section44_sensitivity.plan,
         "section45": section45_variations.plan,
+        "sharded_scaling": sharded_scaling.plan,
         "ablations": ablations.plan,
     }

@@ -37,6 +37,7 @@ def lower_threshold_rows(
     host_count: int,
     duration: int,
     seed: int,
+    shards: int = 1,
 ) -> List[Tuple]:
     """The row for one ``theta_0`` setting (picklable sub-run unit)."""
     trace = traffic_trace(host_count=host_count, duration=duration)
@@ -46,6 +47,7 @@ def lower_threshold_rows(
         constraint_bounds=constraint_bounds,
         cost_factor=1.0,
         seed=seed,
+        shards=shards,
     )
     policy = adaptive_policy(
         cost_factor=1.0,
@@ -87,6 +89,7 @@ def constraint_variation_rows(
     host_count: int,
     duration: int,
     seed: int,
+    shards: int = 1,
 ) -> List[Tuple]:
     """The row for one (delta_avg, sigma) cell (picklable sub-run unit)."""
     trace = traffic_trace(host_count=host_count, duration=duration)
@@ -97,6 +100,7 @@ def constraint_variation_rows(
         constraint_variation=variation,
         cost_factor=1.0,
         seed=seed,
+        shards=shards,
     )
     policy = adaptive_policy(
         cost_factor=1.0,
@@ -143,6 +147,7 @@ def plan(
     host_count: int = DEFAULT_HOST_COUNT,
     duration: int = DEFAULT_TRACE_DURATION,
     seed: int = 21,
+    shards: int = 1,
 ) -> ExperimentPlan:
     """Decompose both studies into one sub-run per parameter cell."""
     subruns = [
@@ -155,6 +160,7 @@ def plan(
                 host_count=host_count,
                 duration=duration,
                 seed=seed,
+                shards=shards,
             ),
         )
         for lower_threshold in DEFAULT_LOWER_THRESHOLDS
@@ -169,6 +175,7 @@ def plan(
                 host_count=host_count,
                 duration=duration,
                 seed=seed,
+                shards=shards,
             ),
         )
         for constraint_average in DEFAULT_CONSTRAINT_AVERAGES
@@ -192,8 +199,10 @@ def run(
     duration: int = DEFAULT_TRACE_DURATION,
     seed: int = 21,
     workers: Optional[int] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     """Produce both Section 4.4 sensitivity studies."""
     return run_plan(
-        plan(host_count=host_count, duration=duration, seed=seed), workers=workers
+        plan(host_count=host_count, duration=duration, seed=seed, shards=shards),
+        workers=workers,
     )

@@ -40,7 +40,7 @@ DEFAULT_DURATION = 3000.0
 DEFAULT_SOURCE_COUNT = 5
 
 
-def _config(duration: float, seed: int) -> SimulationConfig:
+def _config(duration: float, seed: int, shards: int = 1) -> SimulationConfig:
     return SimulationConfig(
         duration=duration,
         warmup=duration * 0.1,
@@ -52,6 +52,7 @@ def _config(duration: float, seed: int) -> SimulationConfig:
         value_refresh_cost=1.0,
         query_refresh_cost=2.0,
         seed=seed,
+        shards=shards,
     )
 
 
@@ -71,10 +72,15 @@ def variation_rows(
     duration: float,
     source_count: int,
     seed: int,
+    shards: int = 1,
 ) -> List[Tuple]:
-    """The row for one (walk bias, placement variant) cell (picklable)."""
+    """The row for one (walk bias, placement variant) cell (picklable).
+
+    The cache is unbounded here, so any ``shards`` count must produce the
+    same rows — the CI sharded-smoke job relies on exactly that.
+    """
     walk_kind = "unbiased walk" if up_probability == 0.5 else "biased walk"
-    config = _config(duration, seed)
+    config = _config(duration, seed, shards=shards)
     if variant == "centred":
         policy = AdaptivePrecisionPolicy(
             _parameters(), initial_width=4.0, rng=random.Random(seed)
@@ -100,6 +106,7 @@ def plan(
     source_count: int = DEFAULT_SOURCE_COUNT,
     up_probabilities: Sequence[float] = (0.5, 0.8),
     seed: int = 23,
+    shards: int = 1,
 ) -> ExperimentPlan:
     """Decompose into one sub-run per (walk bias, placement variant) cell."""
     subruns = tuple(
@@ -112,6 +119,7 @@ def plan(
                 duration=duration,
                 source_count=source_count,
                 seed=seed,
+                shards=shards,
             ),
         )
         for up_probability in up_probabilities
@@ -137,6 +145,7 @@ def run(
     up_probabilities: Sequence[float] = (0.5, 0.8),
     seed: int = 23,
     workers: Optional[int] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     """Compare centred vs uncentered placement on unbiased and biased walks."""
     return run_plan(
@@ -145,6 +154,7 @@ def run(
             source_count=source_count,
             up_probabilities=up_probabilities,
             seed=seed,
+            shards=shards,
         ),
         workers=workers,
     )

@@ -17,7 +17,6 @@ from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.caching.policies.adaptive import AdaptivePrecisionPolicy
 from repro.caching.policies.exact_caching import ExactCachingPolicy
-from repro.caching.policies.static import StaticWidthPolicy
 from repro.core.parameters import PrecisionParameters
 from repro.data.random_walk import RandomWalkGenerator
 from repro.data.streams import RandomWalkStream, TraceStream, UpdateStream
@@ -118,12 +117,15 @@ def traffic_config(
     seed: int = 0,
     track_keys: Sequence[Hashable] = (),
     query_size: Optional[int] = None,
+    shards: int = 1,
 ) -> SimulationConfig:
     """Build a simulation config for the network-monitoring workload.
 
     ``query_size`` defaults to one fifth of the host population, preserving
     the paper's ratio (10 values per query out of 50 hosts) and therefore the
     per-item read rate when experiments run on a reduced host count.
+    ``shards`` > 1 fronts the run with the hash-partitioned multi-cache
+    coordinator (see :mod:`repro.sharding`).
     """
     if query_size is None:
         query_size = max(len(trace.keys) // 5, 1)
@@ -139,6 +141,7 @@ def traffic_config(
         constraint_variation=constraint_variation,
         constraint_bounds=constraint_bounds,
         cache_capacity=cache_capacity,
+        shards=shards,
         value_refresh_cost=value_refresh_cost,
         query_refresh_cost=query_refresh_cost,
         seed=seed,

@@ -30,8 +30,8 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List
 
 from repro.intervals.interval import Interval
 from repro.queries.aggregates import AggregateKind, aggregate_bound

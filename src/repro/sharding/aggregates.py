@@ -1,0 +1,133 @@
+"""Cross-shard bounded aggregates.
+
+A bounded aggregate over keys that span several cache shards decomposes into
+per-shard partial bounds plus one merge step, because SUM, MAX, MIN and AVG
+are all decomposable aggregates:
+
+* ``SUM``  — the global bound is the interval sum of the partial SUM bounds.
+* ``MAX``  — ``[max of partial lows, max of partial highs]``.
+* ``MIN``  — ``[min of partial lows, min of partial highs]``.
+* ``AVG``  — partials are per-shard *SUM* bounds; the merge divides their
+  interval sum by the total contributing count.
+
+The merge is O(S) for S shards, on top of the per-shard bound costs — the
+partial bounds are tiny compared to shipping every per-key interval to one
+node, which is the point of pushing aggregation down to the shards.
+
+Refreshing works through the existing
+:mod:`repro.queries.refresh_selection` machinery unchanged:
+:func:`execute_sharded_query` gathers the per-key intervals from the owning
+shards, lets ``execute_bounded_query`` pick the refresh set exactly as it
+would against a single cache, and routes every fetched exact value back to
+the shard that owns the key.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Sequence
+
+from repro.intervals.interval import Interval
+from repro.queries.aggregates import (
+    AggregateKind,
+    aggregate_bound,
+    max_bound,
+    min_bound,
+    sum_bound,
+)
+from repro.queries.refresh_selection import QueryExecution, execute_bounded_query
+
+FetchExact = Callable[[Hashable], float]
+
+
+def shard_aggregate_bound(
+    kind: AggregateKind,
+    shard,
+    keys: Sequence[Hashable],
+    time: Optional[float] = None,
+    record_stats: bool = False,
+) -> Interval:
+    """Bound one shard's contribution to an aggregate over ``keys``.
+
+    ``shard`` is the owning :class:`~repro.caching.cache.ApproximateCache`;
+    missing keys contribute the unbounded interval, as in a single cache.
+    For ``AVG`` the partial is the shard's **SUM** bound — the division by
+    the count happens once, in :func:`merge_aggregate_bounds`, because the
+    mean of per-shard means is not the global mean.
+    """
+    if not keys:
+        raise ValueError("a shard partial bound requires at least one key")
+    intervals = [shard.approximation(key, time, record_stats) for key in keys]
+    if kind is AggregateKind.AVG:
+        return sum_bound(intervals)
+    return aggregate_bound(kind, intervals)
+
+
+def merge_aggregate_bounds(
+    kind: AggregateKind,
+    partials: Sequence[Interval],
+    counts: Optional[Sequence[int]] = None,
+) -> Interval:
+    """Merge per-shard partial bounds into the global aggregate bound.
+
+    ``counts`` gives the number of contributing values per partial and is
+    required for ``AVG`` (whose partials are SUM bounds).  The merge adds
+    partials in the given (shard-grouped) order; interval addition of SUM
+    partials reassociates float additions, so a merged SUM bound can differ
+    from a single flat summation by float rounding — experiment paths that
+    must stay byte-identical therefore aggregate over the flat per-key
+    intervals and use this merge only for genuinely distributed answers.
+    """
+    if not partials:
+        raise ValueError("merging aggregate bounds requires at least one partial")
+    if kind is AggregateKind.SUM:
+        return sum_bound(list(partials))
+    if kind is AggregateKind.MAX:
+        return max_bound(list(partials))
+    if kind is AggregateKind.MIN:
+        return min_bound(list(partials))
+    if kind is AggregateKind.AVG:
+        if counts is None:
+            raise ValueError("AVG merges need the per-partial contribution counts")
+        if len(counts) != len(partials):
+            raise ValueError("counts must parallel the partial bounds")
+        total = sum(counts)
+        if total < 1:
+            raise ValueError("AVG merges need at least one contributing value")
+        return sum_bound(list(partials)).scale(1.0 / total)
+    raise ValueError(f"unsupported aggregate kind: {kind!r}")
+
+
+def execute_sharded_query(
+    coordinator,
+    kind: AggregateKind,
+    keys: Sequence[Hashable],
+    constraint: float,
+    fetch_exact: FetchExact,
+    time: Optional[float] = None,
+    record_stats: bool = True,
+) -> QueryExecution:
+    """Execute a bounded aggregate against a sharded cache.
+
+    The per-key intervals are gathered from the owning shards in the query's
+    key order, so the refresh-selection machinery sees exactly the mapping a
+    single cache would produce and makes identical refresh choices.  Each
+    refresh routes to the owning shard: the fetched exact value is installed
+    there as a zero-width interval (timestamped ``time``), mirroring what a
+    query-initiated refresh does in the simulator.
+
+    ``fetch_exact`` performs the actual source read and returns the exact
+    value; cost accounting stays with the caller.
+    """
+    if not keys:
+        raise ValueError("a query must touch at least one key")
+    install_time = 0.0 if time is None else time
+    intervals = {
+        key: coordinator.approximation(key, time, record_stats) for key in keys
+    }
+
+    def routed_fetch(key: Hashable) -> float:
+        exact = fetch_exact(key)
+        coordinator.put(key, Interval.exact(exact), 0.0, install_time)
+        return exact
+
+    return execute_bounded_query(kind, intervals, constraint, routed_fetch)

@@ -1,0 +1,104 @@
+"""Deterministic hash partitioning of source keys across cache shards.
+
+A sharded topology only keeps the identical-rows guarantee of the experiment
+suite if every process, on every run, assigns the same key to the same shard.
+Python's built-in ``hash`` is salted per process for strings (PEP 456), so
+the partitioner hashes a canonical byte encoding of the key with CRC-32
+instead: stable across processes, platforms and interpreter versions, and
+cheap enough for the simulator hot path.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+
+def stable_key_hash(key: Hashable) -> int:
+    """Return a process-stable 32-bit hash of ``key``.
+
+    Strings hash their UTF-8 bytes directly (the common case: source keys
+    like ``"host-03"``); every other key type hashes a NUL-prefixed ``repr``
+    — no ``repr`` starts with NUL, so ``1`` and ``"1"`` land in different
+    buckets (as dict keys they are distinct too).  Numeric keys that compare
+    equal across types (``True == 1 == 1.0``) are one dict key in a single
+    cache, so they are canonicalised to one hash input here, keeping the
+    coordinator's routing consistent with single-cache key semantics.
+
+    Keys are expected to have value-based ``repr``s (strings, numbers,
+    tuples of those); objects with the default id-based ``repr`` would
+    re-partition per process and must not be used as source keys.
+    """
+    if type(key) is str:
+        data = key.encode("utf-8")
+    else:
+        data = b"\x00" + repr(_canonical_key(key)).encode("utf-8")
+    return zlib.crc32(data)
+
+
+def _canonical_key(key):
+    """Collapse cross-type numeric equality (``True == 1 == 1.0``), recursively
+    through tuples, so equal dict keys share one hash input."""
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, float) and key.is_integer():
+        return int(key)
+    if type(key) is tuple:
+        return tuple(_canonical_key(item) for item in key)
+    return key
+
+
+def shard_index(key: Hashable, shard_count: int) -> int:
+    """Return the shard owning ``key`` under stable hash partitioning."""
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    return stable_key_hash(key) % shard_count
+
+
+def partition_keys(
+    keys: Iterable[Hashable], shard_count: int
+) -> Dict[int, List[Hashable]]:
+    """Group ``keys`` by owning shard, preserving iteration order per shard.
+
+    Only shards that own at least one key appear in the result; the mapping
+    iterates in first-touched order, which cross-shard aggregation relies on
+    being deterministic for a given key sequence.
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    groups: Dict[int, List[Hashable]] = {}
+    for key in keys:
+        index = stable_key_hash(key) % shard_count
+        group = groups.get(index)
+        if group is None:
+            groups[index] = [key]
+        else:
+            group.append(key)
+    return groups
+
+
+def split_capacity(
+    capacity: Optional[int], shard_count: int
+) -> Tuple[Optional[int], ...]:
+    """Divide a total cache capacity into per-shard eviction budgets.
+
+    ``None`` (unbounded) stays unbounded on every shard.  A bounded capacity
+    is split as evenly as possible — the first ``capacity % shard_count``
+    shards receive one extra slot — so the budgets sum exactly to the total.
+    Every shard must receive at least one slot (``ApproximateCache`` rejects
+    zero capacities), so bounded capacities below the shard count are
+    rejected.
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    if capacity is None:
+        return (None,) * shard_count
+    if capacity < shard_count:
+        raise ValueError(
+            f"capacity ({capacity}) must be at least the shard count "
+            f"({shard_count}) so every shard gets an eviction budget"
+        )
+    base, remainder = divmod(capacity, shard_count)
+    return tuple(
+        base + 1 if index < remainder else base for index in range(shard_count)
+    )

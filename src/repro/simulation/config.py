@@ -10,8 +10,8 @@ random seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
-from typing import Hashable, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Hashable, Optional, Tuple
 
 from repro.queries.aggregates import AggregateKind
 from repro.queries.constraints import PrecisionConstraintGenerator
@@ -42,6 +42,12 @@ class SimulationConfig:
     cache_capacity:
         ``kappa`` — maximum number of cached approximations (``None`` means
         large enough for everything).
+    shards:
+        Number of cache shards.  ``1`` (the default) runs the paper's single
+        ``ApproximateCache``; larger values front the run with a
+        :class:`~repro.sharding.coordinator.ShardedCacheCoordinator` that
+        hash-partitions keys over this many shards and splits
+        ``cache_capacity`` into per-shard eviction budgets.
     value_refresh_cost / query_refresh_cost:
         ``C_vr`` and ``C_qr`` charged per refresh.
     seed:
@@ -61,6 +67,7 @@ class SimulationConfig:
     constraint_variation: float = 0.0
     constraint_bounds: Optional[Tuple[float, float]] = None
     cache_capacity: Optional[int] = None
+    shards: int = 1
     value_refresh_cost: float = 1.0
     query_refresh_cost: float = 2.0
     seed: int = 0
@@ -89,6 +96,13 @@ class SimulationConfig:
                 raise ValueError("constraint_bounds must satisfy 0 <= min <= max")
         if self.cache_capacity is not None and self.cache_capacity < 1:
             raise ValueError("cache_capacity (kappa) must be at least 1")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.cache_capacity is not None and self.cache_capacity < self.shards:
+            raise ValueError(
+                "cache_capacity must be at least the shard count so every "
+                "shard receives an eviction budget"
+            )
         if self.value_refresh_cost <= 0 or self.query_refresh_cost <= 0:
             raise ValueError("refresh costs must be positive")
 

@@ -79,6 +79,13 @@ class SimulationEvent:
             return NotImplemented
         return self._order_key() == other._order_key()
 
+    def __hash__(self):
+        # Defining __eq__ suppresses the default hash; events must stay
+        # usable in sets/dict keys (the frozen-dataclass predecessor was
+        # hashable).  The order key is mutated when an event is recycled
+        # (EventScheduler.reschedule), so hash on the stable identity.
+        return object.__hash__(self)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SimulationEvent(time={self.time!r}, priority={self.priority!r}, "

@@ -50,6 +50,12 @@ class SimulationResult:
     final_widths:
         The unclamped width of each value's controller at the end of the run,
         where the policy exposes one (used for convergence diagnostics).
+    shard_hit_rates:
+        Per-shard workload hit rates for sharded runs, in shard-index order
+        (empty for single-cache runs).
+    events_processed:
+        Total simulation events executed by the scheduler over the whole run
+        (including warm-up) — the deterministic event-throughput numerator.
     """
 
     cost_rate: float
@@ -63,6 +69,15 @@ class SimulationResult:
     interval_samples: Dict[Hashable, List[IntervalSample]] = field(default_factory=dict)
     final_widths: Dict[Hashable, float] = field(default_factory=dict)
     cache_hit_rate: float = 0.0
+    shard_hit_rates: Tuple[float, ...] = ()
+    events_processed: int = 0
+
+    @property
+    def hit_rate_skew(self) -> float:
+        """Spread (max - min) of the per-shard hit rates (0.0 unsharded)."""
+        if not self.shard_hit_rates:
+            return 0.0
+        return max(self.shard_hit_rates) - min(self.shard_hit_rates)
 
     @property
     def refresh_count(self) -> int:
@@ -161,6 +176,8 @@ class MetricsCollector:
         end_time: float,
         final_widths: Optional[Dict[Hashable, float]] = None,
         cache_hit_rate: float = 0.0,
+        shard_hit_rates: Tuple[float, ...] = (),
+        events_processed: int = 0,
     ) -> SimulationResult:
         """Build the :class:`SimulationResult` for a run ending at ``end_time``."""
         if end_time <= self._warmup:
@@ -185,4 +202,6 @@ class MetricsCollector:
             },
             final_widths=dict(final_widths or {}),
             cache_hit_rate=cache_hit_rate,
+            shard_hit_rates=tuple(shard_hit_rates),
+            events_processed=events_processed,
         )

@@ -25,6 +25,7 @@ from repro.data.streams import UpdateStream
 from repro.intervals.interval import UNBOUNDED
 from repro.queries.refresh_selection import execute_bounded_query
 from repro.queries.workload import QueryWorkload
+from repro.sharding.coordinator import ShardedCacheCoordinator
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import HORIZON_TOLERANCE, EventScheduler
 from repro.simulation.events import EventPriority, SimulationEvent
@@ -66,9 +67,28 @@ class CacheSimulation:
             value_refresh_cost=config.value_refresh_cost,
             query_refresh_cost=config.query_refresh_cost,
         )
-        self._cache = ApproximateCache(
-            capacity=config.cache_capacity, eviction_policy=eviction_policy
-        )
+        # ``shards == 1`` keeps the paper's single cache on the exact code
+        # path the seeded figure tables were produced with; larger counts
+        # front the run with the hash-partitioned coordinator, which exposes
+        # the same get/put/invalidate surface.  The factory hands every shard
+        # the same policy instance so a single-instance override behaves as
+        # it does in the single-cache constructor.  Runs stay deterministic
+        # either way, but a stateful policy (RandomEviction's RNG) is then
+        # shared across shards; callers needing per-shard-independent policy
+        # state should build a ShardedCacheCoordinator directly with a
+        # factory returning fresh instances.
+        if config.shards > 1:
+            self._cache = ShardedCacheCoordinator(
+                shard_count=config.shards,
+                capacity=config.cache_capacity,
+                eviction_policy_factory=(
+                    None if eviction_policy is None else (lambda index: eviction_policy)
+                ),
+            )
+        else:
+            self._cache = ApproximateCache(
+                capacity=config.cache_capacity, eviction_policy=eviction_policy
+            )
         self._metrics = MetricsCollector(
             warmup=config.warmup, track_keys=list(config.track_keys)
         )
@@ -127,8 +147,10 @@ class CacheSimulation:
         return self._config
 
     @property
-    def cache(self) -> ApproximateCache:
-        """The simulated cache."""
+    def cache(self):
+        """The simulated cache (an :class:`ApproximateCache`, or a
+        :class:`~repro.sharding.coordinator.ShardedCacheCoordinator` for
+        ``config.shards > 1`` — both expose the same surface)."""
         return self._cache
 
     @property
@@ -158,10 +180,15 @@ class CacheSimulation:
             self._schedule_next_update(key)
         self._schedule_query(self._config.query_period)
         self._scheduler.run(until=self._config.duration)
+        shard_hit_rates = ()
+        if isinstance(self._cache, ShardedCacheCoordinator):
+            shard_hit_rates = self._cache.shard_hit_rates()
         return self._metrics.finalize(
             end_time=self._config.duration,
             final_widths=self._collect_final_widths(),
             cache_hit_rate=self._cache.statistics.hit_rate,
+            shard_hit_rates=shard_hit_rates,
+            events_processed=self._scheduler.processed,
         )
 
     # ------------------------------------------------------------------

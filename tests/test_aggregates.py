@@ -1,6 +1,5 @@
 """Unit tests for bounded aggregate computation over intervals."""
 
-import math
 
 import pytest
 

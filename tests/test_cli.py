@@ -34,6 +34,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["run", "section45", "--workers", "-2"])
 
+    def test_run_accepts_shards(self):
+        args = build_parser().parse_args(["run", "section45", "--shards", "4"])
+        assert args.shards == 4
+
+    def test_shards_defaults_to_unsharded(self):
+        args = build_parser().parse_args(["run", "section45"])
+        assert args.shards is None
+
+    def test_run_all_accepts_shards(self):
+        args = build_parser().parse_args(["run-all", "--shards", "2"])
+        assert args.shards == 2
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "section45", "--shards", "0"])
+
 
 class TestMain:
     def test_list_prints_experiment_ids(self, capsys):
@@ -55,3 +71,18 @@ class TestMain:
         assert main(["run", "figure02"]) == 0
         output = capsys.readouterr().out
         assert "P_vr" in output and "Omega" in output
+
+    def test_run_section45_sharded_matches_unsharded(self, capsys):
+        # The section45 cache is unbounded, so sharding must not change a
+        # single byte of the printed table (the CI smoke job diffs the two).
+        assert main(["run", "section45", "--shards", "1"]) == 0
+        unsharded = capsys.readouterr().out
+        assert main(["run", "section45", "--shards", "3"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == unsharded
+
+    def test_shards_flag_ignored_with_note_for_unsupported_experiment(self, capsys):
+        assert main(["run", "table1", "--shards", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "theta_0" in captured.out
+        assert "--shards ignored" in captured.err

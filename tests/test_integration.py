@@ -15,8 +15,7 @@ from repro.caching.policies.adaptive import AdaptivePrecisionPolicy
 from repro.caching.policies.divergence import DivergenceCachingPolicy
 from repro.caching.policies.static import StaticWidthPolicy
 from repro.core.parameters import PrecisionParameters
-from repro.data.random_walk import RandomWalkGenerator
-from repro.data.streams import CounterStream, RandomWalkStream
+from repro.data.streams import CounterStream
 from repro.experiments import figure03_optimality
 from repro.experiments.workloads import (
     adaptive_policy,
@@ -27,7 +26,6 @@ from repro.experiments.workloads import (
     traffic_trace,
 )
 from repro.intervals.placement import OneSidedPlacement
-from repro.queries.aggregates import AggregateKind
 from repro.simulation.config import SimulationConfig
 from repro.simulation.simulator import CacheSimulation
 

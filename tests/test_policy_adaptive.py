@@ -1,7 +1,5 @@
 """Unit tests for the adaptive precision policy (and its uncentered variation)."""
 
-import math
-import random
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for the HSW94 Divergence Caching baseline policy."""
 
-import math
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Unit tests for the Section 4.5 algorithm variations."""
 
 import math
-import random
 
 import pytest
 
