@@ -17,7 +17,9 @@ def test_ablation_adjustment_probabilities(benchmark, save_result):
     )
     save_result(result)
     costs = {row[1]: row[2] for row in rows}
-    paper_variant = next(value for key, value in costs.items() if key.startswith("min("))
+    paper_variant = next(
+        value for key, value in costs.items() if key.startswith("min(")
+    )
     ablated = costs["always adjust (ablated)"]
     # The paper's probabilistic rule should not be clearly worse than always
     # adjusting; Section 3 predicts it is the better choice for rho != 1.

@@ -45,7 +45,15 @@ def test_figure03_convergence_grid(benchmark, save_result):
     result = ExperimentResult(
         experiment_id="figure03_convergence",
         title="Adaptive vs best fixed width across the Section 4.2 grid",
-        columns=("T_q", "delta_avg", "rho", "best W", "best Omega", "adaptive Omega", "regret"),
+        columns=(
+            "T_q",
+            "delta_avg",
+            "rho",
+            "best W",
+            "best Omega",
+            "adaptive Omega",
+            "regret",
+        ),
         rows=rows,
         notes="Paper: within 5% of optimal across the grid; see EXPERIMENTS.md for measured gaps.",
     )

@@ -12,12 +12,38 @@ from repro.caching.cache import ApproximateCache
 from repro.caching.policies.adaptive import AdaptivePrecisionPolicy
 from repro.core.parameters import PrecisionParameters
 from repro.core.policy import AdaptiveWidthController
+from repro.data.engine import get_engine
 from repro.data.random_walk import RandomWalkGenerator
 from repro.data.streams import RandomWalkStream
+from repro.data.traffic import SyntheticTrafficTraceGenerator
 from repro.intervals.interval import Interval
 from repro.queries.refresh_selection import select_sum_refreshes
 from repro.simulation.config import SimulationConfig
 from repro.simulation.simulator import CacheSimulation
+
+#: Scale of the data-plane generation benchmarks: a 100-host trace (twice the
+#: paper's host population, a 900 s window so burst batches amortise numpy
+#: call overhead) and 20k-step walk schedules.  The reference and vector rows
+#: measure the same work on the two engines, so their ratio is the
+#: vector-engine speedup recorded per PR in BENCH_micro.json.
+BENCH_TRACE_HOSTS = 100
+BENCH_TRACE_DURATION = 900
+BENCH_WALK_STEPS = 20_000
+
+
+def _generate_trace(engine_name):
+    return SyntheticTrafficTraceGenerator(
+        host_count=BENCH_TRACE_HOSTS,
+        duration_seconds=BENCH_TRACE_DURATION,
+        seed=7,
+        engine=get_engine(engine_name),
+    ).generate()
+
+
+def _generate_walk_schedule(engine_name):
+    engine = get_engine(engine_name)
+    walk = RandomWalkGenerator(start=100.0, rng=engine.rng(11), engine=engine)
+    return RandomWalkStream(walk).schedule(float(BENCH_WALK_STEPS))
 
 
 def test_controller_adjustment_throughput(benchmark):
@@ -42,7 +68,12 @@ def test_cache_put_get_throughput(benchmark):
     def churn():
         for index in range(1000):
             key = index % 512
-            cache.put(key, Interval.centered(rng.random(), rng.random()), rng.random(), float(index))
+            cache.put(
+                key,
+                Interval.centered(rng.random(), rng.random()),
+                rng.random(),
+                float(index),
+            )
             cache.get(key, float(index))
         return len(cache)
 
@@ -62,6 +93,26 @@ def test_sum_refresh_selection_throughput(benchmark):
 
     refreshed = benchmark(select)
     assert isinstance(refreshed, list)
+
+
+def test_trace_generation_reference_throughput(benchmark):
+    trace = benchmark(_generate_trace, "reference")
+    assert len(trace.keys) == BENCH_TRACE_HOSTS
+
+
+def test_trace_generation_vector_throughput(benchmark):
+    trace = benchmark(_generate_trace, "vector")
+    assert len(trace.keys) == BENCH_TRACE_HOSTS
+
+
+def test_walk_schedule_reference_throughput(benchmark):
+    schedule = benchmark(_generate_walk_schedule, "reference")
+    assert len(schedule) == BENCH_WALK_STEPS
+
+
+def test_walk_schedule_vector_throughput(benchmark):
+    schedule = benchmark(_generate_walk_schedule, "vector")
+    assert len(schedule) == BENCH_WALK_STEPS
 
 
 def test_simulator_event_throughput(benchmark):

@@ -18,7 +18,12 @@ Run with:  python examples/divergence_comparison.py
 
 import random
 
-from repro import AdaptivePrecisionPolicy, CacheSimulation, DivergenceCachingPolicy, PrecisionParameters
+from repro import (
+    AdaptivePrecisionPolicy,
+    CacheSimulation,
+    DivergenceCachingPolicy,
+    PrecisionParameters,
+)
 from repro.data.streams import CounterStream
 from repro.intervals.placement import OneSidedPlacement
 from repro.simulation.config import SimulationConfig
@@ -34,7 +39,9 @@ def build_streams(count: int = 8, seed: int = 3):
     }
 
 
-def build_config(staleness_tolerance: float, query_period: float = 1.0) -> SimulationConfig:
+def build_config(
+    staleness_tolerance: float, query_period: float = 1.0
+) -> SimulationConfig:
     return SimulationConfig(
         duration=2000.0,
         warmup=400.0,
@@ -57,7 +64,10 @@ def adaptive_policy() -> AdaptivePrecisionPolicy:
         cost_factor_multiplier=1.0,  # rho' = C_vr / C_qr for stale values
     )
     return AdaptivePrecisionPolicy(
-        parameters, initial_width=1.0, placement=OneSidedPlacement(), rng=random.Random(3)
+        parameters,
+        initial_width=1.0,
+        placement=OneSidedPlacement(),
+        rng=random.Random(3),
     )
 
 
@@ -70,7 +80,9 @@ def main() -> None:
             build_config(tolerance), build_streams(), adaptive_policy()
         ).run()
         theirs = CacheSimulation(
-            build_config(tolerance), build_streams(), DivergenceCachingPolicy(window_size=23)
+            build_config(tolerance),
+            build_streams(),
+            DivergenceCachingPolicy(window_size=23),
         ).run()
         print(f"{tolerance:24.0f}  {ours.cost_rate:8.3f}  {theirs.cost_rate:19.3f}")
     print()

@@ -84,7 +84,10 @@ def main() -> None:
     trace = build_trace()
     print("Exact caching vs adaptive approximate caching")
     print("=" * 72)
-    for delta_avg, label in ((0.0, "exact answers required"), (200.0 * KILO, "200K error tolerated")):
+    for delta_avg, label in (
+        (0.0, "exact answers required"),
+        (200.0 * KILO, "200K error tolerated"),
+    ):
         print(f"\nworkload: {label}")
         wjh97 = best_exact_caching(trace, delta_avg)
         ours_exact = adaptive(trace, delta_avg, exact_only=True)

@@ -81,7 +81,9 @@ def main() -> None:
     if samples:
         mean_width = sum(sample.interval.width for sample in samples) / len(samples)
         print(f"busiest host: {busiest}")
-        print(f"  mean cached interval width at 200K tolerance: {mean_width / KILO:.1f}K")
+        print(
+            f"  mean cached interval width at 200K tolerance: {mean_width / KILO:.1f}K"
+        )
         last = samples[-1]
         print(
             f"  final sample: value {last.value / KILO:.1f}K inside "

@@ -48,7 +48,9 @@ def build_streams(seed: int = 0):
 
 def run_fixed(width: float) -> float:
     """Cost rate with a fixed interval width (the non-adaptive strawman)."""
-    simulation = CacheSimulation(build_config(), build_streams(), StaticWidthPolicy(width))
+    simulation = CacheSimulation(
+        build_config(), build_streams(), StaticWidthPolicy(width)
+    )
     return simulation.run().cost_rate
 
 

@@ -68,7 +68,9 @@ class WidthSweepResult:
 SimulationRunner = Callable[[float], SimulationResult]
 
 
-def sweep_widths(run_with_width: SimulationRunner, widths: Sequence[float]) -> WidthSweepResult:
+def sweep_widths(
+    run_with_width: SimulationRunner, widths: Sequence[float]
+) -> WidthSweepResult:
     """Run ``run_with_width`` once per width and collect the sweep points.
 
     Parameters

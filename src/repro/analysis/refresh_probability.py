@@ -34,7 +34,9 @@ def random_walk_variance(step_size: float, steps: float) -> float:
     return step_size**2 * steps
 
 
-def chebyshev_escape_probability(step_size: float, steps: float, distance: float) -> float:
+def chebyshev_escape_probability(
+    step_size: float, steps: float, distance: float
+) -> float:
     """Chebyshev bound on the walk having moved further than ``distance``.
 
     ``P[|X_t| >= k] <= Var(X_t) / k**2 = steps * (step_size / distance)**2``,
@@ -61,7 +63,9 @@ def value_refresh_probability(step_size: float, steps: float, width: float) -> f
     return chebyshev_escape_probability(step_size, steps, width / 2.0)
 
 
-def query_refresh_probability(width: float, query_period: float, max_constraint: float) -> float:
+def query_refresh_probability(
+    width: float, query_period: float, max_constraint: float
+) -> float:
     """Appendix A estimate of ``P_qr = W / (T_q * delta_max)`` (capped at 1).
 
     ``max_constraint`` is the upper end of the uniform constraint distribution

@@ -167,7 +167,9 @@ class DivergenceCachingPolicy(PrecisionPolicy):
     ) -> PrecisionDecision:
         return self._decision(key, exact_value, time)
 
-    def _decision(self, key: Hashable, exact_value: float, time: float) -> PrecisionDecision:
+    def _decision(
+        self, key: Hashable, exact_value: float, time: float
+    ) -> PrecisionDecision:
         allowance = self.choose_allowance(key, time)
         interval = Interval.above(exact_value, allowance)
         return PrecisionDecision(interval=interval, original_width=allowance)

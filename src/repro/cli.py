@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli run figure03
     python -m repro.cli run figure07_09 --workers 4
     python -m repro.cli run section45 --shards 4
+    python -m repro.cli run section45 --engine vector
     python -m repro.cli run-all --workers 4
 
 ``--workers N`` fans the multi-configuration experiments out over N worker
@@ -14,8 +15,14 @@ identical to sequential runs (every sub-run is deterministically seeded).
 Experiments without a parallel plan simply run sequentially.
 
 ``--shards N`` runs an experiment's simulations behind the hash-partitioned
-multi-cache coordinator (:mod:`repro.sharding`).  Experiments whose plans do
-not take a shard count note on stderr that the flag was ignored.
+multi-cache coordinator (:mod:`repro.sharding`).
+
+``--engine {reference,vector}`` selects the stream-generation engine of the
+data plane (:mod:`repro.data.engine`): ``reference`` (the default) keeps the
+``random.Random`` sequences behind the committed figure tables, ``vector``
+switches to numpy batch synthesis for paper-scale sweeps.  Experiments whose
+plans do not take a shard count or engine note on stderr that the flag was
+ignored.
 """
 
 from __future__ import annotations
@@ -23,8 +30,9 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.data.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.experiments.base import ExperimentResult, format_table, registry
 from repro.experiments.runner import plan_registry, run_plan
 
@@ -42,40 +50,39 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list the available experiments")
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", help="experiment id (see 'list')")
-    run_parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="fan independent sub-runs out over this many processes",
-    )
-    run_parser.add_argument(
-        "--shards",
-        type=int,
-        default=None,
-        help="run simulations behind this many hash-partitioned cache shards",
-    )
     run_all_parser = subparsers.add_parser(
         "run-all", help="run every experiment (may take a while)"
     )
-    run_all_parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="fan independent sub-runs out over this many processes",
-    )
-    run_all_parser.add_argument(
-        "--shards",
-        type=int,
-        default=None,
-        help="run simulations behind this many hash-partitioned cache shards",
-    )
+    for subparser in (run_parser, run_all_parser):
+        subparser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="fan independent sub-runs out over this many processes",
+        )
+        subparser.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            help="run simulations behind this many hash-partitioned cache shards",
+        )
+        subparser.add_argument(
+            "--engine",
+            choices=ENGINE_NAMES,
+            default=None,
+            help=(
+                "stream-generation engine for the data plane "
+                f"(default: {DEFAULT_ENGINE}; 'reference' reproduces the "
+                "committed tables byte-for-byte, 'vector' uses numpy batches)"
+            ),
+        )
     return parser
 
 
-def _accepts_shards(func) -> bool:
-    """True when ``func`` takes an explicit ``shards`` keyword."""
+def _accepts_keyword(func, name: str) -> bool:
+    """True when ``func`` takes an explicit keyword named ``name``."""
     try:
-        return "shards" in inspect.signature(func).parameters
+        return name in inspect.signature(func).parameters
     except (TypeError, ValueError):  # pragma: no cover - builtins/partials
         return False
 
@@ -84,31 +91,36 @@ def _run_experiment(
     experiment_id: str,
     workers: Optional[int],
     shards: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment, through its parallel plan when it declares one.
 
-    ``shards`` is forwarded to experiments whose plan factory (or runner)
-    accepts a shard count; for the rest the flag is reported as ignored so
-    a sharded sweep never silently reproduces unsharded tables.
+    ``shards`` and ``engine`` are forwarded to experiments whose plan
+    factory (or runner) accepts the keyword; for the rest the flag is
+    reported as ignored so a sharded or vector-engine sweep never silently
+    reproduces the default tables.
     """
     plan_factory = plan_registry().get(experiment_id)
     runner = registry()[experiment_id]
-    shard_kwargs = {}
-    if shards is not None:
-        target = plan_factory if plan_factory is not None else runner
-        if _accepts_shards(target):
-            shard_kwargs = {"shards": shards}
+    target = plan_factory if plan_factory is not None else runner
+    forwarded: Dict[str, Any] = {}
+    for name, value in (("shards", shards), ("engine", engine)):
+        if value is None:
+            continue
+        if _accepts_keyword(target, name):
+            forwarded[name] = value
         else:
             print(
-                f"note: {experiment_id} does not take a shard count; "
-                "--shards ignored",
+                f"note: {experiment_id} does not take {name!r}; "
+                f"--{name} ignored",
                 file=sys.stderr,
             )
     if workers is not None and workers > 1 and plan_factory is not None:
-        return run_plan(plan_factory(**shard_kwargs), workers=workers)
-    if shard_kwargs and plan_factory is not None and not _accepts_shards(runner):
-        return run_plan(plan_factory(**shard_kwargs))
-    return runner(**shard_kwargs)
+        return run_plan(plan_factory(**forwarded), workers=workers)
+    runner_accepts_all = all(_accepts_keyword(runner, name) for name in forwarded)
+    if forwarded and plan_factory is not None and not runner_accepts_all:
+        return run_plan(plan_factory(**forwarded))
+    return runner(**forwarded)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -132,12 +144,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        print(format_table(_run_experiment(args.experiment, args.workers, args.shards)))
+        print(
+            format_table(
+                _run_experiment(args.experiment, args.workers, args.shards, args.engine)
+            )
+        )
         return 0
     if args.command == "run-all":
         for experiment_id in sorted(experiments):
             print(
-                format_table(_run_experiment(experiment_id, args.workers, args.shards))
+                format_table(
+                    _run_experiment(
+                        experiment_id, args.workers, args.shards, args.engine
+                    )
+                )
             )
             print()
         return 0

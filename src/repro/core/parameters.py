@@ -186,6 +186,10 @@ class PrecisionParameters:
 #: consistent updates (``C_vr = 1`` so ``rho = 1``) and two-phase locking
 #: (``C_vr = 4`` so ``rho = 4``), both with ``C_qr = 2`` (Section 4.3).
 PAPER_COST_CONFIGURATIONS: Dict[str, PrecisionParameters] = {
-    "loose_consistency": PrecisionParameters(value_refresh_cost=1.0, query_refresh_cost=2.0),
-    "two_phase_locking": PrecisionParameters(value_refresh_cost=4.0, query_refresh_cost=2.0),
+    "loose_consistency": PrecisionParameters(
+        value_refresh_cost=1.0, query_refresh_cost=2.0
+    ),
+    "two_phase_locking": PrecisionParameters(
+        value_refresh_cost=4.0, query_refresh_cost=2.0
+    ),
 }

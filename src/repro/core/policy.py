@@ -19,13 +19,34 @@ setting the next width").
 
 from __future__ import annotations
 
+import math
 import random
+import sys
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.parameters import PrecisionParameters
 from repro.core.thresholds import apply_thresholds
+
+#: Smallest positive normal float; below it, halving loses mantissa bits and
+#: the width table's exactness argument no longer holds.
+_MIN_NORMAL = sys.float_info.min
+
+
+def _exactly_invertible(factor: float) -> bool:
+    """True when multiplying and dividing a normal float by ``factor`` is
+    exact — i.e. the factor is a power of two (mantissa 0.5 in frexp form).
+
+    The default adaptivity ``alpha = 1`` gives the factor 2, so the common
+    hot path qualifies; fractional factors like 1.5 round and must keep the
+    sequential multiply/divide arithmetic to stay bit-identical with the
+    committed figure tables.
+    """
+    if factor <= 0 or math.isinf(factor):
+        return False
+    mantissa, _ = math.frexp(factor)
+    return mantissa == 0.5
 
 
 class WidthAdjustment(Enum):
@@ -82,6 +103,38 @@ class AdaptiveWidthController:
         self._query_refreshes = 0
         self._growth_events = 0
         self._shrink_events = 0
+        # Precomputed adjustment factors: the parameter properties recompute
+        # min()/divisions on every access, which is measurable when every
+        # refresh of every cached value consults them.  The bundle is
+        # immutable (frozen dataclass), so caching is safe.
+        self._growth_probability = parameters.growth_probability
+        self._shrink_probability = parameters.shrink_probability
+        self._growth_factor = parameters.growth_factor
+        self._adaptive = parameters.adaptivity != 0
+        self._lower_threshold = parameters.lower_threshold
+        self._upper_threshold = parameters.upper_threshold
+        self._unclamped = (
+            parameters.lower_threshold == 0.0
+            and math.isinf(parameters.upper_threshold)
+        )
+        self._reset_width_table()
+
+    def _reset_width_table(self) -> None:
+        """(Re)build the exponent-keyed table of multiplicative widths.
+
+        Widths only ever take values ``initial * factor**k``; the table maps
+        the net exponent ``k`` to its width, so oscillating around the
+        optimum replays memoised values instead of accumulating multiply/
+        divide chains.  It is only sound when those chains are exact, i.e.
+        for power-of-two factors and normal magnitudes — anything else keeps
+        the plain sequential arithmetic (bit-identical to the historical
+        behaviour, which for power-of-two factors the table also is).
+        """
+        self._exponent = 0
+        if _exactly_invertible(self._growth_factor) and self._width >= _MIN_NORMAL:
+            self._width_table: Optional[Dict[int, float]] = {0: self._width}
+        else:
+            self._width_table = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -98,10 +151,15 @@ class AdaptiveWidthController:
 
     def published_width(self) -> float:
         """The width to install in the cache, after threshold clamping."""
+        if self._unclamped:
+            # theta_0 = 0, theta_1 = inf: clamping is the identity (internal
+            # widths are always positive and below +inf, and an overflowed
+            # width publishes as inf either way).
+            return self._width
         return apply_thresholds(
             self._width,
-            self._parameters.lower_threshold,
-            self._parameters.upper_threshold,
+            self._lower_threshold,
+            self._upper_threshold,
         )
 
     def state(self) -> ControllerState:
@@ -125,10 +183,25 @@ class AdaptiveWidthController:
         width to ship with the refreshed interval.
         """
         self._value_refreshes += 1
-        if self._parameters.adaptivity == 0:
+        if not self._adaptive:
             return WidthAdjustment.UNCHANGED
-        if self._rng.random() < self._parameters.growth_probability:
-            self._width *= self._parameters.growth_factor
+        if self._rng.random() < self._growth_probability:
+            table = self._width_table
+            if table is None:
+                self._width *= self._growth_factor
+            else:
+                self._exponent += 1
+                width = table.get(self._exponent)
+                if width is None:
+                    width = self._width * self._growth_factor
+                    if width >= _MIN_NORMAL and not math.isinf(width):
+                        table[self._exponent] = width
+                    else:
+                        # Overflow: multiplication stops being invertible, so
+                        # the table can no longer stand in for the sequential
+                        # arithmetic.  Fall back permanently.
+                        self._width_table = None
+                self._width = width
             self._growth_events += 1
             return WidthAdjustment.GREW
         return WidthAdjustment.UNCHANGED
@@ -136,10 +209,24 @@ class AdaptiveWidthController:
     def on_query_initiated_refresh(self) -> WidthAdjustment:
         """Record a query-initiated refresh ("interval too wide")."""
         self._query_refreshes += 1
-        if self._parameters.adaptivity == 0:
+        if not self._adaptive:
             return WidthAdjustment.UNCHANGED
-        if self._rng.random() < self._parameters.shrink_probability:
-            self._width /= self._parameters.growth_factor
+        if self._rng.random() < self._shrink_probability:
+            table = self._width_table
+            if table is None:
+                self._width /= self._growth_factor
+            else:
+                self._exponent -= 1
+                width = table.get(self._exponent)
+                if width is None:
+                    width = self._width / self._growth_factor
+                    if width >= _MIN_NORMAL:
+                        table[self._exponent] = width
+                    else:
+                        # Subnormal: halving starts rounding, so memoised
+                        # values would diverge from the sequential chain.
+                        self._width_table = None
+                self._width = width
             self._shrink_events += 1
             return WidthAdjustment.SHRANK
         return WidthAdjustment.UNCHANGED
@@ -149,3 +236,4 @@ class AdaptiveWidthController:
         if width <= 0:
             raise ValueError("width must be positive")
         self._width = float(width)
+        self._reset_width_table()

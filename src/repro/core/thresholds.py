@@ -13,7 +13,9 @@ from __future__ import annotations
 import math
 
 
-def apply_thresholds(width: float, lower_threshold: float, upper_threshold: float) -> float:
+def apply_thresholds(
+    width: float, lower_threshold: float, upper_threshold: float
+) -> float:
     """Return the published width after applying ``theta_0`` / ``theta_1``.
 
     Parameters

@@ -7,8 +7,23 @@ not redistributable, so :mod:`repro.data.traffic` generates a synthetic
 stand-in with the same structure (bursty, heavy-tailed ON/OFF behaviour,
 one-minute moving-window averaging, the same value range); see DESIGN.md for
 the substitution rationale.
+
+All random generation flows through a pluggable stream engine
+(:mod:`repro.data.engine`): ``reference`` preserves the ``random.Random``
+sequences behind the committed figure tables, ``vector`` synthesises numpy
+batches for paper-scale sweeps.  Generated traces can be persisted in an
+on-disk cache (:mod:`repro.data.trace_cache`) keyed by
+``(host_count, duration, seed, engine)``.
 """
 
+from repro.data.engine import (
+    DEFAULT_ENGINE,
+    ENGINE_NAMES,
+    ReferenceEngine,
+    StreamEngine,
+    VectorEngine,
+    get_engine,
+)
 from repro.data.random_walk import RandomWalkGenerator
 from repro.data.streams import (
     CounterStream,
@@ -17,9 +32,16 @@ from repro.data.streams import (
     UpdateStream,
 )
 from repro.data.trace import Trace, moving_window_average
+from repro.data.trace_cache import clear_trace_cache, load_or_generate, trace_cache_dir
 from repro.data.traffic import SyntheticTrafficTraceGenerator
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_NAMES",
+    "StreamEngine",
+    "ReferenceEngine",
+    "VectorEngine",
+    "get_engine",
     "RandomWalkGenerator",
     "UpdateStream",
     "RandomWalkStream",
@@ -28,4 +50,7 @@ __all__ = [
     "Trace",
     "moving_window_average",
     "SyntheticTrafficTraceGenerator",
+    "load_or_generate",
+    "clear_trace_cache",
+    "trace_cache_dir",
 ]

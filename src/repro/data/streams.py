@@ -9,6 +9,11 @@ streams cover the paper's workloads:
 * :class:`CounterStream` — a monotone update counter, used for the stale-value
   (Divergence Caching) experiments of Section 4.7 where only the *number* of
   updates matters.
+
+Randomised streams generate through a pluggable
+:class:`~repro.data.engine.StreamEngine`; :meth:`UpdateStream.schedule` is the
+single generation path (``updates`` replays the same batched schedule), so an
+engine's output is identical whichever accessor a caller uses.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import random
 from abc import ABC, abstractmethod
 from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.data.engine import DEFAULT_ENGINE, StreamEngine, get_engine
 from repro.data.random_walk import RandomWalkGenerator
 from repro.data.trace import Trace
 
@@ -31,20 +37,32 @@ class UpdateStream(ABC):
     def initial_value(self) -> float:
         """The source value before the first update."""
 
-    @abstractmethod
-    def updates(self, duration: float) -> Iterator[UpdateEventTuple]:
-        """Yield ``(time, value)`` pairs for all updates in ``(0, duration]``."""
-
     def schedule(self, duration: float) -> List[UpdateEventTuple]:
         """Return the whole update schedule for ``(0, duration]`` as a list.
 
-        Semantically identical to ``list(self.updates(duration))`` (the
-        default implementation), but concrete streams override it with a
-        batched construction so the simulator can pre-materialise per-source
-        timelines without paying generator dispatch per step.  Streams with
-        private randomness produce identical schedules either way.
+        This is the batch construction the simulator pre-materialises
+        per-source timelines from; randomised streams draw it through their
+        stream engine in as few RNG calls as the engine allows.
+
+        Subclasses must override :meth:`schedule` or :meth:`updates` (the
+        defaults are defined in terms of each other).  The bundled streams
+        all override ``schedule`` — the single generation path — so both
+        accessors emit identical events for a given randomness handle and
+        engine.
         """
+        if type(self).updates is UpdateStream.updates:
+            raise NotImplementedError(
+                f"{type(self).__name__} must override schedule() or updates()"
+            )
         return list(self.updates(duration))
+
+    def updates(self, duration: float) -> Iterator[UpdateEventTuple]:
+        """Yield ``(time, value)`` pairs for all updates in ``(0, duration]``.
+
+        Equivalent to iterating :meth:`schedule`; see :meth:`schedule` for
+        the override contract.
+        """
+        return iter(self.schedule(duration))
 
 
 class RandomWalkStream(UpdateStream):
@@ -71,25 +89,11 @@ class RandomWalkStream(UpdateStream):
         """Seconds between consecutive updates."""
         return self._interval
 
-    def updates(self, duration: float) -> Iterator[UpdateEventTuple]:
-        if duration <= 0:
-            raise ValueError("duration must be positive")
-        time = self._interval
-        while time <= duration + 1e-9:
-            yield (round(time, 9), self._walk.step())
-            time += self._interval
-
     def schedule(self, duration: float) -> List[UpdateEventTuple]:
         if duration <= 0:
             raise ValueError("duration must be positive")
-        # Accumulate the times with the same float additions as ``updates``
-        # (no closed-form multiply) so both paths emit bit-identical instants,
-        # then draw all the walk values in one batch.
-        times: List[float] = []
-        time = self._interval
-        while time <= duration + 1e-9:
-            times.append(round(time, 9))
-            time += self._interval
+        engine = self._walk.engine
+        times = engine.schedule_times(self._interval, duration)
         return list(zip(times, self._walk.steps_array(len(times))))
 
 
@@ -105,15 +109,6 @@ class TraceStream(UpdateStream):
     @property
     def initial_value(self) -> float:
         return self._values[0]
-
-    def updates(self, duration: float) -> Iterator[UpdateEventTuple]:
-        if duration <= 0:
-            raise ValueError("duration must be positive")
-        for index in range(1, len(self._values)):
-            time = index * self._interval
-            if time > duration + 1e-9:
-                break
-            yield (time, self._values[index])
 
     def schedule(self, duration: float) -> List[UpdateEventTuple]:
         if duration <= 0:
@@ -143,51 +138,35 @@ class CounterStream(UpdateStream):
         poisson: bool = False,
         start: float = 0.0,
         rng: Optional[random.Random] = None,
+        engine: Optional[StreamEngine] = None,
     ) -> None:
         if mean_interval <= 0:
             raise ValueError("mean_interval must be positive")
         self._mean_interval = mean_interval
         self._poisson = poisson
         self._start = float(start)
-        self._rng = rng if rng is not None else random.Random()
+        self._engine = engine if engine is not None else get_engine(DEFAULT_ENGINE)
+        self._rng = rng if rng is not None else self._engine.rng()
 
     @property
     def initial_value(self) -> float:
         return self._start
 
-    def updates(self, duration: float) -> Iterator[UpdateEventTuple]:
-        if duration <= 0:
-            raise ValueError("duration must be positive")
-        value = self._start
-        time = 0.0
-        while True:
-            if self._poisson:
-                time += self._rng.expovariate(1.0 / self._mean_interval)
-            else:
-                time += self._mean_interval
-            if time > duration + 1e-9:
-                return
-            value += 1.0
-            yield (time, value)
-
     def schedule(self, duration: float) -> List[UpdateEventTuple]:
         if duration <= 0:
             raise ValueError("duration must be positive")
         horizon = duration + 1e-9
-        events: List[UpdateEventTuple] = []
         value = self._start
-        time = 0.0
+        events: List[UpdateEventTuple] = []
         if self._poisson:
-            expovariate = self._rng.expovariate
-            rate = 1.0 / self._mean_interval
-            while True:
-                time += expovariate(rate)
-                if time > horizon:
-                    break
+            for time in self._engine.poisson_times(
+                self._rng, self._mean_interval, horizon
+            ):
                 value += 1.0
                 events.append((time, value))
         else:
             mean_interval = self._mean_interval
+            time = 0.0
             while True:
                 time += mean_interval
                 if time > horizon:

@@ -1,0 +1,173 @@
+"""On-disk cache of generated traces, keyed by (hosts, duration, seed, engine).
+
+Synthetic trace generation is the most expensive artefact of a paper-scale
+run, and the per-process ``lru_cache`` in :mod:`repro.experiments.workloads`
+cannot help worker processes: each one used to regenerate the trace once.
+This module persists generated traces as JSON files so repeated sweeps and
+process-pool workers load a pre-generated trace instead.
+
+Layout: one file per key under the cache directory, named
+``trace-v{format}-g{schema}-h{hosts}-d{duration}-s{seed}-{engine}.json``.
+Each payload embeds its key and the generation-schema version; a mismatch
+(or any parse failure) is treated as a miss and the file is regenerated.
+Writes are atomic (temp file + ``os.replace``), so concurrent workers race
+benignly: generation is deterministic, every writer produces the same
+bytes, and readers only ever observe complete files.
+
+Environment knobs:
+
+* ``REPRO_TRACE_CACHE_DIR`` — cache directory (default: a per-user
+  ``repro-trace-cache-<uid>`` folder under the system temp directory).
+* ``REPRO_TRACE_CACHE=off`` (or ``0``/``false``/``no``) — disable the disk
+  cache entirely; every call generates in memory.
+
+JSON float round-trips are exact in Python 3, so a cached trace replayed
+through the reference engine still regenerates every committed figure table
+byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import uuid
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.data.trace import Trace
+
+#: Bump when the payload layout changes (file naming / envelope schema).
+CACHE_FORMAT_VERSION = 1
+
+#: Bump when trace *generation* changes so stale cached content from an
+#: older generator can never masquerade as current output.
+TRACE_SCHEMA_VERSION = 1
+
+_DISABLE_VALUES = {"0", "off", "false", "no"}
+
+
+def cache_enabled() -> bool:
+    """True unless ``REPRO_TRACE_CACHE`` disables the disk cache."""
+    return os.environ.get("REPRO_TRACE_CACHE", "").strip().lower() not in (
+        _DISABLE_VALUES
+    )
+
+
+def trace_cache_dir() -> Path:
+    """The directory trace files live in (not created until first write).
+
+    The default lives under the system temp directory with a per-user
+    suffix: a world-shared fixed name would let one user's cache files be
+    read by (and shadow) every other user's on a multi-user host.
+    """
+    override = os.environ.get("REPRO_TRACE_CACHE_DIR")
+    if override:
+        return Path(override)
+    if hasattr(os, "getuid"):
+        user = str(os.getuid())
+    else:  # pragma: no cover - Windows
+        user = os.environ.get("USERNAME", "user")
+    return Path(tempfile.gettempdir()) / f"repro-trace-cache-{user}"
+
+
+def trace_cache_path(
+    host_count: int,
+    duration: int,
+    seed: int,
+    engine: str,
+    cache_dir: Optional[Path] = None,
+) -> Path:
+    """The file a trace with this key is cached at."""
+    directory = Path(cache_dir) if cache_dir is not None else trace_cache_dir()
+    name = (
+        f"trace-v{CACHE_FORMAT_VERSION}-g{TRACE_SCHEMA_VERSION}"
+        f"-h{host_count}-d{duration}-s{seed}-{engine}.json"
+    )
+    return directory / name
+
+
+def _key_payload(host_count: int, duration: int, seed: int, engine: str) -> dict:
+    return {
+        "host_count": host_count,
+        "duration": duration,
+        "seed": seed,
+        "engine": engine,
+        "schema": TRACE_SCHEMA_VERSION,
+    }
+
+
+def _load(path: Path, expected_key: dict) -> Optional[Trace]:
+    """Read a cached trace; any mismatch or corruption is a miss."""
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("key") != expected_key:
+            return None
+        return Trace(
+            series={key: list(values) for key, values in payload["series"].items()},
+            sample_interval=float(payload["sample_interval"]),
+        )
+    except (OSError, ValueError, KeyError, TypeError, AttributeError):
+        return None
+
+
+def _store(path: Path, trace: Trace, key: dict) -> None:
+    """Atomically persist a trace; IO failures never fail the caller."""
+    payload = {
+        "key": key,
+        "sample_interval": trace.sample_interval,
+        "series": {
+            str(series_key): values for series_key, values in trace.series.items()
+        },
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = path.with_name(f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+        scratch.write_text(json.dumps(payload))
+        os.replace(scratch, path)
+    except OSError:
+        # A read-only or full cache directory degrades to in-memory behaviour.
+        pass
+
+
+def load_or_generate(
+    host_count: int,
+    duration: int,
+    seed: int,
+    engine: str,
+    generate: Callable[[], Trace],
+    cache_dir: Optional[Path] = None,
+    enabled: Optional[bool] = None,
+) -> Trace:
+    """Return the trace for this key, generating and caching on a miss.
+
+    ``generate`` must be deterministic in the key (same key ⇒ same trace);
+    that is what makes concurrent worker writes benign.  ``enabled`` forces
+    the cache on or off regardless of the environment.
+    """
+    use_cache = cache_enabled() if enabled is None else enabled
+    if not use_cache:
+        return generate()
+    key = _key_payload(host_count, duration, seed, engine)
+    path = trace_cache_path(host_count, duration, seed, engine, cache_dir=cache_dir)
+    cached = _load(path, key)
+    if cached is not None:
+        return cached
+    trace = generate()
+    _store(path, trace, key)
+    return trace
+
+
+def clear_trace_cache(cache_dir: Optional[Path] = None) -> int:
+    """Delete every cached trace file; returns how many were removed."""
+    directory = Path(cache_dir) if cache_dir is not None else trace_cache_dir()
+    removed = 0
+    if not directory.is_dir():
+        return removed
+    for path in directory.glob("trace-v*.json"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

@@ -18,14 +18,19 @@ a synthetic equivalent preserving the properties the experiments depend on:
   same 0 .. ~5.2e6 range,
 * hosts are heterogeneous — some are busy most of the time, others mostly
   idle — so that the cache and eviction experiments see skew.
+
+Generation runs on a pluggable :class:`~repro.data.engine.StreamEngine`: the
+reference engine reproduces the committed tables byte-for-byte, the vector
+engine fills burst segments and smooths with numpy batches.
 """
 
 from __future__ import annotations
 
-import random
+import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Optional
 
+from repro.data.engine import DEFAULT_ENGINE, StreamEngine, get_engine
 from repro.data.trace import Trace
 
 #: The paper reports traffic levels from 0 to 5.2e6 bytes per second.
@@ -79,7 +84,10 @@ class SyntheticTrafficTraceGenerator:
         Length of the trailing moving-average window (60 s in the paper).
     seed:
         Seed for the internal random generator; the same seed always yields
-        the same trace.
+        the same trace (per engine).
+    engine:
+        The stream engine drawing burst parameters and filling burst
+        segments (reference by default).
     """
 
     def __init__(
@@ -89,6 +97,7 @@ class SyntheticTrafficTraceGenerator:
         peak_rate: float = PAPER_PEAK_TRAFFIC,
         smoothing_window_seconds: float = PAPER_SMOOTHING_WINDOW_SECONDS,
         seed: int = 0,
+        engine: Optional[StreamEngine] = None,
     ) -> None:
         if host_count < 1:
             raise ValueError("host_count must be at least 1")
@@ -103,16 +112,23 @@ class SyntheticTrafficTraceGenerator:
         self._peak_rate = peak_rate
         self._window = smoothing_window_seconds
         self._seed = seed
+        self._engine = engine if engine is not None else get_engine(DEFAULT_ENGINE)
+
+    @property
+    def engine(self) -> StreamEngine:
+        """The stream engine this generator draws from."""
+        return self._engine
 
     # ------------------------------------------------------------------
     # Host heterogeneity
     # ------------------------------------------------------------------
-    def _host_model(self, rng: random.Random) -> BurstModel:
+    def _host_model(self, rng) -> BurstModel:
         """Draw one host's burst parameters.
 
         Hosts differ in how often they are active and how heavy their bursts
         are, producing the skewed population the paper's cache-size
-        experiments rely on.
+        experiments rely on.  These are a handful of scalar draws per host,
+        served by either engine's randomness handle.
         """
         activity_bias = rng.betavariate(1.2, 2.0)
         mean_off = rng.uniform(30.0, 400.0) * (1.0 - 0.8 * activity_bias)
@@ -127,9 +143,15 @@ class SyntheticTrafficTraceGenerator:
             activity_bias=activity_bias,
         )
 
-    def _raw_host_series(self, model: BurstModel, rng: random.Random) -> List[float]:
-        """Generate per-second raw (unsmoothed) traffic for one host."""
-        values = [0.0] * self._duration
+    def _raw_host_series(self, model: BurstModel, rng):
+        """Generate per-second raw (unsmoothed) traffic for one host.
+
+        The ON/OFF state machine stays scalar (a few draws per burst), while
+        each burst's per-second values are filled in one engine batch into
+        an engine-native container — the hot part at paper scale.
+        """
+        engine = self._engine
+        values = engine.new_series(self._duration)
         time = 0.0
         # Start some hosts mid-burst so the trace does not open fully idle.
         in_burst = rng.random() < model.activity_bias
@@ -141,10 +163,11 @@ class SyntheticTrafficTraceGenerator:
                 burst_rate = model.peak_rate * rng.uniform(0.3, 1.0)
                 end = min(time + burst_length, self._duration)
                 second = int(time)
-                while second < end:
-                    jitter = rng.uniform(0.7, 1.3)
-                    values[second] = min(burst_rate * jitter, self._peak_rate)
-                    second += 1
+                count = max(math.ceil(end) - second, 0)
+                if count:
+                    engine.fill_burst(
+                        rng, values, second, count, burst_rate, self._peak_rate
+                    )
                 time = end
                 in_burst = False
             else:
@@ -153,31 +176,42 @@ class SyntheticTrafficTraceGenerator:
                 in_burst = True
         return values
 
+    def _raw_series_map(self) -> Dict[str, object]:
+        """Raw per-host series in the engine's native containers."""
+        rng = self._engine.rng(self._seed)
+        series: Dict[str, object] = {}
+        for host_index in range(self._host_count):
+            model = self._host_model(rng)
+            series[f"host-{host_index:02d}"] = self._raw_host_series(model, rng)
+        return series
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def generate(self) -> Trace:
-        """Generate the smoothed multi-host trace."""
-        rng = random.Random(self._seed)
-        series: Dict[str, List[float]] = {}
-        for host_index in range(self._host_count):
-            model = self._host_model(rng)
-            series[f"host-{host_index:02d}"] = self._raw_host_series(model, rng)
-        raw = Trace(series=series, sample_interval=1.0)
-        smoothed = raw.smoothed(self._window)
-        # The running-sum moving average can leave tiny negative residues from
-        # floating-point cancellation; traffic levels are physically >= 0.
-        clamped = {
-            key: [min(max(value, 0.0), self._peak_rate) for value in values]
-            for key, values in smoothed.series.items()
+        """Generate the smoothed multi-host trace.
+
+        Each host's raw series is smoothed with the one-minute trailing
+        window and clamped into ``[0, peak]`` (the running-sum average can
+        leave tiny negative residues from floating-point cancellation, and
+        traffic levels are physically >= 0) in one engine pass.
+        """
+        # Raw series are sampled per second (sample_interval 1.0), so the
+        # window in samples equals the window in seconds — the same value
+        # Trace.smoothed would compute.
+        window = max(int(round(self._window)), 1)
+        engine = self._engine
+        series = {
+            key: engine.finalize_series(values, window, 0.0, self._peak_rate)
+            for key, values in self._raw_series_map().items()
         }
-        return Trace(series=clamped, sample_interval=1.0)
+        return Trace(series=series, sample_interval=1.0)
 
     def generate_raw(self) -> Trace:
         """Generate the unsmoothed per-second trace (useful for tests)."""
-        rng = random.Random(self._seed)
-        series: Dict[str, List[float]] = {}
-        for host_index in range(self._host_count):
-            model = self._host_model(rng)
-            series[f"host-{host_index:02d}"] = self._raw_host_series(model, rng)
+        engine = self._engine
+        series = {
+            key: engine.as_list(values)
+            for key, values in self._raw_series_map().items()
+        }
         return Trace(series=series, sample_interval=1.0)

@@ -45,7 +45,9 @@ def run(
     )
 
 
-def optimal_width(cost_factor: float = 1.0, k1: float = PAPER_K1, k2: float = PAPER_K2) -> float:
+def optimal_width(
+    cost_factor: float = 1.0, k1: float = PAPER_K1, k2: float = PAPER_K2
+) -> float:
     """Convenience accessor for the closed-form optimum used in the notes."""
     parameters = PrecisionParameters.for_cost_factor(cost_factor)
     return CostModel(parameters=parameters, k1=k1, k2=k2).optimal_width()

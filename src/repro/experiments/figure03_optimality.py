@@ -149,7 +149,9 @@ def convergence_report(
                         best_fixed_width=sweep.best_width,
                         best_fixed_cost_rate=sweep.best_cost_rate,
                         adaptive_cost_rate=adaptive.cost_rate,
-                        regret=relative_regret(adaptive.cost_rate, sweep.best_cost_rate),
+                        regret=relative_regret(
+                            adaptive.cost_rate, sweep.best_cost_rate
+                        ),
                     )
                 )
     return checks
@@ -164,7 +166,12 @@ def run(
     sweep = run_width_sweep(widths=widths, duration=duration, seed=seed)
     adaptive = run_adaptive(duration=duration, seed=seed)
     rows: List[Tuple] = [
-        (point.width, point.value_refresh_rate, point.query_refresh_rate, point.cost_rate)
+        (
+            point.width,
+            point.value_refresh_rate,
+            point.query_refresh_rate,
+            point.cost_rate,
+        )
         for point in sweep.points
     ]
     finite_widths = [w for w in adaptive.final_widths.values() if math.isfinite(w)]

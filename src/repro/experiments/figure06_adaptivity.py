@@ -25,8 +25,11 @@ from repro.experiments.workloads import (
 )
 from repro.simulation.simulator import CacheSimulation
 
+#: One (rho, T_q, (delta_min, delta_max)) cell of the adaptivity grid.
+AdaptivityConfiguration = Tuple[float, float, Tuple[float, float]]
+
 #: The twelve paper configurations: (rho, T_q, (delta_min, delta_max)).
-PAPER_CONFIGURATIONS: Tuple[Tuple[float, float, Tuple[float, float]], ...] = tuple(
+PAPER_CONFIGURATIONS: Tuple[AdaptivityConfiguration, ...] = tuple(
     (cost_factor, query_period, bounds)
     for cost_factor in (1.0, 4.0)
     for query_period in (0.5, 1.0, 6.0)
@@ -36,7 +39,7 @@ PAPER_CONFIGURATIONS: Tuple[Tuple[float, float, Tuple[float, float]], ...] = tup
 #: A reduced default grid keeping the benchmark suite fast while spanning the
 #: same qualitative space (both cost factors, extreme query periods, both
 #: constraint ranges).
-DEFAULT_CONFIGURATIONS: Tuple[Tuple[float, float, Tuple[float, float]], ...] = (
+DEFAULT_CONFIGURATIONS: Tuple[AdaptivityConfiguration, ...] = (
     (1.0, 0.5, (0.0, 100.0 * KILO)),
     (1.0, 6.0, (50.0 * KILO, 150.0 * KILO)),
     (4.0, 0.5, (50.0 * KILO, 150.0 * KILO)),
@@ -48,7 +51,7 @@ DEFAULT_ADAPTIVITIES: Tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0)
 
 def run(
     adaptivities: Sequence[float] = DEFAULT_ADAPTIVITIES,
-    configurations: Sequence[Tuple[float, float, Tuple[float, float]]] = DEFAULT_CONFIGURATIONS,
+    configurations: Sequence[AdaptivityConfiguration] = DEFAULT_CONFIGURATIONS,
     host_count: int = DEFAULT_HOST_COUNT,
     duration: int = DEFAULT_TRACE_DURATION,
     seed: int = 5,

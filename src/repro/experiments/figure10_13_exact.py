@@ -77,7 +77,9 @@ def run_comparison(
             cost_factor=cost_factor,
             windows=exact_windows,
         )
-        rows.append((figure, query_period, "exact caching (WJH97)", 0.0, exact.cost_rate))
+        rows.append(
+            (figure, query_period, "exact caching (WJH97)", 0.0, exact.cost_rate)
+        )
 
         subsumption_policy = adaptive_policy(
             cost_factor=cost_factor,
@@ -91,7 +93,13 @@ def run_comparison(
             base_config, traffic_streams(trace), subsumption_policy
         ).run()
         rows.append(
-            (figure, query_period, "adaptive, theta1=theta0", 0.0, subsumption.cost_rate)
+            (
+                figure,
+                query_period,
+                "adaptive, theta1=theta0",
+                0.0,
+                subsumption.cost_rate,
+            )
         )
 
         for constraint_average in constraint_averages:

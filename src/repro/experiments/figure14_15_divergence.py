@@ -74,7 +74,9 @@ def _config(
     )
 
 
-def adaptive_staleness_policy(constraint_average: float, seed: int) -> AdaptivePrecisionPolicy:
+def adaptive_staleness_policy(
+    constraint_average: float, seed: int
+) -> AdaptivePrecisionPolicy:
     """The paper's algorithm specialised to stale-value approximations.
 
     Uses one-sided intervals over the update counter, the stale-value cost
@@ -132,12 +134,24 @@ def run(
                 divergence_policy(),
             ).run()
             rows.append(
-                (figure, query_period, constraint_average, ours.cost_rate, theirs.cost_rate)
+                (
+                    figure,
+                    query_period,
+                    constraint_average,
+                    ours.cost_rate,
+                    theirs.cost_rate,
+                )
             )
     return ExperimentResult(
         experiment_id="figure14_15",
         title="Adaptive staleness setting vs Divergence Caching (stale-value mode)",
-        columns=("figure", "T_q", "delta_avg (updates)", "Omega (ours)", "Omega (divergence)"),
+        columns=(
+            "figure",
+            "T_q",
+            "delta_avg (updates)",
+            "Omega (ours)",
+            "Omega (divergence)",
+        ),
         rows=rows,
         notes=(
             "Expected shape: both costs fall as the staleness constraint loosens; "

@@ -122,9 +122,7 @@ def run_plan(
         return _assemble(plan, results)
     max_workers = min(workers, len(plan.subruns))
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [
-            pool.submit(subrun.func, **subrun.kwargs) for subrun in plan.subruns
-        ]
+        futures = [pool.submit(subrun.func, **subrun.kwargs) for subrun in plan.subruns]
         results = [future.result() for future in futures]
     return _assemble(plan, results)
 

@@ -38,9 +38,10 @@ def lower_threshold_rows(
     duration: int,
     seed: int,
     shards: int = 1,
+    engine: str = "reference",
 ) -> List[Tuple]:
     """The row for one ``theta_0`` setting (picklable sub-run unit)."""
-    trace = traffic_trace(host_count=host_count, duration=duration)
+    trace = traffic_trace(host_count=host_count, duration=duration, engine=engine)
     config = traffic_config(
         trace,
         query_period=1.0,
@@ -48,6 +49,7 @@ def lower_threshold_rows(
         cost_factor=1.0,
         seed=seed,
         shards=shards,
+        engine=engine,
     )
     policy = adaptive_policy(
         cost_factor=1.0,
@@ -90,9 +92,10 @@ def constraint_variation_rows(
     duration: int,
     seed: int,
     shards: int = 1,
+    engine: str = "reference",
 ) -> List[Tuple]:
     """The row for one (delta_avg, sigma) cell (picklable sub-run unit)."""
-    trace = traffic_trace(host_count=host_count, duration=duration)
+    trace = traffic_trace(host_count=host_count, duration=duration, engine=engine)
     config = traffic_config(
         trace,
         query_period=1.0,
@@ -101,6 +104,7 @@ def constraint_variation_rows(
         cost_factor=1.0,
         seed=seed,
         shards=shards,
+        engine=engine,
     )
     policy = adaptive_policy(
         cost_factor=1.0,
@@ -148,6 +152,7 @@ def plan(
     duration: int = DEFAULT_TRACE_DURATION,
     seed: int = 21,
     shards: int = 1,
+    engine: str = "reference",
 ) -> ExperimentPlan:
     """Decompose both studies into one sub-run per parameter cell."""
     subruns = [
@@ -161,6 +166,7 @@ def plan(
                 duration=duration,
                 seed=seed,
                 shards=shards,
+                engine=engine,
             ),
         )
         for lower_threshold in DEFAULT_LOWER_THRESHOLDS
@@ -176,6 +182,7 @@ def plan(
                 duration=duration,
                 seed=seed,
                 shards=shards,
+                engine=engine,
             ),
         )
         for constraint_average in DEFAULT_CONSTRAINT_AVERAGES
@@ -200,9 +207,16 @@ def run(
     seed: int = 21,
     workers: Optional[int] = None,
     shards: int = 1,
+    engine: str = "reference",
 ) -> ExperimentResult:
     """Produce both Section 4.4 sensitivity studies."""
     return run_plan(
-        plan(host_count=host_count, duration=duration, seed=seed, shards=shards),
+        plan(
+            host_count=host_count,
+            duration=duration,
+            seed=seed,
+            shards=shards,
+            engine=engine,
+        ),
         workers=workers,
     )

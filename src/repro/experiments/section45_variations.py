@@ -40,7 +40,9 @@ DEFAULT_DURATION = 3000.0
 DEFAULT_SOURCE_COUNT = 5
 
 
-def _config(duration: float, seed: int, shards: int = 1) -> SimulationConfig:
+def _config(
+    duration: float, seed: int, shards: int = 1, engine: str = "reference"
+) -> SimulationConfig:
     return SimulationConfig(
         duration=duration,
         warmup=duration * 0.1,
@@ -53,6 +55,7 @@ def _config(duration: float, seed: int, shards: int = 1) -> SimulationConfig:
         query_refresh_cost=2.0,
         seed=seed,
         shards=shards,
+        engine=engine,
     )
 
 
@@ -73,14 +76,17 @@ def variation_rows(
     source_count: int,
     seed: int,
     shards: int = 1,
+    engine: str = "reference",
 ) -> List[Tuple]:
     """The row for one (walk bias, placement variant) cell (picklable).
 
     The cache is unbounded here, so any ``shards`` count must produce the
-    same rows — the CI sharded-smoke job relies on exactly that.
+    same rows — the CI sharded-smoke job relies on exactly that.  ``engine``
+    selects the stream engine generating the walks (``reference`` reproduces
+    the committed table byte-for-byte).
     """
     walk_kind = "unbiased walk" if up_probability == 0.5 else "biased walk"
-    config = _config(duration, seed, shards=shards)
+    config = _config(duration, seed, shards=shards, engine=engine)
     if variant == "centred":
         policy = AdaptivePrecisionPolicy(
             _parameters(), initial_width=4.0, rng=random.Random(seed)
@@ -95,7 +101,9 @@ def variation_rows(
         raise ValueError(f"unknown variant {variant!r}")
     result = CacheSimulation(
         config,
-        random_walk_streams(source_count, seed, up_probability=up_probability),
+        random_walk_streams(
+            source_count, seed, up_probability=up_probability, engine=engine
+        ),
         policy,
     ).run()
     return [(walk_kind, variant_label, result.cost_rate)]
@@ -107,6 +115,7 @@ def plan(
     up_probabilities: Sequence[float] = (0.5, 0.8),
     seed: int = 23,
     shards: int = 1,
+    engine: str = "reference",
 ) -> ExperimentPlan:
     """Decompose into one sub-run per (walk bias, placement variant) cell."""
     subruns = tuple(
@@ -120,6 +129,7 @@ def plan(
                 source_count=source_count,
                 seed=seed,
                 shards=shards,
+                engine=engine,
             ),
         )
         for up_probability in up_probabilities
@@ -146,6 +156,7 @@ def run(
     seed: int = 23,
     workers: Optional[int] = None,
     shards: int = 1,
+    engine: str = "reference",
 ) -> ExperimentResult:
     """Compare centred vs uncentered placement on unbiased and biased walks."""
     return run_plan(
@@ -155,6 +166,7 @@ def run(
             up_probabilities=up_probabilities,
             seed=seed,
             shards=shards,
+            engine=engine,
         ),
         workers=workers,
     )

@@ -55,9 +55,10 @@ def scaling_rows(
     duration: int,
     capacity_fraction: float,
     seed: int,
+    engine: str = "reference",
 ) -> List[Tuple]:
     """The row for one shard count (picklable sub-run unit)."""
-    trace = traffic_trace(host_count=host_count, duration=duration)
+    trace = traffic_trace(host_count=host_count, duration=duration, engine=engine)
     capacity = max(shard_count, int(host_count * capacity_fraction))
     config = traffic_config(
         trace,
@@ -68,6 +69,7 @@ def scaling_rows(
         cache_capacity=capacity,
         seed=seed,
         shards=shard_count,
+        engine=engine,
     )
     policy = adaptive_policy(
         cost_factor=1.0,
@@ -98,11 +100,13 @@ def plan(
     capacity_fraction: float = DEFAULT_CAPACITY_FRACTION,
     seed: int = 29,
     shards: Optional[int] = None,
+    engine: str = "reference",
 ) -> ExperimentPlan:
     """Decompose into one sub-run per shard count.
 
     ``shards`` (the CLI ``--shards`` flag) narrows the sweep to that single
-    shard count; the default sweeps ``shard_counts``.
+    shard count; the default sweeps ``shard_counts``.  ``engine`` selects
+    the stream engine generating the trace (CLI ``--engine``).
     """
     if shards is not None:
         shard_counts = (shards,)
@@ -116,6 +120,7 @@ def plan(
                 duration=duration,
                 capacity_fraction=capacity_fraction,
                 seed=seed,
+                engine=engine,
             ),
         )
         for shard_count in shard_counts
@@ -152,6 +157,7 @@ def run(
     seed: int = 29,
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    engine: str = "reference",
 ) -> ExperimentResult:
     """Sweep shard counts at a large host population."""
     return run_plan(
@@ -162,6 +168,7 @@ def run(
             capacity_fraction=capacity_fraction,
             seed=seed,
             shards=shards,
+            engine=engine,
         ),
         workers=workers,
     )

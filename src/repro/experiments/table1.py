@@ -11,20 +11,52 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult
 
 _SYMBOLS = [
-    ("C_vr", "cost of a value-initiated refresh", "PrecisionParameters.value_refresh_cost"),
-    ("C_qr", "cost of a query-initiated refresh", "PrecisionParameters.query_refresh_cost"),
+    (
+        "C_vr",
+        "cost of a value-initiated refresh",
+        "PrecisionParameters.value_refresh_cost",
+    ),
+    (
+        "C_qr",
+        "cost of a query-initiated refresh",
+        "PrecisionParameters.query_refresh_cost",
+    ),
     ("rho", "cost factor 2*C_vr/C_qr", "PrecisionParameters.cost_factor"),
     ("Omega", "cost rate per time step (minimised)", "SimulationResult.cost_rate"),
     ("W", "width of a cached approximation", "AdaptiveWidthController.width"),
     ("W*", "width minimising the cost rate", "CostModel.optimal_width"),
     ("alpha", "adaptivity parameter", "PrecisionParameters.adaptivity"),
-    ("theta_0", "lower threshold (widths below become 0)", "PrecisionParameters.lower_threshold"),
-    ("theta_1", "upper threshold (widths above become inf)", "PrecisionParameters.upper_threshold"),
-    ("P_vr", "probability of a value-initiated refresh", "CostModel.value_refresh_probability"),
-    ("P_qr", "probability of a query-initiated refresh", "CostModel.query_refresh_probability"),
+    (
+        "theta_0",
+        "lower threshold (widths below become 0)",
+        "PrecisionParameters.lower_threshold",
+    ),
+    (
+        "theta_1",
+        "upper threshold (widths above become inf)",
+        "PrecisionParameters.upper_threshold",
+    ),
+    (
+        "P_vr",
+        "probability of a value-initiated refresh",
+        "CostModel.value_refresh_probability",
+    ),
+    (
+        "P_qr",
+        "probability of a query-initiated refresh",
+        "CostModel.query_refresh_probability",
+    ),
     ("delta", "precision constraint of a query", "Query.constraint"),
-    ("delta_avg", "average precision constraint", "SimulationConfig.constraint_average"),
-    ("sigma", "variation of precision constraints", "SimulationConfig.constraint_variation"),
+    (
+        "delta_avg",
+        "average precision constraint",
+        "SimulationConfig.constraint_average",
+    ),
+    (
+        "sigma",
+        "variation of precision constraints",
+        "SimulationConfig.constraint_variation",
+    ),
     ("delta_min", "minimum precision constraint", "ConstraintDistribution.minimum"),
     ("delta_max", "maximum precision constraint", "ConstraintDistribution.maximum"),
     ("n", "number of data sources", "len(CacheSimulation.sources)"),

@@ -18,9 +18,11 @@ from typing import Dict, Hashable, Optional, Sequence, Tuple
 from repro.caching.policies.adaptive import AdaptivePrecisionPolicy
 from repro.caching.policies.exact_caching import ExactCachingPolicy
 from repro.core.parameters import PrecisionParameters
+from repro.data.engine import DEFAULT_ENGINE, get_engine
 from repro.data.random_walk import RandomWalkGenerator
 from repro.data.streams import RandomWalkStream, TraceStream, UpdateStream
 from repro.data.trace import Trace
+from repro.data.trace_cache import load_or_generate
 from repro.data.traffic import SyntheticTrafficTraceGenerator
 from repro.queries.aggregates import AggregateKind
 from repro.simulation.config import SimulationConfig
@@ -41,12 +43,33 @@ def traffic_trace(
     host_count: int = DEFAULT_HOST_COUNT,
     duration: int = DEFAULT_TRACE_DURATION,
     seed: int = 7,
+    engine: str = DEFAULT_ENGINE,
 ) -> Trace:
-    """Return (and cache) the synthetic network-monitoring trace."""
-    generator = SyntheticTrafficTraceGenerator(
-        host_count=host_count, duration_seconds=duration, seed=seed
+    """Return (and cache) the synthetic network-monitoring trace.
+
+    Two cache layers: the ``lru_cache`` keeps the trace hot within one
+    process, and the on-disk trace cache (:mod:`repro.data.trace_cache`,
+    keyed by ``(host_count, duration, seed, engine)``) shares it across
+    worker processes and repeated sweeps, so ``--workers N`` loads each
+    trace from disk instead of regenerating it N times.  ``engine`` names
+    the stream engine generating the trace on a miss.
+    """
+
+    def build() -> Trace:
+        return SyntheticTrafficTraceGenerator(
+            host_count=host_count,
+            duration_seconds=duration,
+            seed=seed,
+            engine=get_engine(engine),
+        ).generate()
+
+    return load_or_generate(
+        host_count=host_count,
+        duration=duration,
+        seed=seed,
+        engine=engine,
+        generate=build,
     )
-    return generator.generate()
 
 
 def traffic_streams(trace: Trace) -> Dict[Hashable, UpdateStream]:
@@ -59,14 +82,21 @@ def random_walk_streams(
     seed: int,
     up_probability: float = 0.5,
     start: float = 100.0,
+    engine: str = DEFAULT_ENGINE,
 ) -> Dict[Hashable, UpdateStream]:
-    """Build ``count`` independent random-walk streams (paper Section 4.2 data)."""
+    """Build ``count`` independent random-walk streams (paper Section 4.2 data).
+
+    ``engine`` selects the stream engine drawing the steps; every walk gets
+    its own deterministically derived randomness handle either way.
+    """
+    stream_engine = get_engine(engine)
     streams: Dict[Hashable, UpdateStream] = {}
     for index in range(count):
         walk = RandomWalkGenerator(
             up_probability=up_probability,
             start=start,
-            rng=random.Random(seed * 1000 + index),
+            rng=stream_engine.rng(seed * 1000 + index),
+            engine=stream_engine,
         )
         streams[f"walk-{index}"] = RandomWalkStream(walk)
     return streams
@@ -118,6 +148,7 @@ def traffic_config(
     track_keys: Sequence[Hashable] = (),
     query_size: Optional[int] = None,
     shards: int = 1,
+    engine: str = DEFAULT_ENGINE,
 ) -> SimulationConfig:
     """Build a simulation config for the network-monitoring workload.
 
@@ -125,7 +156,8 @@ def traffic_config(
     the paper's ratio (10 values per query out of 50 hosts) and therefore the
     per-item read rate when experiments run on a reduced host count.
     ``shards`` > 1 fronts the run with the hash-partitioned multi-cache
-    coordinator (see :mod:`repro.sharding`).
+    coordinator (see :mod:`repro.sharding`).  ``engine`` records which
+    stream engine generated the run's data (see :mod:`repro.data.engine`).
     """
     if query_size is None:
         query_size = max(len(trace.keys) // 5, 1)
@@ -142,6 +174,7 @@ def traffic_config(
         constraint_bounds=constraint_bounds,
         cache_capacity=cache_capacity,
         shards=shards,
+        engine=engine,
         value_refresh_cost=value_refresh_cost,
         query_refresh_cost=query_refresh_cost,
         seed=seed,

@@ -68,9 +68,7 @@ class EventScheduler:
             raise ValueError(
                 f"cannot schedule event at {event.time} before current time {self._now}"
             )
-        heapq.heappush(
-            self._queue, (event.time, event.priority, event.sequence, event)
-        )
+        heapq.heappush(self._queue, (event.time, event.priority, event.sequence, event))
 
     def schedule_at(
         self,

@@ -114,16 +114,41 @@ class TestWidthSweep:
 
     def test_crossing_width(self):
         points = [
-            WidthSweepPoint(width=1.0, cost_rate=3.0, value_refresh_rate=0.9, query_refresh_rate=0.1),
-            WidthSweepPoint(width=2.0, cost_rate=2.0, value_refresh_rate=0.5, query_refresh_rate=0.4),
-            WidthSweepPoint(width=3.0, cost_rate=2.5, value_refresh_rate=0.2, query_refresh_rate=0.8),
+            WidthSweepPoint(
+                width=1.0,
+                cost_rate=3.0,
+                value_refresh_rate=0.9,
+                query_refresh_rate=0.1,
+            ),
+            WidthSweepPoint(
+                width=2.0,
+                cost_rate=2.0,
+                value_refresh_rate=0.5,
+                query_refresh_rate=0.4,
+            ),
+            WidthSweepPoint(
+                width=3.0,
+                cost_rate=2.5,
+                value_refresh_rate=0.2,
+                query_refresh_rate=0.8,
+            ),
         ]
         assert WidthSweepResult(points).crossing_width() == 2.0
 
     def test_crossing_width_respects_cost_factor(self):
         points = [
-            WidthSweepPoint(width=1.0, cost_rate=3.0, value_refresh_rate=0.4, query_refresh_rate=0.1),
-            WidthSweepPoint(width=2.0, cost_rate=2.0, value_refresh_rate=0.1, query_refresh_rate=0.4),
+            WidthSweepPoint(
+                width=1.0,
+                cost_rate=3.0,
+                value_refresh_rate=0.4,
+                query_refresh_rate=0.1,
+            ),
+            WidthSweepPoint(
+                width=2.0,
+                cost_rate=2.0,
+                value_refresh_rate=0.1,
+                query_refresh_rate=0.4,
+            ),
         ]
         # With rho = 4 the weighted value rate at width 1 is 1.6 vs 0.1 -> the
         # closest balance point moves to width 2 (0.4 vs 0.4).

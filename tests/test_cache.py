@@ -144,7 +144,9 @@ class TestEvictionBehaviour:
         assert cache.statistics.rejected_insertions == 1
 
     def test_custom_eviction_policy(self):
-        cache = ApproximateCache(capacity=2, eviction_policy=LeastRecentlyUsedEviction())
+        cache = ApproximateCache(
+            capacity=2, eviction_policy=LeastRecentlyUsedEviction()
+        )
         cache.put("old", Interval.centered(0.0, 1.0), 1.0, 0.0)
         cache.put("new", Interval.centered(0.0, 100.0), 100.0, 5.0)
         evicted = cache.put("newest", Interval.centered(0.0, 2.0), 2.0, 6.0)
@@ -159,7 +161,8 @@ class TestEvictionBehaviour:
     def test_unbounded_capacity_never_evicts(self):
         cache = ApproximateCache(capacity=None)
         for index in range(100):
-            assert cache.put(index, Interval.centered(0.0, 1.0), 1.0, float(index)) == []
+            evicted = cache.put(index, Interval.centered(0.0, 1.0), 1.0, float(index))
+            assert evicted == []
         assert len(cache) == 100
 
 
@@ -183,11 +186,15 @@ class TestAggregateViews:
 
 class TestCacheEntry:
     def test_touch_updates_last_access(self):
-        entry = CacheEntry("a", Interval(0.0, 1.0), 1.0, installed_at=0.0, last_access_time=0.0)
+        entry = CacheEntry(
+            "a", Interval(0.0, 1.0), 1.0, installed_at=0.0, last_access_time=0.0
+        )
         entry.touch(5.0)
         assert entry.last_access_time == 5.0
 
     def test_touch_rejects_earlier_time(self):
-        entry = CacheEntry("a", Interval(0.0, 1.0), 1.0, installed_at=5.0, last_access_time=5.0)
+        entry = CacheEntry(
+            "a", Interval(0.0, 1.0), 1.0, installed_at=5.0, last_access_time=5.0
+        )
         with pytest.raises(ValueError):
             entry.touch(4.0)

@@ -4,7 +4,10 @@ import random
 
 import pytest
 
-from repro.queries.constraints import ConstraintDistribution, PrecisionConstraintGenerator
+from repro.queries.constraints import (
+    ConstraintDistribution,
+    PrecisionConstraintGenerator,
+)
 
 
 class TestDistribution:

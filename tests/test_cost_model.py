@@ -70,7 +70,8 @@ class TestOptimalWidth:
         heavier = CostModel(PrecisionParameters.for_cost_factor(4.0), k1=1.0, k2=0.01)
         # Larger rho (value refreshes more expensive) prefers wider intervals.
         assert heavier.optimal_width() > base.optimal_width()
-        assert heavier.optimal_width() == pytest.approx(base.optimal_width() * 4 ** (1 / 3))
+        expected = base.optimal_width() * 4 ** (1 / 3)
+        assert heavier.optimal_width() == pytest.approx(expected)
 
     def test_optimal_cost_rate(self, paper_model):
         assert paper_model.optimal_cost_rate() == pytest.approx(

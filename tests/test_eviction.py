@@ -30,7 +30,10 @@ class TestWidestFirstEviction:
         assert WidestFirstEviction().select_victim(entries) == "b"
 
     def test_tie_broken_by_least_recent_access(self):
-        entries = [_entry("recent", 10.0, last_access=9.0), _entry("old", 10.0, last_access=1.0)]
+        entries = [
+            _entry("recent", 10.0, last_access=9.0),
+            _entry("old", 10.0, last_access=1.0),
+        ]
         assert WidestFirstEviction().select_victim(entries) == "old"
 
     def test_empty_entries_rejected(self):
@@ -43,7 +46,10 @@ class TestWidestFirstEviction:
 
 class TestLRUEviction:
     def test_selects_least_recently_used(self):
-        entries = [_entry("a", 1.0, last_access=5.0), _entry("b", 100.0, last_access=2.0)]
+        entries = [
+            _entry("a", 1.0, last_access=5.0),
+            _entry("b", 100.0, last_access=2.0),
+        ]
         assert LeastRecentlyUsedEviction().select_victim(entries) == "b"
 
     def test_empty_entries_rejected(self):
@@ -78,7 +84,10 @@ class TestLowestValueEviction:
 
     def test_tie_broken_by_last_access(self):
         policy = LowestValueEviction(score=lambda key: 0.0)
-        entries = [_entry("late", 1.0, last_access=9.0), _entry("early", 1.0, last_access=1.0)]
+        entries = [
+            _entry("late", 1.0, last_access=9.0),
+            _entry("early", 1.0, last_access=1.0),
+        ]
         assert policy.select_victim(entries) == "early"
 
     def test_rejects_non_callable_score(self):

@@ -100,7 +100,9 @@ class TestConfigBuilder:
 
 class TestEndToEndHelpers:
     def test_run_traffic_simulation_produces_metrics(self, tiny_trace):
-        config = workloads.traffic_config(tiny_trace, constraint_average=100_000.0, seed=1)
+        config = workloads.traffic_config(
+            tiny_trace, constraint_average=100_000.0, seed=1
+        )
         policy = workloads.adaptive_policy(initial_width=1000.0, seed=1)
         result = workloads.run_traffic_simulation(
             config, workloads.traffic_streams(tiny_trace), policy
@@ -118,7 +120,9 @@ class TestEndToEndHelpers:
         )
         for window in (5, 40):
             policy = workloads.exact_caching_policy(1.0, reevaluation_window=window)
-            run = CacheSimulation(config, workloads.traffic_streams(tiny_trace), policy).run()
+            run = CacheSimulation(
+                config, workloads.traffic_streams(tiny_trace), policy
+            ).run()
             assert best.cost_rate <= run.cost_rate + 1e-9
 
     def test_max_aggregate_workload_runs(self, tiny_trace):

@@ -73,7 +73,9 @@ class TestTable1:
     def test_contains_all_paper_symbols(self):
         result = table1.run()
         symbols = set(result.column("symbol"))
-        for symbol in ("C_vr", "C_qr", "rho", "alpha", "theta_0", "theta_1", "delta", "T_q"):
+        for symbol in (
+            "C_vr", "C_qr", "rho", "alpha", "theta_0", "theta_1", "delta", "T_q"
+        ):
             assert symbol in symbols
 
     def test_each_symbol_maps_to_an_implementation(self):

@@ -34,7 +34,9 @@ def _walk_streams(count, seed, start=100.0):
     return random_walk_streams(count, seed, start=start)
 
 
-def _walk_config(duration=800.0, constraint_average=20.0, query_period=2.0, seed=1, **overrides):
+def _walk_config(
+    duration=800.0, constraint_average=20.0, query_period=2.0, seed=1, **overrides
+):
     defaults = dict(
         duration=duration,
         warmup=duration * 0.1,
@@ -69,7 +71,9 @@ class TestModelShape:
         assert narrow.query_refresh_rate < wide.query_refresh_rate
 
     def test_cost_has_interior_minimum_across_widths(self):
-        costs = {width: self._fixed_width_run(width).cost_rate for width in (1.0, 6.0, 30.0)}
+        costs = {
+            width: self._fixed_width_run(width).cost_rate for width in (1.0, 6.0, 30.0)
+        }
         assert costs[6.0] < costs[1.0]
         assert costs[6.0] < costs[30.0]
 
@@ -128,7 +132,9 @@ class TestAdaptivityToWorkloadChanges:
         parameters = PrecisionParameters(
             lower_threshold=1.0, upper_threshold=1.0, adaptivity=1.0
         )
-        policy = AdaptivePrecisionPolicy(parameters, initial_width=1.0, rng=random.Random(11))
+        policy = AdaptivePrecisionPolicy(
+            parameters, initial_width=1.0, rng=random.Random(11)
+        )
         simulation = CacheSimulation(config, _walk_streams(1, 11), policy)
         simulation.run()
         for entry in simulation.cache.entries():
@@ -142,8 +148,12 @@ class TestExactCachingSubsumption:
     def small_trace(self):
         return traffic_trace(host_count=10, duration=600)
 
-    def test_adaptive_with_thresholds_is_in_the_same_cost_regime_as_wjh97(self, small_trace):
-        config = traffic_config(small_trace, query_period=1.0, constraint_average=0.0, seed=2)
+    def test_adaptive_with_thresholds_is_in_the_same_cost_regime_as_wjh97(
+        self, small_trace
+    ):
+        config = traffic_config(
+            small_trace, query_period=1.0, constraint_average=0.0, seed=2
+        )
         exact = CacheSimulation(
             config, traffic_streams(small_trace), exact_caching_policy(1.0, 20)
         ).run()
@@ -164,7 +174,9 @@ class TestExactCachingSubsumption:
         assert ours.cost_rate < 2.0 * exact.cost_rate
         assert exact.cost_rate < 2.0 * ours.cost_rate
 
-    def test_adaptive_beats_exact_caching_when_imprecision_is_allowed(self, small_trace):
+    def test_adaptive_beats_exact_caching_when_imprecision_is_allowed(
+        self, small_trace
+    ):
         config = traffic_config(
             small_trace, query_period=1.0, constraint_average=200_000.0, seed=2
         )
@@ -208,7 +220,9 @@ class TestStaleValueMode:
 
     def _counter_streams(self, count, seed):
         return {
-            f"item-{i}": CounterStream(mean_interval=1.0, poisson=True, rng=random.Random(seed + i))
+            f"item-{i}": CounterStream(
+                mean_interval=1.0, poisson=True, rng=random.Random(seed + i)
+            )
             for i in range(count)
         }
 

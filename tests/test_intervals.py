@@ -145,7 +145,9 @@ class TestSetOperations:
             hull([])
 
     def test_intersection_function(self):
-        result = intersection([Interval(0.0, 5.0), Interval(2.0, 8.0), Interval(1.0, 4.0)])
+        result = intersection(
+            [Interval(0.0, 5.0), Interval(2.0, 8.0), Interval(1.0, 4.0)]
+        )
         assert result == Interval(2.0, 4.0)
 
     def test_intersection_function_disjoint(self):

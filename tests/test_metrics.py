@@ -14,7 +14,9 @@ def _event(kind, time, cost, key="a"):
 class TestWarmupExclusion:
     def test_refreshes_during_warmup_ignored(self):
         metrics = MetricsCollector(warmup=10.0)
-        metrics.record_refresh(_event(RefreshKind.VALUE_INITIATED, time=5.0, cost=100.0))
+        metrics.record_refresh(
+            _event(RefreshKind.VALUE_INITIATED, time=5.0, cost=100.0)
+        )
         metrics.record_refresh(_event(RefreshKind.VALUE_INITIATED, time=15.0, cost=1.0))
         result = metrics.finalize(end_time=20.0)
         assert result.total_cost == 1.0
@@ -28,7 +30,9 @@ class TestWarmupExclusion:
 
     def test_cost_rate_uses_post_warmup_duration(self):
         metrics = MetricsCollector(warmup=10.0)
-        metrics.record_refresh(_event(RefreshKind.QUERY_INITIATED, time=15.0, cost=20.0))
+        metrics.record_refresh(
+            _event(RefreshKind.QUERY_INITIATED, time=15.0, cost=20.0)
+        )
         result = metrics.finalize(end_time=20.0)
         assert result.duration == 10.0
         assert result.cost_rate == pytest.approx(2.0)
@@ -47,7 +51,9 @@ class TestRatesAndResult:
     def test_refresh_rates_split_by_kind(self):
         metrics = MetricsCollector()
         for time in (1.0, 2.0, 3.0, 4.0):
-            metrics.record_refresh(_event(RefreshKind.VALUE_INITIATED, time=time, cost=1.0))
+            metrics.record_refresh(
+                _event(RefreshKind.VALUE_INITIATED, time=time, cost=1.0)
+            )
         metrics.record_refresh(_event(RefreshKind.QUERY_INITIATED, time=5.0, cost=2.0))
         result = metrics.finalize(end_time=10.0)
         assert result.value_refresh_rate == pytest.approx(0.4)
@@ -56,7 +62,9 @@ class TestRatesAndResult:
 
     def test_final_widths_and_hit_rate_passed_through(self):
         metrics = MetricsCollector()
-        result = metrics.finalize(end_time=1.0, final_widths={"a": 3.0}, cache_hit_rate=0.75)
+        result = metrics.finalize(
+            end_time=1.0, final_widths={"a": 3.0}, cache_hit_rate=0.75
+        )
         assert result.final_widths == {"a": 3.0}
         assert result.cache_hit_rate == 0.75
 

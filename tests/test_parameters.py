@@ -101,8 +101,10 @@ class TestConstructorsAndTransforms:
             assert symbol in mapping
 
     def test_paper_cost_configurations(self):
-        assert PAPER_COST_CONFIGURATIONS["loose_consistency"].cost_factor == pytest.approx(1.0)
-        assert PAPER_COST_CONFIGURATIONS["two_phase_locking"].cost_factor == pytest.approx(4.0)
+        loose = PAPER_COST_CONFIGURATIONS["loose_consistency"]
+        locking = PAPER_COST_CONFIGURATIONS["two_phase_locking"]
+        assert loose.cost_factor == pytest.approx(1.0)
+        assert locking.cost_factor == pytest.approx(4.0)
 
     def test_immutability(self):
         params = PrecisionParameters()

@@ -28,7 +28,9 @@ class TestAdaptivePrecisionPolicy:
     def test_interval_always_contains_exact_value(self, default_parameters):
         policy = AdaptivePrecisionPolicy(default_parameters, initial_width=4.0)
         for step in range(10):
-            decision = policy.on_value_initiated_refresh("a", float(step), time=float(step))
+            decision = policy.on_value_initiated_refresh(
+                "a", float(step), time=float(step)
+            )
             assert decision.interval.contains(float(step))
 
     def test_per_key_controllers_are_independent(self, default_parameters):
@@ -66,7 +68,8 @@ class TestAdaptivePrecisionPolicy:
         assert decision.interval.width == pytest.approx(8.0)
 
     def test_no_eviction_notifications_required(self, default_parameters):
-        assert AdaptivePrecisionPolicy(default_parameters).notifies_source_on_eviction() is False
+        policy = AdaptivePrecisionPolicy(default_parameters)
+        assert policy.notifies_source_on_eviction() is False
 
     def test_rejects_bad_initial_width(self, default_parameters):
         with pytest.raises(ValueError):
@@ -78,7 +81,8 @@ class TestAdaptivePrecisionPolicy:
         assert "alpha=1" in description
 
     def test_parameters_accessor(self, default_parameters):
-        assert AdaptivePrecisionPolicy(default_parameters).parameters is default_parameters
+        policy = AdaptivePrecisionPolicy(default_parameters)
+        assert policy.parameters is default_parameters
 
 
 class TestUncenteredAdaptivePolicy:
@@ -109,7 +113,9 @@ class TestUncenteredAdaptivePolicy:
         second = policy.on_query_initiated_refresh("a", 0.0, time=1.0)
         assert second.interval.width < first.interval.width
 
-    def test_first_value_refresh_without_history_defaults_to_upper(self, default_parameters):
+    def test_first_value_refresh_without_history_defaults_to_upper(
+        self, default_parameters
+    ):
         policy = UncenteredAdaptivePolicy(default_parameters, initial_width=4.0)
         decision = policy.on_value_initiated_refresh("a", 5.0, time=0.0)
         assert decision.interval.contains(5.0)

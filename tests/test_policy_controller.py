@@ -82,13 +82,17 @@ class TestProbabilisticAdjustment:
 
     def test_rho_below_one_always_shrinks(self):
         params = PrecisionParameters(value_refresh_cost=0.5, query_refresh_cost=2.0)
-        controller = AdaptiveWidthController(params, initial_width=1.0, rng=random.Random(3))
+        controller = AdaptiveWidthController(
+            params, initial_width=1.0, rng=random.Random(3)
+        )
         for _ in range(20):
             assert controller.on_query_initiated_refresh() is WidthAdjustment.SHRANK
 
     def test_rho_below_one_grows_about_rho_fraction(self):
         params = PrecisionParameters(value_refresh_cost=0.5, query_refresh_cost=2.0)
-        controller = AdaptiveWidthController(params, initial_width=1.0, rng=random.Random(4))
+        controller = AdaptiveWidthController(
+            params, initial_width=1.0, rng=random.Random(4)
+        )
         grows = sum(
             controller.on_value_initiated_refresh() is WidthAdjustment.GREW
             for _ in range(4000)
@@ -126,7 +130,9 @@ class TestThresholdedPublication:
 
     def test_exact_caching_specialisation_publishes_only_binary_widths(self):
         params = PrecisionParameters(lower_threshold=2.0, upper_threshold=2.0)
-        controller = AdaptiveWidthController(params, initial_width=1.0, rng=random.Random(5))
+        controller = AdaptiveWidthController(
+            params, initial_width=1.0, rng=random.Random(5)
+        )
         seen = set()
         for _ in range(30):
             controller.on_value_initiated_refresh()

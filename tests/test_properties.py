@@ -103,7 +103,9 @@ class TestControllerProperties:
     @settings(max_examples=60)
     def test_width_stays_positive_and_finite(self, initial, adaptivity, operations):
         params = PrecisionParameters(adaptivity=adaptivity)
-        controller = AdaptiveWidthController(params, initial_width=initial, rng=random.Random(0))
+        controller = AdaptiveWidthController(
+            params, initial_width=initial, rng=random.Random(0)
+        )
         for grow in operations:
             if grow:
                 controller.on_value_initiated_refresh()
@@ -128,7 +130,9 @@ class TestControllerProperties:
     @given(initial=positive_widths, operations=st.lists(st.booleans(), max_size=40))
     def test_published_width_consistent_with_thresholds(self, initial, operations):
         params = PrecisionParameters(lower_threshold=1.0, upper_threshold=100.0)
-        controller = AdaptiveWidthController(params, initial_width=initial, rng=random.Random(1))
+        controller = AdaptiveWidthController(
+            params, initial_width=initial, rng=random.Random(1)
+        )
         for grow in operations:
             if grow:
                 controller.on_value_initiated_refresh()
@@ -168,7 +172,9 @@ class TestAggregateProperties:
         assert remaining <= constraint + 1e-6
 
     @given(items=interval_lists(), constraint=widths)
-    def test_sum_selection_never_refreshes_more_than_everything(self, items, constraint):
+    def test_sum_selection_never_refreshes_more_than_everything(
+        self, items, constraint
+    ):
         mapping = {index: interval for index, interval in enumerate(items)}
         refreshed = select_sum_refreshes(mapping, constraint)
         assert len(refreshed) <= len(mapping)
@@ -178,7 +184,9 @@ class TestAggregateProperties:
 class TestMovingAverageProperties:
     @given(
         values=st.lists(
-            st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+            st.floats(
+                min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+            ),
             min_size=1,
             max_size=50,
         ),

@@ -68,8 +68,10 @@ class TestCostAccountant:
         accountant.record(_event(kind=RefreshKind.VALUE_INITIATED))
         accountant.record(_event(kind=RefreshKind.VALUE_INITIATED))
         accountant.record(_event(kind=RefreshKind.QUERY_INITIATED))
-        assert accountant.refresh_rate(RefreshKind.VALUE_INITIATED, 2.0) == pytest.approx(1.0)
-        assert accountant.refresh_rate(RefreshKind.QUERY_INITIATED, 2.0) == pytest.approx(0.5)
+        value_rate = accountant.refresh_rate(RefreshKind.VALUE_INITIATED, 2.0)
+        query_rate = accountant.refresh_rate(RefreshKind.QUERY_INITIATED, 2.0)
+        assert value_rate == pytest.approx(1.0)
+        assert query_rate == pytest.approx(0.5)
 
     def test_refresh_rate_rejects_non_positive_duration(self):
         with pytest.raises(ValueError):

@@ -42,7 +42,11 @@ def _toy_plan():
         title="toy experiment",
         columns=("value", "scaled"),
         subruns=tuple(
-            SubRun(label=f"v{value}", func=_rows_for, kwargs={"value": value, "scale": 10})
+            SubRun(
+                label=f"v{value}",
+                func=_rows_for,
+                kwargs={"value": value, "scale": 10},
+            )
             for value in range(5)
         ),
         notes="toy notes",

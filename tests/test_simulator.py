@@ -107,7 +107,9 @@ class TestBasicProtocol:
         policy = AdaptivePrecisionPolicy(
             PrecisionParameters(), initial_width=1.0, rng=random.Random(0)
         )
-        config = _config(constraint_average=5.0, value_refresh_cost=1.0, query_refresh_cost=2.0)
+        config = _config(
+            constraint_average=5.0, value_refresh_cost=1.0, query_refresh_cost=2.0
+        )
         result = run_simulation(config, streams, policy)
         expected = result.value_refresh_count * 1.0 + result.query_refresh_count * 2.0
         assert result.total_cost == pytest.approx(expected)
@@ -165,7 +167,9 @@ class TestAdaptiveBehaviourInSimulation:
 class TestCapacityAndEvictionNotification:
     def _streams(self, count) -> Dict[str, ScriptedStream]:
         return {
-            f"s{i}": ScriptedStream(0.0, [(float(t), float(t * (i + 1))) for t in range(1, 20)])
+            f"s{i}": ScriptedStream(
+                0.0, [(float(t), float(t * (i + 1))) for t in range(1, 20)]
+            )
             for i in range(count)
         }
 
@@ -174,7 +178,9 @@ class TestCapacityAndEvictionNotification:
         policy = AdaptivePrecisionPolicy(
             PrecisionParameters(), initial_width=5.0, rng=random.Random(4)
         )
-        config = _config(duration=20.0, cache_capacity=3, query_size=3, constraint_average=2.0)
+        config = _config(
+            duration=20.0, cache_capacity=3, query_size=3, constraint_average=2.0
+        )
         simulation = CacheSimulation(config, streams, policy)
         simulation.run()
         assert len(simulation.cache) <= 3

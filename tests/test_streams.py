@@ -16,7 +16,9 @@ from repro.data.trace import Trace
 
 class TestRandomWalkStream:
     def test_updates_every_interval(self):
-        stream = RandomWalkStream(RandomWalkGenerator(rng=random.Random(0)), interval=1.0)
+        stream = RandomWalkStream(
+            RandomWalkGenerator(rng=random.Random(0)), interval=1.0
+        )
         updates = list(stream.updates(5.0))
         assert [time for time, _ in updates] == [1.0, 2.0, 3.0, 4.0, 5.0]
 
@@ -25,7 +27,9 @@ class TestRandomWalkStream:
         assert stream.initial_value == 7.0
 
     def test_fractional_interval(self):
-        stream = RandomWalkStream(RandomWalkGenerator(rng=random.Random(0)), interval=0.5)
+        stream = RandomWalkStream(
+            RandomWalkGenerator(rng=random.Random(0)), interval=0.5
+        )
         updates = list(stream.updates(2.0))
         assert len(updates) == 4
 

@@ -89,7 +89,8 @@ class TestTrace:
         path = tmp_path / "trace.json"
         trace.to_json(path)
         loaded = Trace.from_json(path)
-        assert loaded.series == {key: list(values) for key, values in trace.series.items()}
+        expected = {key: list(values) for key, values in trace.series.items()}
+        assert loaded.series == expected
         assert loaded.sample_interval == trace.sample_interval
 
     def test_from_mapping(self):

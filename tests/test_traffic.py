@@ -63,13 +63,21 @@ class TestGeneratedTrace:
             assert max(values) <= PAPER_PEAK_TRAFFIC
 
     def test_deterministic_for_same_seed(self):
-        first = SyntheticTrafficTraceGenerator(host_count=3, duration_seconds=200, seed=5).generate()
-        second = SyntheticTrafficTraceGenerator(host_count=3, duration_seconds=200, seed=5).generate()
+        first = SyntheticTrafficTraceGenerator(
+            host_count=3, duration_seconds=200, seed=5
+        ).generate()
+        second = SyntheticTrafficTraceGenerator(
+            host_count=3, duration_seconds=200, seed=5
+        ).generate()
         assert first.series == second.series
 
     def test_different_seeds_differ(self):
-        first = SyntheticTrafficTraceGenerator(host_count=3, duration_seconds=200, seed=5).generate()
-        second = SyntheticTrafficTraceGenerator(host_count=3, duration_seconds=200, seed=6).generate()
+        first = SyntheticTrafficTraceGenerator(
+            host_count=3, duration_seconds=200, seed=5
+        ).generate()
+        second = SyntheticTrafficTraceGenerator(
+            host_count=3, duration_seconds=200, seed=6
+        ).generate()
         assert first.series != second.series
 
     def test_trace_has_activity(self, small_trace):
@@ -85,7 +93,9 @@ class TestGeneratedTrace:
         assert totals[-1] > totals[0]
 
     def test_smoothing_reduces_roughness(self):
-        generator = SyntheticTrafficTraceGenerator(host_count=4, duration_seconds=400, seed=2)
+        generator = SyntheticTrafficTraceGenerator(
+            host_count=4, duration_seconds=400, seed=2
+        )
         raw = generator.generate_raw()
         smoothed = generator.generate()
 

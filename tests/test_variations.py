@@ -107,12 +107,16 @@ class TestTimeVaryingController:
 
 class TestHistoryWindowController:
     def test_single_event_majority_grows(self, default_parameters):
-        controller = HistoryWindowController(default_parameters, initial_width=4.0, window=3)
+        controller = HistoryWindowController(
+            default_parameters, initial_width=4.0, window=3
+        )
         assert controller.on_value_initiated_refresh() is WidthAdjustment.GREW
         assert controller.width == pytest.approx(8.0)
 
     def test_majority_of_queries_shrinks(self, default_parameters):
-        controller = HistoryWindowController(default_parameters, initial_width=8.0, window=3)
+        controller = HistoryWindowController(
+            default_parameters, initial_width=8.0, window=3
+        )
         controller.on_query_initiated_refresh()
         controller.on_query_initiated_refresh()
         controller.on_value_initiated_refresh()
@@ -120,7 +124,9 @@ class TestHistoryWindowController:
         assert controller.width < 8.0
 
     def test_tie_leaves_width_unchanged(self, default_parameters):
-        controller = HistoryWindowController(default_parameters, initial_width=8.0, window=2)
+        controller = HistoryWindowController(
+            default_parameters, initial_width=8.0, window=2
+        )
         controller.on_value_initiated_refresh()  # grows (majority of 1)
         width_before = controller.width
         adjustment = controller.on_query_initiated_refresh()  # 1 vs 1 tie
@@ -128,14 +134,18 @@ class TestHistoryWindowController:
         assert controller.width == width_before
 
     def test_window_one_behaves_like_memoryless(self, default_parameters):
-        controller = HistoryWindowController(default_parameters, initial_width=4.0, window=1)
+        controller = HistoryWindowController(
+            default_parameters, initial_width=4.0, window=1
+        )
         controller.on_value_initiated_refresh()
         assert controller.width == pytest.approx(8.0)
         controller.on_query_initiated_refresh()
         assert controller.width == pytest.approx(4.0)
 
     def test_old_events_fall_out_of_window(self, default_parameters):
-        controller = HistoryWindowController(default_parameters, initial_width=4.0, window=2)
+        controller = HistoryWindowController(
+            default_parameters, initial_width=4.0, window=2
+        )
         controller.on_value_initiated_refresh()  # grows: 4 -> 8
         controller.on_query_initiated_refresh()  # tie: stays 8
         width_before = controller.width

@@ -9,7 +9,13 @@ from repro.queries.constraints import PrecisionConstraintGenerator
 from repro.queries.workload import Query, QueryWorkload
 
 
-def _workload(keys=("a", "b", "c", "d"), period=2.0, query_size=2, aggregates=(AggregateKind.SUM,), seed=0):
+def _workload(
+    keys=("a", "b", "c", "d"),
+    period=2.0,
+    query_size=2,
+    aggregates=(AggregateKind.SUM,),
+    seed=0,
+):
     return QueryWorkload(
         keys=list(keys),
         period=period,
@@ -100,9 +106,13 @@ class TestWorkloadGeneration:
         with pytest.raises(ValueError):
             QueryWorkload(keys=["a"], period=0.0, constraint_generator=generator)
         with pytest.raises(ValueError):
-            QueryWorkload(keys=["a"], period=1.0, constraint_generator=generator, query_size=0)
+            QueryWorkload(
+                keys=["a"], period=1.0, constraint_generator=generator, query_size=0
+            )
         with pytest.raises(ValueError):
-            QueryWorkload(keys=["a"], period=1.0, constraint_generator=generator, aggregates=())
+            QueryWorkload(
+                keys=["a"], period=1.0, constraint_generator=generator, aggregates=()
+            )
 
     def test_period_accessor(self):
         assert _workload(period=3.0).period == 3.0
