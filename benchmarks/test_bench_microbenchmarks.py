@@ -115,27 +115,58 @@ def test_walk_schedule_vector_throughput(benchmark):
     assert len(schedule) == BENCH_WALK_STEPS
 
 
-def test_simulator_event_throughput(benchmark):
-    def run_small_simulation():
-        streams = {
-            f"walk-{index}": RandomWalkStream(
-                RandomWalkGenerator(start=100.0, rng=random.Random(index))
-            )
-            for index in range(5)
-        }
-        config = SimulationConfig(
-            duration=200.0,
-            warmup=20.0,
-            query_period=1.0,
-            query_size=3,
-            constraint_average=20.0,
-            constraint_variation=1.0,
-            seed=3,
+def _run_small_simulation(kernel="batch", shards=1, shard_workers=0):
+    streams = {
+        f"walk-{index}": RandomWalkStream(
+            RandomWalkGenerator(start=100.0, rng=random.Random(index))
         )
-        policy = AdaptivePrecisionPolicy(
-            PrecisionParameters(), initial_width=4.0, rng=random.Random(3)
-        )
-        return CacheSimulation(config, streams, policy).run()
+        for index in range(5 if shards == 1 else 8)
+    }
+    config = SimulationConfig(
+        duration=200.0,
+        warmup=20.0,
+        query_period=1.0,
+        query_size=3,
+        constraint_average=20.0,
+        constraint_variation=1.0,
+        seed=3,
+        kernel=kernel,
+        shards=shards,
+        shard_workers=shard_workers,
+    )
+    policy = AdaptivePrecisionPolicy(
+        PrecisionParameters(), initial_width=4.0, rng=random.Random(3)
+    )
+    return CacheSimulation(config, streams, policy).run()
 
-    result = benchmark(run_small_simulation)
+
+def test_simulator_event_throughput(benchmark):
+    # The headline row: the whole-simulation event loop on the default
+    # (batch-kernel) execution path.
+    result = benchmark(_run_small_simulation)
+    assert result.duration > 0
+
+
+def test_simulator_scheduler_fallback_throughput(benchmark):
+    # The same workload through the general EventScheduler fallback; the
+    # ratio against test_simulator_event_throughput is the batch kernel's
+    # recorded dispatch speedup.
+    result = benchmark(_run_small_simulation, kernel="scheduler")
+    assert result.duration > 0
+
+
+def test_shard_worker_concurrent_throughput(benchmark):
+    # Shard-worker scaling row: a 4-shard run executed on 2 worker
+    # processes.  Wall-clock includes process spawn and per-tick exchange,
+    # so this measures the real end-to-end cost of the concurrent topology
+    # at small scale (it amortises on paper-scale runs); compare against
+    # test_shard_worker_serial_throughput.
+    result = benchmark(_run_small_simulation, shards=4, shard_workers=2)
+    assert result.duration > 0
+
+
+def test_shard_worker_serial_throughput(benchmark):
+    # The same 4-shard run executed serially through the routing
+    # coordinator (the pre-PR4 behaviour of --shards).
+    result = benchmark(_run_small_simulation, shards=4)
     assert result.duration > 0

@@ -17,7 +17,7 @@ from typing import Hashable, Optional
 from repro.intervals.interval import Interval
 
 
-@dataclass
+@dataclass(slots=True)
 class DataSource:
     """One exact value plus the approximation the cache is believed to hold.
 

@@ -5,24 +5,36 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run figure03
     python -m repro.cli run figure07_09 --workers 4
+    python -m repro.cli run figure07_09 --workers 4 --chunk-size 3
     python -m repro.cli run section45 --shards 4
+    python -m repro.cli run section45 --shards 4 --shard-workers 2
     python -m repro.cli run section45 --engine vector
+    python -m repro.cli run section45 --kernel scheduler
     python -m repro.cli run-all --workers 4
 
 ``--workers N`` fans the multi-configuration experiments out over N worker
 processes through :mod:`repro.experiments.runner`; the printed tables are
 identical to sequential runs (every sub-run is deterministically seeded).
-Experiments without a parallel plan simply run sequentially.
+Experiments without a parallel plan simply run sequentially.  ``--chunk-size
+K`` groups sub-runs into deterministic batches of K per pool task, amortising
+submission overhead on large sweeps without changing a row.
 
 ``--shards N`` runs an experiment's simulations behind the hash-partitioned
-multi-cache coordinator (:mod:`repro.sharding`).
+multi-cache coordinator (:mod:`repro.sharding`); ``--shard-workers W`` (with
+``--shards N``, W <= N) additionally executes each simulation's shards
+concurrently in W worker processes (:mod:`repro.sharding.workers`).
 
 ``--engine {reference,vector}`` selects the stream-generation engine of the
 data plane (:mod:`repro.data.engine`): ``reference`` (the default) keeps the
 ``random.Random`` sequences behind the committed figure tables, ``vector``
-switches to numpy batch synthesis for paper-scale sweeps.  Experiments whose
-plans do not take a shard count or engine note on stderr that the flag was
-ignored.
+switches to numpy batch synthesis for paper-scale sweeps.
+
+``--kernel {batch,scheduler}`` selects the event-execution strategy
+(:mod:`repro.simulation.kernel`): the merged-timeline batch kernel (default,
+bit-identical and faster) or the general heap scheduler fallback.
+
+Experiments whose plans do not take a shard count, worker count, engine or
+kernel note on stderr that the flag was ignored.
 """
 
 from __future__ import annotations
@@ -35,6 +47,7 @@ from typing import Any, Dict, List, Optional
 from repro.data.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.experiments.base import ExperimentResult, format_table, registry
 from repro.experiments.runner import plan_registry, run_plan
+from repro.simulation.kernel import DEFAULT_KERNEL, KERNEL_NAMES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +80,28 @@ def build_parser() -> argparse.ArgumentParser:
             help="run simulations behind this many hash-partitioned cache shards",
         )
         subparser.add_argument(
+            "--shard-workers",
+            type=int,
+            default=None,
+            dest="shard_workers",
+            help=(
+                "run each sharded simulation's shards concurrently in this "
+                "many worker processes (requires --shards N with N >= the "
+                "worker count)"
+            ),
+        )
+        subparser.add_argument(
+            "--chunk-size",
+            type=int,
+            default=None,
+            dest="chunk_size",
+            help=(
+                "submit sub-runs to the --workers pool in deterministic "
+                "batches of this size (amortises submission overhead on "
+                "large sweeps; rows are identical for any chunk size)"
+            ),
+        )
+        subparser.add_argument(
             "--engine",
             choices=ENGINE_NAMES,
             default=None,
@@ -74,6 +109,17 @@ def build_parser() -> argparse.ArgumentParser:
                 "stream-generation engine for the data plane "
                 f"(default: {DEFAULT_ENGINE}; 'reference' reproduces the "
                 "committed tables byte-for-byte, 'vector' uses numpy batches)"
+            ),
+        )
+        subparser.add_argument(
+            "--kernel",
+            choices=KERNEL_NAMES,
+            default=None,
+            help=(
+                "event-execution strategy "
+                f"(default: {DEFAULT_KERNEL}; 'batch' replays the merged "
+                "timelines bit-identically and faster, 'scheduler' keeps "
+                "the general event-scheduler loop)"
             ),
         )
     return parser
@@ -92,19 +138,28 @@ def _run_experiment(
     workers: Optional[int],
     shards: Optional[int] = None,
     engine: Optional[str] = None,
+    shard_workers: Optional[int] = None,
+    kernel: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> ExperimentResult:
     """Run one experiment, through its parallel plan when it declares one.
 
-    ``shards`` and ``engine`` are forwarded to experiments whose plan
-    factory (or runner) accepts the keyword; for the rest the flag is
-    reported as ignored so a sharded or vector-engine sweep never silently
-    reproduces the default tables.
+    ``shards``, ``shard_workers``, ``engine`` and ``kernel`` are forwarded
+    to experiments whose plan factory (or runner) accepts the keyword; for
+    the rest the flag is reported as ignored so a sharded, concurrent or
+    vector-engine sweep never silently reproduces the default tables.
+    ``chunk_size`` shapes pool submission only (see :func:`run_plan`).
     """
     plan_factory = plan_registry().get(experiment_id)
     runner = registry()[experiment_id]
     target = plan_factory if plan_factory is not None else runner
     forwarded: Dict[str, Any] = {}
-    for name, value in (("shards", shards), ("engine", engine)):
+    for name, flag, value in (
+        ("shards", "shards", shards),
+        ("shard_workers", "shard-workers", shard_workers),
+        ("engine", "engine", engine),
+        ("kernel", "kernel", kernel),
+    ):
         if value is None:
             continue
         if _accepts_keyword(target, name):
@@ -112,11 +167,22 @@ def _run_experiment(
         else:
             print(
                 f"note: {experiment_id} does not take {name!r}; "
-                f"--{name} ignored",
+                f"--{flag} ignored",
                 file=sys.stderr,
             )
     if workers is not None and workers > 1 and plan_factory is not None:
-        return run_plan(plan_factory(**forwarded), workers=workers)
+        return run_plan(
+            plan_factory(**forwarded), workers=workers, chunk_size=chunk_size
+        )
+    if chunk_size is not None:
+        # Chunking only shapes pool submission; without a parallel plan run
+        # there is no pool, so say so instead of silently absorbing the flag.
+        print(
+            f"note: {experiment_id} runs without a worker pool here "
+            "(--chunk-size needs --workers > 1 and a parallel plan); "
+            "--chunk-size ignored",
+            file=sys.stderr,
+        )
     runner_accepts_all = all(_accepts_keyword(runner, name) for name in forwarded)
     if forwarded and plan_factory is not None and not runner_accepts_all:
         return run_plan(plan_factory(**forwarded))
@@ -131,6 +197,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--workers must be non-negative, got {args.workers}")
     if getattr(args, "shards", None) is not None and args.shards < 1:
         parser.error(f"--shards must be at least 1, got {args.shards}")
+    shard_workers = getattr(args, "shard_workers", None)
+    if shard_workers is not None:
+        if shard_workers < 0:
+            parser.error(f"--shard-workers must be non-negative, got {shard_workers}")
+        shards = getattr(args, "shards", None)
+        if shard_workers > 1 and (shards is None or shards < shard_workers):
+            parser.error(
+                "--shard-workers requires --shards N with N >= the worker "
+                f"count, got --shard-workers {shard_workers} with "
+                f"--shards {shards}"
+            )
+    if getattr(args, "chunk_size", None) is not None and args.chunk_size < 1:
+        parser.error(f"--chunk-size must be at least 1, got {args.chunk_size}")
     experiments = registry()
     if args.command == "list":
         for experiment_id in sorted(experiments):
@@ -146,7 +225,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         print(
             format_table(
-                _run_experiment(args.experiment, args.workers, args.shards, args.engine)
+                _run_experiment(
+                    args.experiment,
+                    args.workers,
+                    args.shards,
+                    args.engine,
+                    shard_workers=args.shard_workers,
+                    kernel=args.kernel,
+                    chunk_size=args.chunk_size,
+                )
             )
         )
         return 0
@@ -155,7 +242,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 format_table(
                     _run_experiment(
-                        experiment_id, args.workers, args.shards, args.engine
+                        experiment_id,
+                        args.workers,
+                        args.shards,
+                        args.engine,
+                        shard_workers=args.shard_workers,
+                        kernel=args.kernel,
+                        chunk_size=args.chunk_size,
                     )
                 )
             )

@@ -24,6 +24,7 @@ from repro.data.engine import (
     VectorEngine,
     get_engine,
 )
+from repro.data.merged import MergedTimeline, merge_timelines
 from repro.data.random_walk import RandomWalkGenerator
 from repro.data.streams import (
     CounterStream,
@@ -42,6 +43,8 @@ __all__ = [
     "ReferenceEngine",
     "VectorEngine",
     "get_engine",
+    "MergedTimeline",
+    "merge_timelines",
     "RandomWalkGenerator",
     "UpdateStream",
     "RandomWalkStream",

@@ -24,14 +24,53 @@ Engines are identified by name (``SimulationConfig.engine``, CLI
 
 from __future__ import annotations
 
+import functools
 import random
 from abc import ABC, abstractmethod
-from typing import Any, ClassVar, Dict, List, Optional, Sequence
+from typing import Any, ClassVar, Dict, List, Optional, Sequence, Tuple
 
 from repro.data.trace import moving_window_average
 
 #: Name of the engine reproducing the committed figure tables byte-for-byte.
 DEFAULT_ENGINE = "reference"
+
+
+#: Grids longer than this are rebuilt per call instead of memoised: the
+#: lru_cache bounds entry count, not bytes, so paper-scale sweeps over many
+#: distinct (interval, duration) pairs must not pin multi-million-entry
+#: tuples for the process lifetime.
+_SCHEDULE_CACHE_MAX_STEPS = 1_000_000
+
+
+def _build_reference_schedule_times(interval: float, duration: float) -> List[float]:
+    # Accumulates with repeated float additions (no closed-form multiply) so
+    # the instants are bit-identical to the historical update loop.
+    times: List[float] = []
+    time = interval
+    horizon = duration + 1e-9
+    while time <= horizon:
+        times.append(round(time, 9))
+        time += interval
+    return times
+
+
+@functools.lru_cache(maxsize=16)
+def _cached_reference_schedule_times(
+    interval: float, duration: float
+) -> Tuple[float, ...]:
+    return tuple(_build_reference_schedule_times(interval, duration))
+
+
+def _reference_schedule_times(interval: float, duration: float) -> List[float]:
+    """The reference engine's periodic grid, memoised per (interval, duration).
+
+    Every source of a run shares one grid, so small grids are cached as
+    immutable tuples; grids past :data:`_SCHEDULE_CACHE_MAX_STEPS` bypass
+    the cache to keep memory retention bounded by entries *and* bytes.
+    """
+    if duration / interval > _SCHEDULE_CACHE_MAX_STEPS:
+        return _build_reference_schedule_times(interval, duration)
+    return list(_cached_reference_schedule_times(interval, duration))
 
 
 class StreamEngine(ABC):
@@ -125,6 +164,24 @@ class StreamEngine(ABC):
         """Trailing moving average with the given window (see
         :func:`repro.data.trace.moving_window_average`)."""
 
+    def merge_timelines(
+        self,
+        times_per_source: Sequence[Sequence[float]],
+        values_per_source: Sequence[Sequence[float]],
+    ) -> Optional[Tuple[List[float], List[int], List[float]]]:
+        """Batch-merge per-source schedules into one time-ordered stream.
+
+        Returns ``(times, source_indices, values)`` flat lists sorted by
+        time, or ``None`` when the engine has no batch merge or the merge
+        would not be exact (two sources sharing an instant must be ordered
+        by the scheduler's dynamic tie-breaking, which a static sort cannot
+        reproduce — see :mod:`repro.data.merged`).  The base implementation
+        always returns ``None``; the reference engine inherits it because a
+        pure-Python decorated sort would cost more than the heap replay it
+        replaces.
+        """
+        return None
+
 
 class ReferenceEngine(StreamEngine):
     """The paper-exact engine: ``random.Random`` scalar sequences.
@@ -165,15 +222,10 @@ class ReferenceEngine(StreamEngine):
         return values
 
     def schedule_times(self, interval: float, duration: float) -> List[float]:
-        # Accumulate with repeated float additions (no closed-form multiply)
-        # so the instants are bit-identical to the historical update loop.
-        times: List[float] = []
-        time = interval
-        horizon = duration + 1e-9
-        while time <= horizon:
-            times.append(round(time, 9))
-            time += interval
-        return times
+        # Returns a fresh list per call (callers may keep or alter it); the
+        # underlying accumulation is memoised because every source of a run
+        # typically shares one (interval, duration) grid.
+        return _reference_schedule_times(interval, duration)
 
     def poisson_times(
         self, rng: random.Random, mean_interval: float, horizon: float
@@ -378,6 +430,45 @@ class VectorEngine(StreamEngine):
         if series.size == 0:
             return []
         return self._moving_average_array(series, window).tolist()
+
+    def merge_timelines(
+        self,
+        times_per_source: Sequence[Sequence[float]],
+        values_per_source: Sequence[Sequence[float]],
+    ) -> Optional[Tuple[List[float], List[int], List[float]]]:
+        np = self.numpy
+        lengths = [len(times) for times in times_per_source]
+        total = sum(lengths)
+        if total == 0:
+            return [], [], []
+        times = np.empty(total, dtype=np.float64)
+        values = np.empty(total, dtype=np.float64)
+        offset = 0
+        for source_times, source_values, length in zip(
+            times_per_source, values_per_source, lengths
+        ):
+            times[offset : offset + length] = source_times
+            values[offset : offset + length] = source_values
+            offset += length
+        source_indices = np.repeat(
+            np.arange(len(times_per_source), dtype=np.intp), lengths
+        )
+        # Stable sort: within one source, equal instants keep their FIFO
+        # order (sources are concatenated contiguously); across sources, any
+        # shared instant shows up as an adjacent equal-time pair from two
+        # different sources, which is exactly the case a static merge cannot
+        # order correctly — bail out and let the caller replay dynamically.
+        order = np.argsort(times, kind="stable")
+        sorted_times = times[order]
+        sorted_sources = source_indices[order]
+        tied = sorted_times[1:] == sorted_times[:-1]
+        if bool(np.any(tied & (sorted_sources[1:] != sorted_sources[:-1]))):
+            return None
+        return (
+            sorted_times.tolist(),
+            sorted_sources.tolist(),
+            values[order].tolist(),
+        )
 
 
 _ENGINES: Dict[str, StreamEngine] = {

@@ -39,6 +39,8 @@ def lower_threshold_rows(
     seed: int,
     shards: int = 1,
     engine: str = "reference",
+    shard_workers: int = 0,
+    kernel: str = "batch",
 ) -> List[Tuple]:
     """The row for one ``theta_0`` setting (picklable sub-run unit)."""
     trace = traffic_trace(host_count=host_count, duration=duration, engine=engine)
@@ -50,6 +52,8 @@ def lower_threshold_rows(
         seed=seed,
         shards=shards,
         engine=engine,
+        shard_workers=shard_workers,
+        kernel=kernel,
     )
     policy = adaptive_policy(
         cost_factor=1.0,
@@ -93,6 +97,8 @@ def constraint_variation_rows(
     seed: int,
     shards: int = 1,
     engine: str = "reference",
+    shard_workers: int = 0,
+    kernel: str = "batch",
 ) -> List[Tuple]:
     """The row for one (delta_avg, sigma) cell (picklable sub-run unit)."""
     trace = traffic_trace(host_count=host_count, duration=duration, engine=engine)
@@ -105,6 +111,8 @@ def constraint_variation_rows(
         seed=seed,
         shards=shards,
         engine=engine,
+        shard_workers=shard_workers,
+        kernel=kernel,
     )
     policy = adaptive_policy(
         cost_factor=1.0,
@@ -153,6 +161,8 @@ def plan(
     seed: int = 21,
     shards: int = 1,
     engine: str = "reference",
+    shard_workers: int = 0,
+    kernel: str = "batch",
 ) -> ExperimentPlan:
     """Decompose both studies into one sub-run per parameter cell."""
     subruns = [
@@ -167,6 +177,8 @@ def plan(
                 seed=seed,
                 shards=shards,
                 engine=engine,
+                shard_workers=shard_workers,
+                kernel=kernel,
             ),
         )
         for lower_threshold in DEFAULT_LOWER_THRESHOLDS
@@ -183,6 +195,8 @@ def plan(
                 seed=seed,
                 shards=shards,
                 engine=engine,
+                shard_workers=shard_workers,
+                kernel=kernel,
             ),
         )
         for constraint_average in DEFAULT_CONSTRAINT_AVERAGES
@@ -208,6 +222,8 @@ def run(
     workers: Optional[int] = None,
     shards: int = 1,
     engine: str = "reference",
+    shard_workers: int = 0,
+    kernel: str = "batch",
 ) -> ExperimentResult:
     """Produce both Section 4.4 sensitivity studies."""
     return run_plan(
@@ -217,6 +233,8 @@ def run(
             seed=seed,
             shards=shards,
             engine=engine,
+            shard_workers=shard_workers,
+            kernel=kernel,
         ),
         workers=workers,
     )

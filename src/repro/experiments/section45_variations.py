@@ -41,7 +41,12 @@ DEFAULT_SOURCE_COUNT = 5
 
 
 def _config(
-    duration: float, seed: int, shards: int = 1, engine: str = "reference"
+    duration: float,
+    seed: int,
+    shards: int = 1,
+    engine: str = "reference",
+    shard_workers: int = 0,
+    kernel: str = "batch",
 ) -> SimulationConfig:
     return SimulationConfig(
         duration=duration,
@@ -55,7 +60,9 @@ def _config(
         query_refresh_cost=2.0,
         seed=seed,
         shards=shards,
+        shard_workers=shard_workers,
         engine=engine,
+        kernel=kernel,
     )
 
 
@@ -77,16 +84,28 @@ def variation_rows(
     seed: int,
     shards: int = 1,
     engine: str = "reference",
+    shard_workers: int = 0,
+    kernel: str = "batch",
 ) -> List[Tuple]:
     """The row for one (walk bias, placement variant) cell (picklable).
 
     The cache is unbounded here, so any ``shards`` count must produce the
     same rows — the CI sharded-smoke job relies on exactly that.  ``engine``
     selects the stream engine generating the walks (``reference`` reproduces
-    the committed table byte-for-byte).
+    the committed table byte-for-byte).  ``shard_workers`` > 1 runs a
+    sharded cell's shards concurrently in worker processes (exact here:
+    rho = 1, so the policy decomposes — see :mod:`repro.sharding.workers`);
+    ``kernel`` picks the event-execution strategy.
     """
     walk_kind = "unbiased walk" if up_probability == 0.5 else "biased walk"
-    config = _config(duration, seed, shards=shards, engine=engine)
+    config = _config(
+        duration,
+        seed,
+        shards=shards,
+        engine=engine,
+        shard_workers=shard_workers,
+        kernel=kernel,
+    )
     if variant == "centred":
         policy = AdaptivePrecisionPolicy(
             _parameters(), initial_width=4.0, rng=random.Random(seed)
@@ -116,6 +135,8 @@ def plan(
     seed: int = 23,
     shards: int = 1,
     engine: str = "reference",
+    shard_workers: int = 0,
+    kernel: str = "batch",
 ) -> ExperimentPlan:
     """Decompose into one sub-run per (walk bias, placement variant) cell."""
     subruns = tuple(
@@ -130,6 +151,8 @@ def plan(
                 seed=seed,
                 shards=shards,
                 engine=engine,
+                shard_workers=shard_workers,
+                kernel=kernel,
             ),
         )
         for up_probability in up_probabilities
@@ -157,6 +180,8 @@ def run(
     workers: Optional[int] = None,
     shards: int = 1,
     engine: str = "reference",
+    shard_workers: int = 0,
+    kernel: str = "batch",
 ) -> ExperimentResult:
     """Compare centred vs uncentered placement on unbiased and biased walks."""
     return run_plan(
@@ -167,6 +192,8 @@ def run(
             seed=seed,
             shards=shards,
             engine=engine,
+            shard_workers=shard_workers,
+            kernel=kernel,
         ),
         workers=workers,
     )

@@ -56,8 +56,16 @@ def scaling_rows(
     capacity_fraction: float,
     seed: int,
     engine: str = "reference",
+    shard_workers: int = 0,
+    kernel: str = "batch",
 ) -> List[Tuple]:
-    """The row for one shard count (picklable sub-run unit)."""
+    """The row for one shard count (picklable sub-run unit).
+
+    ``shard_workers`` > 1 executes a sharded cell's shards concurrently in
+    worker processes (clamped to the cell's shard count; single-shard cells
+    always run in-process).  This sweep uses ``rho = 1``, so the policy
+    decomposes and the rows are identical for any worker count.
+    """
     trace = traffic_trace(host_count=host_count, duration=duration, engine=engine)
     capacity = max(shard_count, int(host_count * capacity_fraction))
     config = traffic_config(
@@ -70,6 +78,8 @@ def scaling_rows(
         seed=seed,
         shards=shard_count,
         engine=engine,
+        shard_workers=(min(shard_workers, shard_count) if shard_count > 1 else 0),
+        kernel=kernel,
     )
     policy = adaptive_policy(
         cost_factor=1.0,
@@ -101,6 +111,8 @@ def plan(
     seed: int = 29,
     shards: Optional[int] = None,
     engine: str = "reference",
+    shard_workers: int = 0,
+    kernel: str = "batch",
 ) -> ExperimentPlan:
     """Decompose into one sub-run per shard count.
 
@@ -121,6 +133,8 @@ def plan(
                 capacity_fraction=capacity_fraction,
                 seed=seed,
                 engine=engine,
+                shard_workers=shard_workers,
+                kernel=kernel,
             ),
         )
         for shard_count in shard_counts
@@ -158,6 +172,8 @@ def run(
     workers: Optional[int] = None,
     shards: Optional[int] = None,
     engine: str = "reference",
+    shard_workers: int = 0,
+    kernel: str = "batch",
 ) -> ExperimentResult:
     """Sweep shard counts at a large host population."""
     return run_plan(
@@ -169,6 +185,8 @@ def run(
             seed=seed,
             shards=shards,
             engine=engine,
+            shard_workers=shard_workers,
+            kernel=kernel,
         ),
         workers=workers,
     )

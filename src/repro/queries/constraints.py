@@ -62,13 +62,15 @@ class PrecisionConstraintGenerator:
         self._average = average
         self._variation = variation
         self._rng = rng if rng is not None else random.Random()
+        # The effective range is constant for the generator's lifetime;
+        # precompute it once instead of per sample (one sample per query).
+        self._minimum = max(average * (1.0 - variation), 0.0)
+        self._maximum = average * (1.0 + variation)
 
     @property
     def distribution(self) -> ConstraintDistribution:
         """The effective ``[delta_min, delta_max]`` range."""
-        minimum = max(self._average * (1.0 - self._variation), 0.0)
-        maximum = self._average * (1.0 + self._variation)
-        return ConstraintDistribution(minimum=minimum, maximum=maximum)
+        return ConstraintDistribution(minimum=self._minimum, maximum=self._maximum)
 
     @property
     def average(self) -> float:
@@ -82,10 +84,11 @@ class PrecisionConstraintGenerator:
 
     def sample(self) -> float:
         """Draw one precision constraint."""
-        dist = self.distribution
-        if dist.minimum == dist.maximum:
-            return dist.minimum
-        return self._rng.uniform(dist.minimum, dist.maximum)
+        minimum = self._minimum
+        maximum = self._maximum
+        if minimum == maximum:
+            return minimum
+        return self._rng.uniform(minimum, maximum)
 
     @classmethod
     def from_bounds(

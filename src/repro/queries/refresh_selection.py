@@ -31,7 +31,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List
+from typing import Callable, Dict, Hashable, List, Tuple
 
 from repro.intervals.interval import Interval
 from repro.queries.aggregates import AggregateKind, aggregate_bound
@@ -87,11 +87,12 @@ def select_sum_refreshes(
     # than the worst-case reordering error (~n ulps of the total); anything
     # closer falls through to the exact path.  This is the common case for
     # satisfied queries in the simulator.
+    isinf = math.isinf
     unbounded_count = 0
     unordered_total = 0.0
     for interval in intervals.values():
         width = interval.width
-        if math.isinf(width):
+        if isinf(width):
             unbounded_count += 1
         else:
             unordered_total += width
@@ -107,13 +108,15 @@ def select_sum_refreshes(
     # decides whether zero-width stragglers are refreshed under tight
     # constraints, so the summation order must match the sort.
     ordered = sorted(
-        (-interval.width, position, key)
-        for position, (key, interval) in enumerate(intervals.items())
+        [
+            (-interval.width, position, key)
+            for position, (key, interval) in enumerate(intervals.items())
+        ]
     )
     unbounded_remaining = 0
     finite_remaining = 0
     for negated_width, _, _ in ordered:
-        if math.isinf(negated_width):
+        if isinf(negated_width):
             unbounded_remaining += 1
         else:
             finite_remaining += -negated_width
@@ -123,7 +126,7 @@ def select_sum_refreshes(
         if remaining <= constraint:
             break
         refreshes.append(key)
-        if math.isinf(negated_width):
+        if isinf(negated_width):
             unbounded_remaining -= 1
         else:
             finite_remaining -= -negated_width
@@ -156,12 +159,12 @@ def _execute_sum(
     )
 
 
-def _execute_extremum(
+def _extremum_refreshes(
     intervals: Dict[Hashable, Interval],
     constraint: float,
     fetch_exact: FetchExact,
     kind: AggregateKind,
-) -> QueryExecution:
+) -> Tuple[Dict[Hashable, Interval], List[Hashable]]:
     """Iteratively refresh extremum contributors, maintaining the bound incrementally.
 
     Instead of re-aggregating all n intervals per refresh iteration (O(n^2)
@@ -171,6 +174,10 @@ def _execute_extremum(
     The heap tuples carry each key's position in the input mapping so that
     width ties resolve exactly as the naive argmax/argmin over ``working``
     did (first key in mapping order wins).
+
+    Returns the post-refresh working intervals and the refreshed keys in
+    fetch order; building the final result bound is left to the caller so
+    the refresh-only path can skip it.
     """
     working = dict(intervals)
     refreshed: List[Hashable] = []
@@ -216,6 +223,16 @@ def _execute_extremum(
         refreshed.append(victim)
         heapq.heappush(low_heap, (sign * exact, position, victim))
         heapq.heappush(high_heap, (sign * exact, position, victim))
+    return working, refreshed
+
+
+def _execute_extremum(
+    intervals: Dict[Hashable, Interval],
+    constraint: float,
+    fetch_exact: FetchExact,
+    kind: AggregateKind,
+) -> QueryExecution:
+    working, refreshed = _extremum_refreshes(intervals, constraint, fetch_exact, kind)
     return QueryExecution(
         result_bound=aggregate_bound(kind, list(working.values())),
         refreshed_keys=refreshed,
@@ -278,4 +295,44 @@ def execute_bounded_query(
         return _execute_extremum(intervals, constraint, fetch_exact, kind)
     if kind is AggregateKind.AVG:
         return _execute_average(intervals, constraint, fetch_exact)
+    raise ValueError(f"unsupported aggregate kind: {kind!r}")
+
+
+def run_query_refreshes(
+    kind: AggregateKind,
+    intervals: Dict[Hashable, Interval],
+    constraint: float,
+    fetch_exact: FetchExact,
+) -> None:
+    """Perform a bounded query's refreshes without building its result bound.
+
+    The simulator's hot loop only cares about a query's *side effects* — the
+    query-initiated refreshes ``fetch_exact`` performs — and discards the
+    :class:`QueryExecution`.  This entry point runs the exact same selection
+    logic as :func:`execute_bounded_query` (identical keys fetched, in the
+    same order, so every metric and random draw downstream is unchanged) but
+    skips the working-copy and final-aggregate work that only exists to
+    report the result bound.  Callers that need the bound must use
+    :func:`execute_bounded_query`.
+    """
+    if not intervals:
+        raise ValueError("a query must touch at least one value")
+    if constraint < 0:
+        raise ValueError("constraint must be non-negative")
+    if math.isinf(constraint):
+        return
+    if kind is AggregateKind.SUM:
+        for key in select_sum_refreshes(intervals, constraint):
+            fetch_exact(key)
+        return
+    if kind in (AggregateKind.MAX, AggregateKind.MIN):
+        _extremum_refreshes(intervals, constraint, fetch_exact, kind)
+        return
+    if kind is AggregateKind.AVG:
+        # AVG is SUM scaled by 1/n: a constraint delta on the average equals
+        # a constraint n * delta on the sum (see _execute_average).
+        scaled = constraint * len(intervals)
+        for key in select_sum_refreshes(intervals, scaled):
+            fetch_exact(key)
+        return
     raise ValueError(f"unsupported aggregate kind: {kind!r}")

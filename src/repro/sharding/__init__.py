@@ -1,8 +1,9 @@
 """Sharded multi-cache topology: hash-partitioned shards behind one API.
 
 See :mod:`repro.sharding.coordinator` for the coordinator,
-:mod:`repro.sharding.partition` for the deterministic partitioning helpers
-and :mod:`repro.sharding.aggregates` for cross-shard bounded aggregates.
+:mod:`repro.sharding.partition` for the deterministic partitioning helpers,
+:mod:`repro.sharding.aggregates` for cross-shard bounded aggregates and
+:mod:`repro.sharding.workers` for the concurrent shard-worker executor.
 """
 
 from repro.sharding.aggregates import (
@@ -10,16 +11,22 @@ from repro.sharding.aggregates import (
     merge_aggregate_bounds,
     shard_aggregate_bound,
 )
-from repro.sharding.coordinator import ShardedCacheCoordinator
+from repro.sharding.coordinator import (
+    ShardedCacheCoordinator,
+    merge_cache_statistics,
+)
 from repro.sharding.partition import (
     partition_keys,
     shard_index,
     split_capacity,
     stable_key_hash,
 )
+from repro.sharding.workers import run_concurrent_shards
 
 __all__ = [
     "ShardedCacheCoordinator",
+    "merge_cache_statistics",
+    "run_concurrent_shards",
     "execute_sharded_query",
     "merge_aggregate_bounds",
     "partition_keys",

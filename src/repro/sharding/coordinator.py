@@ -24,7 +24,7 @@ eviction-free experiments produce byte-identical tables.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.caching.cache import ApproximateCache, CacheEntry, CacheStatistics
 from repro.caching.eviction import EvictionPolicy
@@ -36,6 +36,26 @@ from repro.sharding.partition import partition_keys, split_capacity, stable_key_
 #: Builds the eviction policy for one shard (receives the shard index).
 #: Returning ``None`` gives the shard the cache's default widest-first rule.
 EvictionPolicyFactory = Callable[[int], Optional[EvictionPolicy]]
+
+
+def merge_cache_statistics(
+    statistics: Iterable[CacheStatistics],
+) -> CacheStatistics:
+    """Fold per-shard counters into one fresh :class:`CacheStatistics`.
+
+    The shared rollup behind :attr:`ShardedCacheCoordinator.statistics` and
+    the concurrent shard-worker merge (:mod:`repro.sharding.workers`): all
+    counters are additive, so the merged snapshot is identical whether the
+    shards lived in one process or many.
+    """
+    merged = CacheStatistics()
+    for stats in statistics:
+        merged.insertions += stats.insertions
+        merged.evictions += stats.evictions
+        merged.hits += stats.hits
+        merged.misses += stats.misses
+        merged.rejected_insertions += stats.rejected_insertions
+    return merged
 
 
 class ShardedCacheCoordinator:
@@ -188,15 +208,7 @@ class ShardedCacheCoordinator:
     @property
     def statistics(self) -> CacheStatistics:
         """Counters merged across shards (a fresh snapshot object)."""
-        merged = CacheStatistics()
-        for shard in self._shards:
-            stats = shard.statistics
-            merged.insertions += stats.insertions
-            merged.evictions += stats.evictions
-            merged.hits += stats.hits
-            merged.misses += stats.misses
-            merged.rejected_insertions += stats.rejected_insertions
-        return merged
+        return merge_cache_statistics(shard.statistics for shard in self._shards)
 
     @property
     def shard_statistics(self) -> Tuple[CacheStatistics, ...]:

@@ -1,0 +1,414 @@
+"""Truly concurrent shard workers: per-shard sub-simulations in processes.
+
+``SimulationConfig.shards`` alone keeps the sharded topology a *routing*
+layer: one process walks the whole event timeline and the coordinator merely
+forwards each cache operation to the owning shard.  This module turns the
+topology into real parallel execution (``SimulationConfig.shard_workers``,
+CLI ``--shard-workers``): sources are partitioned by their owning shard
+(:func:`~repro.sharding.partition.stable_key_hash`), every worker process
+runs the batch-kernel sub-simulation of the shards it owns, and the merged
+per-shard :class:`~repro.caching.cache.CacheStatistics` / metrics reproduce
+the in-process run.
+
+**How the decomposition stays exact.**  Update processing is per-source:
+a value-initiated refresh touches only its own source, its own per-key policy
+controller and its owning shard's cache, so the shards' update phases run
+independently between query ticks.  Queries are the coupling points — which
+keys a bounded query refreshes depends on the cached intervals of *all* its
+keys, across shards — so workers synchronise at every query tick: each
+worker replays the global query workload (the workload RNG is seeded from
+the config and draws independently of simulation state, so every worker
+generates the identical query sequence), sends the ``(interval, exact
+value)`` pairs of its owned queried keys to the coordinator, receives the
+merged map, and runs the *same* refresh-selection logic over it —
+performing real refreshes for its own keys and substituting the broadcast
+exact values for remote ones.  Refresh selection depends only on the
+intervals and exact values (:mod:`repro.queries.refresh_selection`), which
+the merged map carries, so every worker derives the identical refresh
+sequence and applies exactly its own slice of it.
+
+**Decomposability conditions.**  The merged run is bit-identical to the
+in-process sharded run when per-key state is all the policy carries.  The
+adaptive policies share one RNG across per-key controllers, drawing once per
+refresh in *global* refresh order; per-shard replay reorders those draws, so
+exactness additionally requires the draws to be outcome-independent —
+growth/shrink probabilities of exactly 0 or 1, i.e. the paper's ``rho = 1``
+configurations (or ``adaptivity = 0``).  Runs outside these conditions
+complete but may diverge from the serial run in the probabilistic width
+adjustments; a :class:`RuntimeWarning` flags them.  Cross-key policy state
+(e.g. read observers that correlate keys) is likewise outside the contract.
+
+Aggregate metrics merge exactly: refresh costs are per-event constants whose
+partial sums are associative for the paper's cost values, counts are
+integers, and per-shard cache statistics fold through the same rollup the
+coordinator uses (:func:`~repro.sharding.coordinator.merge_cache_statistics`).
+"""
+
+from __future__ import annotations
+
+import traceback
+import warnings
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.caching.cache import CacheStatistics
+from repro.caching.eviction import EvictionPolicy
+from repro.caching.policies.base import PrecisionPolicy
+from repro.data.streams import UpdateStream
+from repro.experiments.runner import persistent_worker_pool
+from repro.intervals.interval import UNBOUNDED, Interval
+from repro.queries.refresh_selection import run_query_refreshes
+from repro.sharding.coordinator import merge_cache_statistics
+from repro.sharding.partition import stable_key_hash
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import HORIZON_TOLERANCE
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.simulator import CacheSimulation
+
+#: One (interval, exact value) exchange entry per owned queried key.
+ExchangeEntry = Tuple[Interval, float]
+
+
+class PrebuiltStream(UpdateStream):
+    """An update stream replaying an already-materialised schedule.
+
+    Workers receive their sources' timelines (drawn once in the parent)
+    instead of stream objects, so the sub-simulation replays exactly the
+    parent's draws without re-deriving per-stream randomness.
+    """
+
+    def __init__(
+        self, initial_value: float, timeline: Sequence[Tuple[float, float]]
+    ) -> None:
+        self._initial = initial_value
+        self._timeline = list(timeline)
+
+    @property
+    def initial_value(self) -> float:
+        return self._initial
+
+    def schedule(self, duration: float) -> List[Tuple[float, float]]:
+        return list(self._timeline)
+
+
+class ShardWorkerSimulation(CacheSimulation):
+    """One worker's sub-simulation: owned sources, global query workload.
+
+    Extends :class:`CacheSimulation` in exactly two places: the query
+    workload is built over the *full* key population (``workload_keys`` —
+    every worker replays the global query sequence, since workload
+    randomness never depends on simulation state), and query execution
+    exchanges owned ``(interval, exact value)`` pairs through ``channel``
+    before running the shared refresh selection (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        streams: Mapping[Hashable, UpdateStream],
+        policy: PrecisionPolicy,
+        eviction_policy: Optional[EvictionPolicy],
+        workload_keys: Sequence[Hashable],
+        channel: Any,
+    ) -> None:
+        super().__init__(
+            config, streams, policy, eviction_policy, workload_keys=workload_keys
+        )
+        self._owned = frozenset(streams.keys())
+        self._channel = channel
+
+    def _run_query(self, time: float) -> None:
+        query = self._workload.generate(time)
+        self._metrics.record_query(time)
+        constraint = query.constraint
+        owned = self._owned
+        cache_get = self._cache.get
+        sources = self._sources
+        local: Dict[Hashable, ExchangeEntry] = {}
+        if self._policy_observes_reads:
+            record_read = self._policy.record_read
+            record_constraint = self._policy.record_constraint
+            for key in query.keys:
+                if key in owned:
+                    entry = cache_get(key, time)
+                    local[key] = (
+                        entry.interval if entry is not None else UNBOUNDED,
+                        sources[key].value,
+                    )
+                    record_read(key, time, served_from_cache=entry is not None)
+                    record_constraint(key, constraint, time)
+        else:
+            for key in query.keys:
+                if key in owned:
+                    # The workload lookup — the only stats-counted cache
+                    # access, exactly one per owned queried key, as in the
+                    # in-process run.
+                    entry = cache_get(key, time)
+                    local[key] = (
+                        entry.interval if entry is not None else UNBOUNDED,
+                        sources[key].value,
+                    )
+        channel = self._channel
+        channel.send(("tick", local))
+        merged: Dict[Hashable, ExchangeEntry] = channel.recv()
+        # Build the interval mapping in query-key order: refresh selection
+        # breaks width ties by mapping position, which must match the
+        # in-process run's ordering.
+        intervals = {key: merged[key][0] for key in query.keys}
+
+        def fetch_exact(key: Hashable) -> float:
+            if key in owned:
+                return self._query_initiated_refresh(key, time)
+            return merged[key][1]
+
+        run_query_refreshes(query.kind, intervals, constraint, fetch_exact)
+
+    def run_worker(self) -> Dict[str, Any]:
+        """Run the sub-simulation and return the mergeable partial payload."""
+        if self._ran:
+            raise RuntimeError("a worker sub-simulation can only run once")
+        self._ran = True
+        processed = self._execute()
+        result = self._metrics.finalize(
+            end_time=self._config.duration,
+            final_widths=self._collect_final_widths(),
+            cache_hit_rate=self._cache.statistics.hit_rate,
+            shard_hit_rates=(),
+            events_processed=processed,
+        )
+        return {
+            "result": result,
+            # The worker's coordinator instantiates every shard (routing by
+            # global shard id); unowned shards simply stay empty, so their
+            # zero statistics merge as no-ops.
+            "shard_statistics": tuple(self._cache.shard_statistics),
+        }
+
+
+def _worker_main(
+    channel: Any,
+    config: SimulationConfig,
+    sources: Dict[Hashable, Tuple[float, Sequence[Tuple[float, float]]]],
+    policy: PrecisionPolicy,
+    eviction_policy: Optional[EvictionPolicy],
+    workload_keys: Sequence[Hashable],
+) -> None:
+    """Worker process entry point: run the sub-simulation, report, exit."""
+    try:
+        streams = {
+            key: PrebuiltStream(initial_value, timeline)
+            for key, (initial_value, timeline) in sources.items()
+        }
+        simulation = ShardWorkerSimulation(
+            config=config,
+            streams=streams,
+            policy=policy,
+            eviction_policy=eviction_policy,
+            workload_keys=workload_keys,
+            channel=channel,
+        )
+        channel.send(("done", simulation.run_worker()))
+    except BaseException:  # pragma: no cover - exercised via crash tests
+        try:
+            channel.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+        raise
+    finally:
+        channel.close()
+
+
+def _check_decomposability(policy: PrecisionPolicy) -> None:
+    """Warn when the policy's shared-RNG draws are outcome-dependent.
+
+    Best effort: only policies exposing a ``parameters`` bundle with
+    growth/shrink probabilities are inspected (the adaptive family).  Draws
+    with probability exactly 0 or 1 never change an outcome, so reordering
+    them across workers is invisible; anything in between makes the merged
+    run diverge from the serial one in the probabilistic width adjustments.
+    """
+    parameters = getattr(policy, "parameters", None)
+    growth = getattr(parameters, "growth_probability", None)
+    shrink = getattr(parameters, "shrink_probability", None)
+    adaptivity = getattr(parameters, "adaptivity", None)
+    if growth is None or shrink is None:
+        return
+    if adaptivity == 0 or (growth in (0.0, 1.0) and shrink in (0.0, 1.0)):
+        return
+    warnings.warn(
+        "shard-worker execution reorders the policy's shared RNG draws; "
+        f"with growth/shrink probabilities ({growth:g}, {shrink:g}) not in "
+        "{0, 1} the merged result may differ from the in-process run "
+        "(exact for rho = 1 or adaptivity = 0)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def run_concurrent_shards(
+    config: SimulationConfig,
+    timelines: Mapping[Hashable, Sequence[Tuple[float, float]]],
+    initial_values: Mapping[Hashable, float],
+    policy: PrecisionPolicy,
+    eviction_policy: Optional[EvictionPolicy] = None,
+) -> SimulationResult:
+    """Execute a sharded simulation across ``config.shard_workers`` processes.
+
+    Called by :meth:`CacheSimulation.run` when ``shard_workers > 1``: the
+    parent has already materialised every source's timeline; this function
+    partitions them by owning shard, fans the sub-simulations out through
+    :func:`repro.experiments.runner.persistent_worker_pool`, coordinates the
+    per-query-tick interval exchange, and merges the per-worker payloads
+    into one :class:`SimulationResult` equal to the in-process run's (under
+    the decomposability conditions in the module docstring).
+    """
+    if config.shards < 2 or config.shard_workers < 2:
+        raise ValueError("run_concurrent_shards requires shards > 1 and workers > 1")
+    _check_decomposability(policy)
+    shard_count = config.shards
+    worker_count = min(config.shard_workers, shard_count)
+    keys = list(timelines)
+    shard_of = {key: stable_key_hash(key) % shard_count for key in keys}
+
+    # Shard s is owned by worker s % worker_count; workers owning no source
+    # are never spawned (their shards hold no keys, so no query can touch
+    # them — their statistics merge below as empty).
+    keys_by_worker: List[List[Hashable]] = [[] for _ in range(worker_count)]
+    for key in keys:
+        keys_by_worker[shard_of[key] % worker_count].append(key)
+    populated = [index for index in range(worker_count) if keys_by_worker[index]]
+
+    worker_config = config.with_changes(shard_workers=0)
+    targets = []
+    for index in populated:
+        owned_keys = keys_by_worker[index]
+        owned_set = set(owned_keys)
+        sources = {key: (initial_values[key], timelines[key]) for key in owned_keys}
+        targets.append(
+            (
+                _worker_main,
+                (
+                    worker_config.with_changes(
+                        track_keys=tuple(
+                            key for key in config.track_keys if key in owned_set
+                        )
+                    ),
+                    sources,
+                    policy,
+                    eviction_policy,
+                    keys,
+                ),
+            )
+        )
+
+    horizon = config.duration + HORIZON_TOLERANCE
+    payloads: List[Dict[str, Any]] = []
+    with persistent_worker_pool(targets) as connections:
+
+        def receive(connection) -> Tuple[str, Any]:
+            try:
+                return connection.recv()
+            except EOFError:
+                raise RuntimeError(
+                    "shard worker exited before completing its run"
+                ) from None
+
+        query_time = config.query_period
+        ticks = 0
+        while query_time <= horizon:
+            partials = []
+            for connection in connections:
+                tag, payload = receive(connection)
+                if tag == "error":
+                    raise RuntimeError(f"shard worker failed:\n{payload}")
+                partials.append(payload)
+            merged: Dict[Hashable, ExchangeEntry] = {}
+            for partial in partials:
+                merged.update(partial)
+            for connection in connections:
+                connection.send(merged)
+            ticks += 1
+            query_time += config.query_period
+        for connection in connections:
+            tag, payload = receive(connection)
+            if tag == "error":
+                raise RuntimeError(f"shard worker failed:\n{payload}")
+            payloads.append(payload)
+
+    return _merge_payloads(config, payloads, populated, worker_count, ticks)
+
+
+def _merge_payloads(
+    config: SimulationConfig,
+    payloads: List[Dict[str, Any]],
+    populated: List[int],
+    worker_count: int,
+    ticks: int,
+) -> SimulationResult:
+    """Fold per-worker payloads into the run's single :class:`SimulationResult`."""
+    results: List[SimulationResult] = [payload["result"] for payload in payloads]
+    shard_count = config.shards
+
+    # Per-shard statistics: each shard is owned by exactly one worker; take
+    # its live counters from that worker (zero stats for shards whose owner
+    # held no sources and was never spawned).
+    owner_payload = {index: payload for index, payload in zip(populated, payloads)}
+    per_shard: List[CacheStatistics] = []
+    for shard in range(shard_count):
+        payload = owner_payload.get(shard % worker_count)
+        per_shard.append(
+            payload["shard_statistics"][shard] if payload else CacheStatistics()
+        )
+    merged_stats = merge_cache_statistics(per_shard)
+
+    duration = config.duration - config.warmup
+    total_cost = sum(result.total_cost for result in results)
+    value_refresh_count = sum(result.value_refresh_count for result in results)
+    query_refresh_count = sum(result.query_refresh_count for result in results)
+    query_counts = {result.query_count for result in results}
+    if len(query_counts) > 1:
+        raise RuntimeError(
+            f"shard workers disagree on the query count: {sorted(query_counts)}"
+        )
+    query_count = query_counts.pop()
+
+    interval_samples: Dict[Hashable, List] = {}
+    for key in config.track_keys:
+        for result in results:
+            if key in result.interval_samples:
+                interval_samples[key] = result.interval_samples[key]
+                break
+        else:
+            interval_samples[key] = []
+    final_widths: Dict[Hashable, float] = {}
+    for result in results:
+        final_widths.update(result.final_widths)
+
+    # Every worker executed all ``ticks`` query events; count them once.
+    events_processed = sum(result.events_processed for result in results) - (
+        len(results) - 1
+    ) * ticks
+
+    return SimulationResult(
+        cost_rate=total_cost / duration,
+        duration=duration,
+        value_refresh_count=value_refresh_count,
+        query_refresh_count=query_refresh_count,
+        value_refresh_rate=value_refresh_count / duration,
+        query_refresh_rate=query_refresh_count / duration,
+        total_cost=total_cost,
+        query_count=query_count,
+        interval_samples=interval_samples,
+        final_widths=final_widths,
+        cache_hit_rate=merged_stats.hit_rate,
+        shard_hit_rates=tuple(stats.hit_rate for stats in per_shard),
+        events_processed=events_processed,
+    )

@@ -10,6 +10,7 @@ split into value-initiated and query-initiated refresh cost.
 
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import EventScheduler
+from repro.simulation.kernel import KERNEL_NAMES, run_batch_kernel
 from repro.simulation.events import SimulationEvent
 from repro.simulation.metrics import MetricsCollector, SimulationResult
 from repro.simulation.network import NetworkModel
@@ -18,6 +19,8 @@ from repro.simulation.simulator import CacheSimulation
 __all__ = [
     "SimulationConfig",
     "EventScheduler",
+    "KERNEL_NAMES",
+    "run_batch_kernel",
     "SimulationEvent",
     "MetricsCollector",
     "SimulationResult",

@@ -16,6 +16,7 @@ from typing import Hashable, Optional, Tuple
 from repro.data.engine import DEFAULT_ENGINE, ENGINE_NAMES, StreamEngine, get_engine
 from repro.queries.aggregates import AggregateKind
 from repro.queries.constraints import PrecisionConstraintGenerator
+from repro.simulation.kernel import DEFAULT_KERNEL, KERNEL_NAMES
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,22 @@ class SimulationConfig:
         :class:`~repro.sharding.coordinator.ShardedCacheCoordinator` that
         hash-partitions keys over this many shards and splits
         ``cache_capacity`` into per-shard eviction budgets.
+    shard_workers:
+        Number of worker processes a sharded run executes on.  ``0`` or ``1``
+        (the default) runs every shard in-process through the routing
+        coordinator; larger values partition sources by their owning shard
+        and run each shard's sub-simulation concurrently in a worker process
+        (:mod:`repro.sharding.workers`), synchronising at query ticks and
+        merging per-shard metrics.  Requires ``shards > 1`` and at most
+        ``shards`` workers.
+    kernel:
+        Event-execution strategy.  ``"batch"`` (the default) replays the
+        pre-materialised update timelines and the periodic query clock
+        through the merged-stream batch kernel
+        (:mod:`repro.simulation.kernel`), bit-identical to and markedly
+        faster than the general scheduler; ``"scheduler"`` keeps the
+        heap-based :class:`~repro.simulation.engine.EventScheduler` loop,
+        the fallback for dynamically scheduled events.
     engine:
         Name of the stream-generation engine of the run's data plane
         (:mod:`repro.data.engine`).  ``"reference"`` (the default) keeps the
@@ -80,7 +97,9 @@ class SimulationConfig:
     constraint_bounds: Optional[Tuple[float, float]] = None
     cache_capacity: Optional[int] = None
     shards: int = 1
+    shard_workers: int = 0
     engine: str = DEFAULT_ENGINE
+    kernel: str = DEFAULT_KERNEL
     value_refresh_cost: float = 1.0
     query_refresh_cost: float = 2.0
     seed: int = 0
@@ -111,6 +130,23 @@ class SimulationConfig:
             raise ValueError("cache_capacity (kappa) must be at least 1")
         if self.shards < 1:
             raise ValueError("shards must be at least 1")
+        if self.shard_workers < 0:
+            raise ValueError("shard_workers must be non-negative")
+        if self.shard_workers > 1:
+            if self.shards < 2:
+                raise ValueError(
+                    "shard_workers > 1 requires a sharded run (shards > 1)"
+                )
+            if self.shard_workers > self.shards:
+                raise ValueError(
+                    "shard_workers may not exceed the shard count "
+                    f"({self.shard_workers} workers for {self.shards} shards)"
+                )
+        if self.kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; available: "
+                f"{', '.join(KERNEL_NAMES)}"
+            )
         if self.cache_capacity is not None and self.cache_capacity < self.shards:
             raise ValueError(
                 "cache_capacity must be at least the shard count so every "

@@ -13,22 +13,25 @@ and aggregated by a :class:`~repro.simulation.metrics.MetricsCollector`.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.caching.cache import ApproximateCache
 from repro.caching.eviction import EvictionPolicy
 from repro.caching.policies.base import PrecisionDecision, PrecisionPolicy
 from repro.caching.refresh import RefreshKind
 from repro.caching.source import DataSource
+from repro.data.merged import merge_timelines
 from repro.data.streams import UpdateStream
 from repro.intervals.interval import UNBOUNDED
-from repro.queries.refresh_selection import execute_bounded_query
+from repro.queries.refresh_selection import run_query_refreshes
 from repro.queries.workload import QueryWorkload
 from repro.sharding.coordinator import ShardedCacheCoordinator
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import HORIZON_TOLERANCE, EventScheduler
 from repro.simulation.events import EventPriority, SimulationEvent
+from repro.simulation.kernel import run_batch_kernel
 from repro.simulation.metrics import MetricsCollector, SimulationResult
 from repro.simulation.network import NetworkModel
 
@@ -50,6 +53,12 @@ class CacheSimulation:
     eviction_policy:
         Optional override of the cache's eviction strategy (defaults to the
         paper's widest-first rule).
+    workload_keys:
+        Optional key population for the query workload; defaults to the
+        stream keys.  Shard-worker sub-simulations pass the *global* key
+        list here so every worker replays the run's full query sequence
+        while only simulating its owned sources
+        (:mod:`repro.sharding.workers`).
     """
 
     def __init__(
@@ -58,11 +67,13 @@ class CacheSimulation:
         streams: Mapping[Hashable, UpdateStream],
         policy: PrecisionPolicy,
         eviction_policy: Optional[EvictionPolicy] = None,
+        workload_keys: Optional[Sequence[Hashable]] = None,
     ) -> None:
         if not streams:
             raise ValueError("at least one update stream is required")
         self._config = config
         self._policy = policy
+        self._eviction_policy = eviction_policy
         self._network = NetworkModel(
             value_refresh_cost=config.value_refresh_cost,
             query_refresh_cost=config.query_refresh_cost,
@@ -129,13 +140,22 @@ class CacheSimulation:
         workload_rng = random.Random(config.seed)
         constraint_rng = random.Random(config.seed + 1)
         self._workload = QueryWorkload(
-            keys=list(streams.keys()),
+            keys=list(workload_keys if workload_keys is not None else streams.keys()),
             period=config.query_period,
             constraint_generator=config.constraint_generator(constraint_rng),
             query_size=config.query_size,
             aggregates=config.aggregates,
             rng=workload_rng,
         )
+        # Hot-loop prebinds: these callables are hit once per refresh or per
+        # query; binding them once removes a chain of attribute lookups per
+        # event.  All are stable for the life of the run.
+        self._cache_get = self._cache.get
+        self._record_refresh = self._metrics.record_refresh_components
+        self._charge_value_refresh = self._network.charge_value_refresh
+        self._charge_query_refresh = self._network.charge_query_refresh
+        self._policy_value_refresh = policy.on_value_initiated_refresh
+        self._policy_query_refresh = policy.on_query_initiated_refresh
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -172,24 +192,63 @@ class CacheSimulation:
     # Run
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Execute the run and return its post-warm-up metrics."""
+        """Execute the run and return its post-warm-up metrics.
+
+        ``config.shard_workers > 1`` hands the run to the concurrent
+        shard-worker executor (:mod:`repro.sharding.workers`): per-shard
+        sub-simulations in worker processes whose merged metrics reproduce
+        this in-process run.  In that mode the returned result is the merged
+        one and this instance's own cache/sources stay untouched (post-run
+        inspection of ``sim.cache`` is only meaningful for in-process runs).
+        """
         if self._ran:
             raise RuntimeError("a CacheSimulation instance can only be run once")
         self._ran = True
-        for key in self._sources:
-            self._schedule_next_update(key)
-        self._schedule_query(self._config.query_period)
-        self._scheduler.run(until=self._config.duration)
-        shard_hit_rates = ()
-        if isinstance(self._cache, ShardedCacheCoordinator):
-            shard_hit_rates = self._cache.shard_hit_rates()
+        if self._config.shard_workers > 1 and self._config.shards > 1:
+            from repro.sharding.workers import run_concurrent_shards
+
+            return run_concurrent_shards(
+                config=self._config,
+                timelines=self._timelines,
+                initial_values={
+                    key: source.value for key, source in self._sources.items()
+                },
+                policy=self._policy,
+                eviction_policy=self._eviction_policy,
+            )
+        processed = self._execute()
         return self._metrics.finalize(
             end_time=self._config.duration,
             final_widths=self._collect_final_widths(),
             cache_hit_rate=self._cache.statistics.hit_rate,
-            shard_hit_rates=shard_hit_rates,
-            events_processed=self._scheduler.processed,
+            shard_hit_rates=self._cache.shard_hit_rates(),
+            events_processed=processed,
         )
+
+    def _execute(self) -> int:
+        """Drive the event loop to the horizon; returns events executed.
+
+        Dispatches on ``config.kernel``: the batch kernel replays the merged
+        timelines directly, the scheduler fallback pumps every event through
+        the general priority queue.  Both paths call the same
+        ``_apply_update`` / ``_run_query`` bodies in the same order.
+        """
+        if self._config.kernel == "batch":
+            merged = merge_timelines(
+                self._timelines, engine=self._config.stream_engine()
+            )
+            return run_batch_kernel(
+                merged,
+                duration=self._config.duration,
+                query_period=self._config.query_period,
+                handle_update=self._apply_update,
+                handle_query=self._run_query,
+            )
+        for key in self._sources:
+            self._schedule_next_update(key)
+        self._schedule_query(self._config.query_period)
+        self._scheduler.run(until=self._config.duration)
+        return self._scheduler.processed
 
     # ------------------------------------------------------------------
     # Update handling
@@ -207,15 +266,27 @@ class CacheSimulation:
         )
 
     def _handle_update(self, event: SimulationEvent) -> None:
-        key = event.key
+        self._apply_update(event.key, event.time, event.payload)
+        step = next(self._timeline_cursors[event.key], None)
+        if step is not None:
+            # One update event per source is in flight at a time, so the
+            # event object is recycled for the source's next step.
+            self._scheduler.reschedule(event, step[0], step[1])
+
+    def _apply_update(self, key: Hashable, time: float, payload: float) -> None:
         source = self._sources[key]
-        time = event.time
-        payload = event.payload
         if payload != source.value:
-            needs_refresh = source.apply_update(payload, time)
+            # Inlined DataSource.apply_update (one call per update event is
+            # the single hottest call site in a run); semantics identical.
+            if time < source.last_update_time:
+                raise ValueError("updates must arrive in non-decreasing time order")
+            source.value = value = float(payload)
+            source.update_count += 1
+            source.last_update_time = time
+            interval = source.published_interval
             if self._policy_observes_writes:
                 self._policy.record_write(key, time)
-            if needs_refresh:
+            if interval is not None and not (interval.low <= value <= interval.high):
                 self._value_initiated_refresh(key, time)
             elif self._sampling:
                 self._metrics.record_interval_sample(
@@ -224,17 +295,12 @@ class CacheSimulation:
         # else: not a modification — the stream re-reported the same value
         # (idle periods in trace replays).  Nothing changes: no write is
         # recorded and no refresh can be needed.
-        step = next(self._timeline_cursors[key], None)
-        if step is not None:
-            # One update event per source is in flight at a time, so the
-            # event object is recycled for the source's next step.
-            self._scheduler.reschedule(event, step[0], step[1])
 
     def _value_initiated_refresh(self, key: Hashable, time: float) -> None:
         source = self._sources[key]
-        decision = self._policy.on_value_initiated_refresh(key, source.value, time)
-        cost = self._network.charge_value_refresh()
-        self._metrics.record_refresh_components(
+        decision = self._policy_value_refresh(key, source.value, time)
+        cost = self._charge_value_refresh()
+        self._record_refresh(
             RefreshKind.VALUE_INITIATED, key, time, cost, decision.interval.width
         )
         self._install(key, decision, time)
@@ -253,9 +319,17 @@ class CacheSimulation:
 
     def _handle_query(self, event: SimulationEvent) -> None:
         time = event.time
+        self._run_query(time)
+        next_time = time + self._config.query_period
+        if next_time <= self._config.duration + HORIZON_TOLERANCE:
+            # The query clock is strictly periodic, so its event object is
+            # recycled rather than reallocated.
+            self._scheduler.reschedule(event, next_time)
+
+    def _run_query(self, time: float) -> None:
         query = self._workload.generate(time)
         self._metrics.record_query(time)
-        cache_get = self._cache.get
+        cache_get = self._cache_get
         constraint = query.constraint
         intervals = {}
         if self._policy_observes_reads:
@@ -271,24 +345,24 @@ class CacheSimulation:
                 record_constraint(key, constraint, time)
         else:
             for key in query.keys:
+                # The workload lookup (see above): the only stats-counted get.
                 entry = cache_get(key, time)
                 intervals[key] = entry.interval if entry is not None else UNBOUNDED
+        if math.isinf(constraint):
+            # An unconstrained query never refreshes; skip the closure and
+            # dispatch (run_query_refreshes would return immediately anyway).
+            return
 
         def fetch_exact(key: Hashable) -> float:
             return self._query_initiated_refresh(key, time)
 
-        execute_bounded_query(query.kind, intervals, constraint, fetch_exact)
-        next_time = time + self._config.query_period
-        if next_time <= self._config.duration + HORIZON_TOLERANCE:
-            # The query clock is strictly periodic, so its event object is
-            # recycled rather than reallocated.
-            self._scheduler.reschedule(event, next_time)
+        run_query_refreshes(query.kind, intervals, constraint, fetch_exact)
 
     def _query_initiated_refresh(self, key: Hashable, time: float) -> float:
         source = self._sources[key]
-        decision = self._policy.on_query_initiated_refresh(key, source.value, time)
-        cost = self._network.charge_query_refresh()
-        self._metrics.record_refresh_components(
+        decision = self._policy_query_refresh(key, source.value, time)
+        cost = self._charge_query_refresh()
+        self._record_refresh(
             RefreshKind.QUERY_INITIATED, key, time, cost, decision.interval.width
         )
         self._install(key, decision, time)
@@ -299,7 +373,10 @@ class CacheSimulation:
     # ------------------------------------------------------------------
     def _install(self, key: Hashable, decision: PrecisionDecision, time: float) -> None:
         source = self._sources[key]
-        if decision.interval.is_unbounded and self._notify_on_eviction:
+        # The cheap flag goes first: only eviction-notifying policies (WJH97
+        # exact caching) ever take the invalidate branch, so the default
+        # policies skip the unboundedness probe entirely.
+        if self._notify_on_eviction and decision.interval.is_unbounded:
             # Policies that track replicas explicitly (WJH97 exact caching)
             # interpret an unbounded approximation as "do not cache at all":
             # the cache drops the value and the source stops propagating

@@ -66,6 +66,40 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "section45", "--engine", "warp"])
 
+    def test_run_accepts_shard_workers(self):
+        args = build_parser().parse_args(
+            ["run", "section45", "--shards", "4", "--shard-workers", "2"]
+        )
+        assert args.shard_workers == 2
+
+    def test_shard_workers_requires_enough_shards(self):
+        with pytest.raises(SystemExit):
+            main(["run", "section45", "--shard-workers", "2"])
+        with pytest.raises(SystemExit):
+            main(["run", "section45", "--shards", "2", "--shard-workers", "4"])
+
+    def test_negative_shard_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "section45", "--shards", "4", "--shard-workers", "-1"])
+
+    def test_run_accepts_chunk_size(self):
+        args = build_parser().parse_args(
+            ["run", "section45", "--workers", "2", "--chunk-size", "3"]
+        )
+        assert args.chunk_size == 3
+
+    def test_zero_chunk_size_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "section45", "--chunk-size", "0"])
+
+    def test_run_accepts_kernel(self):
+        args = build_parser().parse_args(["run", "section45", "--kernel", "scheduler"])
+        assert args.kernel == "scheduler"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "section45", "--kernel", "turbo"])
+
 
 class TestMain:
     def test_list_prints_experiment_ids(self, capsys):
@@ -96,6 +130,45 @@ class TestMain:
         assert main(["run", "section45", "--shards", "3"]) == 0
         sharded = capsys.readouterr().out
         assert sharded == unsharded
+
+    def test_run_section45_shard_workers_matches_unsharded(self, capsys):
+        # The acceptance diff of the concurrent shard-worker mode: with an
+        # unbounded cache and rho = 1 the concurrent sharded table equals
+        # the plain run byte for byte (CI runs the same diff via the CLI).
+        assert main(["run", "section45"]) == 0
+        unsharded = capsys.readouterr().out
+        assert main(["run", "section45", "--shards", "4", "--shard-workers", "2"]) == 0
+        concurrent = capsys.readouterr().out
+        assert concurrent == unsharded
+
+    def test_kernel_scheduler_matches_default_batch(self, capsys):
+        # The batch kernel is the default; the scheduler fallback must print
+        # the identical table.
+        assert main(["run", "section45"]) == 0
+        batch = capsys.readouterr().out
+        assert main(["run", "section45", "--kernel", "scheduler"]) == 0
+        scheduler = capsys.readouterr().out
+        assert scheduler == batch
+
+    def test_kernel_flag_ignored_with_note_for_unsupported_experiment(self, capsys):
+        assert main(["run", "table1", "--kernel", "scheduler"]) == 0
+        captured = capsys.readouterr()
+        assert "theta_0" in captured.out
+        assert "--kernel ignored" in captured.err
+
+    def test_shard_workers_flag_ignored_with_note_for_unsupported_experiment(
+        self, capsys
+    ):
+        assert main(["run", "table1", "--shards", "4", "--shard-workers", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "theta_0" in captured.out
+        assert "--shard-workers ignored" in captured.err
+
+    def test_chunk_size_without_pool_notes_ignored(self, capsys):
+        assert main(["run", "table1", "--chunk-size", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "theta_0" in captured.out
+        assert "--chunk-size ignored" in captured.err
 
     def test_shards_flag_ignored_with_note_for_unsupported_experiment(self, capsys):
         assert main(["run", "table1", "--shards", "4"]) == 0
