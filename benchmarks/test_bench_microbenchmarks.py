@@ -170,3 +170,70 @@ def test_shard_worker_serial_throughput(benchmark):
     # coordinator (the pre-PR4 behaviour of --shards).
     result = benchmark(_run_small_simulation, shards=4)
     assert result.duration > 0
+
+
+def test_shard_worker_windowed_throughput(benchmark):
+    # The windowed exchange (--exchange-window 8): same 4-shard / 2-worker
+    # run with the per-query-tick pipe round-trip batched over windows of 8
+    # ticks.  Compare against test_shard_worker_concurrent_throughput (the
+    # per-tick exchange) for the round-trip amortisation.
+    def run_windowed():
+        streams = {
+            f"walk-{index}": RandomWalkStream(
+                RandomWalkGenerator(start=100.0, rng=random.Random(index))
+            )
+            for index in range(8)
+        }
+        config = SimulationConfig(
+            duration=200.0,
+            warmup=20.0,
+            query_period=1.0,
+            query_size=3,
+            constraint_average=20.0,
+            constraint_variation=1.0,
+            seed=3,
+            shards=4,
+            shard_workers=2,
+            exchange_window=8,
+        )
+        policy = AdaptivePrecisionPolicy(
+            PrecisionParameters(), initial_width=4.0, rng=random.Random(3)
+        )
+        return CacheSimulation(config, streams, policy).run()
+
+    result = benchmark(run_windowed)
+    assert result.duration > 0
+
+
+def test_serving_loopback_query_throughput(benchmark):
+    # The serving layer's hot path: one deterministic trace replay (updates
+    # plus queries, every RPC awaited) against the loopback CacheServer.
+    # Measures protocol framing, dispatch and async refresh selection.
+    import asyncio
+
+    from repro.data.traffic import SyntheticTrafficTraceGenerator
+    from repro.experiments.workloads import serving_policy, traffic_config
+    from repro.serving.loadgen import replay_trace_deterministic
+    from repro.serving.server import CacheServer
+
+    trace = SyntheticTrafficTraceGenerator(
+        host_count=10, duration_seconds=120, seed=7
+    ).generate()
+    config = traffic_config(trace, seed=5).with_changes(warmup=0.0)
+
+    def replay():
+        async def drive():
+            server = CacheServer(
+                serving_policy(cost_factor=1.0, seed=5),
+                value_refresh_cost=config.value_refresh_cost,
+                query_refresh_cost=config.query_refresh_cost,
+            )
+            try:
+                return await replay_trace_deterministic(server, trace, config)
+            finally:
+                await server.close()
+
+        return asyncio.run(drive())
+
+    report = benchmark(replay)
+    assert report.queries > 0

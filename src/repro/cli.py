@@ -33,13 +33,33 @@ switches to numpy batch synthesis for paper-scale sweeps.
 (:mod:`repro.simulation.kernel`): the merged-timeline batch kernel (default,
 bit-identical and faster) or the general heap scheduler fallback.
 
-Experiments whose plans do not take a shard count, worker count, engine or
-kernel note on stderr that the flag was ignored.
+``--exchange-window W`` batches the shard workers' per-query-tick exchange
+over windows of W ticks (:mod:`repro.sharding.workers`), cutting pipe
+round-trips; results are identical for every window size.
+
+Experiments whose plans do not take a shard count, worker count, engine,
+kernel or exchange window note on stderr that the flag was ignored.
+
+The serving layer (:mod:`repro.serving`) adds two more commands::
+
+    python -m repro.cli serve --port 7411 --shards 4
+    python -m repro.cli loadgen --mode deterministic --compare-offline
+    python -m repro.cli loadgen --mode concurrent --clients 8
+
+``serve`` hosts an approximate cache behind the length-prefixed JSON
+protocol on TCP; ``loadgen`` replays the synthetic monitoring trace against
+either an in-process loopback server (the default) or a remote ``serve``
+instance (``--connect host:port``), printing hit rate, refresh counts,
+latency percentiles and throughput.  ``--compare-offline`` additionally runs
+the equivalent offline simulation and fails unless the refresh counts and
+hit rate match exactly (deterministic mode only).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import importlib.metadata
 import inspect
 import sys
 from typing import Any, Dict, List, Optional
@@ -50,6 +70,16 @@ from repro.experiments.runner import plan_registry, run_plan
 from repro.simulation.kernel import DEFAULT_KERNEL, KERNEL_NAMES
 
 
+def _package_version() -> str:
+    """The installed package version, falling back to the module constant."""
+    try:
+        return importlib.metadata.version("repro-adaptive-precision")
+    except importlib.metadata.PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -58,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Adaptive Precision Setting for Cached Approximate "
             "Values' (Olston, Loo, Widom, SIGMOD 2001)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list the available experiments")
@@ -122,6 +157,74 @@ def build_parser() -> argparse.ArgumentParser:
                 "the general event-scheduler loop)"
             ),
         )
+        subparser.add_argument(
+            "--exchange-window",
+            type=int,
+            default=None,
+            dest="exchange_window",
+            help=(
+                "batch the shard workers' per-query-tick exchange over "
+                "windows of this many ticks (default 1 = synchronise every "
+                "tick; results are identical for every window size)"
+            ),
+        )
+    serve_parser = subparsers.add_parser(
+        "serve", help="host an approximate-cache server over TCP"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7411)
+    serve_parser.add_argument(
+        "--shards", type=int, default=1, help="cache shards behind the server"
+    )
+    serve_parser.add_argument(
+        "--capacity", type=int, default=None, help="cache capacity kappa"
+    )
+    serve_parser.add_argument(
+        "--cost-factor", type=float, default=1.0, dest="cost_factor"
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        dest="max_inflight",
+        help="admission control: maximum concurrently executing queries",
+    )
+    loadgen_parser = subparsers.add_parser(
+        "loadgen", help="replay the monitoring trace against a serving stack"
+    )
+    loadgen_parser.add_argument(
+        "--mode", choices=("deterministic", "concurrent"), default="concurrent"
+    )
+    loadgen_parser.add_argument("--hosts", type=int, default=25)
+    loadgen_parser.add_argument("--duration", type=int, default=300)
+    loadgen_parser.add_argument("--clients", type=int, default=4)
+    loadgen_parser.add_argument(
+        "--queries", type=int, default=100, help="queries per client (concurrent)"
+    )
+    loadgen_parser.add_argument(
+        "--rate", type=float, default=0.0, help="queries/s per client (0 = unpaced)"
+    )
+    loadgen_parser.add_argument("--feeders", type=int, default=1)
+    loadgen_parser.add_argument("--shards", type=int, default=1)
+    loadgen_parser.add_argument("--seed", type=int, default=5)
+    loadgen_parser.add_argument("--engine", choices=ENGINE_NAMES, default=None)
+    loadgen_parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="drive a remote 'repro serve' instead of an in-process server",
+    )
+    loadgen_parser.add_argument(
+        "--compare-offline",
+        action="store_true",
+        dest="compare_offline",
+        help=(
+            "also run the equivalent offline simulation and fail unless "
+            "refresh counts and hit rate match (deterministic mode, "
+            "in-process server only)"
+        ),
+    )
     return parser
 
 
@@ -141,14 +244,16 @@ def _run_experiment(
     shard_workers: Optional[int] = None,
     kernel: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    exchange_window: Optional[int] = None,
 ) -> ExperimentResult:
     """Run one experiment, through its parallel plan when it declares one.
 
-    ``shards``, ``shard_workers``, ``engine`` and ``kernel`` are forwarded
-    to experiments whose plan factory (or runner) accepts the keyword; for
-    the rest the flag is reported as ignored so a sharded, concurrent or
-    vector-engine sweep never silently reproduces the default tables.
-    ``chunk_size`` shapes pool submission only (see :func:`run_plan`).
+    ``shards``, ``shard_workers``, ``exchange_window``, ``engine`` and
+    ``kernel`` are forwarded to experiments whose plan factory (or runner)
+    accepts the keyword; for the rest the flag is reported as ignored so a
+    sharded, concurrent or vector-engine sweep never silently reproduces the
+    default tables.  ``chunk_size`` shapes pool submission only (see
+    :func:`run_plan`).
     """
     plan_factory = plan_registry().get(experiment_id)
     runner = registry()[experiment_id]
@@ -157,6 +262,7 @@ def _run_experiment(
     for name, flag, value in (
         ("shards", "shards", shards),
         ("shard_workers", "shard-workers", shard_workers),
+        ("exchange_window", "exchange-window", exchange_window),
         ("engine", "engine", engine),
         ("kernel", "kernel", kernel),
     ):
@@ -210,6 +316,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
     if getattr(args, "chunk_size", None) is not None and args.chunk_size < 1:
         parser.error(f"--chunk-size must be at least 1, got {args.chunk_size}")
+    exchange_window = getattr(args, "exchange_window", None)
+    if exchange_window is not None and exchange_window < 1:
+        parser.error(f"--exchange-window must be at least 1, got {exchange_window}")
+    if args.command == "serve":
+        return _run_serve(args, parser)
+    if args.command == "loadgen":
+        return _run_loadgen(args, parser)
     experiments = registry()
     if args.command == "list":
         for experiment_id in sorted(experiments):
@@ -233,6 +346,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     shard_workers=args.shard_workers,
                     kernel=args.kernel,
                     chunk_size=args.chunk_size,
+                    exchange_window=args.exchange_window,
                 )
             )
         )
@@ -249,6 +363,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         shard_workers=args.shard_workers,
                         kernel=args.kernel,
                         chunk_size=args.chunk_size,
+                        exchange_window=args.exchange_window,
                     )
                 )
             )
@@ -256,6 +371,146 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
+
+
+def _serving_policy(cost_factor: float, seed: int):
+    """The serving stack's default policy (the monitoring workload's)."""
+    from repro.experiments.workloads import serving_policy
+
+    return serving_policy(cost_factor=cost_factor, seed=seed)
+
+
+def _run_serve(args, parser: argparse.ArgumentParser) -> int:
+    """Handler for ``repro serve``: host the cache server over TCP."""
+    from repro.serving.server import CacheServer
+
+    if args.shards < 1:
+        parser.error(f"--shards must be at least 1, got {args.shards}")
+
+    async def serve() -> None:
+        server = CacheServer(
+            _serving_policy(args.cost_factor, args.seed),
+            shards=args.shards,
+            capacity=args.capacity,
+            value_refresh_cost=args.cost_factor,
+            query_refresh_cost=2.0,
+            max_inflight_queries=args.max_inflight,
+        )
+        tcp = await server.start_tcp(args.host, args.port)
+        print(f"serving on {args.host}:{args.port} (shards={args.shards})")
+        try:
+            async with tcp:
+                await tcp.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("shutting down")
+    return 0
+
+
+def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
+    """Handler for ``repro loadgen``: replay the trace against a server."""
+    from repro.experiments.workloads import (
+        serving_config,
+        traffic_trace,
+        traffic_streams,
+    )
+    from repro.serving.loadgen import (
+        TcpDialer,
+        replay_trace_concurrent,
+        replay_trace_deterministic,
+    )
+    from repro.serving.server import CacheServer
+
+    if args.compare_offline and (
+        args.mode != "deterministic" or args.connect is not None
+    ):
+        parser.error(
+            "--compare-offline needs --mode deterministic and an "
+            "in-process server (no --connect)"
+        )
+    if args.mode == "deterministic":
+        # The deterministic replay is one serialized feeder + querier; say
+        # so instead of silently absorbing concurrency flags (mirrors how
+        # run/run-all report ignored flags).
+        defaults = build_parser().parse_args(["loadgen"])
+        for flag, name in (
+            ("--clients", "clients"),
+            ("--queries", "queries"),
+            ("--rate", "rate"),
+            ("--feeders", "feeders"),
+        ):
+            if getattr(args, name) != getattr(defaults, name):
+                print(
+                    f"note: --mode deterministic replays one serialized "
+                    f"feeder/querier pair; {flag} ignored",
+                    file=sys.stderr,
+                )
+    engine = args.engine if args.engine is not None else DEFAULT_ENGINE
+    trace = traffic_trace(host_count=args.hosts, duration=args.duration, engine=engine)
+    config = serving_config(trace, seed=args.seed, shards=args.shards, engine=engine)
+
+    connect_target = None
+    if args.connect is not None:
+        host, separator, port_text = args.connect.rpartition(":")
+        if not separator or not host or not port_text.isdigit():
+            parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
+        connect_target = (host, int(port_text))
+
+    async def drive():
+        if connect_target is not None:
+            target = TcpDialer(*connect_target)
+            server = None
+        else:
+            server = CacheServer(
+                _serving_policy(1.0, args.seed),
+                shards=args.shards,
+                value_refresh_cost=config.value_refresh_cost,
+                query_refresh_cost=config.query_refresh_cost,
+            )
+            target = server
+        try:
+            if args.mode == "deterministic":
+                return await replay_trace_deterministic(target, trace, config)
+            return await replay_trace_concurrent(
+                target,
+                trace,
+                config,
+                clients=args.clients,
+                queries_per_client=args.queries,
+                rate=args.rate,
+                feeders=args.feeders,
+            )
+        finally:
+            if server is not None:
+                await server.close()
+
+    report = asyncio.run(drive())
+    print(report.describe())
+    if args.compare_offline:
+        from repro.simulation.simulator import CacheSimulation
+
+        offline = CacheSimulation(
+            config, traffic_streams(trace), _serving_policy(1.0, args.seed)
+        ).run()
+        matches = (
+            report.value_refreshes == offline.value_refresh_count
+            and report.query_refreshes == offline.query_refresh_count
+            and report.hit_rate == offline.cache_hit_rate
+        )
+        print(
+            "offline comparison: "
+            f"value_refreshes {offline.value_refresh_count} "
+            f"query_refreshes {offline.query_refresh_count} "
+            f"hit_rate {offline.cache_hit_rate:.6f} -> "
+            + ("MATCH" if matches else "MISMATCH")
+        )
+        if not matches:
+            return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

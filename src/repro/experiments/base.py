@@ -89,6 +89,7 @@ def registry() -> Dict[str, Callable[[], ExperimentResult]]:
         figure14_15_divergence,
         section44_sensitivity,
         section45_variations,
+        serving_throughput,
         sharded_scaling,
         table1,
     )
@@ -105,5 +106,6 @@ def registry() -> Dict[str, Callable[[], ExperimentResult]]:
         "section44": section44_sensitivity.run,
         "section45": section45_variations.run,
         "sharded_scaling": sharded_scaling.run,
+        "serving_throughput": serving_throughput.run,
         "ablations": ablations.run,
     }

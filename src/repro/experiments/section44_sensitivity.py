@@ -40,6 +40,7 @@ def lower_threshold_rows(
     shards: int = 1,
     engine: str = "reference",
     shard_workers: int = 0,
+    exchange_window: int = 1,
     kernel: str = "batch",
 ) -> List[Tuple]:
     """The row for one ``theta_0`` setting (picklable sub-run unit)."""
@@ -53,6 +54,7 @@ def lower_threshold_rows(
         shards=shards,
         engine=engine,
         shard_workers=shard_workers,
+        exchange_window=exchange_window,
         kernel=kernel,
     )
     policy = adaptive_policy(
@@ -98,6 +100,7 @@ def constraint_variation_rows(
     shards: int = 1,
     engine: str = "reference",
     shard_workers: int = 0,
+    exchange_window: int = 1,
     kernel: str = "batch",
 ) -> List[Tuple]:
     """The row for one (delta_avg, sigma) cell (picklable sub-run unit)."""
@@ -112,6 +115,7 @@ def constraint_variation_rows(
         shards=shards,
         engine=engine,
         shard_workers=shard_workers,
+        exchange_window=exchange_window,
         kernel=kernel,
     )
     policy = adaptive_policy(
@@ -162,6 +166,7 @@ def plan(
     shards: int = 1,
     engine: str = "reference",
     shard_workers: int = 0,
+    exchange_window: int = 1,
     kernel: str = "batch",
 ) -> ExperimentPlan:
     """Decompose both studies into one sub-run per parameter cell."""
@@ -178,6 +183,7 @@ def plan(
                 shards=shards,
                 engine=engine,
                 shard_workers=shard_workers,
+                exchange_window=exchange_window,
                 kernel=kernel,
             ),
         )
@@ -196,6 +202,7 @@ def plan(
                 shards=shards,
                 engine=engine,
                 shard_workers=shard_workers,
+                exchange_window=exchange_window,
                 kernel=kernel,
             ),
         )
@@ -223,6 +230,7 @@ def run(
     shards: int = 1,
     engine: str = "reference",
     shard_workers: int = 0,
+    exchange_window: int = 1,
     kernel: str = "batch",
 ) -> ExperimentResult:
     """Produce both Section 4.4 sensitivity studies."""
@@ -234,6 +242,7 @@ def run(
             shards=shards,
             engine=engine,
             shard_workers=shard_workers,
+            exchange_window=exchange_window,
             kernel=kernel,
         ),
         workers=workers,

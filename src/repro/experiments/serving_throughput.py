@@ -1,0 +1,137 @@
+"""Serving-layer throughput sweep: concurrent clients on the loopback server.
+
+Not a paper reproduction — this experiment characterises the online serving
+layer (:mod:`repro.serving`) the production-scale roadmap adds on top of the
+reproduced algorithm.  For each client count, a fresh
+:class:`~repro.serving.server.CacheServer` hosts the network-monitoring
+workload's adaptive policy, feeders replay the synthetic traffic trace over
+the in-process loopback transport, and N concurrent query connections issue
+bounded aggregates as fast as responses return.  The table records, per
+client count:
+
+* ``queries`` / ``qps(wall)`` — completed queries and wall-clock throughput;
+* ``p50_ms`` / ``p99_ms`` — client-observed query latency percentiles;
+* ``hit_rate`` — the workload hit rate at the server's cache;
+* ``v_refresh`` / ``q_refresh`` — refreshes by kind (query-initiated ones
+  ride the refresh RPC back to the owning feeder connection);
+* ``rejected`` — queries refused by admission control;
+* ``Omega`` — the refresh cost rate over the replayed trace duration.
+
+Unlike the reproduction tables, wall-clock columns depend on the host
+machine: the rows are *characterisation*, not committed-output material, so
+this experiment carries no parallel plan and is excluded from byte-identity
+CI diffs (like the microbenchmarks in ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Sequence, Tuple
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.workloads import (
+    serving_config,
+    serving_policy,
+    traffic_trace,
+)
+from repro.serving.loadgen import replay_trace_concurrent
+from repro.serving.server import CacheServer
+
+DEFAULT_HOST_COUNT = 25
+DEFAULT_DURATION = 300
+DEFAULT_CLIENT_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+DEFAULT_QUERIES_PER_CLIENT = 150
+
+
+def serving_row(
+    clients: int,
+    host_count: int,
+    duration: int,
+    queries_per_client: int,
+    shards: int,
+    seed: int,
+    engine: str = "reference",
+) -> Tuple:
+    """Measure one client count against a fresh loopback server."""
+    trace = traffic_trace(host_count=host_count, duration=duration, engine=engine)
+    config = serving_config(trace, seed=seed, shards=shards, engine=engine)
+
+    async def drive():
+        server = CacheServer(
+            serving_policy(cost_factor=1.0, seed=seed),
+            shards=shards,
+            value_refresh_cost=config.value_refresh_cost,
+            query_refresh_cost=config.query_refresh_cost,
+        )
+        try:
+            return await replay_trace_concurrent(
+                server,
+                trace,
+                config,
+                clients=clients,
+                queries_per_client=queries_per_client,
+                feeders=min(2, host_count),
+            )
+        finally:
+            await server.close()
+
+    report = asyncio.run(drive())
+    return (
+        clients,
+        report.queries,
+        report.throughput_qps,
+        report.p50_latency_ms,
+        report.p99_latency_ms,
+        report.hit_rate,
+        report.value_refreshes,
+        report.query_refreshes,
+        report.queries_rejected,
+        report.omega,
+    )
+
+
+def run(
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    host_count: int = DEFAULT_HOST_COUNT,
+    duration: int = DEFAULT_DURATION,
+    queries_per_client: int = DEFAULT_QUERIES_PER_CLIENT,
+    shards: int = 1,
+    seed: int = 11,
+    engine: str = "reference",
+) -> ExperimentResult:
+    """Sweep concurrent client counts on the loopback serving stack."""
+    rows = [
+        serving_row(
+            clients=clients,
+            host_count=host_count,
+            duration=duration,
+            queries_per_client=queries_per_client,
+            shards=shards,
+            seed=seed,
+            engine=engine,
+        )
+        for clients in client_counts
+    ]
+    return ExperimentResult(
+        experiment_id="serving_throughput",
+        title="Online serving layer: concurrent clients on the loopback server",
+        columns=(
+            "clients",
+            "queries",
+            "qps(wall)",
+            "p50_ms",
+            "p99_ms",
+            "hit_rate",
+            "v_refresh",
+            "q_refresh",
+            "rejected",
+            "Omega",
+        ),
+        rows=rows,
+        notes=(
+            "Wall-clock columns (qps, latency percentiles) depend on the host "
+            "machine; refresh counts and hit rates are deterministic per seed. "
+            "Each row replays the same trace against a fresh server over the "
+            "in-process loopback transport."
+        ),
+    )

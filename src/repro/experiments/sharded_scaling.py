@@ -57,6 +57,7 @@ def scaling_rows(
     seed: int,
     engine: str = "reference",
     shard_workers: int = 0,
+    exchange_window: int = 1,
     kernel: str = "batch",
 ) -> List[Tuple]:
     """The row for one shard count (picklable sub-run unit).
@@ -79,6 +80,7 @@ def scaling_rows(
         shards=shard_count,
         engine=engine,
         shard_workers=(min(shard_workers, shard_count) if shard_count > 1 else 0),
+        exchange_window=exchange_window,
         kernel=kernel,
     )
     policy = adaptive_policy(
@@ -112,6 +114,7 @@ def plan(
     shards: Optional[int] = None,
     engine: str = "reference",
     shard_workers: int = 0,
+    exchange_window: int = 1,
     kernel: str = "batch",
 ) -> ExperimentPlan:
     """Decompose into one sub-run per shard count.
@@ -134,6 +137,7 @@ def plan(
                 seed=seed,
                 engine=engine,
                 shard_workers=shard_workers,
+                exchange_window=exchange_window,
                 kernel=kernel,
             ),
         )
@@ -173,6 +177,7 @@ def run(
     shards: Optional[int] = None,
     engine: str = "reference",
     shard_workers: int = 0,
+    exchange_window: int = 1,
     kernel: str = "batch",
 ) -> ExperimentResult:
     """Sweep shard counts at a large host population."""
@@ -186,6 +191,7 @@ def run(
             shards=shards,
             engine=engine,
             shard_workers=shard_workers,
+            exchange_window=exchange_window,
             kernel=kernel,
         ),
         workers=workers,

@@ -122,6 +122,48 @@ def adaptive_policy(
     )
 
 
+def serving_policy(cost_factor: float = 1.0, seed: int = 0) -> AdaptivePrecisionPolicy:
+    """The serving stack's default policy: the monitoring workload's tuning.
+
+    One construction shared by ``repro serve`` / ``repro loadgen``
+    (:mod:`repro.cli`), the ``serving_throughput`` experiment and the
+    serving microbenchmark, so the three surfaces always measure the same
+    policy.
+    """
+    return adaptive_policy(
+        cost_factor=cost_factor,
+        lower_threshold=1.0 * KILO,
+        initial_width=KILO,
+        seed=seed,
+    )
+
+
+def serving_config(
+    trace: Trace,
+    seed: int = 5,
+    shards: int = 1,
+    engine: str = DEFAULT_ENGINE,
+) -> SimulationConfig:
+    """The serving stack's default workload config (shared construction).
+
+    The warmup-free twin of the monitoring workload: one construction shared
+    by ``repro loadgen`` (:mod:`repro.cli`) and the ``serving_throughput``
+    experiment, so the CLI's ``--compare-offline`` equivalence check and the
+    experiment table always describe the same workload.  ``warmup`` is zero
+    because the server has no warm-up notion — all-time counters must match
+    the offline run's.
+    """
+    return traffic_config(
+        trace,
+        constraint_average=100.0 * KILO,
+        constraint_variation=1.0,
+        cost_factor=1.0,
+        seed=seed,
+        shards=shards,
+        engine=engine,
+    ).with_changes(warmup=0.0)
+
+
 def exact_caching_policy(
     cost_factor: float = 1.0, reevaluation_window: int = 20
 ) -> ExactCachingPolicy:
@@ -150,6 +192,7 @@ def traffic_config(
     shards: int = 1,
     engine: str = DEFAULT_ENGINE,
     shard_workers: int = 0,
+    exchange_window: int = 1,
     kernel: str = "batch",
 ) -> SimulationConfig:
     """Build a simulation config for the network-monitoring workload.
@@ -160,10 +203,11 @@ def traffic_config(
     ``shards`` > 1 fronts the run with the hash-partitioned multi-cache
     coordinator (see :mod:`repro.sharding`); ``shard_workers`` > 1 runs
     those shards concurrently in worker processes
-    (:mod:`repro.sharding.workers`).  ``engine`` records which stream
-    engine generated the run's data (see :mod:`repro.data.engine`);
-    ``kernel`` selects the event-execution strategy
-    (:mod:`repro.simulation.kernel`).
+    (:mod:`repro.sharding.workers`), and ``exchange_window`` > 1 batches
+    their per-query-tick exchange over windows of ticks.  ``engine`` records
+    which stream engine generated the run's data (see
+    :mod:`repro.data.engine`); ``kernel`` selects the event-execution
+    strategy (:mod:`repro.simulation.kernel`).
     """
     if query_size is None:
         query_size = max(len(trace.keys) // 5, 1)
@@ -181,6 +225,7 @@ def traffic_config(
         cache_capacity=cache_capacity,
         shards=shards,
         shard_workers=shard_workers,
+        exchange_window=exchange_window,
         engine=engine,
         kernel=kernel,
         value_refresh_cost=value_refresh_cost,

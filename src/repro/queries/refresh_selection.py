@@ -31,7 +31,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Tuple
+from typing import Callable, Dict, Generator, Hashable, List, Tuple
 
 from repro.intervals.interval import Interval
 from repro.queries.aggregates import AggregateKind, aggregate_bound
@@ -133,39 +133,92 @@ def select_sum_refreshes(
     return refreshes
 
 
-def _execute_sum(
+def bounded_query_steps(
+    kind: AggregateKind,
     intervals: Dict[Hashable, Interval],
     constraint: float,
-    fetch_exact: FetchExact,
-) -> QueryExecution:
-    selected = select_sum_refreshes(intervals, constraint)
-    if not selected:
-        # Satisfied immediately — no refreshes, so no working copy needed.
+) -> "Generator[Hashable, float, QueryExecution]":
+    """Generator core of bounded-query execution: the single source of truth.
+
+    Yields each key to refresh in fetch order; the driver sends back the
+    fetched exact value, and the generator returns the completed
+    :class:`QueryExecution` (result bound, refreshed keys) once the
+    constraint holds.  Both the synchronous :func:`execute_bounded_query`
+    (blocking ``fetch_exact``) and the serving layer's asynchronous driver
+    (:mod:`repro.serving.execution`, awaiting a refresh RPC per step) drive
+    this one implementation, so validation, selection, AVG scaling and
+    result assembly cannot drift between the offline and online paths.
+    """
+    if not intervals:
+        raise ValueError("a query must touch at least one value")
+    if constraint < 0:
+        raise ValueError("constraint must be non-negative")
+    if math.isinf(constraint):
         return QueryExecution(
-            result_bound=aggregate_bound(AggregateKind.SUM, list(intervals.values())),
+            result_bound=aggregate_bound(kind, list(intervals.values())),
             refreshed_keys=[],
             constraint=constraint,
         )
-    working = dict(intervals)
-    refreshed: List[Hashable] = []
-    for key in selected:
-        exact = fetch_exact(key)
-        working[key] = Interval.exact(exact)
-        refreshed.append(key)
-    return QueryExecution(
-        result_bound=aggregate_bound(AggregateKind.SUM, list(working.values())),
-        refreshed_keys=refreshed,
-        constraint=constraint,
-    )
+    if kind is AggregateKind.AVG:
+        # AVG is SUM scaled by 1/n, so a constraint delta on the average
+        # equals a constraint n * delta on the sum.
+        count = len(intervals)
+        scaled = yield from bounded_query_steps(
+            AggregateKind.SUM, intervals, constraint * count
+        )
+        return QueryExecution(
+            result_bound=scaled.result_bound.scale(1.0 / count),
+            refreshed_keys=scaled.refreshed_keys,
+            constraint=constraint,
+        )
+    if kind is AggregateKind.SUM:
+        selected = select_sum_refreshes(intervals, constraint)
+        if not selected:
+            # Satisfied immediately — no refreshes, so no working copy needed.
+            return QueryExecution(
+                result_bound=aggregate_bound(
+                    AggregateKind.SUM, list(intervals.values())
+                ),
+                refreshed_keys=[],
+                constraint=constraint,
+            )
+        working = dict(intervals)
+        refreshed: List[Hashable] = []
+        for key in selected:
+            exact = yield key
+            working[key] = Interval.exact(exact)
+            refreshed.append(key)
+        return QueryExecution(
+            result_bound=aggregate_bound(AggregateKind.SUM, list(working.values())),
+            refreshed_keys=refreshed,
+            constraint=constraint,
+        )
+    if kind in (AggregateKind.MAX, AggregateKind.MIN):
+        working, refreshed = yield from extremum_refresh_steps(
+            intervals, constraint, kind
+        )
+        return QueryExecution(
+            result_bound=aggregate_bound(kind, list(working.values())),
+            refreshed_keys=refreshed,
+            constraint=constraint,
+        )
+    raise ValueError(f"unsupported aggregate kind: {kind!r}")
 
 
-def _extremum_refreshes(
+def extremum_refresh_steps(
     intervals: Dict[Hashable, Interval],
     constraint: float,
-    fetch_exact: FetchExact,
     kind: AggregateKind,
-) -> Tuple[Dict[Hashable, Interval], List[Hashable]]:
-    """Iteratively refresh extremum contributors, maintaining the bound incrementally.
+) -> "Generator[Hashable, float, Tuple[Dict[Hashable, Interval], List[Hashable]]]":
+    """Generator core of the iterative extremum refresh selection.
+
+    Yields each victim key in refresh order; the driver sends back the
+    victim's exact value and the generator returns ``(working intervals,
+    refreshed keys)`` once the constraint holds.  Factoring the selection
+    into a generator lets one copy of the heap logic serve both the
+    synchronous simulator (:func:`_extremum_refreshes` drives it with a
+    blocking ``fetch_exact``) and the asynchronous serving layer
+    (:mod:`repro.serving.execution` awaits each refresh RPC between steps).
 
     Instead of re-aggregating all n intervals per refresh iteration (O(n^2)
     per query), the two bound endpoints and the victim choice are tracked in
@@ -174,10 +227,6 @@ def _extremum_refreshes(
     The heap tuples carry each key's position in the input mapping so that
     width ties resolve exactly as the naive argmax/argmin over ``working``
     did (first key in mapping order wins).
-
-    Returns the post-refresh working intervals and the refreshed keys in
-    fetch order; building the final result bound is left to the caller so
-    the refresh-only path can skip it.
     """
     working = dict(intervals)
     refreshed: List[Hashable] = []
@@ -218,7 +267,7 @@ def _extremum_refreshes(
         if not candidate_heap:
             break
         _, position, victim = heapq.heappop(candidate_heap)
-        exact = fetch_exact(victim)
+        exact = yield victim
         working[victim] = Interval.exact(exact)
         refreshed.append(victim)
         heapq.heappush(low_heap, (sign * exact, position, victim))
@@ -226,33 +275,35 @@ def _extremum_refreshes(
     return working, refreshed
 
 
-def _execute_extremum(
+def drive_refresh_steps(steps, fetch_exact: FetchExact):
+    """Drive a refresh-step generator with a blocking ``fetch_exact``.
+
+    The one synchronous driver shared by every generator core in this
+    module; the serving layer's asynchronous twin lives in
+    :mod:`repro.serving.execution` (it awaits a refresh RPC per step).
+    """
+    try:
+        victim = next(steps)
+        while True:
+            victim = steps.send(fetch_exact(victim))
+    except StopIteration as stop:
+        return stop.value
+
+
+def _extremum_refreshes(
     intervals: Dict[Hashable, Interval],
     constraint: float,
     fetch_exact: FetchExact,
     kind: AggregateKind,
-) -> QueryExecution:
-    working, refreshed = _extremum_refreshes(intervals, constraint, fetch_exact, kind)
-    return QueryExecution(
-        result_bound=aggregate_bound(kind, list(working.values())),
-        refreshed_keys=refreshed,
-        constraint=constraint,
-    )
+) -> Tuple[Dict[Hashable, Interval], List[Hashable]]:
+    """Drive :func:`extremum_refresh_steps` with a blocking ``fetch_exact``.
 
-
-def _execute_average(
-    intervals: Dict[Hashable, Interval],
-    constraint: float,
-    fetch_exact: FetchExact,
-) -> QueryExecution:
-    # AVG is SUM scaled by 1/n, so a constraint delta on the average equals a
-    # constraint n * delta on the sum.
-    count = len(intervals)
-    scaled = _execute_sum(intervals, constraint * count, fetch_exact)
-    return QueryExecution(
-        result_bound=scaled.result_bound.scale(1.0 / count),
-        refreshed_keys=scaled.refreshed_keys,
-        constraint=constraint,
+    Returns the post-refresh working intervals and the refreshed keys in
+    fetch order; building the final result bound is left to the caller so
+    the refresh-only path can skip it.
+    """
+    return drive_refresh_steps(
+        extremum_refresh_steps(intervals, constraint, kind), fetch_exact
     )
 
 
@@ -263,6 +314,9 @@ def execute_bounded_query(
     fetch_exact: FetchExact,
 ) -> QueryExecution:
     """Execute a bounded aggregate, refreshing just enough approximations.
+
+    A thin synchronous driver over :func:`bounded_query_steps` (the serving
+    layer drives the same generator asynchronously).
 
     Parameters
     ----------
@@ -279,23 +333,9 @@ def execute_bounded_query(
         Callback performing a query-initiated refresh of one key and
         returning the exact value.
     """
-    if not intervals:
-        raise ValueError("a query must touch at least one value")
-    if constraint < 0:
-        raise ValueError("constraint must be non-negative")
-    if math.isinf(constraint):
-        return QueryExecution(
-            result_bound=aggregate_bound(kind, list(intervals.values())),
-            refreshed_keys=[],
-            constraint=constraint,
-        )
-    if kind is AggregateKind.SUM:
-        return _execute_sum(intervals, constraint, fetch_exact)
-    if kind in (AggregateKind.MAX, AggregateKind.MIN):
-        return _execute_extremum(intervals, constraint, fetch_exact, kind)
-    if kind is AggregateKind.AVG:
-        return _execute_average(intervals, constraint, fetch_exact)
-    raise ValueError(f"unsupported aggregate kind: {kind!r}")
+    return drive_refresh_steps(
+        bounded_query_steps(kind, intervals, constraint), fetch_exact
+    )
 
 
 def run_query_refreshes(
@@ -330,7 +370,7 @@ def run_query_refreshes(
         return
     if kind is AggregateKind.AVG:
         # AVG is SUM scaled by 1/n: a constraint delta on the average equals
-        # a constraint n * delta on the sum (see _execute_average).
+        # a constraint n * delta on the sum (see bounded_query_steps).
         scaled = constraint * len(intervals)
         for key in select_sum_refreshes(intervals, scaled):
             fetch_exact(key)

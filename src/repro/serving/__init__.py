@@ -1,0 +1,49 @@
+"""repro.serving — the online serving layer.
+
+The paper's environment is inherently *online*: caches answer
+precision-bounded queries over live-updating sources, pulling exact values
+only when a query's constraint cannot be met from cached intervals.  The
+simulator replays that environment offline; this package serves it for real:
+
+* :mod:`repro.serving.protocol` — the length-prefixed JSON wire format,
+* :mod:`repro.serving.transport` — frame transports over TCP streams or an
+  in-process loopback (so tests and CI run server plus clients
+  deterministically without sockets),
+* :mod:`repro.serving.execution` — asynchronous bounded-query execution
+  reusing the offline refresh-selection logic,
+* :mod:`repro.serving.server` — the asyncio cache server: ``update`` RPCs
+  from source feeders, ``query`` RPCs from clients (refresh RPCs are issued
+  back to the owning feeder connection when needed), ``stats``, admission
+  control and bounded per-connection write queues,
+* :mod:`repro.serving.loadgen` — the trace-replay load harness, with a
+  deterministic mode reproducing the offline simulator's refresh counts and
+  hit rate exactly, and a concurrent mode measuring latency percentiles and
+  throughput.
+
+CLI entry points: ``repro serve`` and ``repro loadgen``; the
+``serving_throughput`` experiment sweeps client counts on the loopback
+transport.  See ``docs/SERVING.md``.
+"""
+
+from repro.serving.loadgen import (
+    LoadgenReport,
+    replay_trace_concurrent,
+    replay_trace_deterministic,
+)
+from repro.serving.server import CacheServer, ServingStatistics
+from repro.serving.transport import (
+    LoopbackFrameTransport,
+    StreamFrameTransport,
+    loopback_pair,
+)
+
+__all__ = [
+    "CacheServer",
+    "ServingStatistics",
+    "LoadgenReport",
+    "replay_trace_deterministic",
+    "replay_trace_concurrent",
+    "LoopbackFrameTransport",
+    "StreamFrameTransport",
+    "loopback_pair",
+]

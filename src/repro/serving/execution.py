@@ -1,0 +1,44 @@
+"""Asynchronous bounded-query execution for the serving layer.
+
+The offline simulator executes bounded aggregates with a *blocking*
+``fetch_exact`` callback (:mod:`repro.queries.refresh_selection`).  The
+server cannot block: a query-initiated refresh is an RPC to the owning
+feeder connection, awaited on the event loop while other connections make
+progress.  This module is the asynchronous *driver* over the shared
+generator core (:func:`~repro.queries.refresh_selection.bounded_query_steps`)
+— the selection logic, validation, AVG scaling and result assembly live in
+exactly one place, so an online query refreshes exactly the keys — in
+exactly the order — the offline simulator would.  That property is what the
+deterministic load generator's equivalence test pins.
+"""
+
+from __future__ import annotations
+
+from typing import Awaitable, Callable, Dict, Hashable
+
+from repro.intervals.interval import Interval
+from repro.queries.aggregates import AggregateKind
+from repro.queries.refresh_selection import QueryExecution, bounded_query_steps
+
+AsyncFetchExact = Callable[[Hashable], Awaitable[float]]
+
+
+async def execute_bounded_query_async(
+    kind: AggregateKind,
+    intervals: Dict[Hashable, Interval],
+    constraint: float,
+    fetch_exact: AsyncFetchExact,
+) -> QueryExecution:
+    """Async twin of :func:`repro.queries.refresh_selection.execute_bounded_query`.
+
+    Same parameters and result; ``fetch_exact`` is awaited per refresh (the
+    serving layer's refresh RPC).  Every refresh *choice* is made by the
+    shared generator core between awaits.
+    """
+    steps = bounded_query_steps(kind, intervals, constraint)
+    try:
+        victim = next(steps)
+        while True:
+            victim = steps.send(await fetch_exact(victim))
+    except StopIteration as stop:
+        return stop.value

@@ -1,0 +1,541 @@
+"""The trace-replay load harness for the serving layer.
+
+Two replay modes drive a :class:`~repro.serving.server.CacheServer` with the
+same workload artefacts the offline experiments use (a
+:class:`~repro.data.trace.Trace`, a
+:class:`~repro.simulation.config.SimulationConfig`), so the offline and
+online paths share every generator:
+
+* :func:`replay_trace_deterministic` — one feeder plus one query client
+  replay the *exact* offline event sequence: updates walk the merged
+  timelines (:class:`~repro.simulation.kernel.MergedEventWalk`, the batch
+  kernel's ordering), queries come from
+  :meth:`SimulationConfig.build_workload` (the simulator's RNG chain), and
+  every RPC is awaited before the next event (serialised query order).  The
+  server then reproduces the offline simulator's total refresh count and hit
+  rate bit for bit — asserted by ``tests/test_serving_equivalence.py`` and
+  the CI serving smoke.
+* :func:`replay_trace_concurrent` — N client connections issue queries
+  concurrently (optionally paced to a target rate) while feeder connections
+  replay the update timelines, measuring what the deterministic mode cannot:
+  p50/p99 query latency, throughput, and admission-control rejections under
+  real interleaving.
+
+Both return a :class:`LoadgenReport`; the ``serving_throughput`` experiment
+(:mod:`repro.experiments.serving_throughput`) tabulates concurrent runs
+across client counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import itertools
+import time as wall_time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.data.merged import merge_timelines
+from repro.data.streams import TraceStream
+from repro.data.trace import Trace
+from repro.serving.protocol import ProtocolError, error_response, is_request
+from repro.serving.transport import StreamFrameTransport
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import HORIZON_TOLERANCE
+from repro.simulation.kernel import MergedEventWalk
+
+
+class TcpDialer:
+    """Dial adapter for load-generating against a remote ``repro serve``.
+
+    Presents the same ``connect()`` surface as
+    :meth:`repro.serving.server.CacheServer.connect` (the loopback path), so
+    both replay modes accept either a local server or a ``TcpDialer``.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    async def connect(self) -> StreamFrameTransport:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        return StreamFrameTransport(reader, writer)
+
+
+async def _dial(target: Any) -> Any:
+    """Open one connection on a server or dialer (sync or async connect)."""
+    transport = target.connect()
+    if inspect.isawaitable(transport):
+        transport = await transport
+    return transport
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    rank = max(int(fraction * len(sorted_values) + 0.5), 1)
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass
+class LoadgenReport:
+    """What one load-generation run observed (client side plus server stats)."""
+
+    mode: str
+    clients: int
+    queries: int
+    updates_sent: int
+    hits: int
+    misses: int
+    value_refreshes: int
+    query_refreshes: int
+    queries_rejected: int
+    total_cost: float
+    omega: float
+    wall_seconds: float
+    throughput_qps: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    max_latency_ms: float
+    server_stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of per-key workload lookups served from the cache."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    @property
+    def refresh_count(self) -> int:
+        """Total refreshes of both kinds the run caused."""
+        return self.value_refreshes + self.query_refreshes
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (the CLI's output)."""
+        return "\n".join(
+            [
+                f"mode={self.mode} clients={self.clients}",
+                f"queries={self.queries} rejected={self.queries_rejected} "
+                f"updates={self.updates_sent}",
+                f"hit_rate={self.hit_rate:.4f} (hits={self.hits} "
+                f"misses={self.misses})",
+                f"refreshes: value={self.value_refreshes} "
+                f"query={self.query_refreshes}",
+                f"Omega={self.omega:.4f} (total_cost={self.total_cost:g})",
+                f"latency_ms: p50={self.p50_latency_ms:.3f} "
+                f"p99={self.p99_latency_ms:.3f} max={self.max_latency_ms:.3f}",
+                f"throughput={self.throughput_qps:.1f} q/s "
+                f"wall={self.wall_seconds:.2f}s",
+            ]
+        )
+
+
+class ServingClient:
+    """A protocol client: request/response plus server-initiated RPC serving.
+
+    One background task reads frames and demultiplexes them: responses
+    resolve the matching pending request future; requests (the server's
+    ``refresh`` RPCs on feeder connections) are answered by ``on_request``.
+    """
+
+    def __init__(
+        self,
+        transport: Any,
+        on_request: Optional[
+            Callable[[Dict[str, Any]], Awaitable[Dict[str, Any]]]
+        ] = None,
+    ) -> None:
+        self._transport = transport
+        self._on_request = on_request
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._reader: Optional[asyncio.Task] = None
+
+    @classmethod
+    async def open(
+        cls,
+        transport: Any,
+        on_request: Optional[
+            Callable[[Dict[str, Any]], Awaitable[Dict[str, Any]]]
+        ] = None,
+    ) -> "ServingClient":
+        """Wrap a connected transport and start its read loop."""
+        client = cls(transport, on_request)
+        client._reader = asyncio.ensure_future(client._read_loop())
+        return client
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    frame = await self._transport.read_frame()
+                except ProtocolError:
+                    # A corrupt frame ends the session like an EOF would;
+                    # pending and future requests fail instead of hanging.
+                    break
+                if frame is None:
+                    break
+                if is_request(frame):
+                    if self._on_request is None:
+                        reply = error_response(
+                            frame.get("id"), "client serves no requests"
+                        )
+                    else:
+                        reply = await self._on_request(frame)
+                        reply.setdefault("id", frame.get("id"))
+                        reply.setdefault("ok", True)
+                    await self._transport.write_frame(reply)
+                else:
+                    future = self._pending.pop(frame.get("id"), None)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+        finally:
+            # Whatever ended the loop (EOF, corrupt frame, a failing
+            # on_request handler), close the transport so the *server* side
+            # observes EOF and tears the connection down — otherwise a
+            # zombie feeder would swallow refresh RPCs forever.
+            self._transport.close()
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionResetError("serving connection closed")
+                    )
+            self._pending.clear()
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and await its response (raises on error replies)."""
+        if self._reader is not None and self._reader.done():
+            # The read loop is gone (EOF or corrupt frame): nothing can ever
+            # resolve a new future, so fail fast instead of hanging.
+            raise ConnectionResetError("serving connection closed")
+        request_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        await self._transport.write_frame({"op": op, "id": request_id, **fields})
+        response = await future
+        if not response.get("ok", True) and not response.get("overloaded"):
+            raise RuntimeError(f"{op} failed: {response.get('error')}")
+        return response
+
+    async def close(self) -> None:
+        """Close the transport and wait for the read loop to finish.
+
+        A read loop that died on a transport error must not re-raise here:
+        close() runs in ``finally`` blocks whose primary error would be
+        masked, and every sibling client still deserves its close.
+        """
+        self._transport.close()
+        if self._reader is not None:
+            await asyncio.gather(self._reader, return_exceptions=True)
+        await self._transport.wait_closed()
+
+
+def _trace_replay_parts(
+    trace: Trace, config: SimulationConfig
+) -> Tuple[List[Hashable], Dict[Hashable, float], MergedEventWalk]:
+    """Build the shared replay artefacts: keys, initial values, event walk."""
+    streams = {key: TraceStream(trace, key) for key in trace.keys}
+    initials = {key: stream.initial_value for key, stream in streams.items()}
+    timelines = {
+        key: stream.schedule(config.duration) for key, stream in streams.items()
+    }
+    merged = merge_timelines(timelines, engine=config.stream_engine())
+    walk = MergedEventWalk(merged, config.duration + HORIZON_TOLERANCE)
+    return list(trace.keys), initials, walk
+
+
+def _batch_by_instant(
+    events: List[Tuple[Hashable, float, float]],
+) -> List[Tuple[float, List[Tuple[Hashable, float]]]]:
+    """Group a time-ordered event list into per-instant update batches."""
+    batches: List[Tuple[float, List[Tuple[Hashable, float]]]] = []
+    for key, time, value in events:
+        if not batches or batches[-1][0] != time:
+            batches.append((time, []))
+        batches[-1][1].append((key, value))
+    return batches
+
+
+async def replay_trace_deterministic(
+    server: Any,
+    trace: Trace,
+    config: SimulationConfig,
+) -> LoadgenReport:
+    """Replay the offline event sequence through a server, serialised.
+
+    ``server`` is a :class:`~repro.serving.server.CacheServer` (dialled over
+    its loopback transport).  Every update batch and every query is awaited
+    before the next event, so the server observes exactly the interleaving
+    the offline simulator executes; with the same policy and config
+    (``warmup = 0`` offline, since the server has no warm-up notion) the
+    refresh counts and hit rate match bit for bit.
+    """
+    keys, values, walk = _trace_replay_parts(trace, config)
+    workload = config.build_workload(keys)
+    feeder = await ServingClient.open(
+        await _dial(server),
+        on_request=lambda frame: _answer_refresh(values, frame),
+    )
+    querier = await ServingClient.open(await _dial(server))
+    started = wall_time.perf_counter()
+    latencies: List[float] = []
+    queries = updates_sent = hits = misses = rejected = 0
+    try:
+        # Snapshot the server's all-time counters so the report describes
+        # *this* run even against a persistent server.
+        baseline = await querier.request("stats")
+        await feeder.request(
+            "register", keys=keys, values=[values[key] for key in keys]
+        )
+        horizon = config.duration + HORIZON_TOLERANCE
+        period = config.query_period
+        query_time = period
+        pending: List[Tuple[Hashable, float, float]] = []
+        collect = pending.append
+
+        async def flush_updates(until: float) -> None:
+            nonlocal updates_sent
+            walk.advance(until, lambda key, time, value: collect((key, time, value)))
+            for time, updates in _batch_by_instant(pending):
+                # The feeder's own view advances as it sends, so a refresh
+                # RPC arriving mid-replay answers with the replayed value.
+                for key, value in updates:
+                    values[key] = value
+                await feeder.request("update_batch", updates=updates, time=time)
+                updates_sent += len(updates)
+            pending.clear()
+
+        while query_time <= horizon:
+            await flush_updates(query_time)
+            query = workload.generate(query_time)
+            begin = wall_time.perf_counter()
+            response = await querier.request(
+                "query",
+                keys=list(query.keys),
+                aggregate=query.kind.name,
+                constraint=query.constraint,
+                time=query_time,
+            )
+            latencies.append(wall_time.perf_counter() - begin)
+            queries += 1
+            if response.get("overloaded"):
+                rejected += 1
+            else:
+                hits += response["hits"]
+                misses += response["misses"]
+            query_time += period
+        await flush_updates(horizon)
+        stats = await querier.request("stats")
+    finally:
+        await feeder.close()
+        await querier.close()
+    return _build_report(
+        mode="deterministic",
+        baseline=baseline,
+        clients=1,
+        config=config,
+        latencies=latencies,
+        queries=queries,
+        updates_sent=updates_sent,
+        hits=hits,
+        misses=misses,
+        rejected=rejected,
+        stats=stats,
+        wall_seconds=wall_time.perf_counter() - started,
+    )
+
+
+async def _answer_refresh(
+    values: Dict[Hashable, float], frame: Dict[str, Any]
+) -> Dict[str, Any]:
+    """A feeder's handler for the server's ``refresh`` RPC."""
+    key = frame.get("key")
+    if key not in values:
+        return error_response(frame.get("id"), f"unknown key {key!r}")
+    return {"value": values[key]}
+
+
+async def replay_trace_concurrent(
+    server: Any,
+    trace: Trace,
+    config: SimulationConfig,
+    *,
+    clients: int = 4,
+    queries_per_client: int = 100,
+    rate: float = 0.0,
+    feeders: int = 1,
+) -> LoadgenReport:
+    """Drive a server with concurrent clients while feeders replay updates.
+
+    ``clients`` query connections each issue ``queries_per_client`` bounded
+    aggregates (drawn from per-client seeded workloads), optionally paced to
+    ``rate`` queries/second per client (``0`` = as fast as responses
+    return).  ``feeders`` connections split the key space and replay the
+    update timelines concurrently.  Latency percentiles are measured on the
+    client side; admission-control rejections are counted, not raised.
+    """
+    if clients < 1:
+        raise ValueError("clients must be at least 1")
+    if feeders < 1:
+        raise ValueError("feeders must be at least 1")
+    keys, values, walk = _trace_replay_parts(trace, config)
+    started = wall_time.perf_counter()
+    events: List[Tuple[Hashable, float, float]] = []
+    walk.advance(
+        config.duration + HORIZON_TOLERANCE,
+        lambda key, time, value: events.append((key, time, value)),
+    )
+    key_of_feeder = {key: index % feeders for index, key in enumerate(keys)}
+    feeder_clients: List[ServingClient] = []
+    for index in range(feeders):
+        owned = [key for key in keys if key_of_feeder[key] == index]
+        feeder = await ServingClient.open(
+            await _dial(server),
+            on_request=lambda frame: _answer_refresh(values, frame),
+        )
+        await feeder.request(
+            "register", keys=owned, values=[values[key] for key in owned]
+        )
+        feeder_clients.append(feeder)
+
+    updates_sent = 0
+
+    async def run_feeder(index: int) -> None:
+        nonlocal updates_sent
+        feeder = feeder_clients[index]
+        owned_events = [
+            (key, time, value)
+            for key, time, value in events
+            if key_of_feeder[key] == index
+        ]
+        for time, updates in _batch_by_instant(owned_events):
+            for key, value in updates:
+                values[key] = value
+            await feeder.request("update_batch", updates=updates, time=time)
+            updates_sent += len(updates)
+
+    latencies: List[float] = []
+    queries = hits = misses = rejected = 0
+
+    async def run_client(index: int) -> None:
+        nonlocal queries, hits, misses, rejected
+        workload = config.with_changes(seed=config.seed + 101 * (index + 1))
+        generator = workload.build_workload(keys)
+        client = await ServingClient.open(await _dial(server))
+        try:
+            for step in range(queries_per_client):
+                query = generator.generate((step + 1) * config.query_period)
+                begin = wall_time.perf_counter()
+                response = await client.request(
+                    "query",
+                    keys=list(query.keys),
+                    aggregate=query.kind.name,
+                    constraint=query.constraint,
+                )
+                elapsed = wall_time.perf_counter() - begin
+                latencies.append(elapsed)
+                queries += 1
+                if response.get("overloaded"):
+                    rejected += 1
+                else:
+                    hits += response["hits"]
+                    misses += response["misses"]
+                if rate > 0:
+                    pace = 1.0 / rate
+                    if elapsed < pace:
+                        await asyncio.sleep(pace - elapsed)
+        finally:
+            await client.close()
+
+    probe = await ServingClient.open(await _dial(server))
+    try:
+        baseline = await probe.request("stats")
+    finally:
+        await probe.close()
+    feeder_tasks = [asyncio.ensure_future(run_feeder(i)) for i in range(feeders)]
+    client_tasks = [asyncio.ensure_future(run_client(i)) for i in range(clients)]
+    try:
+        await asyncio.gather(*client_tasks)
+        await asyncio.gather(*feeder_tasks)
+        probe = await ServingClient.open(await _dial(server))
+        try:
+            stats = await probe.request("stats")
+        finally:
+            await probe.close()
+    finally:
+        # A failed task must not strand its siblings: cancel whatever is
+        # still running and await everything before closing the feeder
+        # connections out from under them.
+        for task in feeder_tasks + client_tasks:
+            if not task.done():
+                task.cancel()
+        await asyncio.gather(*feeder_tasks, *client_tasks, return_exceptions=True)
+        for feeder in feeder_clients:
+            await feeder.close()
+    return _build_report(
+        mode="concurrent",
+        baseline=baseline,
+        clients=clients,
+        config=config,
+        latencies=latencies,
+        queries=queries,
+        updates_sent=updates_sent,
+        hits=hits,
+        misses=misses,
+        rejected=rejected,
+        stats=stats,
+        wall_seconds=wall_time.perf_counter() - started,
+    )
+
+
+def _build_report(
+    *,
+    mode: str,
+    clients: int,
+    config: SimulationConfig,
+    latencies: List[float],
+    queries: int,
+    updates_sent: int,
+    hits: int,
+    misses: int,
+    rejected: int,
+    stats: Dict[str, Any],
+    wall_seconds: float,
+    baseline: Optional[Dict[str, Any]] = None,
+) -> LoadgenReport:
+    ordered = sorted(latencies)
+
+    def counted(field_name: str) -> float:
+        # The server's counters are all-time totals; subtracting the
+        # baseline snapshot makes the report describe this run alone (a
+        # persistent server may have served earlier replays).
+        before = float(baseline.get(field_name, 0.0)) if baseline else 0.0
+        return float(stats.get(field_name, 0.0)) - before
+
+    total_cost = counted("total_cost")
+    return LoadgenReport(
+        mode=mode,
+        clients=clients,
+        queries=queries,
+        updates_sent=updates_sent,
+        hits=hits,
+        misses=misses,
+        value_refreshes=int(counted("value_refreshes")),
+        query_refreshes=int(counted("query_refreshes")),
+        queries_rejected=rejected,
+        total_cost=total_cost,
+        # Omega-style cost rate over the replayed (simulated) duration; the
+        # server has no warm-up notion, so this is the all-time rate.
+        omega=total_cost / config.duration,
+        wall_seconds=wall_seconds,
+        throughput_qps=(queries / wall_seconds) if wall_seconds > 0 else 0.0,
+        p50_latency_ms=percentile(ordered, 0.50) * 1000.0,
+        p99_latency_ms=percentile(ordered, 0.99) * 1000.0,
+        max_latency_ms=(ordered[-1] * 1000.0) if ordered else 0.0,
+        server_stats=dict(stats),
+    )

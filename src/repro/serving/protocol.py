@@ -1,0 +1,91 @@
+"""The serving wire format: length-prefixed JSON frames.
+
+Every message on a serving connection is one *frame*: a 4-byte big-endian
+unsigned length followed by that many bytes of UTF-8 JSON encoding a single
+object.  JSON keeps the protocol debuggable (``nc`` plus a hex dump reads
+it) and — because Python's ``json`` round-trips floats through ``repr`` —
+*exact* for the float values the precision machinery depends on, which is
+what lets the deterministic load generator reproduce the offline simulator's
+numbers bit for bit.  Non-finite floats (unbounded intervals, infinite
+constraints) use the ``json`` module's default ``Infinity``/``-Infinity``
+extension.
+
+Frames are either **requests** (they carry an ``op`` key) or **responses**
+(no ``op``; matched to the request by ``id``).  Both directions use the same
+rule: the server answers client requests, and also *originates* requests on
+feeder connections (``refresh``), which the feeder answers.  Request ids are
+scoped per direction per connection, so a client's and the server's ids
+never collide.
+
+Operations (see ``docs/SERVING.md`` for the full schemas):
+
+``register``
+    Feeder announces the keys it owns and their initial exact values.
+``update``
+    One source value changed; ``update_batch`` carries many at one instant.
+``query``
+    Bounded aggregate over ``keys`` with a precision ``constraint``.
+``stats``
+    Server statistics snapshot.
+``refresh``
+    Server-to-feeder: fetch the current exact value of one owned key.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict
+
+#: Frame header: one network-order unsigned 32-bit payload length.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame's JSON payload.  Generously above anything
+#: the protocol produces (the largest frames are update batches of one trace
+#: instant); a violation means a corrupt or hostile peer, not a big request.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed frame or an operation violating the protocol."""
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialise one message into a length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES} limit"
+        )
+    return HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse a frame's JSON payload into a message object."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("a frame must encode a JSON object")
+    return message
+
+
+def decode_length(header: bytes) -> int:
+    """Parse and validate a frame header, returning the payload length."""
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES} limit"
+        )
+    return length
+
+
+def error_response(request_id: Any, message: str) -> Dict[str, Any]:
+    """Build the standard error response for a failed request."""
+    return {"id": request_id, "ok": False, "error": message}
+
+
+def is_request(message: Dict[str, Any]) -> bool:
+    """Whether a decoded frame is a request (carries ``op``) or a response."""
+    return "op" in message

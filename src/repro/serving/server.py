@@ -1,0 +1,668 @@
+"""The asyncio approximate-cache server.
+
+:class:`CacheServer` hosts one :class:`~repro.caching.cache.ApproximateCache`
+(or a :class:`~repro.sharding.coordinator.ShardedCacheCoordinator` for
+``shards > 1``) behind the length-prefixed JSON protocol of
+:mod:`repro.serving.protocol`.  Its behaviour per event mirrors the offline
+simulator exactly — the deterministic load-generator equivalence test in
+``tests/test_serving_equivalence.py`` pins refresh counts and hit rates to
+:class:`~repro.simulation.simulator.CacheSimulation`'s — while the plumbing
+around the events is a real server:
+
+* **Feeders** register the keys they own with initial exact values and push
+  ``update`` RPCs.  The server keeps a
+  :class:`~repro.caching.source.DataSource` mirror per key: when an update
+  escapes the published interval, the precision policy decides a fresh
+  approximation and a value-initiated refresh is charged, exactly as in the
+  simulator's ``_apply_update``.
+* **Clients** send ``query`` RPCs (keys, aggregate, precision constraint).
+  Cached intervals are snapshotted (these lookups are the only ones counted
+  in the hit rate, as offline) and the shared refresh-selection logic runs
+  asynchronously (:mod:`repro.serving.execution`); each selected refresh is
+  an RPC *back to the owning feeder connection*, awaited without blocking
+  other connections.
+* **Admission control** keeps overload graceful: at most
+  ``max_inflight_queries`` queries execute concurrently, at most
+  ``admission_queue_limit`` more may wait, and anything beyond that is
+  rejected with an ``overloaded`` error instead of growing unbounded queues.
+  Every connection writes through a bounded outbox drained by a writer task,
+  so one slow reader back-pressures its producers instead of ballooning
+  memory.
+
+Time is logical: requests may stamp a ``time`` (the load generator replays
+trace timestamps), and the server's clock is the running maximum, which
+keeps per-entry access times monotone under concurrent clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Set
+
+from repro.caching.cache import ApproximateCache
+from repro.caching.eviction import EvictionPolicy
+from repro.caching.policies.base import PrecisionPolicy
+from repro.caching.source import DataSource
+from repro.intervals.interval import UNBOUNDED
+from repro.queries.aggregates import AggregateKind
+from repro.serving.execution import execute_bounded_query_async
+from repro.serving.protocol import ProtocolError, error_response
+from repro.serving.transport import (
+    DEFAULT_LOOPBACK_BUFFER,
+    LoopbackFrameTransport,
+    StreamFrameTransport,
+    loopback_pair,
+)
+from repro.sharding.coordinator import ShardedCacheCoordinator
+from repro.simulation.network import NetworkModel
+
+DEFAULT_MAX_INFLIGHT_QUERIES = 64
+DEFAULT_ADMISSION_QUEUE_LIMIT = 256
+DEFAULT_WRITE_QUEUE_LIMIT = 128
+DEFAULT_REFRESH_TIMEOUT = 30.0
+
+
+@dataclass
+class ServingStatistics:
+    """Running counters of one server's lifetime (all-time totals)."""
+
+    updates_applied: int = 0
+    updates_ignored: int = 0
+    value_refreshes: int = 0
+    query_refreshes: int = 0
+    queries_served: int = 0
+    queries_rejected: int = 0
+    refresh_rpcs: int = 0
+    total_cost: float = 0.0
+    connections_opened: int = 0
+    connections_closed: int = 0
+
+    @property
+    def refresh_count(self) -> int:
+        """Total refreshes of both kinds."""
+        return self.value_refreshes + self.query_refreshes
+
+
+class _Connection:
+    """Per-connection server state: outbox, writer task, pending RPCs."""
+
+    def __init__(self, transport: Any, write_queue_limit: int) -> None:
+        self.transport = transport
+        self.outbox: "asyncio.Queue[Optional[Dict[str, Any]]]" = asyncio.Queue(
+            maxsize=write_queue_limit
+        )
+        self.pending: Dict[int, asyncio.Future] = {}
+        self.rpc_ids = itertools.count(1)
+        self.keys: Set[Hashable] = set()
+        self.writer_task: Optional[asyncio.Task] = None
+        self.request_tasks: Set[asyncio.Task] = set()
+        self.closing = False
+
+    async def send(self, message: Dict[str, Any]) -> None:
+        """Enqueue a frame for the writer task (bounded: may backpressure)."""
+        if self.closing:
+            return
+        await self.outbox.put(message)
+
+    async def run_writer(self) -> None:
+        """Drain the outbox into the transport until the stop sentinel."""
+        try:
+            while True:
+                message = await self.outbox.get()
+                if message is None:
+                    break
+                try:
+                    await self.transport.write_frame(message)
+                except (ConnectionResetError, BrokenPipeError, RuntimeError):
+                    break
+        finally:
+            # A dead writer must not leave senders blocked on a full outbox:
+            # mark the connection closing and drain whatever is queued.
+            self.closing = True
+            while not self.outbox.empty():
+                self.outbox.get_nowait()
+
+    def fail_pending(self, error: Exception) -> None:
+        """Fail every in-flight server-initiated RPC on this connection."""
+        for future in self.pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self.pending.clear()
+
+
+class CacheServer:
+    """An online approximate cache speaking the serving protocol.
+
+    Parameters
+    ----------
+    policy:
+        The precision policy deciding refreshed approximations (shared with
+        the offline simulator; e.g. the paper's adaptive policy).
+    shards:
+        ``1`` hosts a single :class:`ApproximateCache`; larger values front
+        a hash-partitioned :class:`ShardedCacheCoordinator` exactly as
+        ``SimulationConfig.shards`` does offline.
+    capacity / eviction_policy:
+        Cache size ``kappa`` and victim-selection override.
+    value_refresh_cost / query_refresh_cost:
+        ``C_vr`` / ``C_qr`` charged per refresh into the Omega-style cost.
+    latency_per_message:
+        Optional modelled per-message delay forwarded to the
+        :class:`NetworkModel` latency accounting.
+    max_inflight_queries / admission_queue_limit / write_queue_limit:
+        Admission control and backpressure knobs (see the module docstring).
+    refresh_timeout:
+        Deadline in seconds on each refresh RPC to a feeder.  Bounds the
+        damage of a connected-but-unresponsive feeder: the query fails with
+        an error reply and releases its admission slot instead of wedging
+        forever.  ``None`` disables the deadline.
+    """
+
+    def __init__(
+        self,
+        policy: PrecisionPolicy,
+        *,
+        shards: int = 1,
+        capacity: Optional[int] = None,
+        eviction_policy: Optional[EvictionPolicy] = None,
+        value_refresh_cost: float = 1.0,
+        query_refresh_cost: float = 2.0,
+        latency_per_message: float = 0.0,
+        max_inflight_queries: int = DEFAULT_MAX_INFLIGHT_QUERIES,
+        admission_queue_limit: int = DEFAULT_ADMISSION_QUEUE_LIMIT,
+        write_queue_limit: int = DEFAULT_WRITE_QUEUE_LIMIT,
+        refresh_timeout: Optional[float] = DEFAULT_REFRESH_TIMEOUT,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if refresh_timeout is not None and refresh_timeout <= 0:
+            raise ValueError("refresh_timeout must be positive (or None)")
+        if max_inflight_queries < 1:
+            raise ValueError("max_inflight_queries must be at least 1")
+        if admission_queue_limit < 0:
+            raise ValueError("admission_queue_limit must be non-negative")
+        if write_queue_limit < 1:
+            raise ValueError("write_queue_limit must be at least 1")
+        self._policy = policy
+        if shards > 1:
+            self._cache = ShardedCacheCoordinator(
+                shard_count=shards,
+                capacity=capacity,
+                eviction_policy_factory=(
+                    None if eviction_policy is None else (lambda index: eviction_policy)
+                ),
+            )
+        else:
+            self._cache = ApproximateCache(
+                capacity=capacity, eviction_policy=eviction_policy
+            )
+        self._network = NetworkModel(
+            value_refresh_cost=value_refresh_cost,
+            query_refresh_cost=query_refresh_cost,
+            latency_per_message=latency_per_message,
+        )
+        self._sources: Dict[Hashable, DataSource] = {}
+        self._owners: Dict[Hashable, _Connection] = {}
+        self._clock = 0.0
+        self._notify_on_eviction = policy.notifies_source_on_eviction()
+        policy_type = type(policy)
+        self._policy_observes_writes = (
+            policy_type.record_write is not PrecisionPolicy.record_write
+        )
+        self._policy_observes_reads = (
+            policy_type.record_read is not PrecisionPolicy.record_read
+            or policy_type.record_constraint is not PrecisionPolicy.record_constraint
+        )
+        self._refresh_timeout = refresh_timeout
+        self._query_gate = asyncio.Semaphore(max_inflight_queries)
+        self._admission_queue_limit = admission_queue_limit
+        self._admission_waiting = 0
+        self._write_queue_limit = write_queue_limit
+        self.statistics = ServingStatistics()
+        self._connections: Set[_Connection] = set()
+        self._serve_tasks: Set[asyncio.Task] = set()
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache(self):
+        """The hosted cache (single or sharded; same surface)."""
+        return self._cache
+
+    @property
+    def network(self) -> NetworkModel:
+        """The cost/latency accounting model."""
+        return self._network
+
+    @property
+    def sources(self) -> Dict[Hashable, DataSource]:
+        """The server-side source mirrors, keyed by value id."""
+        return self._sources
+
+    @property
+    def clock(self) -> float:
+        """The server's logical clock (running maximum of stamped times)."""
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # Accepting connections
+    # ------------------------------------------------------------------
+    def connect(
+        self, buffer: int = DEFAULT_LOOPBACK_BUFFER
+    ) -> LoopbackFrameTransport:
+        """Dial the server in-process; returns the client transport end.
+
+        The server end is served by a background task on the running loop —
+        this is the loopback path tests, CI and the experiment harness use.
+        """
+        client_end, server_end = loopback_pair(buffer)
+        task = asyncio.ensure_future(self.serve_transport(server_end))
+        self._serve_tasks.add(task)
+        task.add_done_callback(self._serve_tasks.discard)
+        return client_end
+
+    async def start_tcp(self, host: str, port: int) -> asyncio.AbstractServer:
+        """Start accepting TCP connections on ``host:port``."""
+
+        async def handler(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            # Track the per-connection handler like loopback serve tasks so
+            # ``close()`` waits for in-flight teardowns (``Server.wait_closed``
+            # does not cover running handlers on every Python version).
+            task = asyncio.current_task()
+            if task is not None:
+                self._serve_tasks.add(task)
+                task.add_done_callback(self._serve_tasks.discard)
+            await self.serve_transport(StreamFrameTransport(reader, writer))
+
+        self._tcp_server = await asyncio.start_server(handler, host, port)
+        return self._tcp_server
+
+    async def serve_transport(self, transport: Any) -> None:
+        """Serve one connection until EOF (the per-connection main loop)."""
+        connection = _Connection(transport, self._write_queue_limit)
+        connection.writer_task = asyncio.ensure_future(connection.run_writer())
+        self._connections.add(connection)
+        self.statistics.connections_opened += 1
+        try:
+            while True:
+                try:
+                    frame = await transport.read_frame()
+                except ProtocolError:
+                    break
+                if frame is None:
+                    break
+                if "op" in frame:
+                    if frame.get("op") == "query":
+                        # Queries run as tasks so the connection's read loop
+                        # stays free to deliver refresh-RPC responses — in
+                        # particular when a query's refresh targets a key
+                        # owned by the *querying* connection itself, which
+                        # would otherwise deadlock.  Updates stay inline so
+                        # their per-connection ordering is preserved.
+                        task = asyncio.ensure_future(self._dispatch(connection, frame))
+                        connection.request_tasks.add(task)
+                        task.add_done_callback(connection.request_tasks.discard)
+                    else:
+                        await self._dispatch(connection, frame)
+                else:
+                    self._complete_refresh_rpc(connection, frame)
+        finally:
+            await self._teardown_connection(connection)
+
+    async def _teardown_connection(self, connection: _Connection) -> None:
+        # Order matters: ``closing`` goes first so no query can register a
+        # *new* refresh-RPC future against this connection (the ownership
+        # check in ``_query_initiated_refresh`` then takes the mirror
+        # fallback, and the check-to-register stretch has no await points),
+        # then the already-registered futures are failed, and only then are
+        # the in-flight query tasks awaited — every one of them can now
+        # finish: refresh RPCs against other live feeders complete normally,
+        # ones against this connection have just been failed, and replies to
+        # this connection are dropped silently.
+        connection.closing = True
+        connection.fail_pending(ConnectionResetError("feeder connection closed"))
+        if connection.request_tasks:
+            await asyncio.gather(
+                *list(connection.request_tasks), return_exceptions=True
+            )
+        for key in connection.keys:
+            if self._owners.get(key) is connection:
+                del self._owners[key]
+        connection.keys.clear()
+        if connection.writer_task is not None:
+            # Stop the writer; bypass the bounded outbox so shutdown cannot
+            # deadlock behind backpressure.
+            if connection.outbox.full():
+                connection.writer_task.cancel()
+            else:
+                connection.outbox.put_nowait(None)
+            try:
+                await connection.writer_task
+            except asyncio.CancelledError:
+                pass
+        connection.transport.close()
+        await connection.transport.wait_closed()
+        self._connections.discard(connection)
+        self.statistics.connections_closed += 1
+
+    async def close(self) -> None:
+        """Close every connection and stop accepting new ones."""
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        for connection in list(self._connections):
+            connection.transport.close()
+        for task in list(self._serve_tasks):
+            try:
+                await task
+            except asyncio.CancelledError:  # pragma: no cover - defensive
+                pass
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, connection: _Connection, frame: Dict[str, Any]) -> None:
+        op = frame.get("op")
+        request_id = frame.get("id")
+        try:
+            if op == "update":
+                reply = self._handle_update(connection, frame)
+            elif op == "update_batch":
+                reply = self._handle_update_batch(connection, frame)
+            elif op == "query":
+                reply = await self._handle_query(frame)
+            elif op == "register":
+                reply = self._handle_register(connection, frame)
+            elif op == "stats":
+                reply = self._handle_stats()
+            else:
+                reply = error_response(request_id, f"unknown operation {op!r}")
+        except ConnectionResetError:
+            reply = error_response(request_id, "refresh fetch failed: feeder gone")
+        except Exception as exc:
+            # Any malformed request must produce an error *reply*, never
+            # kill the connection (inline ops) or die as an unobserved task
+            # (queries) — a client awaiting the response would hang forever.
+            # CancelledError is a BaseException and still propagates.
+            reply = error_response(request_id, f"{type(exc).__name__}: {exc}")
+        if request_id is not None:
+            reply.setdefault("id", request_id)
+            reply.setdefault("ok", True)
+            await connection.send(reply)
+
+    # ------------------------------------------------------------------
+    # Feeder operations
+    # ------------------------------------------------------------------
+    def _handle_register(
+        self, connection: _Connection, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        keys = frame["keys"]
+        values = frame["values"]
+        if len(keys) != len(values):
+            raise ProtocolError("register needs one value per key")
+        for key, value in zip(keys, values):
+            self._register_key(connection, key, float(value))
+        return {"registered": len(keys)}
+
+    def _register_key(
+        self, connection: _Connection, key: Hashable, value: float
+    ) -> None:
+        source = self._sources.get(key)
+        if source is None:
+            self._sources[key] = DataSource(key=key, value=value)
+        else:
+            # Re-registration hands the key a fresh lifecycle: the new
+            # feeder's initial value replaces any stale mirror state and the
+            # previous owner's cached approximation is dropped, so a second
+            # replay against a persistent server starts from a clean slate
+            # instead of tripping the update time-order check.
+            source.value = float(value)
+            source.update_count = 0
+            source.last_update_time = 0.0
+            source.last_refresh_time = 0.0
+            source.forget_publication()
+            self._cache.invalidate(key)
+        self._owners[key] = connection
+        connection.keys.add(key)
+
+    def _handle_update(
+        self, connection: _Connection, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        time = self._advance_clock(frame.get("time"))
+        refreshed = self._apply_update(
+            connection, frame["key"], float(frame["value"]), time
+        )
+        return {"refresh": refreshed}
+
+    def _handle_update_batch(
+        self, connection: _Connection, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        time = self._advance_clock(frame.get("time"))
+        refreshes = 0
+        for key, value in frame["updates"]:
+            if self._apply_update(connection, key, float(value), time):
+                refreshes += 1
+        return {"refreshes": refreshes}
+
+    def _apply_update(
+        self, connection: _Connection, key: Hashable, value: float, time: float
+    ) -> bool:
+        """Mirror of the simulator's ``_apply_update`` body.
+
+        Returns whether the update triggered a value-initiated refresh.
+        Unknown keys are registered implicitly to the sending connection
+        (the first update then behaves like the simulator's initial value:
+        no interval is published yet, so no refresh can fire).
+        """
+        source = self._sources.get(key)
+        if source is None:
+            self._register_key(connection, key, value)
+            self.statistics.updates_applied += 1
+            return False
+        if value == source.value:
+            # Not a modification (idle stretches in trace replays): nothing
+            # changes, no write is recorded, no refresh can be needed.
+            self.statistics.updates_ignored += 1
+            return False
+        if time < source.last_update_time:
+            raise ProtocolError("updates must arrive in non-decreasing time order")
+        source.value = value
+        source.update_count += 1
+        source.last_update_time = time
+        self.statistics.updates_applied += 1
+        if self._policy_observes_writes:
+            self._policy.record_write(key, time)
+        interval = source.published_interval
+        if interval is not None and not (interval.low <= value <= interval.high):
+            decision = self._policy.on_value_initiated_refresh(key, value, time)
+            cost = self._network.charge_value_refresh()
+            self.statistics.value_refreshes += 1
+            self.statistics.total_cost += cost
+            self._install(key, decision, time)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    async def _handle_query(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        if self._query_gate.locked():
+            if self._admission_waiting >= self._admission_queue_limit:
+                self.statistics.queries_rejected += 1
+                return {
+                    "ok": False,
+                    "error": "overloaded: admission queue full",
+                    "overloaded": True,
+                }
+            self._admission_waiting += 1
+            try:
+                await self._query_gate.acquire()
+            finally:
+                self._admission_waiting -= 1
+        else:
+            await self._query_gate.acquire()
+        try:
+            return await self._execute_query(frame)
+        finally:
+            self._query_gate.release()
+
+    async def _execute_query(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        keys = frame["keys"]
+        if not keys:
+            raise ProtocolError("a query must touch at least one key")
+        kind = AggregateKind[str(frame.get("aggregate", "SUM")).upper()]
+        constraint = float(frame.get("constraint", "inf"))
+        time = self._advance_clock(frame.get("time"))
+        cache_get = self._cache.get
+        intervals = {}
+        hits = 0
+        # The workload lookups — the only cache accesses counted in the hit
+        # rate, exactly as the simulator's ``_run_query`` counts them.
+        if self._policy_observes_reads:
+            record_read = self._policy.record_read
+            record_constraint = self._policy.record_constraint
+            for key in keys:
+                entry = cache_get(key, time)
+                if entry is not None:
+                    hits += 1
+                intervals[key] = entry.interval if entry is not None else UNBOUNDED
+                record_read(key, time, served_from_cache=entry is not None)
+                record_constraint(key, constraint, time)
+        else:
+            for key in keys:
+                entry = cache_get(key, time)
+                if entry is not None:
+                    hits += 1
+                intervals[key] = entry.interval if entry is not None else UNBOUNDED
+
+        async def fetch_exact(key: Hashable) -> float:
+            return await self._query_initiated_refresh(key, time)
+
+        execution = await execute_bounded_query_async(
+            kind, intervals, constraint, fetch_exact
+        )
+        self.statistics.queries_served += 1
+        bound = execution.result_bound
+        return {
+            "low": bound.low,
+            "high": bound.high,
+            "refreshed": list(execution.refreshed_keys),
+            "hits": hits,
+            "misses": len(keys) - hits,
+        }
+
+    async def _query_initiated_refresh(self, key: Hashable, time: float) -> float:
+        """Fetch the exact value of ``key``: the refresh RPC to its feeder.
+
+        Falls back to the server-side mirror when no feeder currently owns
+        the key (its last pushed value *is* the exact value then).
+        """
+        source = self._sources[key]
+        owner = self._owners.get(key)
+        if owner is not None and not owner.closing:
+            value = await self._refresh_rpc(owner, key)
+            source.value = float(value)
+        decision = self._policy.on_query_initiated_refresh(key, source.value, time)
+        cost = self._network.charge_query_refresh()
+        self.statistics.query_refreshes += 1
+        self.statistics.total_cost += cost
+        self._install(key, decision, time)
+        return source.value
+
+    async def _refresh_rpc(self, owner: _Connection, key: Hashable) -> float:
+        rpc_id = next(owner.rpc_ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        owner.pending[rpc_id] = future
+        self.statistics.refresh_rpcs += 1
+        try:
+            await owner.send({"op": "refresh", "id": rpc_id, "key": key})
+            if self._refresh_timeout is None:
+                return float(await future)
+            try:
+                return float(await asyncio.wait_for(future, self._refresh_timeout))
+            except asyncio.TimeoutError:
+                raise ConnectionResetError(
+                    f"refresh of {key!r} timed out after "
+                    f"{self._refresh_timeout:g}s (unresponsive feeder)"
+                ) from None
+        finally:
+            owner.pending.pop(rpc_id, None)
+
+    def _complete_refresh_rpc(
+        self, connection: _Connection, frame: Dict[str, Any]
+    ) -> None:
+        future = connection.pending.get(frame.get("id"))
+        if future is None or future.done():
+            return
+        if frame.get("ok", True) and "value" in frame:
+            future.set_result(frame["value"])
+        else:
+            future.set_exception(
+                ConnectionResetError(
+                    f"refresh rejected by feeder: {frame.get('error', 'no value')}"
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Shared installation path (mirror of the simulator's ``_install``)
+    # ------------------------------------------------------------------
+    def _install(self, key: Hashable, decision, time: float) -> None:
+        source = self._sources[key]
+        if self._notify_on_eviction and decision.interval.is_unbounded:
+            self._cache.invalidate(key)
+            source.forget_publication()
+        else:
+            source.publish(decision.interval, decision.original_width, time)
+            evicted = self._cache.put(
+                key, decision.interval, decision.original_width, time
+            )
+            if evicted and self._notify_on_eviction:
+                for evicted_key in evicted:
+                    self._sources[evicted_key].forget_publication()
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def _handle_stats(self) -> Dict[str, Any]:
+        cache_stats = self._cache.statistics
+        serving = self.statistics
+        return {
+            "clock": self._clock,
+            "keys": len(self._sources),
+            "cached_entries": len(self._cache),
+            "connections": len(self._connections),
+            "hits": cache_stats.hits,
+            "misses": cache_stats.misses,
+            "hit_rate": cache_stats.hit_rate,
+            "insertions": cache_stats.insertions,
+            "evictions": cache_stats.evictions,
+            "shard_hit_rates": list(self._cache.shard_hit_rates()),
+            "updates_applied": serving.updates_applied,
+            "updates_ignored": serving.updates_ignored,
+            "value_refreshes": serving.value_refreshes,
+            "query_refreshes": serving.query_refreshes,
+            "queries_served": serving.queries_served,
+            "queries_rejected": serving.queries_rejected,
+            "refresh_rpcs": serving.refresh_rpcs,
+            "total_cost": serving.total_cost,
+            "messages_sent": self._network.messages_sent,
+            "total_latency": self._network.total_latency,
+        }
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def _advance_clock(self, time: Any) -> float:
+        """Advance the logical clock to ``time`` (never backwards)."""
+        if time is not None:
+            stamped = float(time)
+            if stamped > self._clock:
+                self._clock = stamped
+        return self._clock

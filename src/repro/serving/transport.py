@@ -1,0 +1,146 @@
+"""Frame transports: the same protocol over TCP streams or in-process queues.
+
+The server and every client speak through a *frame transport* — an object
+with ``read_frame`` / ``write_frame`` / ``close``.  Two implementations
+exist:
+
+* :class:`StreamFrameTransport` wraps an asyncio ``(StreamReader,
+  StreamWriter)`` pair, i.e. a real TCP connection (``repro serve``).
+* :class:`LoopbackFrameTransport` moves *encoded* frames through in-process
+  queues, so tests, CI and the experiment harness run server plus clients in
+  one process with no sockets, no ports and no flakiness — while still
+  exercising the full encode/decode path of :mod:`repro.serving.protocol`
+  on every message.
+
+Both directions of a loopback pair are bounded (a semaphore meters the
+frames in flight), so a slow consumer back-pressures its producer exactly as
+a full TCP send buffer would — while the EOF sentinel queued by ``close``
+bypasses the bound, because shutdown must never block behind data.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serving.protocol import decode_length, decode_payload, encode_frame
+
+#: Sentinel queued by ``close`` so a blocked ``read_frame`` wakes up as EOF.
+_EOF = None
+
+#: Encoded frames a loopback direction buffers before the writer blocks.
+DEFAULT_LOOPBACK_BUFFER = 128
+
+
+class StreamFrameTransport:
+    """Frames over an asyncio stream pair (one TCP connection)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    async def read_frame(self) -> Optional[Dict[str, Any]]:
+        """Read one message; ``None`` on a clean EOF at a frame boundary."""
+        try:
+            header = await self._reader.readexactly(4)
+            payload = await self._reader.readexactly(decode_length(header))
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+        return decode_payload(payload)
+
+    async def write_frame(self, message: Dict[str, Any]) -> None:
+        """Write one message and drain (the stream's own backpressure)."""
+        self._writer.write(encode_frame(message))
+        await self._writer.drain()
+
+    def close(self) -> None:
+        """Start closing the underlying stream."""
+        self._writer.close()
+
+    async def wait_closed(self) -> None:
+        """Wait for the underlying stream to finish closing."""
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+class _LoopbackDirection:
+    """One direction of a loopback pair: an unbounded queue plus a meter.
+
+    The queue itself is unbounded so that the EOF sentinel can always be
+    enqueued synchronously; data frames acquire a semaphore slot before
+    entering and release it when consumed, giving the bounded-buffer
+    backpressure of a real socket.
+    """
+
+    def __init__(self, buffer: int) -> None:
+        self.frames: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
+        self.slots = asyncio.Semaphore(buffer)
+        self.buffer = buffer
+        self.closed = False
+
+
+class LoopbackFrameTransport:
+    """Frames over bounded in-process queues (one end of a loopback pair)."""
+
+    def __init__(
+        self, inbound: _LoopbackDirection, outbound: _LoopbackDirection
+    ) -> None:
+        self._inbound = inbound
+        self._outbound = outbound
+        self._closed = False
+
+    async def read_frame(self) -> Optional[Dict[str, Any]]:
+        """Read one message; ``None`` once the peer closed."""
+        data = await self._inbound.frames.get()
+        if data is _EOF:
+            # Keep the EOF visible to any further read.
+            self._inbound.frames.put_nowait(_EOF)
+            return None
+        self._inbound.slots.release()
+        return decode_payload(data[4:])
+
+    async def write_frame(self, message: Dict[str, Any]) -> None:
+        """Write one encoded frame; blocks while the peer's buffer is full."""
+        frame = encode_frame(message)
+        await self._outbound.slots.acquire()
+        if self._outbound.closed:
+            self._outbound.slots.release()
+            raise ConnectionResetError("loopback transport is closed")
+        self._outbound.frames.put_nowait(frame)
+
+    def close(self) -> None:
+        """Close both directions: EOF to readers, ConnectionReset to writers.
+
+        Mirrors a socket close as seen from either end — local and peer
+        reads wake up with EOF, and writers blocked on a full buffer (on
+        *either* end) are released to observe the close and raise instead of
+        waiting for a reader that will never come.
+        """
+        if not self._closed:
+            self._closed = True
+            for direction in (self._outbound, self._inbound):
+                direction.closed = True
+                direction.frames.put_nowait(_EOF)
+                for _ in range(direction.buffer):
+                    direction.slots.release()
+
+    async def wait_closed(self) -> None:
+        """Loopback close is immediate; nothing to wait for."""
+
+
+def loopback_pair(
+    buffer: int = DEFAULT_LOOPBACK_BUFFER,
+) -> Tuple[LoopbackFrameTransport, LoopbackFrameTransport]:
+    """Create a connected (client end, server end) loopback transport pair."""
+    if buffer < 1:
+        raise ValueError("loopback buffer must hold at least one frame")
+    client_to_server = _LoopbackDirection(buffer)
+    server_to_client = _LoopbackDirection(buffer)
+    return (
+        LoopbackFrameTransport(inbound=server_to_client, outbound=client_to_server),
+        LoopbackFrameTransport(inbound=client_to_server, outbound=server_to_client),
+    )

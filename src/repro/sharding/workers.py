@@ -46,6 +46,8 @@ coordinator uses (:func:`~repro.sharding.coordinator.merge_cache_statistics`).
 
 from __future__ import annotations
 
+import math
+import pickle
 import traceback
 import warnings
 from typing import (
@@ -62,14 +64,17 @@ from typing import (
 from repro.caching.cache import CacheStatistics
 from repro.caching.eviction import EvictionPolicy
 from repro.caching.policies.base import PrecisionPolicy
+from repro.data.merged import merge_timelines
 from repro.data.streams import UpdateStream
 from repro.experiments.runner import persistent_worker_pool
 from repro.intervals.interval import UNBOUNDED, Interval
 from repro.queries.refresh_selection import run_query_refreshes
+from repro.queries.workload import Query
 from repro.sharding.coordinator import merge_cache_statistics
 from repro.sharding.partition import stable_key_hash
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import HORIZON_TOLERANCE
+from repro.simulation.kernel import MergedEventWalk
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.simulator import CacheSimulation
 
@@ -125,7 +130,16 @@ class ShardWorkerSimulation(CacheSimulation):
         self._owned = frozenset(streams.keys())
         self._channel = channel
 
-    def _run_query(self, time: float) -> None:
+    def _tick_local(self, time: float) -> Tuple[Query, Dict[Hashable, ExchangeEntry]]:
+        """Generate the tick's query and collect the owned exchange pairs.
+
+        The first half of a query tick: workload generation, the query-count
+        metric, and the stats-counted cache lookups of the owned queried keys
+        (exactly one per key, as in the in-process run) with their policy
+        read hooks.  Shared by the per-tick exchange below and the windowed
+        exchange's optimistic advance, which must replay precisely these
+        side effects.
+        """
         query = self._workload.generate(time)
         self._metrics.record_query(time)
         constraint = query.constraint
@@ -156,12 +170,19 @@ class ShardWorkerSimulation(CacheSimulation):
                         entry.interval if entry is not None else UNBOUNDED,
                         sources[key].value,
                     )
-        channel = self._channel
-        channel.send(("tick", local))
-        merged: Dict[Hashable, ExchangeEntry] = channel.recv()
+        return query, local
+
+    def _select_and_refresh(
+        self,
+        query: Query,
+        time: float,
+        merged: Dict[Hashable, ExchangeEntry],
+    ) -> None:
+        """Run the shared refresh selection over the merged exchange map."""
         # Build the interval mapping in query-key order: refresh selection
         # breaks width ties by mapping position, which must match the
         # in-process run's ordering.
+        owned = self._owned
         intervals = {key: merged[key][0] for key in query.keys}
 
         def fetch_exact(key: Hashable) -> float:
@@ -169,7 +190,14 @@ class ShardWorkerSimulation(CacheSimulation):
                 return self._query_initiated_refresh(key, time)
             return merged[key][1]
 
-        run_query_refreshes(query.kind, intervals, constraint, fetch_exact)
+        run_query_refreshes(query.kind, intervals, query.constraint, fetch_exact)
+
+    def _run_query(self, time: float) -> None:
+        query, local = self._tick_local(time)
+        channel = self._channel
+        channel.send(("tick", local))
+        merged: Dict[Hashable, ExchangeEntry] = channel.recv()
+        self._select_and_refresh(query, time, merged)
 
     def run_worker(self) -> Dict[str, Any]:
         """Run the sub-simulation and return the mergeable partial payload."""
@@ -193,6 +221,184 @@ class ShardWorkerSimulation(CacheSimulation):
         }
 
 
+class ExchangeWindowController:
+    """The windowed exchange's shared adaptive window sizing.
+
+    Both the workers and the coordinator feed the controller the same
+    observable outcome — ``(tick_count, commit)`` of the window that just
+    closed — so the two sides stay in lock-step without any negotiation
+    traffic.  The policy is conservative about growing because every window
+    larger than 1 pays a snapshot, and a truncation before the window's
+    last tick additionally pays a restore-and-replay:
+
+    * **grow** multiplicatively (up to the configured limit) only after two
+      *consecutive* fully committed windows — one quiet tick inside a
+      refresh-heavy stretch is common and must not balloon the window;
+    * **shrink** a truncated window to exactly the stretch that was usable:
+      the committed ticks plus the refreshing tick (which needs no rollback
+      when it is the last of its window).
+
+    Under refresh-heavy load the window therefore settles at 1, where the
+    protocol degenerates to the per-tick exchange with no snapshots at all,
+    while refresh-free stretches escalate to the full window quickly.
+    """
+
+    __slots__ = ("limit", "window", "_streak")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        # Start at 1 — the conservative end of the documented ramp: the
+        # first windows pay no snapshot, and a refresh-free stretch doubles
+        # its way to the limit within a handful of windows.
+        self.window = 1
+        self._streak = 0
+
+    def observe(self, tick_count: int, commit: int) -> None:
+        """Advance the controller past one closed window."""
+        if commit >= tick_count:
+            self._streak += 1
+            if self._streak >= 2:
+                self.window = min(self.limit, max(self.window, 1) * 2)
+        else:
+            self._streak = 0
+            self.window = max(1, commit + 1)
+
+
+class WindowedShardWorkerSimulation(ShardWorkerSimulation):
+    """Shard worker batching the coordinator exchange over windows of ticks.
+
+    The per-tick exchange above pays one pipe round-trip per query tick even
+    when the tick needs no query-initiated refreshes — which is the common
+    case for loose constraints.  This variant (``config.exchange_window > 1``)
+    advances *optimistically*: it snapshots its mutable state at the window
+    start, executes up to a window of ticks assuming none of them refreshes,
+    and ships all their owned ``(interval, exact value)`` pairs in one
+    message.  The coordinator — which regenerates the identical query
+    sequence from the config seed — probes each tick's global refresh
+    selection against the merged maps and replies ``(commit, refresh map)``:
+
+    * the whole window committed: the optimistic state *is* the true state
+      (refresh-free ticks have only locally computable side effects — cache
+      lookups, hit statistics, read hooks — which the advance already
+      performed), so the window cost a single round-trip;
+    * truncated at the window's *last* tick: nothing was executed beyond the
+      refreshing tick, and its query half already ran during the optimistic
+      advance, so the worker simply runs the shared selection over the
+      attached merged map — no rollback;
+    * truncated earlier: the worker restores the snapshot, deterministically
+      replays the committed refresh-free ticks (every RNG's state was
+      captured, so each draw repeats exactly), runs the refreshing tick
+      through the shared selection, and opens the next window after it.
+
+    Window sizes adapt through :class:`ExchangeWindowController` (mirrored by
+    the coordinator), so refresh-heavy stretches fall back to per-tick behaviour
+    while refresh-free stretches amortise one round-trip over up to
+    ``exchange_window`` ticks.  Results are identical to the per-tick
+    exchange for every window size; the trade is snapshot/replay overhead
+    against round-trips.  Requires the batch kernel (the walk runs on the
+    merged timelines; ``SimulationConfig`` validates this).
+    """
+
+    def _execute(self) -> int:
+        config = self._config
+        merged_timeline = merge_timelines(
+            self._timelines, engine=config.stream_engine()
+        )
+        horizon = config.duration + HORIZON_TOLERANCE
+        walk = MergedEventWalk(merged_timeline, horizon)
+        controller = ExchangeWindowController(config.exchange_window)
+        period = config.query_period
+        channel = self._channel
+        processed = 0
+        query_time = period
+        while query_time <= horizon:
+            # The window's tick instants continue the run's single
+            # floating-point accumulation chain, exactly as the per-tick
+            # loops accumulate ``query_time += period``.
+            ticks: List[float] = []
+            next_time = query_time
+            while next_time <= horizon and len(ticks) < controller.window:
+                ticks.append(next_time)
+                next_time += period
+            # A rollback can only reach back past the refreshing tick when
+            # the window holds ticks beyond it, so single-tick windows (the
+            # refresh-heavy steady state) skip the snapshot entirely.
+            snapshot = self._snapshot(walk, processed) if len(ticks) > 1 else None
+            queries: List[Query] = []
+            locals_per_tick: List[Dict[Hashable, ExchangeEntry]] = []
+            for tick in ticks:
+                processed += walk.advance(tick, self._apply_update)
+                query, local = self._tick_local(tick)
+                queries.append(query)
+                locals_per_tick.append(local)
+                processed += 1
+            channel.send(("window", locals_per_tick))
+            commit, refresh_map = channel.recv()
+            if commit >= len(ticks):
+                query_time = next_time
+            elif commit == len(ticks) - 1:
+                # Only the last tick refreshes: its query half already ran,
+                # nothing beyond it was executed — select and move on.
+                self._select_and_refresh(queries[commit], ticks[commit], refresh_map)
+                query_time = ticks[commit] + period
+            else:
+                processed = self._restore(snapshot, walk)
+                for tick in ticks[:commit]:
+                    processed += walk.advance(tick, self._apply_update)
+                    self._tick_local(tick)
+                    processed += 1
+                tick = ticks[commit]
+                processed += walk.advance(tick, self._apply_update)
+                query, _ = self._tick_local(tick)
+                self._select_and_refresh(query, tick, refresh_map)
+                processed += 1
+                query_time = tick + period
+            controller.observe(len(ticks), commit)
+        processed += walk.advance(horizon, self._apply_update)
+        return processed
+
+    def _snapshot(self, walk: MergedEventWalk, processed: int) -> tuple:
+        """Capture every mutable piece an optimistic window may touch.
+
+        One pickle covers the substrate objects (so cross-references survive)
+        including every RNG's state — the policy's shared draw stream, the
+        workload and constraint generators — which is what makes the
+        truncation replay bit-exact.  Pickling is safe here because the
+        worker's entire state was built from pickled inputs (policy, streams
+        and eviction policy crossed the process boundary to get here), and
+        it is measurably cheaper than ``copy.deepcopy`` — the snapshot is
+        the windowed exchange's main overhead.  The pre-materialised
+        timelines are immutable and shared; only the walk cursor is saved.
+        """
+        core = pickle.dumps(
+            (
+                self._sources,
+                self._cache,
+                self._metrics,
+                self._workload,
+                self._network,
+                self._policy,
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        return core, walk.state(), processed
+
+    def _restore(self, snapshot: tuple, walk: MergedEventWalk) -> int:
+        """Adopt a snapshot's objects and rewind the walk; returns processed."""
+        core, walk_state, processed = snapshot
+        (
+            self._sources,
+            self._cache,
+            self._metrics,
+            self._workload,
+            self._network,
+            self._policy,
+        ) = pickle.loads(core)
+        walk.restore(walk_state)
+        self._rebind_hot_callables()
+        return processed
+
+
 def _worker_main(
     channel: Any,
     config: SimulationConfig,
@@ -207,7 +413,12 @@ def _worker_main(
             key: PrebuiltStream(initial_value, timeline)
             for key, (initial_value, timeline) in sources.items()
         }
-        simulation = ShardWorkerSimulation(
+        simulation_class = (
+            WindowedShardWorkerSimulation
+            if config.exchange_window > 1
+            else ShardWorkerSimulation
+        )
+        simulation = simulation_class(
             config=config,
             streams=streams,
             policy=policy,
@@ -243,13 +454,15 @@ def _check_decomposability(policy: PrecisionPolicy) -> None:
         return
     if adaptivity == 0 or (growth in (0.0, 1.0) and shrink in (0.0, 1.0)):
         return
+    rho = getattr(parameters, "cost_factor", math.nan)
     warnings.warn(
         "shard-worker execution reorders the policy's shared RNG draws; "
-        f"with growth/shrink probabilities ({growth:g}, {shrink:g}) not in "
-        "{0, 1} the merged result may differ from the in-process run "
+        f"policy parameters rho={rho:g}, adaptivity={adaptivity:g} give "
+        f"growth/shrink probabilities ({growth:g}, {shrink:g}) not in "
+        "{0, 1}, so the merged result may differ from the in-process run "
         "(exact for rho = 1 or adaptivity = 0)",
         RuntimeWarning,
-        stacklevel=3,
+        stacklevel=2,
     )
 
 
@@ -321,22 +534,10 @@ def run_concurrent_shards(
                     "shard worker exited before completing its run"
                 ) from None
 
-        query_time = config.query_period
-        ticks = 0
-        while query_time <= horizon:
-            partials = []
-            for connection in connections:
-                tag, payload = receive(connection)
-                if tag == "error":
-                    raise RuntimeError(f"shard worker failed:\n{payload}")
-                partials.append(payload)
-            merged: Dict[Hashable, ExchangeEntry] = {}
-            for partial in partials:
-                merged.update(partial)
-            for connection in connections:
-                connection.send(merged)
-            ticks += 1
-            query_time += config.query_period
+        if config.exchange_window > 1:
+            ticks = _windowed_exchange_loop(config, connections, keys, horizon, receive)
+        else:
+            ticks = _tick_exchange_loop(config, connections, horizon, receive)
         for connection in connections:
             tag, payload = receive(connection)
             if tag == "error":
@@ -344,6 +545,114 @@ def run_concurrent_shards(
             payloads.append(payload)
 
     return _merge_payloads(config, payloads, populated, worker_count, ticks)
+
+
+def _tick_exchange_loop(
+    config: SimulationConfig,
+    connections: Sequence[Any],
+    horizon: float,
+    receive,
+) -> int:
+    """The original coordinator loop: one merge-and-broadcast per query tick."""
+    query_time = config.query_period
+    ticks = 0
+    while query_time <= horizon:
+        partials = []
+        for connection in connections:
+            tag, payload = receive(connection)
+            if tag == "error":
+                raise RuntimeError(f"shard worker failed:\n{payload}")
+            partials.append(payload)
+        merged: Dict[Hashable, ExchangeEntry] = {}
+        for partial in partials:
+            merged.update(partial)
+        for connection in connections:
+            connection.send(merged)
+        ticks += 1
+        query_time += config.query_period
+    return ticks
+
+
+def _query_needs_refreshes(query: Query, merged: Dict[Hashable, ExchangeEntry]) -> bool:
+    """Probe whether a tick's global refresh selection fetches anything.
+
+    Runs the *identical* selection the workers run
+    (:func:`repro.queries.refresh_selection.run_query_refreshes` over the
+    merged intervals in query-key order), with a fetch callback that records
+    the fetch and substitutes the exchanged exact value, so the coordinator's
+    commit decision agrees with every worker's subsequent replay.
+    """
+    constraint = query.constraint
+    if math.isinf(constraint):
+        return False
+    intervals = {key: merged[key][0] for key in query.keys}
+    fetched = False
+
+    def probe(key: Hashable) -> float:
+        nonlocal fetched
+        fetched = True
+        return merged[key][1]
+
+    run_query_refreshes(query.kind, intervals, constraint, probe)
+    return fetched
+
+
+def _windowed_exchange_loop(
+    config: SimulationConfig,
+    connections: Sequence[Any],
+    keys: Sequence[Hashable],
+    horizon: float,
+    receive,
+) -> int:
+    """Coordinator side of the windowed exchange (``exchange_window > 1``).
+
+    Receives each worker's optimistic window of per-tick owned pairs in one
+    message, regenerates the identical query sequence from the config seed
+    (:meth:`SimulationConfig.build_workload` draws independently of
+    simulation state), probes each tick's refresh selection against the
+    merged maps, and replies ``(commit, refresh map)``: the number of
+    leading refresh-free ticks every worker may keep, plus — when the window
+    truncates — the merged map of the first refreshing tick.  The workload
+    RNG stays in lock-step with the workers because exactly the committed
+    ticks and the truncating tick have been generated when a window closes.
+    """
+    workload = config.build_workload(keys)
+    period = config.query_period
+    controller = ExchangeWindowController(config.exchange_window)
+    query_time = period
+    ticks = 0
+    while query_time <= horizon:
+        tick_times: List[float] = []
+        next_time = query_time
+        while next_time <= horizon and len(tick_times) < controller.window:
+            tick_times.append(next_time)
+            next_time += period
+        locals_per_worker = []
+        for connection in connections:
+            tag, payload = receive(connection)
+            if tag == "error":
+                raise RuntimeError(f"shard worker failed:\n{payload}")
+            locals_per_worker.append(payload)
+        commit = len(tick_times)
+        refresh_map: Optional[Dict[Hashable, ExchangeEntry]] = None
+        for index, tick in enumerate(tick_times):
+            merged: Dict[Hashable, ExchangeEntry] = {}
+            for worker_locals in locals_per_worker:
+                merged.update(worker_locals[index])
+            if _query_needs_refreshes(workload.generate(tick), merged):
+                commit = index
+                refresh_map = merged
+                break
+        for connection in connections:
+            connection.send((commit, refresh_map))
+        if refresh_map is not None:
+            ticks += commit + 1
+            query_time = tick_times[commit] + period
+        else:
+            ticks += len(tick_times)
+            query_time = next_time
+        controller.observe(len(tick_times), commit)
+    return ticks
 
 
 def _merge_payloads(

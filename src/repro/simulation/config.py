@@ -11,12 +11,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Hashable, Optional, Tuple
+from typing import TYPE_CHECKING, Hashable, Optional, Sequence, Tuple
 
 from repro.data.engine import DEFAULT_ENGINE, ENGINE_NAMES, StreamEngine, get_engine
 from repro.queries.aggregates import AggregateKind
 from repro.queries.constraints import PrecisionConstraintGenerator
 from repro.simulation.kernel import DEFAULT_KERNEL, KERNEL_NAMES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.queries.workload import QueryWorkload
 
 
 @dataclass(frozen=True)
@@ -58,6 +61,16 @@ class SimulationConfig:
         (:mod:`repro.sharding.workers`), synchronising at query ticks and
         merging per-shard metrics.  Requires ``shards > 1`` and at most
         ``shards`` workers.
+    exchange_window:
+        Number of query ticks a concurrent shard-worker run batches into one
+        coordinator round-trip (:mod:`repro.sharding.workers`).  ``1`` (the
+        default) synchronises at every tick, exactly the original protocol;
+        larger windows advance each worker optimistically and roll back to
+        the window start whenever a tick needs query-initiated refreshes,
+        trading redundant re-execution for fewer pipe round-trips.  Results
+        are identical for every window size.  Ignored unless
+        ``shard_workers > 1``; windows larger than 1 require the batch
+        kernel.
     kernel:
         Event-execution strategy.  ``"batch"`` (the default) replays the
         pre-materialised update timelines and the periodic query clock
@@ -98,6 +111,7 @@ class SimulationConfig:
     cache_capacity: Optional[int] = None
     shards: int = 1
     shard_workers: int = 0
+    exchange_window: int = 1
     engine: str = DEFAULT_ENGINE
     kernel: str = DEFAULT_KERNEL
     value_refresh_cost: float = 1.0
@@ -142,6 +156,17 @@ class SimulationConfig:
                     "shard_workers may not exceed the shard count "
                     f"({self.shard_workers} workers for {self.shards} shards)"
                 )
+        if self.exchange_window < 1:
+            raise ValueError("exchange_window must be at least 1")
+        if (
+            self.exchange_window > 1
+            and self.shard_workers > 1
+            and self.kernel != "batch"
+        ):
+            raise ValueError(
+                "exchange_window > 1 requires the batch kernel (the windowed "
+                "shard-worker exchange replays the merged timelines directly)"
+            )
         if self.kernel not in KERNEL_NAMES:
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; available: "
@@ -181,6 +206,31 @@ class SimulationConfig:
             average=self.constraint_average,
             variation=self.constraint_variation,
             rng=rng,
+        )
+
+    def build_workload(self, keys: Sequence[Hashable]) -> "QueryWorkload":
+        """Build the run's query workload over ``keys``.
+
+        The workload and constraint RNGs are derived from ``seed`` exactly as
+        :class:`~repro.simulation.simulator.CacheSimulation` has always done,
+        and neither draws from simulation state — so every caller handing
+        this method the same key sequence regenerates the identical query
+        stream.  That property is what lets shard workers replay the global
+        workload locally, the windowed exchange coordinator probe refresh
+        ticks, and the serving load generator drive a live server through
+        the exact offline query sequence.
+        """
+        from repro.queries.workload import QueryWorkload
+
+        workload_rng = random.Random(self.seed)
+        constraint_rng = random.Random(self.seed + 1)
+        return QueryWorkload(
+            keys=list(keys),
+            period=self.query_period,
+            constraint_generator=self.constraint_generator(constraint_rng),
+            query_size=self.query_size,
+            aggregates=self.aggregates,
+            rng=workload_rng,
         )
 
     def with_changes(self, **changes) -> "SimulationConfig":

@@ -27,19 +27,29 @@ class NetworkModel:
         Cost charged per query-initiated refresh (``C_qr``).
     messages_per_value_refresh / messages_per_query_refresh:
         Raw message counts per refresh, for the message-count statistics.
+    latency_per_message:
+        Modelled one-way delay per message in seconds, accumulated into
+        ``total_latency`` as refreshes are charged.  The paper's cost model
+        is latency-free, so the default of ``0.0`` leaves every historical
+        number untouched; the serving layer (:mod:`repro.serving`) sets it
+        to estimate how much refresh traffic contributes to query latency.
     """
 
     value_refresh_cost: float = 1.0
     query_refresh_cost: float = 2.0
     messages_per_value_refresh: int = 1
     messages_per_query_refresh: int = 2
+    latency_per_message: float = 0.0
     messages_sent: int = field(default=0, init=False)
+    total_latency: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
         if self.value_refresh_cost <= 0 or self.query_refresh_cost <= 0:
             raise ValueError("refresh costs must be positive")
         if self.messages_per_value_refresh < 1 or self.messages_per_query_refresh < 1:
             raise ValueError("message counts must be at least 1")
+        if self.latency_per_message < 0:
+            raise ValueError("latency_per_message must be non-negative")
 
     @classmethod
     def from_parameters(cls, parameters: PrecisionParameters) -> "NetworkModel":
@@ -75,11 +85,19 @@ class NetworkModel:
     def charge_value_refresh(self) -> float:
         """Record the messages of one value-initiated refresh, return its cost."""
         self.messages_sent += self.messages_per_value_refresh
+        if self.latency_per_message:
+            self.total_latency += (
+                self.messages_per_value_refresh * self.latency_per_message
+            )
         return self.value_refresh_cost
 
     def charge_query_refresh(self) -> float:
         """Record the messages of one query-initiated refresh, return its cost."""
         self.messages_sent += self.messages_per_query_refresh
+        if self.latency_per_message:
+            self.total_latency += (
+                self.messages_per_query_refresh * self.latency_per_message
+            )
         return self.query_refresh_cost
 
     @property

@@ -14,7 +14,6 @@ and aggregated by a :class:`~repro.simulation.metrics.MetricsCollector`.
 from __future__ import annotations
 
 import math
-import random
 from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.caching.cache import ApproximateCache
@@ -26,7 +25,6 @@ from repro.data.merged import merge_timelines
 from repro.data.streams import UpdateStream
 from repro.intervals.interval import UNBOUNDED
 from repro.queries.refresh_selection import run_query_refreshes
-from repro.queries.workload import QueryWorkload
 from repro.sharding.coordinator import ShardedCacheCoordinator
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import HORIZON_TOLERANCE, EventScheduler
@@ -137,26 +135,27 @@ class CacheSimulation:
             policy_type.record_read is not PrecisionPolicy.record_read
             or policy_type.record_constraint is not PrecisionPolicy.record_constraint
         )
-        workload_rng = random.Random(config.seed)
-        constraint_rng = random.Random(config.seed + 1)
-        self._workload = QueryWorkload(
-            keys=list(workload_keys if workload_keys is not None else streams.keys()),
-            period=config.query_period,
-            constraint_generator=config.constraint_generator(constraint_rng),
-            query_size=config.query_size,
-            aggregates=config.aggregates,
-            rng=workload_rng,
+        self._workload = config.build_workload(
+            list(workload_keys if workload_keys is not None else streams.keys())
         )
-        # Hot-loop prebinds: these callables are hit once per refresh or per
-        # query; binding them once removes a chain of attribute lookups per
-        # event.  All are stable for the life of the run.
+        self._rebind_hot_callables()
+        self._ran = False
+
+    def _rebind_hot_callables(self) -> None:
+        """(Re)bind the hot-loop prebinds to the current substrate objects.
+
+        These callables are hit once per refresh or per query; binding them
+        once removes a chain of attribute lookups per event.  They are stable
+        for the life of an ordinary run; the windowed shard-worker exchange
+        (:mod:`repro.sharding.workers`) swaps the substrate objects when it
+        rolls a window back and calls this again to re-point the bindings.
+        """
         self._cache_get = self._cache.get
         self._record_refresh = self._metrics.record_refresh_components
         self._charge_value_refresh = self._network.charge_value_refresh
         self._charge_query_refresh = self._network.charge_query_refresh
-        self._policy_value_refresh = policy.on_value_initiated_refresh
-        self._policy_query_refresh = policy.on_query_initiated_refresh
-        self._ran = False
+        self._policy_value_refresh = self._policy.on_value_initiated_refresh
+        self._policy_query_refresh = self._policy.on_query_initiated_refresh
 
     # ------------------------------------------------------------------
     # Public accessors (useful to tests and experiments)

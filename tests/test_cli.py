@@ -200,3 +200,122 @@ class TestMain:
         captured = capsys.readouterr()
         assert "theta_0" in captured.out
         assert "--engine ignored" in captured.err
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert output.startswith("repro ")
+        # Sourced from the package metadata (fallback: repro.__version__).
+        version = output.split()[1]
+        assert version.count(".") >= 1
+
+
+class TestServingParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 7411
+        assert args.shards == 1
+
+    def test_serve_accepts_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--shards", "4", "--capacity", "32"]
+        )
+        assert args.port == 9000 and args.shards == 4 and args.capacity == 32
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.mode == "concurrent"
+        assert args.clients == 4
+        assert args.connect is None
+
+    def test_loadgen_mode_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--mode", "chaotic"])
+
+    def test_compare_offline_requires_deterministic(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--mode", "concurrent", "--compare-offline"])
+
+    def test_run_accepts_exchange_window(self):
+        args = build_parser().parse_args(["run", "section45", "--exchange-window", "8"])
+        assert args.exchange_window == 8
+
+    def test_zero_exchange_window_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "section45", "--exchange-window", "0"])
+
+    def test_exchange_window_ignored_with_note_for_unsupported_experiment(self, capsys):
+        assert main(["run", "table1", "--exchange-window", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "--exchange-window ignored" in captured.err
+
+
+class TestServingMain:
+    def test_loadgen_deterministic_matches_offline(self, capsys):
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--mode",
+                    "deterministic",
+                    "--hosts",
+                    "8",
+                    "--duration",
+                    "50",
+                    "--compare-offline",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "MATCH" in output and "MISMATCH" not in output
+        assert "hit_rate=" in output
+
+    def test_loadgen_concurrent_reports_latency(self, capsys):
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--hosts",
+                    "8",
+                    "--duration",
+                    "40",
+                    "--clients",
+                    "3",
+                    "--queries",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "latency_ms: p50=" in output
+        assert "throughput=" in output
+
+    def test_exchange_window_table_matches_per_tick(self, capsys):
+        # Window 8 must print the identical committed table (CI diffs it too).
+        assert main(["run", "section45", "--shards", "4", "--shard-workers", "2"]) == 0
+        per_tick = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "run",
+                    "section45",
+                    "--shards",
+                    "4",
+                    "--shard-workers",
+                    "2",
+                    "--exchange-window",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        windowed = capsys.readouterr().out
+        assert windowed == per_tick

@@ -322,3 +322,96 @@ def test_full_simulation_identical_on_vector_engine_static_merge():
 def test_kernel_config_validation():
     with pytest.raises(ValueError, match="unknown kernel"):
         SimulationConfig(duration=10.0, kernel="warp")
+
+
+# ----------------------------------------------------------------------
+# MergedEventWalk: the resumable cursor equals the kernel's event stream
+# ----------------------------------------------------------------------
+def walk_event_sequence(timelines, duration, query_period, engine=None):
+    """Replay the workload through MergedEventWalk's advance/drain pattern."""
+    from repro.simulation.kernel import MergedEventWalk
+
+    events = []
+    merged = merge_timelines(timelines, engine=engine)
+    horizon = duration + HORIZON_TOLERANCE
+    walk = MergedEventWalk(merged, horizon)
+    processed = 0
+    query_time = query_period
+    def collect(key, time, value):
+        events.append(("update", key, time, value))
+
+    while query_time <= horizon:
+        processed += walk.advance(query_time, collect)
+        events.append(("query", None, query_time, None))
+        processed += 1
+        query_time += query_period
+    processed += walk.advance(horizon, collect)
+    return events, processed
+
+
+@settings(max_examples=150, deadline=None)
+@given(tie_heavy_workloads())
+def test_merged_event_walk_matches_kernel(workload):
+    timelines, duration, query_period = workload
+    if not any(timelines.values()):
+        timelines["src-extra"] = [(1.0, 0.0)]
+    kernel_events, kernel_processed, _ = kernel_event_sequence(
+        timelines, duration, query_period
+    )
+    walk_events, walk_processed = walk_event_sequence(timelines, duration, query_period)
+    assert walk_events == kernel_events
+    assert walk_processed == kernel_processed
+
+
+def test_merged_event_walk_matches_kernel_on_vector_static_merge():
+    rng = random.Random(11)
+    timelines = {
+        f"src-{index}": [
+            (round(rng.uniform(0.1, 19.9), 3) + index * 20.0, float(step))
+            for step in range(8)
+        ]
+        for index in range(3)
+    }
+    for timeline in timelines.values():
+        timeline.sort()
+    engine = get_engine("vector")
+    kernel_events, kernel_processed, mode = kernel_event_sequence(
+        timelines, 70.0, 3.0, engine=engine
+    )
+    walk_events, walk_processed = walk_event_sequence(
+        timelines, 70.0, 3.0, engine=engine
+    )
+    assert mode == MODE_STATIC
+    assert walk_events == kernel_events
+    assert walk_processed == kernel_processed
+
+
+@pytest.mark.parametrize("engine_name", [None, "vector"])
+def test_merged_event_walk_snapshot_restore_replays_identically(engine_name):
+    """Rewinding the cursor replays the exact same event stretch."""
+    from repro.simulation.kernel import MergedEventWalk
+
+    rng = random.Random(7)
+    timelines = {
+        f"src-{index}": [
+            (float(time), rng.random())
+            for time in sorted(rng.choices(range(1, 30), k=15))
+        ]
+        for index in range(4)
+    }
+    engine = get_engine(engine_name) if engine_name else None
+    merged = merge_timelines(timelines, engine=engine)
+    walk = MergedEventWalk(merged, 30.0)
+    first = []
+    walk.advance(10.0, lambda *event: first.append(event))
+    state = walk.state()
+    middle = []
+    walk.advance(20.0, lambda *event: middle.append(event))
+    walk.restore(state)
+    replayed = []
+    walk.advance(20.0, lambda *event: replayed.append(event))
+    assert replayed == middle
+    tail = []
+    walk.advance(30.0, lambda *event: tail.append(event))
+    total = len(first) + len(middle) + len(tail)
+    assert total == sum(len(t) for t in timelines.values())

@@ -49,3 +49,124 @@ class TestNetworkModel:
     def test_cost_factor_property(self):
         model = NetworkModel(value_refresh_cost=3.0, query_refresh_cost=2.0)
         assert model.cost_factor == pytest.approx(3.0)
+
+
+class TestLatencyAccounting:
+    def test_default_latency_is_zero_and_unaccumulated(self):
+        model = NetworkModel()
+        model.charge_value_refresh()
+        model.charge_query_refresh()
+        assert model.latency_per_message == 0.0
+        assert model.total_latency == 0.0
+
+    def test_latency_accumulates_per_message(self):
+        model = NetworkModel.two_phase_locking()
+        model.latency_per_message = 0.01
+        model.charge_value_refresh()  # 4 messages
+        model.charge_query_refresh()  # 2 messages
+        assert model.total_latency == pytest.approx(0.06)
+        assert model.total_latency == pytest.approx(
+            model.messages_sent * model.latency_per_message
+        )
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_per_message=-0.1)
+
+
+class TestAccountingInvariants:
+    """Cost/message conservation across many charges."""
+
+    def test_totals_decompose_by_kind(self):
+        model = NetworkModel(
+            value_refresh_cost=1.5,
+            query_refresh_cost=2.0,
+            messages_per_value_refresh=3,
+            messages_per_query_refresh=2,
+            latency_per_message=0.5,
+        )
+        value_count, query_count = 7, 11
+        total = 0.0
+        for _ in range(value_count):
+            total += model.charge_value_refresh()
+        for _ in range(query_count):
+            total += model.charge_query_refresh()
+        assert total == pytest.approx(
+            value_count * model.value_refresh_cost
+            + query_count * model.query_refresh_cost
+        )
+        expected_messages = (
+            value_count * model.messages_per_value_refresh
+            + query_count * model.messages_per_query_refresh
+        )
+        assert model.messages_sent == expected_messages
+        assert model.total_latency == pytest.approx(
+            expected_messages * model.latency_per_message
+        )
+
+
+class TestSimulatorInteraction:
+    """The network model's counters tie out against a full simulation run."""
+
+    def _run(self, **config_overrides):
+        import random
+
+        from repro.caching.policies.adaptive import AdaptivePrecisionPolicy
+        from repro.data.random_walk import RandomWalkGenerator
+        from repro.data.streams import RandomWalkStream
+        from repro.simulation.config import SimulationConfig
+        from repro.simulation.simulator import CacheSimulation
+
+        defaults = dict(
+            duration=120.0,
+            warmup=0.0,
+            query_period=2.0,
+            query_size=3,
+            constraint_average=30.0,
+            constraint_variation=1.0,
+            seed=9,
+        )
+        defaults.update(config_overrides)
+        config = SimulationConfig(**defaults)
+        streams = {
+            f"walk-{index}": RandomWalkStream(
+                RandomWalkGenerator(start=100.0, rng=random.Random(900 + index))
+            )
+            for index in range(6)
+        }
+        policy = AdaptivePrecisionPolicy(
+            PrecisionParameters(), initial_width=4.0, rng=random.Random(9)
+        )
+        simulation = CacheSimulation(config, streams, policy)
+        result = simulation.run()
+        return config, simulation, result
+
+    def test_messages_match_refresh_counts(self):
+        # warmup=0 makes the result counts the all-time counts, so the
+        # network's raw message counter must tie out exactly.
+        config, simulation, result = self._run()
+        network = simulation.network
+        assert network.messages_sent == (
+            result.value_refresh_count * network.messages_per_value_refresh
+            + result.query_refresh_count * network.messages_per_query_refresh
+        )
+        assert result.total_cost == pytest.approx(
+            result.value_refresh_count * config.value_refresh_cost
+            + result.query_refresh_count * config.query_refresh_cost
+        )
+
+    def test_refresh_only_queries_charge_query_cost_only(self):
+        """An exact-answer workload (constraint 0) refreshes through the
+        refresh-only query path; every query-initiated charge must be C_qr."""
+        config, simulation, result = self._run(
+            constraint_average=0.0, constraint_variation=0.0
+        )
+        assert result.query_refresh_count > 0
+        network = simulation.network
+        # Each query refreshes every touched key exactly once (bounds reach
+        # zero width only when every contributor is exact).
+        assert result.query_refresh_count == result.query_count * config.query_size
+        assert result.total_cost == pytest.approx(
+            result.value_refresh_count * network.value_refresh_cost
+            + result.query_refresh_count * network.query_refresh_cost
+        )

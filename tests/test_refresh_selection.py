@@ -254,8 +254,6 @@ class TestIncrementalEquivalence:
     def test_extremum_matches_naive_reference(self):
         import random
 
-        from repro.queries.refresh_selection import _execute_extremum
-
         for seed in range(250):
             rng = random.Random(seed)
             intervals = self._random_intervals(rng)
@@ -265,8 +263,8 @@ class TestIncrementalEquivalence:
                 for key, iv in intervals.items()
             }
             for kind in (AggregateKind.MAX, AggregateKind.MIN):
-                fast = _execute_extremum(
-                    dict(intervals), constraint, lambda k: values[k], kind
+                fast = execute_bounded_query(
+                    kind, dict(intervals), constraint, lambda k: values[k]
                 )
                 naive_bound, naive_refreshed = self._naive_extremum(
                     dict(intervals), constraint, lambda k: values[k], kind

@@ -1,0 +1,585 @@
+"""Unit and integration tests for the serving layer (protocol to server)."""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.intervals.interval import UNBOUNDED, Interval
+from repro.queries.aggregates import AggregateKind
+from repro.queries.refresh_selection import execute_bounded_query
+from repro.serving.execution import execute_bounded_query_async
+from repro.serving.loadgen import LoadgenReport, ServingClient, percentile
+from repro.serving.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_length,
+    decode_payload,
+    encode_frame,
+    is_request,
+)
+from repro.serving.server import CacheServer
+from repro.serving.transport import loopback_pair
+from repro.caching.policies.static import StaticWidthPolicy
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# ----------------------------------------------------------------------
+# Protocol framing
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_round_trip(self):
+        message = {"op": "query", "id": 3, "keys": ["a", "b"], "constraint": 1.5}
+        frame = encode_frame(message)
+        assert decode_length(frame[:4]) == len(frame) - 4
+        assert decode_payload(frame[4:]) == message
+
+    def test_non_finite_floats_round_trip(self):
+        message = {"low": -math.inf, "high": math.inf, "constraint": math.inf}
+        decoded = decode_payload(encode_frame(message)[4:])
+        assert decoded == message
+
+    def test_floats_round_trip_exactly(self):
+        value = 0.1 + 0.2  # not representable prettily; repr must survive
+        decoded = decode_payload(encode_frame({"v": value})[4:])
+        assert decoded["v"] == value
+
+    def test_oversized_length_rejected(self):
+        import struct
+
+        with pytest.raises(ProtocolError):
+            decode_length(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"[1, 2, 3]")
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\xfe")
+
+    def test_request_response_discrimination(self):
+        assert is_request({"op": "stats", "id": 1})
+        assert not is_request({"id": 1, "ok": True})
+
+
+# ----------------------------------------------------------------------
+# Loopback transport
+# ----------------------------------------------------------------------
+class TestLoopbackTransport:
+    def test_frames_cross_the_pair_in_order(self):
+        async def scenario():
+            client, server = loopback_pair()
+            await client.write_frame({"op": "a", "id": 1})
+            await client.write_frame({"op": "b", "id": 2})
+            first = await server.read_frame()
+            second = await server.read_frame()
+            return first["op"], second["op"]
+
+        assert run(scenario()) == ("a", "b")
+
+    def test_close_wakes_blocked_reader_on_both_ends(self):
+        async def scenario():
+            client, server = loopback_pair()
+            reader = asyncio.ensure_future(server.read_frame())
+            await asyncio.sleep(0)
+            client.close()
+            assert await reader is None
+            # The closing end's own reads also see EOF (socket semantics).
+            assert await client.read_frame() is None
+            with pytest.raises(ConnectionResetError):
+                await client.write_frame({"op": "x"})
+
+        run(scenario())
+
+    def test_bounded_buffer_backpressures_writer(self):
+        async def scenario():
+            client, server = loopback_pair(buffer=2)
+            await client.write_frame({"n": 1})
+            await client.write_frame({"n": 2})
+            blocked = asyncio.ensure_future(client.write_frame({"n": 3}))
+            await asyncio.sleep(0.01)
+            assert not blocked.done()
+            assert (await server.read_frame())["n"] == 1
+            await asyncio.wait_for(blocked, timeout=1.0)
+            assert (await server.read_frame())["n"] == 2
+            assert (await server.read_frame())["n"] == 3
+
+        run(scenario())
+
+    def test_close_wakes_peer_writer_blocked_on_full_buffer(self):
+        """Closing one end must release the *peer's* blocked writers too —
+        the socket analog raises ConnectionResetError rather than hanging."""
+
+        async def scenario():
+            client, server = loopback_pair(buffer=1)
+            await client.write_frame({"n": 1})
+            blocked = asyncio.ensure_future(client.write_frame({"n": 2}))
+            await asyncio.sleep(0.01)
+            assert not blocked.done()
+            server.close()
+            with pytest.raises(ConnectionResetError):
+                await asyncio.wait_for(blocked, timeout=1.0)
+
+        run(scenario())
+
+    def test_rejects_empty_buffer(self):
+        with pytest.raises(ValueError):
+            loopback_pair(0)
+
+
+# ----------------------------------------------------------------------
+# Async query execution mirrors the synchronous selection
+# ----------------------------------------------------------------------
+class TestAsyncExecution:
+    @pytest.mark.parametrize(
+        "kind",
+        [AggregateKind.SUM, AggregateKind.MAX, AggregateKind.MIN, AggregateKind.AVG],
+    )
+    @pytest.mark.parametrize("constraint", [0.0, 3.0, 10.0, math.inf])
+    def test_matches_sync_execution(self, kind, constraint):
+        import random
+
+        rng = random.Random(hash((kind.name, constraint)) & 0xFFFF)
+        exacts = {f"k{i}": rng.uniform(-50, 50) for i in range(12)}
+        intervals = {
+            key: Interval(value - rng.uniform(0, 6), value + rng.uniform(0, 6))
+            for key, value in exacts.items()
+        }
+        sync_fetches = []
+        sync_result = execute_bounded_query(
+            kind,
+            dict(intervals),
+            constraint,
+            lambda key: sync_fetches.append(key) or exacts[key],
+        )
+
+        async_fetches = []
+
+        async def fetch(key):
+            await asyncio.sleep(0)
+            async_fetches.append(key)
+            return exacts[key]
+
+        async_result = run(
+            execute_bounded_query_async(kind, dict(intervals), constraint, fetch)
+        )
+        assert async_fetches == sync_fetches
+        assert async_result.refreshed_keys == sync_result.refreshed_keys
+        assert async_result.result_bound.low == sync_result.result_bound.low
+        assert async_result.result_bound.high == sync_result.result_bound.high
+
+    def test_validation(self):
+        async def fetch(key):  # pragma: no cover - never called
+            return 0.0
+
+        with pytest.raises(ValueError):
+            run(execute_bounded_query_async(AggregateKind.SUM, {}, 1.0, fetch))
+        with pytest.raises(ValueError):
+            run(
+                execute_bounded_query_async(
+                    AggregateKind.SUM, {"a": UNBOUNDED}, -1.0, fetch
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Server RPCs over the loopback transport
+# ----------------------------------------------------------------------
+def _server(**overrides):
+    options = dict(value_refresh_cost=1.0, query_refresh_cost=2.0)
+    options.update(overrides)
+    return CacheServer(StaticWidthPolicy(width=10.0), **options)
+
+
+class TestCacheServer:
+    def test_register_update_query_stats(self):
+        async def scenario():
+            server = _server()
+            feeder_values = {"a": 10.0, "b": 20.0}
+
+            async def answer(frame):
+                return {"value": feeder_values[frame["key"]]}
+
+            feeder = await ServingClient.open(server.connect(), on_request=answer)
+            client = await ServingClient.open(server.connect())
+            await feeder.request("register", keys=["a", "b"], values=[10.0, 20.0])
+            # Nothing cached yet: the first tight query misses and refreshes.
+            response = await client.request(
+                "query", keys=["a", "b"], aggregate="SUM", constraint=0.0, time=1.0
+            )
+            assert response["misses"] == 2 and response["hits"] == 0
+            assert sorted(response["refreshed"]) == ["a", "b"]
+            assert response["low"] == response["high"] == 30.0
+            # Now both are cached with width-10 intervals.
+            response = await client.request(
+                "query", keys=["a", "b"], aggregate="SUM", constraint=50.0, time=2.0
+            )
+            assert response["hits"] == 2 and response["refreshed"] == []
+            stats = await client.request("stats")
+            assert stats["queries_served"] == 2
+            assert stats["query_refreshes"] == 2
+            assert stats["refresh_rpcs"] == 2
+            assert stats["total_cost"] == 4.0
+            await feeder.close()
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_update_escaping_interval_triggers_value_refresh(self):
+        async def scenario():
+            server = _server()
+            values = {"a": 0.0}
+
+            async def answer(frame):
+                return {"value": values[frame["key"]]}
+
+            feeder = await ServingClient.open(server.connect(), on_request=answer)
+            client = await ServingClient.open(server.connect())
+            await feeder.request("register", keys=["a"], values=[0.0])
+            await client.request(
+                "query", keys=["a"], aggregate="SUM", constraint=0.0, time=1.0
+            )
+            inside = await feeder.request("update", key="a", value=4.0, time=2.0)
+            assert inside["refresh"] is False
+            outside = await feeder.request("update", key="a", value=25.0, time=3.0)
+            assert outside["refresh"] is True
+            stats = await client.request("stats")
+            assert stats["value_refreshes"] == 1
+            assert stats["updates_applied"] == 2
+            await feeder.close()
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_duplicate_update_is_ignored(self):
+        async def scenario():
+            server = _server()
+            feeder = await ServingClient.open(server.connect())
+            await feeder.request("register", keys=["a"], values=[5.0])
+            await feeder.request("update", key="a", value=5.0, time=1.0)
+            stats_client = await ServingClient.open(server.connect())
+            stats = await stats_client.request("stats")
+            assert stats["updates_ignored"] == 1
+            assert stats["updates_applied"] == 0
+            await feeder.close()
+            await stats_client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_update_batch_applies_in_order(self):
+        async def scenario():
+            server = _server()
+            feeder = await ServingClient.open(server.connect())
+            response = await feeder.request(
+                "update_batch",
+                updates=[["a", 1.0], ["b", 2.0], ["a", 3.0]],
+                time=1.0,
+            )
+            assert response["refreshes"] == 0
+            assert server.sources["a"].value == 3.0
+            assert server.sources["b"].value == 2.0
+            await feeder.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_reregistration_resets_key_state(self):
+        """A second replay against a persistent server starts clean: the new
+        initial value replaces stale mirror state and drops the cached
+        approximation, and early-timestamp updates are accepted again."""
+
+        async def scenario():
+            server = _server()
+
+            async def answer(frame):
+                return {"value": 30.0}
+
+            first = await ServingClient.open(server.connect(), on_request=answer)
+            await first.request("register", keys=["a"], values=[10.0])
+            await first.request("update", key="a", value=30.0, time=500.0)
+            client = await ServingClient.open(server.connect())
+            await client.request(
+                "query", keys=["a"], aggregate="SUM", constraint=0.0, time=600.0
+            )
+            assert server.sources["a"].last_update_time == 500.0
+            await first.close()
+            second = await ServingClient.open(server.connect())
+            await second.request("register", keys=["a"], values=[7.0])
+            source = server.sources["a"]
+            assert source.value == 7.0
+            assert source.last_update_time == 0.0
+            assert source.published_interval is None
+            assert "a" not in server.cache
+            # An update stamped before the first run's horizon is accepted.
+            response = await second.request("update", key="a", value=8.0, time=1.0)
+            assert response["refresh"] is False
+            await second.close()
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_feeder_querying_its_own_key_does_not_deadlock(self):
+        """A refresh RPC can target the querying connection itself: queries
+        run as tasks, so the connection's read loop stays free to deliver
+        the refresh response (previously this was a permanent deadlock that
+        leaked an admission slot)."""
+
+        async def scenario():
+            server = _server()
+
+            async def answer(frame):
+                return {"value": 42.0}
+
+            peer = await ServingClient.open(server.connect(), on_request=answer)
+            await peer.request("register", keys=["a"], values=[42.0])
+            response = await asyncio.wait_for(
+                peer.request(
+                    "query", keys=["a"], aggregate="SUM", constraint=0.0, time=1.0
+                ),
+                timeout=2.0,
+            )
+            assert response["refreshed"] == ["a"]
+            assert response["low"] == response["high"] == 42.0
+            await peer.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_query_then_immediate_disconnect_does_not_wedge_close(self):
+        """A connection that queries its own key and disconnects in the same
+        breath must not hang teardown: the query task's refresh falls back
+        to the mirror (or its future is failed), the reply is dropped, and
+        server.close() returns."""
+
+        async def scenario():
+            server = _server()
+            transport = server.connect()
+            # Raw frames, no read loop: send register + query, then close
+            # so the server reads the query and the EOF back to back.
+            await transport.write_frame(
+                {"op": "register", "id": 1, "keys": ["a"], "values": [9.0]}
+            )
+            await transport.write_frame(
+                {
+                    "op": "query",
+                    "id": 2,
+                    "keys": ["a"],
+                    "aggregate": "SUM",
+                    "constraint": 0.0,
+                    "time": 1.0,
+                }
+            )
+            transport.close()
+            await asyncio.wait_for(server.close(), timeout=2.0)
+            # The admission slot was released: a fresh client still queries.
+            client = await ServingClient.open(server.connect())
+            response = await client.request(
+                "query", keys=["a"], aggregate="SUM", constraint=0.0, time=2.0
+            )
+            assert response["low"] == 9.0
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_refresh_falls_back_to_mirror_when_feeder_gone(self):
+        async def scenario():
+            server = _server()
+            feeder = await ServingClient.open(server.connect())
+            await feeder.request("register", keys=["a"], values=[7.0])
+            await feeder.close()
+            client = await ServingClient.open(server.connect())
+            response = await client.request(
+                "query", keys=["a"], aggregate="SUM", constraint=0.0, time=1.0
+            )
+            assert response["low"] == response["high"] == 7.0
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_unknown_operation_and_bad_query_error(self):
+        async def scenario():
+            server = _server()
+            client = await ServingClient.open(server.connect())
+            with pytest.raises(RuntimeError, match="unknown operation"):
+                await client.request("frobnicate")
+            with pytest.raises(RuntimeError, match="failed"):
+                await client.request("query", keys=[], aggregate="SUM", constraint=1.0)
+            with pytest.raises(RuntimeError, match="failed"):
+                await client.request(
+                    "query", keys=["a"], aggregate="MEDIAN", constraint=1.0
+                )
+            # Unexpected exception classes also become error replies (never a
+            # silent hang or a dropped connection): 10**400 overflows float().
+            with pytest.raises(RuntimeError, match="OverflowError"):
+                await asyncio.wait_for(
+                    client.request(
+                        "query", keys=["a"], aggregate="SUM", constraint=10**400
+                    ),
+                    timeout=2.0,
+                )
+            # The connection survived and still serves.
+            stats = await client.request("stats")
+            assert stats["connections"] == 1
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_admission_control_rejects_overload(self):
+        async def scenario():
+            server = _server(max_inflight_queries=1, admission_queue_limit=0)
+            gate = asyncio.Event()
+
+            async def slow_answer(frame):
+                await gate.wait()
+                return {"value": 0.0}
+
+            feeder = await ServingClient.open(server.connect(), on_request=slow_answer)
+            await feeder.request("register", keys=["a"], values=[0.0])
+            first_client = await ServingClient.open(server.connect())
+            second_client = await ServingClient.open(server.connect())
+            # The first query blocks inside its refresh RPC, holding the gate.
+            blocked = asyncio.ensure_future(
+                first_client.request(
+                    "query", keys=["a"], aggregate="SUM", constraint=0.0, time=1.0
+                )
+            )
+            await asyncio.sleep(0.01)
+            rejected = await second_client.request(
+                "query", keys=["a"], aggregate="SUM", constraint=0.0, time=1.0
+            )
+            assert rejected["overloaded"] is True
+            gate.set()
+            completed = await asyncio.wait_for(blocked, timeout=1.0)
+            assert completed["refreshed"] == ["a"]
+            stats = await second_client.request("stats")
+            assert stats["queries_rejected"] == 1
+            assert stats["queries_served"] == 1
+            await feeder.close()
+            await first_client.close()
+            await second_client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_clean_shutdown_leaves_no_tasks(self):
+        async def scenario():
+            server = _server()
+            client = await ServingClient.open(server.connect())
+            await client.request("stats")
+            await client.close()
+            await server.close()
+            pending = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task() and not task.done()
+            ]
+            assert pending == []
+
+        run(scenario())
+
+    def test_tcp_transport_round_trip_and_clean_close(self):
+        """The TCP path: real sockets, stats RPC, close() waits for the
+        tracked per-connection handler tasks."""
+
+        async def scenario():
+            from repro.serving.transport import StreamFrameTransport
+
+            server = _server()
+            tcp = await server.start_tcp("127.0.0.1", 0)
+            port = tcp.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            client = await ServingClient.open(StreamFrameTransport(reader, writer))
+            stats = await client.request("stats")
+            assert stats["connections"] == 1
+            await client.close()
+            await server.close()
+            pending = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task() and not task.done()
+            ]
+            assert pending == []
+            assert server.statistics.connections_closed == 1
+
+        run(scenario())
+
+    def test_sharded_server_routes_to_shards(self):
+        async def scenario():
+            server = _server(shards=4)
+            keys = [f"host-{i}" for i in range(16)]
+            values = {key: float(i) for i, key in enumerate(keys)}
+
+            async def answer(frame):
+                return {"value": values[frame["key"]]}
+
+            feeder = await ServingClient.open(server.connect(), on_request=answer)
+            await feeder.request(
+                "register", keys=keys, values=[float(i) for i in range(16)]
+            )
+            client = await ServingClient.open(server.connect())
+            await client.request(
+                "query", keys=keys, aggregate="SUM", constraint=0.0, time=1.0
+            )
+            stats = await client.request("stats")
+            assert stats["cached_entries"] == 16
+            assert len(stats["shard_hit_rates"]) == 4
+            assert server.cache.shard_count == 4
+            await feeder.close()
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _server(shards=0)
+        with pytest.raises(ValueError):
+            _server(max_inflight_queries=0)
+        with pytest.raises(ValueError):
+            _server(write_queue_limit=0)
+
+
+# ----------------------------------------------------------------------
+# Loadgen helpers
+# ----------------------------------------------------------------------
+class TestLoadgenHelpers:
+    def test_percentile_nearest_rank(self):
+        values = sorted(float(v) for v in range(1, 101))
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 100.0
+        assert percentile([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            percentile(values, 1.5)
+
+    def test_report_hit_rate(self):
+        report = LoadgenReport(
+            mode="concurrent",
+            clients=2,
+            queries=10,
+            updates_sent=5,
+            hits=8,
+            misses=2,
+            value_refreshes=1,
+            query_refreshes=2,
+            queries_rejected=0,
+            total_cost=5.0,
+            omega=0.5,
+            wall_seconds=1.0,
+            throughput_qps=10.0,
+            p50_latency_ms=1.0,
+            p99_latency_ms=2.0,
+            max_latency_ms=3.0,
+        )
+        assert report.hit_rate == 0.8
+        assert report.refresh_count == 3
+        assert "hit_rate=0.8000" in report.describe()

@@ -135,6 +135,56 @@ def test_more_shards_than_populated_workers():
     _assert_results_equal(serial, merged)
 
 
+@pytest.mark.parametrize("window", [2, 8])
+def test_windowed_exchange_equals_serial(window):
+    """The optimistic windowed exchange reproduces the serial sharded run."""
+    serial = CacheSimulation(_config(4, 0), _walk_streams(8), _adaptive_policy()).run()
+    merged = CacheSimulation(
+        _config(4, 2, exchange_window=window), _walk_streams(8), _adaptive_policy()
+    ).run()
+    _assert_results_equal(serial, merged)
+
+
+def test_windowed_exchange_equals_per_tick_exchange():
+    """Window 8 and window 1 (the original protocol) agree field for field."""
+    per_tick = CacheSimulation(
+        _config(4, 2, exchange_window=1), _walk_streams(8), _adaptive_policy()
+    ).run()
+    windowed = CacheSimulation(
+        _config(4, 2, exchange_window=8), _walk_streams(8), _adaptive_policy()
+    ).run()
+    _assert_results_equal(per_tick, windowed)
+
+
+def test_windowed_exchange_with_mixed_aggregates_and_capacity():
+    """Truncation replay stays exact under extremum probes and evictions."""
+    from repro.queries.aggregates import AggregateKind
+
+    kwargs = dict(
+        aggregates=(AggregateKind.SUM, AggregateKind.MAX, AggregateKind.MIN),
+        cache_capacity=6,
+        track_keys=("walk-0", "walk-5"),
+    )
+    serial = CacheSimulation(
+        _config(4, 0, **kwargs), _walk_streams(10), _adaptive_policy()
+    ).run()
+    merged = CacheSimulation(
+        _config(4, 2, exchange_window=4, **kwargs),
+        _walk_streams(10),
+        _adaptive_policy(),
+    ).run()
+    _assert_results_equal(serial, merged)
+
+
+def test_exchange_window_requires_batch_kernel():
+    with pytest.raises(ValueError, match="requires the batch kernel"):
+        _config(4, 2, exchange_window=2, kernel="scheduler")
+    # Without concurrent workers the window is inert, so any kernel is fine.
+    _config(4, 0, exchange_window=2, kernel="scheduler")
+    with pytest.raises(ValueError, match="at least 1"):
+        _config(4, 2, exchange_window=0)
+
+
 def test_nondecomposable_policy_warns():
     """rho != 1 makes the shared-RNG draws outcome-dependent: warn."""
     policy = AdaptivePrecisionPolicy(
@@ -145,6 +195,24 @@ def test_nondecomposable_policy_warns():
     simulation = CacheSimulation(_config(4, 2), _walk_streams(6), policy)
     with pytest.warns(RuntimeWarning, match="shard-worker execution reorders"):
         simulation.run()
+
+
+def test_nondecomposable_warning_names_policy_parameters():
+    """The warning spells out the offending rho and adaptivity values."""
+    policy = AdaptivePrecisionPolicy(
+        PrecisionParameters.for_cost_factor(4.0, adaptivity=1.0),
+        initial_width=4.0,
+        rng=random.Random(3),
+    )
+    simulation = CacheSimulation(_config(4, 2), _walk_streams(6), policy)
+    with pytest.warns(RuntimeWarning) as captured:
+        simulation.run()
+    messages = [str(warning.message) for warning in captured]
+    matching = [m for m in messages if "shard-worker execution reorders" in m]
+    assert matching, messages
+    assert "rho=4" in matching[0]
+    assert "adaptivity=1" in matching[0]
+    assert "exact for rho = 1 or adaptivity = 0" in matching[0]
 
 
 def test_shard_worker_config_validation():
