@@ -53,6 +53,14 @@ instance (``--connect host:port``), printing hit rate, refresh counts,
 latency percentiles and throughput.  ``--compare-offline`` additionally runs
 the equivalent offline simulation and fails unless the refresh counts and
 hit rate match exactly (deterministic mode only).
+
+``--fault-plan`` turns either loadgen mode into a chaos run: transports
+drop, truncate, delay and reorder frames on a seeded, replayable schedule
+(:mod:`repro.serving.faults`), feeders are killed and reconnect-and-resync,
+clients retry with backoff.  ``--check-invariant`` (deterministic mode)
+audits every answer against the ground-truth aggregate and exits non-zero
+if any returned interval excludes it — the paper's containment guarantee,
+verified under fire.
 """
 
 from __future__ import annotations
@@ -224,6 +232,33 @@ def build_parser() -> argparse.ArgumentParser:
             "refresh counts and hit rate match (deterministic mode, "
             "in-process server only)"
         ),
+    )
+    loadgen_parser.add_argument(
+        "--fault-plan",
+        default=None,
+        dest="fault_plan",
+        metavar="SPEC",
+        help=(
+            "inject deterministic faults: 'key=value,...' with keys seed, "
+            "drop, truncate, delay, delay_ms, reorder, kill_every, outage "
+            "(e.g. 'seed=7,drop=0.05,kill_every=40,outage=3'); 'none' "
+            "disables injection"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--check-invariant",
+        action="store_true",
+        dest="check_invariant",
+        help=(
+            "audit every deterministic-mode answer against the ground-truth "
+            "aggregate and exit 1 on any interval that excludes it"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-operation client deadline in seconds (default: none)",
     )
     return parser
 
@@ -418,6 +453,7 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
         traffic_trace,
         traffic_streams,
     )
+    from repro.serving.faults import FaultPlan
     from repro.serving.loadgen import (
         TcpDialer,
         replay_trace_concurrent,
@@ -432,6 +468,17 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
             "--compare-offline needs --mode deterministic and an "
             "in-process server (no --connect)"
         )
+    if args.check_invariant and args.mode != "deterministic":
+        parser.error(
+            "--check-invariant needs --mode deterministic (concurrent "
+            "interleaving has no single ground-truth instant per query)"
+        )
+    try:
+        fault_plan = (
+            FaultPlan.parse(args.fault_plan) if args.fault_plan is not None else None
+        )
+    except ValueError as error:
+        parser.error(f"--fault-plan: {error}")
     if args.mode == "deterministic":
         # The deterministic replay is one serialized feeder + querier; say
         # so instead of silently absorbing concurrency flags (mirrors how
@@ -474,7 +521,14 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
             target = server
         try:
             if args.mode == "deterministic":
-                return await replay_trace_deterministic(target, trace, config)
+                return await replay_trace_deterministic(
+                    target,
+                    trace,
+                    config,
+                    fault_plan=fault_plan,
+                    check_invariant=args.check_invariant,
+                    deadline=args.deadline,
+                )
             return await replay_trace_concurrent(
                 target,
                 trace,
@@ -483,6 +537,8 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
                 queries_per_client=args.queries,
                 rate=args.rate,
                 feeders=args.feeders,
+                fault_plan=fault_plan,
+                deadline=args.deadline,
             )
         finally:
             if server is not None:
@@ -490,6 +546,13 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
 
     report = asyncio.run(drive())
     print(report.describe())
+    if args.check_invariant and report.invariant_violations:
+        print(
+            f"invariant check FAILED: {report.invariant_violations} of "
+            f"{report.invariant_checks} answers excluded the true aggregate",
+            file=sys.stderr,
+        )
+        return 1
     if args.compare_offline:
         from repro.simulation.simulator import CacheSimulation
 

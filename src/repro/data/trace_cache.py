@@ -9,7 +9,10 @@ process-pool workers load a pre-generated trace instead.
 Layout: one file per key under the cache directory, named
 ``trace-v{format}-g{schema}-h{hosts}-d{duration}-s{seed}-{engine}.json``.
 Each payload embeds its key and the generation-schema version; a mismatch
-(or any parse failure) is treated as a miss and the file is regenerated.
+is treated as a miss and the file is regenerated, while a file that fails to
+*parse* (truncated or mangled JSON) is additionally quarantined — renamed to
+``<name>.corrupt`` — so a persistently broken file cannot shadow the
+regenerated trace.
 Writes are atomic (temp file + ``os.replace``), so concurrent workers race
 benignly: generation is deterministic, every writer produces the same
 bytes, and readers only ever observe complete files.
@@ -97,17 +100,48 @@ def _key_payload(host_count: int, duration: int, seed: int, engine: str) -> dict
     }
 
 
-def _load(path: Path, expected_key: dict) -> Optional[Trace]:
-    """Read a cached trace; any mismatch or corruption is a miss."""
+def _quarantine(path: Path) -> None:
+    """Move an unparseable cache file aside as ``<name>.corrupt``.
+
+    Renaming (rather than deleting) keeps the evidence for debugging while
+    making sure the regenerated file is not racing a reader of the broken
+    one; if even the rename fails the file is unlinked, and if *that* fails
+    the file is left alone — the subsequent atomic ``os.replace`` store
+    overwrites it anyway.
+    """
     try:
-        payload = json.loads(path.read_text())
+        os.replace(path, path.with_name(f"{path.name}.corrupt"))
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def _load(path: Path, expected_key: dict) -> Optional[Trace]:
+    """Read a cached trace; any mismatch or corruption is a miss.
+
+    A file that cannot be *read* (missing, permissions) is a plain miss.  A
+    file that reads but cannot be *parsed* — truncated JSON from a torn
+    copy, a mangled envelope — is quarantined so it cannot keep shadowing
+    the regenerated trace.  A well-formed file whose embedded key does not
+    match is left in place: it is some other run's valid cache entry that
+    happens to share the name (e.g. after a schema bump rollback).
+    """
+    try:
+        text = path.read_text()
+    except OSError:
+        return None
+    try:
+        payload = json.loads(text)
         if payload.get("key") != expected_key:
             return None
         return Trace(
             series={key: list(values) for key, values in payload["series"].items()},
             sample_interval=float(payload["sample_interval"]),
         )
-    except (OSError, ValueError, KeyError, TypeError, AttributeError):
+    except (ValueError, KeyError, TypeError, AttributeError):
+        _quarantine(path)
         return None
 
 
@@ -164,10 +198,11 @@ def clear_trace_cache(cache_dir: Optional[Path] = None) -> int:
     removed = 0
     if not directory.is_dir():
         return removed
-    for path in directory.glob("trace-v*.json"):
-        try:
-            path.unlink()
-            removed += 1
-        except OSError:
-            pass
+    for pattern in ("trace-v*.json", "trace-v*.json.corrupt"):
+        for path in directory.glob(pattern):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
     return removed

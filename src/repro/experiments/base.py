@@ -89,6 +89,7 @@ def registry() -> Dict[str, Callable[[], ExperimentResult]]:
         figure14_15_divergence,
         section44_sensitivity,
         section45_variations,
+        serving_faults,
         serving_throughput,
         sharded_scaling,
         table1,
@@ -107,5 +108,6 @@ def registry() -> Dict[str, Callable[[], ExperimentResult]]:
         "section45": section45_variations.run,
         "sharded_scaling": sharded_scaling.run,
         "serving_throughput": serving_throughput.run,
+        "serving_faults": serving_faults.run,
         "ablations": ablations.run,
     }

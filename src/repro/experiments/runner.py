@@ -25,6 +25,7 @@ or through the CLI: ``python -m repro.cli run figure07_09 --workers 4``.
 from __future__ import annotations
 
 import multiprocessing
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -171,47 +172,153 @@ def run_plan(
     return _assemble(plan, results)
 
 
+def _worker_entry(target, parent_end, worker_end, args):
+    """Child-side entry: drop the inherited parent pipe end, run the target.
+
+    Under the fork start method the child inherits the parent's endpoint of
+    its own pipe; without closing it here, the parent's
+    ``close_connection()`` could never deliver EOF to a worker blocked on
+    ``recv`` — its own inherited copy would keep the pipe alive.
+    """
+    parent_end.close()
+    target(worker_end, *args)
+
+
+class WorkerHandle:
+    """One supervised worker process plus its parent pipe endpoint.
+
+    The handle owns the process lifecycle: ``start`` spawns the target as
+    ``target(connection, *args)``, ``restart`` replaces a dead or wedged
+    worker with a fresh process running the same target (the caller is
+    responsible for resyncing its state — see
+    :func:`repro.sharding.workers.run_concurrent_shards`), and ``stop``
+    escalates ``join(grace)`` → ``terminate()`` → ``kill()`` so no worker
+    can outlive its pool.  ``force_stopped`` records the harshest measure
+    that was needed (``"terminated"`` or ``"killed"``), for reporting.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        target: Callable[..., None],
+        args: Tuple[Any, ...],
+    ) -> None:
+        self.index = index
+        self.target = target
+        self.args = args
+        self.process: Optional[multiprocessing.Process] = None
+        self.connection: Optional[Any] = None
+        self.restarts = 0
+        self.force_stopped: Optional[str] = None
+
+    def start(self) -> None:
+        """Spawn the worker process and wire up the duplex pipe."""
+        parent_end, worker_end = multiprocessing.Pipe(duplex=True)
+        process = multiprocessing.Process(
+            target=_worker_entry,
+            args=(self.target, parent_end, worker_end, self.args),
+            daemon=True,
+        )
+        process.start()
+        worker_end.close()
+        self.process = process
+        self.connection = parent_end
+
+    def restart(self, grace: float = 5.0) -> None:
+        """Replace the worker with a fresh process (same target and args)."""
+        self.close_connection()
+        self.stop(grace=grace)
+        self.restarts += 1
+        self.start()
+
+    def is_alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def send(self, payload: Any) -> None:
+        if self.connection is None:
+            raise BrokenPipeError("worker connection is closed")
+        self.connection.send(payload)
+
+    def recv(self) -> Any:
+        if self.connection is None:
+            raise EOFError("worker connection is closed")
+        return self.connection.recv()
+
+    def close_connection(self) -> None:
+        if self.connection is not None:
+            self.connection.close()
+            self.connection = None
+
+    def stop(self, grace: float = 5.0) -> Optional[str]:
+        """Stop the process, escalating join → terminate → kill.
+
+        Returns the escalation that was needed (``None`` for a clean join)
+        and records it in ``force_stopped``.  Safe to call on an already
+        dead or never-started worker.
+        """
+        process = self.process
+        if process is None:
+            return None
+        escalation: Optional[str] = None
+        process.join(timeout=grace)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=grace)
+            escalation = "terminated"
+        if process.is_alive():  # pragma: no cover - SIGTERM-immune worker
+            process.kill()
+            process.join(timeout=grace)
+            escalation = "killed"
+        if escalation is not None:
+            self.force_stopped = escalation
+        self.process = None
+        return escalation
+
+
 @contextmanager
 def persistent_worker_pool(
     targets: Sequence[Tuple[Callable[..., None], Tuple[Any, ...]]],
-) -> Iterator[List[Any]]:
+    grace: float = 5.0,
+) -> Iterator[List[WorkerHandle]]:
     """Spawn long-lived worker processes connected by duplex pipes.
 
     The :class:`ProcessPoolExecutor` path above fits one-shot, independent
     sub-runs; workloads that must exchange state mid-run (the concurrent
     shard workers of :mod:`repro.sharding.workers`, which synchronise at
     every query tick) need persistent processes with a message channel
-    instead.  Each ``(target, args)`` pair is started as one process invoked
-    as ``target(connection, *args)``; the parent receives the corresponding
-    list of :class:`multiprocessing.connection.Connection` endpoints.
+    instead.  Each ``(target, args)`` pair is started as one
+    :class:`WorkerHandle`; the parent talks through ``handle.send`` /
+    ``handle.recv`` and may ``handle.restart()`` a worker that died.
 
     On exit the parent endpoints are closed first (workers blocked on
-    ``recv`` see EOF instead of hanging) and any worker still alive after a
-    grace period is terminated, so a failure in the parent's protocol loop
-    cannot leak processes.
+    ``recv`` see EOF instead of hanging), then every worker is stopped
+    with the full join → terminate → kill escalation; workers that needed
+    force are reported in one :class:`RuntimeWarning` — a worker that
+    ignores even SIGTERM cannot leak past the pool.
     """
-    processes: List[multiprocessing.Process] = []
-    connections: List[Any] = []
+    handles: List[WorkerHandle] = [
+        WorkerHandle(index, target, args) for index, (target, args) in enumerate(targets)
+    ]
     try:
-        for target, args in targets:
-            parent_end, worker_end = multiprocessing.Pipe(duplex=True)
-            process = multiprocessing.Process(
-                target=target, args=(worker_end, *args), daemon=True
-            )
-            process.start()
-            worker_end.close()
-            processes.append(process)
-            connections.append(parent_end)
-        yield connections
+        for handle in handles:
+            handle.start()
+        yield handles
     finally:
-        for connection in connections:
-            connection.close()
-        for process in processes:
-            process.join(timeout=5.0)
-        for process in processes:
-            if process.is_alive():  # pragma: no cover - defensive cleanup
-                process.terminate()
-                process.join(timeout=5.0)
+        for handle in handles:
+            handle.close_connection()
+        for handle in handles:
+            handle.stop(grace=grace)
+        forced = [
+            f"worker {handle.index} ({handle.force_stopped})"
+            for handle in handles
+            if handle.force_stopped
+        ]
+        if forced:
+            warnings.warn(
+                "persistent_worker_pool force-stopped: " + ", ".join(forced),
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
 
 def plan_registry() -> Dict[str, Callable[[], ExperimentPlan]]:

@@ -1,0 +1,48 @@
+"""Typed client-side errors of the serving stack.
+
+The resilient client paths (deadlines, retries, reconnect-and-resume) need
+to tell failure modes apart: a lost connection is retryable after a
+reconnect, a deadline expiry is retryable on the same connection, a
+rejected request is not retryable at all, and a stale-epoch rejection means
+another session took over the feeder identity.  Each error type *also*
+subclasses the stdlib exception the pre-typed code paths raised
+(``ConnectionResetError``, ``TimeoutError``, ``RuntimeError``), so existing
+handlers — the server's dispatch fallback, tests catching ``RuntimeError``
+— keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class ServingError(Exception):
+    """Base class of every typed serving-client error."""
+
+
+class ConnectionLost(ServingError, ConnectionResetError):
+    """The connection died (EOF, reset, corrupt frame, injected drop).
+
+    Retryable after reconnecting; a feeder should re-register with
+    ``resync`` so the server mirror catches up on missed updates.
+    """
+
+
+class DeadlineExceeded(ServingError, asyncio.TimeoutError):
+    """A request missed its per-operation deadline.
+
+    The response may still arrive later and is then dropped; retrying is
+    safe for idempotent operations (queries, stats, resync registration).
+    """
+
+
+class RequestRejected(ServingError, RuntimeError):
+    """The server answered with an error reply (``ok: false``)."""
+
+
+class StaleEpochError(RequestRejected):
+    """A newer session holds this feeder identity; this one is fenced off.
+
+    The only recovery is a fresh registration (which mints the next epoch);
+    retrying the rejected operation on this session can never succeed.
+    """

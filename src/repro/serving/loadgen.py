@@ -24,6 +24,15 @@ online paths share every generator:
 Both return a :class:`LoadgenReport`; the ``serving_throughput`` experiment
 (:mod:`repro.experiments.serving_throughput`) tabulates concurrent runs
 across client counts.
+
+Both modes also accept a :class:`~repro.serving.faults.FaultPlan`: every
+dialled connection is wrapped in a
+:class:`~repro.serving.faults.FaultyTransport` drawing from the plan's
+seeded streams, feeders ride a reconnect-and-resync loop, queriers retry
+with seeded exponential backoff (:class:`RetryPolicy`), and — in the
+deterministic mode — ``check_invariant`` verifies the paper's containment
+guarantee against the replay's own ground truth on every answer: the
+returned interval must contain the true aggregate, degraded or not.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import inspect
 import itertools
+import random
 import time as wall_time
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Dict, Hashable, List, Optional, Tuple
@@ -38,6 +48,14 @@ from typing import Any, Awaitable, Callable, Dict, Hashable, List, Optional, Tup
 from repro.data.merged import merge_timelines
 from repro.data.streams import TraceStream
 from repro.data.trace import Trace
+from repro.queries.aggregates import AggregateKind
+from repro.serving.errors import (
+    ConnectionLost,
+    DeadlineExceeded,
+    RequestRejected,
+    StaleEpochError,
+)
+from repro.serving.faults import FaultPlan, FaultyTransport, SessionFaults
 from repro.serving.protocol import ProtocolError, error_response, is_request
 from repro.serving.transport import StreamFrameTransport
 from repro.simulation.config import SimulationConfig
@@ -80,6 +98,49 @@ def percentile(sorted_values: List[float], fraction: float) -> float:
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
+class RetryPolicy:
+    """Exponential backoff with seeded jitter (deterministic per run).
+
+    ``delay(attempt)`` doubles from ``base_delay`` up to ``max_delay`` and
+    multiplies by a jitter factor in ``[0.5, 1.5)`` drawn from a stream
+    seeded by ``seed`` — replays of the same chaos run back off
+    identically, so retry timing never makes a seeded run flaky.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 5,
+        base_delay: float = 0.005,
+        max_delay: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if base_delay <= 0 or max_delay < base_delay:
+            raise ValueError("need 0 < base_delay <= max_delay")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._rng = random.Random(f"retry:{seed}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered."""
+        exponential = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        return exponential * (0.5 + self._rng.random())
+
+
+def _new_resilience_counters() -> Dict[str, int]:
+    """The shared client-side counter block a load-generation run fills in."""
+    return {
+        "retries": 0,
+        "reconnects": 0,
+        "degraded_answers": 0,
+        "deadline_failures": 0,
+        "invariant_checks": 0,
+        "invariant_violations": 0,
+    }
+
+
 @dataclass
 class LoadgenReport:
     """What one load-generation run observed (client side plus server stats)."""
@@ -100,6 +161,14 @@ class LoadgenReport:
     p50_latency_ms: float
     p99_latency_ms: float
     max_latency_ms: float
+    retries: int = 0
+    reconnects: int = 0
+    degraded_answers: int = 0
+    deadline_failures: int = 0
+    invariant_checks: int = 0
+    invariant_violations: int = 0
+    fault_plan: str = "none"
+    faults_injected: Dict[str, int] = field(default_factory=dict)
     server_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -117,22 +186,48 @@ class LoadgenReport:
 
     def describe(self) -> str:
         """Multi-line human-readable summary (the CLI's output)."""
-        return "\n".join(
-            [
-                f"mode={self.mode} clients={self.clients}",
-                f"queries={self.queries} rejected={self.queries_rejected} "
-                f"updates={self.updates_sent}",
-                f"hit_rate={self.hit_rate:.4f} (hits={self.hits} "
-                f"misses={self.misses})",
-                f"refreshes: value={self.value_refreshes} "
-                f"query={self.query_refreshes}",
-                f"Omega={self.omega:.4f} (total_cost={self.total_cost:g})",
-                f"latency_ms: p50={self.p50_latency_ms:.3f} "
-                f"p99={self.p99_latency_ms:.3f} max={self.max_latency_ms:.3f}",
-                f"throughput={self.throughput_qps:.1f} q/s "
-                f"wall={self.wall_seconds:.2f}s",
-            ]
-        )
+        lines = [
+            f"mode={self.mode} clients={self.clients}",
+            f"queries={self.queries} rejected={self.queries_rejected} "
+            f"updates={self.updates_sent}",
+            f"hit_rate={self.hit_rate:.4f} (hits={self.hits} "
+            f"misses={self.misses})",
+            f"refreshes: value={self.value_refreshes} "
+            f"query={self.query_refreshes}",
+            f"Omega={self.omega:.4f} (total_cost={self.total_cost:g})",
+            f"latency_ms: p50={self.p50_latency_ms:.3f} "
+            f"p99={self.p99_latency_ms:.3f} max={self.max_latency_ms:.3f}",
+            f"throughput={self.throughput_qps:.1f} q/s "
+            f"wall={self.wall_seconds:.2f}s",
+        ]
+        if self.fault_plan != "none" or any(
+            (self.retries, self.reconnects, self.degraded_answers,
+             self.deadline_failures)
+        ):
+            injected = ",".join(
+                f"{name}={count}"
+                for name, count in sorted(self.faults_injected.items())
+                if count
+            )
+            lines.append(
+                f"faults: plan={self.fault_plan} injected=[{injected or 'none'}]"
+            )
+            lines.append(
+                f"resilience: retries={self.retries} reconnects={self.reconnects} "
+                f"degraded={self.degraded_answers} "
+                f"deadline_failures={self.deadline_failures}"
+            )
+        if self.invariant_checks:
+            lines.append(
+                f"invariant: violations={self.invariant_violations} "
+                f"of {self.invariant_checks} checked answers"
+            )
+        return "\n".join(lines)
+
+
+#: Distinguishes "no per-call deadline given" (use the client default) from
+#: an explicit ``deadline=None`` (wait forever).
+_UNSET_DEADLINE = object()
 
 
 class ServingClient:
@@ -149,9 +244,13 @@ class ServingClient:
         on_request: Optional[
             Callable[[Dict[str, Any]], Awaitable[Dict[str, Any]]]
         ] = None,
+        default_deadline: Optional[float] = None,
     ) -> None:
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError("default_deadline must be positive (or None)")
         self._transport = transport
         self._on_request = on_request
+        self._default_deadline = default_deadline
         self._pending: Dict[int, asyncio.Future] = {}
         self._ids = itertools.count(1)
         self._reader: Optional[asyncio.Task] = None
@@ -163,9 +262,10 @@ class ServingClient:
         on_request: Optional[
             Callable[[Dict[str, Any]], Awaitable[Dict[str, Any]]]
         ] = None,
+        default_deadline: Optional[float] = None,
     ) -> "ServingClient":
         """Wrap a connected transport and start its read loop."""
-        client = cls(transport, on_request)
+        client = cls(transport, on_request, default_deadline)
         client._reader = asyncio.ensure_future(client._read_loop())
         return client
 
@@ -202,24 +302,54 @@ class ServingClient:
             self._transport.close()
             for future in self._pending.values():
                 if not future.done():
-                    future.set_exception(
-                        ConnectionResetError("serving connection closed")
-                    )
+                    future.set_exception(ConnectionLost("serving connection closed"))
             self._pending.clear()
 
-    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """Send one request and await its response (raises on error replies)."""
+    async def request(
+        self, op: str, deadline: Any = _UNSET_DEADLINE, **fields: Any
+    ) -> Dict[str, Any]:
+        """Send one request and await its response.
+
+        ``deadline`` (seconds; default: the client's ``default_deadline``,
+        ``None`` = wait forever) bounds the wait for the response; missing
+        it raises :class:`~repro.serving.errors.DeadlineExceeded` and drops
+        the late response if it ever arrives.  Error replies raise
+        :class:`~repro.serving.errors.RequestRejected` (or its
+        :class:`~repro.serving.errors.StaleEpochError` refinement); dead
+        connections raise :class:`~repro.serving.errors.ConnectionLost`.
+        All three subclass the stdlib exceptions earlier callers caught.
+        """
         if self._reader is not None and self._reader.done():
             # The read loop is gone (EOF or corrupt frame): nothing can ever
             # resolve a new future, so fail fast instead of hanging.
-            raise ConnectionResetError("serving connection closed")
+            raise ConnectionLost("serving connection closed")
         request_id = next(self._ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        await self._transport.write_frame({"op": op, "id": request_id, **fields})
-        response = await future
+        try:
+            await self._transport.write_frame({"op": op, "id": request_id, **fields})
+        except ConnectionLost:
+            self._pending.pop(request_id, None)
+            raise
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            self._pending.pop(request_id, None)
+            raise ConnectionLost(str(exc)) from exc
+        limit = self._default_deadline if deadline is _UNSET_DEADLINE else deadline
+        if limit is None:
+            response = await future
+        else:
+            try:
+                response = await asyncio.wait_for(future, limit)
+            except asyncio.TimeoutError:
+                self._pending.pop(request_id, None)
+                raise DeadlineExceeded(
+                    f"{op} missed its {limit:g}s deadline"
+                ) from None
         if not response.get("ok", True) and not response.get("overloaded"):
-            raise RuntimeError(f"{op} failed: {response.get('error')}")
+            error = f"{op} failed: {response.get('error')}"
+            if response.get("stale_epoch"):
+                raise StaleEpochError(error)
+            raise RequestRejected(error)
         return response
 
     async def close(self) -> None:
@@ -265,6 +395,11 @@ async def replay_trace_deterministic(
     server: Any,
     trace: Trace,
     config: SimulationConfig,
+    *,
+    fault_plan: Optional[FaultPlan] = None,
+    check_invariant: bool = False,
+    deadline: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadgenReport:
     """Replay the offline event sequence through a server, serialised.
 
@@ -274,24 +409,50 @@ async def replay_trace_deterministic(
     the offline simulator executes; with the same policy and config
     (``warmup = 0`` offline, since the server has no warm-up notion) the
     refresh counts and hit rate match bit for bit.
+
+    Under a ``fault_plan`` the replay stays serialised but stops being
+    gentle: transports misbehave on the plan's seeded schedule, the feeder
+    is killed every ``kill_every`` sent batches and stays down for
+    ``outage_queries`` queries (answered degraded from the mirror, its
+    updates lost) before reconnecting and resyncing.  The replay's own
+    ``values`` dict keeps advancing while the feeder is down, so with
+    ``check_invariant`` every answer is audited against the true aggregate
+    — the paper's containment guarantee, under fire.  A kill+reconnect
+    with ``outage_queries=0`` loses nothing and resyncs to an unchanged
+    mirror, which keeps even that replay bit-identical to the offline run.
     """
+    plan = fault_plan if fault_plan is not None else FaultPlan()
+    retry = retry if retry is not None else RetryPolicy(seed=plan.seed)
+    dialer = _FaultDialer(server, plan)
+    counters = _new_resilience_counters()
     keys, values, walk = _trace_replay_parts(trace, config)
     workload = config.build_workload(keys)
-    feeder = await ServingClient.open(
-        await _dial(server),
-        on_request=lambda frame: _answer_refresh(values, frame),
+    feeder = _ResilientFeeder(
+        lambda: dialer.dial("feeder"),
+        keys,
+        values,
+        feeder_id="feeder-0",
+        retry=retry,
+        counters=counters,
+        deadline=deadline,
     )
-    querier = await ServingClient.open(await _dial(server))
+    querier = _ResilientQuerier(
+        lambda: dialer.dial("client"),
+        retry=retry,
+        counters=counters,
+        deadline=deadline,
+    )
     started = wall_time.perf_counter()
     latencies: List[float] = []
     queries = updates_sent = hits = misses = rejected = 0
+    batches_sent = kills_done = outage_remaining = 0
+    last_flush = 0.0
     try:
+        await querier.start()
         # Snapshot the server's all-time counters so the report describes
         # *this* run even against a persistent server.
         baseline = await querier.request("stats")
-        await feeder.request(
-            "register", keys=keys, values=[values[key] for key in keys]
-        )
+        await feeder.start()
         horizon = config.duration + HORIZON_TOLERANCE
         period = config.query_period
         query_time = period
@@ -299,18 +460,30 @@ async def replay_trace_deterministic(
         collect = pending.append
 
         async def flush_updates(until: float) -> None:
-            nonlocal updates_sent
+            nonlocal updates_sent, batches_sent, last_flush
             walk.advance(until, lambda key, time, value: collect((key, time, value)))
             for time, updates in _batch_by_instant(pending):
-                # The feeder's own view advances as it sends, so a refresh
-                # RPC arriving mid-replay answers with the replayed value.
+                # The feeder's own view advances as it sends — and also
+                # while it is down: ``values`` is the replay's ground
+                # truth, which the server's degraded answers must still
+                # contain.
                 for key, value in updates:
                     values[key] = value
-                await feeder.request("update_batch", updates=updates, time=time)
-                updates_sent += len(updates)
+                if await feeder.send_batch(updates, time):
+                    updates_sent += len(updates)
+                    batches_sent += 1
             pending.clear()
+            last_flush = until
 
         while query_time <= horizon:
+            if feeder.is_down:
+                if outage_remaining > 0:
+                    outage_remaining -= 1
+                else:
+                    # Resync at the last flushed instant, not the upcoming
+                    # query time: folded-in catch-up values must not stamp
+                    # the mirror ahead of update batches still to come.
+                    await feeder.reconnect(last_flush)
             await flush_updates(query_time)
             query = workload.generate(query_time)
             begin = wall_time.perf_counter()
@@ -328,7 +501,29 @@ async def replay_trace_deterministic(
             else:
                 hits += response["hits"]
                 misses += response["misses"]
+                if response.get("degraded"):
+                    counters["degraded_answers"] += 1
+                if check_invariant:
+                    counters["invariant_checks"] += 1
+                    truth = _true_aggregate(query.kind, query.keys, values)
+                    if not _interval_contains(
+                        response["low"], response["high"], truth
+                    ):
+                        counters["invariant_violations"] += 1
+            if (
+                plan.kill_every > 0
+                and not feeder.is_down
+                and batches_sent // plan.kill_every > kills_done
+            ):
+                # Scheduled crash: lands after a query, so the preceding
+                # answer was served live; the next ``outage_queries``
+                # answers are degraded.
+                kills_done += 1
+                await feeder.kill()
+                outage_remaining = plan.outage_queries
             query_time += period
+        if feeder.is_down:
+            await feeder.reconnect(last_flush)
         await flush_updates(horizon)
         stats = await querier.request("stats")
     finally:
@@ -347,6 +542,9 @@ async def replay_trace_deterministic(
         rejected=rejected,
         stats=stats,
         wall_seconds=wall_time.perf_counter() - started,
+        counters=counters,
+        plan=plan,
+        faults_injected=dialer.injected(),
     )
 
 
@@ -360,6 +558,237 @@ async def _answer_refresh(
     return {"value": values[key]}
 
 
+class _FaultDialer:
+    """Dials connections, wrapping each in its plan-assigned fault stream.
+
+    Connection ordinals are per role (``feeder`` / ``client``), so adding a
+    querier does not shift the feeders' fault streams — the property that
+    keeps a committed chaos seed stable as the harness evolves.  With the
+    zero plan every dial returns the bare transport, untouched.
+    """
+
+    def __init__(self, target: Any, plan: FaultPlan) -> None:
+        self._target = target
+        self._plan = plan
+        self._ordinals: Dict[str, int] = {}
+        self.sessions: List[SessionFaults] = []
+
+    async def dial(self, role: str) -> Any:
+        transport = await _dial(self._target)
+        if self._plan.is_zero:
+            return transport
+        index = self._ordinals.get(role, 0)
+        self._ordinals[role] = index + 1
+        session = self._plan.session(role, index)
+        self.sessions.append(session)
+        return FaultyTransport(transport, session)
+
+    def injected(self) -> Dict[str, int]:
+        """Total injected faults across every connection this run dialled."""
+        totals: Dict[str, int] = {}
+        for session in self.sessions:
+            for name, count in session.counters.items():
+                totals[name] = totals.get(name, 0) + count
+        return totals
+
+
+class _ResilientFeeder:
+    """A feeder that survives connection loss: reconnect, resync, resume.
+
+    On any connection-level failure the in-flight batch is *skipped*, not
+    resent: the resync registration ships every owned key's current value
+    — exactly the state the lost batch would have produced — and resending
+    old values with old timestamps would trip the server's update
+    time-order check.  ``kill``/``reconnect`` expose the same machinery to
+    the fault plan's scheduled feeder crashes.
+    """
+
+    def __init__(
+        self,
+        dial: Callable[[], Awaitable[Any]],
+        keys: List[Hashable],
+        values: Dict[Hashable, float],
+        *,
+        feeder_id: str,
+        retry: RetryPolicy,
+        counters: Dict[str, int],
+        deadline: Optional[float] = None,
+    ) -> None:
+        self._dial = dial
+        self._keys = keys
+        self._values = values
+        self._feeder_id = feeder_id
+        self._retry = retry
+        self._counters = counters
+        self._deadline = deadline
+        self._client: Optional[ServingClient] = None
+        self.epoch = 0
+
+    @property
+    def is_down(self) -> bool:
+        return self._client is None
+
+    async def _answer(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return await _answer_refresh(self._values, frame)
+
+    async def start(self) -> None:
+        """Dial and register the owned keys (a fresh lifecycle)."""
+        await self._connect(resync=False, time=None)
+
+    async def reconnect(self, time: float) -> None:
+        """Dial anew and resync the owned keys against the server mirror."""
+        await self._connect(resync=True, time=time)
+        self._counters["reconnects"] += 1
+
+    async def _connect(self, *, resync: bool, time: Optional[float]) -> None:
+        attempt = 0
+        while True:
+            client = None
+            try:
+                client = await ServingClient.open(
+                    await self._dial(),
+                    on_request=self._answer,
+                    default_deadline=self._deadline,
+                )
+                request: Dict[str, Any] = {
+                    "keys": self._keys,
+                    "values": [self._values[key] for key in self._keys],
+                    "feeder": self._feeder_id,
+                }
+                if resync:
+                    request["resync"] = True
+                    request["time"] = time
+                reply = await client.request("register", **request)
+            except (ConnectionLost, DeadlineExceeded):
+                if client is not None:
+                    await client.close()
+                attempt += 1
+                if attempt > self._retry.attempts:
+                    raise
+                self._counters["retries"] += 1
+                await asyncio.sleep(self._retry.delay(attempt))
+                continue
+            self._client = client
+            self.epoch = reply.get("epoch", 0)
+            return
+
+    async def send_batch(
+        self, updates: List[Tuple[Hashable, float]], time: float
+    ) -> bool:
+        """Send one update batch; ``False`` when it was skipped.
+
+        Skips happen while the feeder is (scheduled) down, and when the
+        connection dies mid-send — the reconnect's resync then covers the
+        lost batch.
+        """
+        if self._client is None:
+            return False
+        try:
+            await self._client.request("update_batch", updates=updates, time=time)
+            return True
+        except (ConnectionLost, DeadlineExceeded, StaleEpochError):
+            await self.kill()
+            await self.reconnect(time)
+            return False
+
+    async def kill(self) -> None:
+        """Drop the connection with no goodbye (a simulated feeder crash)."""
+        client, self._client = self._client, None
+        if client is not None:
+            await client.close()
+
+    async def close(self) -> None:
+        if self._client is not None:
+            await self._client.close()
+
+
+class _ResilientQuerier:
+    """A query client with per-op deadlines, backoff and reconnects.
+
+    Queries are idempotent from the client's point of view (the answer,
+    not the side effects, is what the caller consumes), so a lost
+    connection or a missed deadline retries after a seeded backoff — up to
+    ``retry.attempts`` times, then the last error surfaces typed.
+    """
+
+    def __init__(
+        self,
+        dial: Callable[[], Awaitable[Any]],
+        *,
+        retry: RetryPolicy,
+        counters: Dict[str, int],
+        deadline: Optional[float] = None,
+    ) -> None:
+        self._dial = dial
+        self._retry = retry
+        self._counters = counters
+        self._deadline = deadline
+        self._client: Optional[ServingClient] = None
+
+    async def start(self) -> None:
+        self._client = await ServingClient.open(
+            await self._dial(), default_deadline=self._deadline
+        )
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                assert self._client is not None
+                return await self._client.request(op, **fields)
+            except DeadlineExceeded:
+                self._counters["deadline_failures"] += 1
+                attempt += 1
+                if attempt > self._retry.attempts:
+                    raise
+                self._counters["retries"] += 1
+                await asyncio.sleep(self._retry.delay(attempt))
+            except ConnectionLost:
+                attempt += 1
+                if attempt > self._retry.attempts:
+                    raise
+                self._counters["retries"] += 1
+                await asyncio.sleep(self._retry.delay(attempt))
+                await self._reconnect()
+
+    async def _reconnect(self) -> None:
+        if self._client is not None:
+            await self._client.close()
+        await self.start()
+        self._counters["reconnects"] += 1
+
+    async def close(self) -> None:
+        if self._client is not None:
+            await self._client.close()
+
+
+#: Relative slop for the containment check: the server sums interval
+#: endpoints in its own order, so the true aggregate can differ from the
+#: replay's by float-rounding only.
+_INVARIANT_TOLERANCE = 1e-9
+
+
+def _true_aggregate(
+    kind: AggregateKind, keys: Any, values: Dict[Hashable, float]
+) -> float:
+    """The exact aggregate over the replay's ground-truth values."""
+    sample = [values[key] for key in keys]
+    if kind is AggregateKind.SUM:
+        return sum(sample)
+    if kind is AggregateKind.MAX:
+        return max(sample)
+    if kind is AggregateKind.MIN:
+        return min(sample)
+    if kind is AggregateKind.AVG:
+        return sum(sample) / len(sample)
+    raise ValueError(f"no ground-truth evaluation for {kind!r}")
+
+
+def _interval_contains(low: float, high: float, value: float) -> bool:
+    pad = _INVARIANT_TOLERANCE * max(1.0, abs(value))
+    return low - pad <= value <= high + pad
+
+
 async def replay_trace_concurrent(
     server: Any,
     trace: Trace,
@@ -369,6 +798,9 @@ async def replay_trace_concurrent(
     queries_per_client: int = 100,
     rate: float = 0.0,
     feeders: int = 1,
+    fault_plan: Optional[FaultPlan] = None,
+    deadline: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadgenReport:
     """Drive a server with concurrent clients while feeders replay updates.
 
@@ -378,11 +810,21 @@ async def replay_trace_concurrent(
     return).  ``feeders`` connections split the key space and replay the
     update timelines concurrently.  Latency percentiles are measured on the
     client side; admission-control rejections are counted, not raised.
+
+    A ``fault_plan`` injects transport faults on every feeder and client
+    connection; feeders reconnect-and-resync, clients retry with backoff.
+    Containment is not audited here — concurrent interleaving has no
+    single ground-truth instant per query; use the deterministic mode's
+    ``check_invariant`` for that.
     """
     if clients < 1:
         raise ValueError("clients must be at least 1")
     if feeders < 1:
         raise ValueError("feeders must be at least 1")
+    plan = fault_plan if fault_plan is not None else FaultPlan()
+    retry = retry if retry is not None else RetryPolicy(seed=plan.seed)
+    dialer = _FaultDialer(server, plan)
+    counters = _new_resilience_counters()
     keys, values, walk = _trace_replay_parts(trace, config)
     started = wall_time.perf_counter()
     events: List[Tuple[Hashable, float, float]] = []
@@ -391,23 +833,26 @@ async def replay_trace_concurrent(
         lambda key, time, value: events.append((key, time, value)),
     )
     key_of_feeder = {key: index % feeders for index, key in enumerate(keys)}
-    feeder_clients: List[ServingClient] = []
+    feeder_handles: List[_ResilientFeeder] = []
     for index in range(feeders):
         owned = [key for key in keys if key_of_feeder[key] == index]
-        feeder = await ServingClient.open(
-            await _dial(server),
-            on_request=lambda frame: _answer_refresh(values, frame),
+        feeder = _ResilientFeeder(
+            lambda: dialer.dial("feeder"),
+            owned,
+            values,
+            feeder_id=f"feeder-{index}",
+            retry=retry,
+            counters=counters,
+            deadline=deadline,
         )
-        await feeder.request(
-            "register", keys=owned, values=[values[key] for key in owned]
-        )
-        feeder_clients.append(feeder)
+        await feeder.start()
+        feeder_handles.append(feeder)
 
     updates_sent = 0
 
     async def run_feeder(index: int) -> None:
         nonlocal updates_sent
-        feeder = feeder_clients[index]
+        feeder = feeder_handles[index]
         owned_events = [
             (key, time, value)
             for key, time, value in events
@@ -416,8 +861,8 @@ async def replay_trace_concurrent(
         for time, updates in _batch_by_instant(owned_events):
             for key, value in updates:
                 values[key] = value
-            await feeder.request("update_batch", updates=updates, time=time)
-            updates_sent += len(updates)
+            if await feeder.send_batch(updates, time):
+                updates_sent += len(updates)
 
     latencies: List[float] = []
     queries = hits = misses = rejected = 0
@@ -426,7 +871,13 @@ async def replay_trace_concurrent(
         nonlocal queries, hits, misses, rejected
         workload = config.with_changes(seed=config.seed + 101 * (index + 1))
         generator = workload.build_workload(keys)
-        client = await ServingClient.open(await _dial(server))
+        client = _ResilientQuerier(
+            lambda: dialer.dial("client"),
+            retry=retry,
+            counters=counters,
+            deadline=deadline,
+        )
+        await client.start()
         try:
             for step in range(queries_per_client):
                 query = generator.generate((step + 1) * config.query_period)
@@ -445,6 +896,8 @@ async def replay_trace_concurrent(
                 else:
                     hits += response["hits"]
                     misses += response["misses"]
+                    if response.get("degraded"):
+                        counters["degraded_answers"] += 1
                 if rate > 0:
                     pace = 1.0 / rate
                     if elapsed < pace:
@@ -475,7 +928,7 @@ async def replay_trace_concurrent(
             if not task.done():
                 task.cancel()
         await asyncio.gather(*feeder_tasks, *client_tasks, return_exceptions=True)
-        for feeder in feeder_clients:
+        for feeder in feeder_handles:
             await feeder.close()
     return _build_report(
         mode="concurrent",
@@ -490,6 +943,9 @@ async def replay_trace_concurrent(
         rejected=rejected,
         stats=stats,
         wall_seconds=wall_time.perf_counter() - started,
+        counters=counters,
+        plan=plan,
+        faults_injected=dialer.injected(),
     )
 
 
@@ -507,8 +963,12 @@ def _build_report(
     stats: Dict[str, Any],
     wall_seconds: float,
     baseline: Optional[Dict[str, Any]] = None,
+    counters: Optional[Dict[str, int]] = None,
+    plan: Optional[FaultPlan] = None,
+    faults_injected: Optional[Dict[str, int]] = None,
 ) -> LoadgenReport:
     ordered = sorted(latencies)
+    counters = counters if counters is not None else _new_resilience_counters()
 
     def counted(field_name: str) -> float:
         # The server's counters are all-time totals; subtracting the
@@ -537,5 +997,13 @@ def _build_report(
         p50_latency_ms=percentile(ordered, 0.50) * 1000.0,
         p99_latency_ms=percentile(ordered, 0.99) * 1000.0,
         max_latency_ms=(ordered[-1] * 1000.0) if ordered else 0.0,
+        retries=counters["retries"],
+        reconnects=counters["reconnects"],
+        degraded_answers=counters["degraded_answers"],
+        deadline_failures=counters["deadline_failures"],
+        invariant_checks=counters["invariant_checks"],
+        invariant_violations=counters["invariant_violations"],
+        fault_plan=plan.describe() if plan is not None else "none",
+        faults_injected=dict(faults_injected or {}),
         server_stats=dict(stats),
     )

@@ -28,6 +28,21 @@ around the events is a real server:
   Every connection writes through a bounded outbox drained by a writer task,
   so one slow reader back-pressures its producers instead of ballooning
   memory.
+* **Fault tolerance** leans on the paper's own semantics: a bounded answer
+  is still a *correct* answer when it is merely wider than asked for.
+  Feeder sessions are epoch-tagged (``register`` with a ``feeder``
+  identity): a reconnecting feeder re-registers with ``resync: true``,
+  which re-adopts its keys *without* resetting the mirror — missed updates
+  fold in through the normal update path (escaped intervals trigger the
+  value-initiated refresh they would have caused) — while updates from the
+  superseded session are rejected as stale.  While a key's owner is down,
+  queries touching it are answered from the mirror with the bound widened
+  by a per-key empirical drift model (largest observed update step ×
+  potentially missed updates × ``degraded_slack``) and tagged
+  ``degraded: true`` — never a wrong interval, never a hard error.  A
+  refresh RPC whose feeder dies mid-flight is counted
+  (``refreshes_failed``) and the query re-runs its selection with the key
+  degraded instead of surfacing ``ConnectionResetError``.
 
 Time is logical: requests may stamp a ``time`` (the load generator replays
 trace timestamps), and the server's clock is the running maximum, which
@@ -38,15 +53,16 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import math
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional, Set
+from typing import Any, Dict, Hashable, List, Optional, Set
 
 from repro.caching.cache import ApproximateCache
 from repro.caching.eviction import EvictionPolicy
 from repro.caching.policies.base import PrecisionPolicy
 from repro.caching.source import DataSource
-from repro.intervals.interval import UNBOUNDED
-from repro.queries.aggregates import AggregateKind
+from repro.intervals.interval import UNBOUNDED, Interval
+from repro.queries.aggregates import AggregateKind, aggregate_bound, sum_bound
 from repro.serving.execution import execute_bounded_query_async
 from repro.serving.protocol import ProtocolError, error_response
 from repro.serving.transport import (
@@ -55,6 +71,7 @@ from repro.serving.transport import (
     StreamFrameTransport,
     loopback_pair,
 )
+from repro.sharding.aggregates import merge_aggregate_bounds
 from repro.sharding.coordinator import ShardedCacheCoordinator
 from repro.simulation.network import NetworkModel
 
@@ -62,6 +79,7 @@ DEFAULT_MAX_INFLIGHT_QUERIES = 64
 DEFAULT_ADMISSION_QUEUE_LIMIT = 256
 DEFAULT_WRITE_QUEUE_LIMIT = 128
 DEFAULT_REFRESH_TIMEOUT = 30.0
+DEFAULT_DEGRADED_SLACK = 4.0
 
 
 @dataclass
@@ -78,11 +96,48 @@ class ServingStatistics:
     total_cost: float = 0.0
     connections_opened: int = 0
     connections_closed: int = 0
+    refreshes_failed: int = 0
+    queries_degraded: int = 0
+    stale_epoch_rejections: int = 0
+    feeder_resyncs: int = 0
 
     @property
     def refresh_count(self) -> int:
         """Total refreshes of both kinds."""
         return self.value_refreshes + self.query_refreshes
+
+
+class _FeederLost(Exception):
+    """Internal: a feeder died with a query's refresh in flight.
+
+    The query's selection pass re-runs with the key degraded; this never
+    escapes :meth:`CacheServer._execute_query`.
+    """
+
+    def __init__(self, key: Hashable) -> None:
+        super().__init__(f"feeder lost during refresh of {key!r}")
+        self.key = key
+
+
+class _KeyDrift:
+    """Per-key empirical drift envelope seen by the mirror.
+
+    Tracks the largest update step and the smallest gap between updates —
+    the two numbers the degraded-answer widening model extrapolates from
+    while a key's owner is down.
+    """
+
+    __slots__ = ("max_step", "min_gap")
+
+    def __init__(self) -> None:
+        self.max_step = 0.0
+        self.min_gap = math.inf
+
+    def observe(self, step: float, gap: Optional[float]) -> None:
+        if step > self.max_step:
+            self.max_step = step
+        if gap is not None and 0.0 < gap < self.min_gap:
+            self.min_gap = gap
 
 
 class _Connection:
@@ -99,6 +154,11 @@ class _Connection:
         self.writer_task: Optional[asyncio.Task] = None
         self.request_tasks: Set[asyncio.Task] = set()
         self.closing = False
+        # Feeder session identity: set by a ``register`` carrying a
+        # ``feeder`` id.  A reconnect mints the next epoch and fences this
+        # one off (see ``CacheServer._connection_fenced``).
+        self.feeder_id: Optional[str] = None
+        self.epoch = 0
 
     async def send(self, message: Dict[str, Any]) -> None:
         """Enqueue a frame for the writer task (bounded: may backpressure)."""
@@ -155,9 +215,15 @@ class CacheServer:
         Admission control and backpressure knobs (see the module docstring).
     refresh_timeout:
         Deadline in seconds on each refresh RPC to a feeder.  Bounds the
-        damage of a connected-but-unresponsive feeder: the query fails with
-        an error reply and releases its admission slot instead of wedging
-        forever.  ``None`` disables the deadline.
+        damage of a connected-but-unresponsive feeder: the feeder is fenced
+        as down, the query answers degraded from the mirror and releases
+        its admission slot instead of wedging forever.  ``None`` disables
+        the deadline.
+    degraded_slack:
+        Safety multiplier on the per-key drift model used to widen answers
+        over keys whose owning feeder is down (see the module docstring).
+        Must be at least 1; larger values give wider but safer degraded
+        intervals.
     """
 
     def __init__(
@@ -174,11 +240,14 @@ class CacheServer:
         admission_queue_limit: int = DEFAULT_ADMISSION_QUEUE_LIMIT,
         write_queue_limit: int = DEFAULT_WRITE_QUEUE_LIMIT,
         refresh_timeout: Optional[float] = DEFAULT_REFRESH_TIMEOUT,
+        degraded_slack: float = DEFAULT_DEGRADED_SLACK,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
         if refresh_timeout is not None and refresh_timeout <= 0:
             raise ValueError("refresh_timeout must be positive (or None)")
+        if degraded_slack < 1.0:
+            raise ValueError("degraded_slack must be at least 1")
         if max_inflight_queries < 1:
             raise ValueError("max_inflight_queries must be at least 1")
         if admission_queue_limit < 0:
@@ -205,6 +274,10 @@ class CacheServer:
         )
         self._sources: Dict[Hashable, DataSource] = {}
         self._owners: Dict[Hashable, _Connection] = {}
+        self._feeder_epochs: Dict[str, int] = {}
+        self._down_since: Dict[Hashable, float] = {}
+        self._drift: Dict[Hashable, _KeyDrift] = {}
+        self._degraded_slack = degraded_slack
         self._clock = 0.0
         self._notify_on_eviction = policy.notifies_source_on_eviction()
         policy_type = type(policy)
@@ -327,6 +400,7 @@ class CacheServer:
         # this connection are dropped silently.
         connection.closing = True
         connection.fail_pending(ConnectionResetError("feeder connection closed"))
+        self._mark_connection_down(connection)
         if connection.request_tasks:
             await asyncio.gather(
                 *list(connection.request_tasks), return_exceptions=True
@@ -407,9 +481,31 @@ class CacheServer:
         values = frame["values"]
         if len(keys) != len(values):
             raise ProtocolError("register needs one value per key")
-        for key, value in zip(keys, values):
-            self._register_key(connection, key, float(value))
-        return {"registered": len(keys)}
+        feeder = frame.get("feeder")
+        resync = bool(frame.get("resync"))
+        if resync and feeder is None:
+            raise ProtocolError("a resync registration needs a feeder identity")
+        reply: Dict[str, Any] = {"registered": len(keys)}
+        if feeder is not None:
+            # Mint the next epoch for this feeder identity: any previous
+            # session holding it is fenced off from now on.
+            epoch = self._feeder_epochs.get(str(feeder), 0) + 1
+            self._feeder_epochs[str(feeder)] = epoch
+            connection.feeder_id = str(feeder)
+            connection.epoch = epoch
+            reply["epoch"] = epoch
+        if resync:
+            time = self._advance_clock(frame.get("time"))
+            refreshes = 0
+            for key, value in zip(keys, values):
+                if self._resync_key(connection, key, float(value), time):
+                    refreshes += 1
+            self.statistics.feeder_resyncs += 1
+            reply["refreshes"] = refreshes
+        else:
+            for key, value in zip(keys, values):
+                self._register_key(connection, key, float(value))
+        return reply
 
     def _register_key(
         self, connection: _Connection, key: Hashable, value: float
@@ -429,12 +525,39 @@ class CacheServer:
             source.last_refresh_time = 0.0
             source.forget_publication()
             self._cache.invalidate(key)
+            self._drift.pop(key, None)
         self._owners[key] = connection
         connection.keys.add(key)
+        self._down_since.pop(key, None)
+
+    def _resync_key(
+        self, connection: _Connection, key: Hashable, value: float, time: float
+    ) -> bool:
+        """Re-adopt ``key`` after a reconnect *without* resetting its state.
+
+        The mirror keeps its update history, published interval and cached
+        approximation; only a value it missed while the feeder was away is
+        folded in, through the normal update path — so a missed update that
+        escaped the published interval triggers exactly the value-initiated
+        refresh it would have caused live, mirroring the offline
+        ``_install`` path.  A resync with unchanged values perturbs
+        nothing, which is what keeps a drop+reconnect replay bit-identical
+        to the offline run.  Returns whether folding the value in fired a
+        refresh.
+        """
+        if key not in self._sources:
+            self._register_key(connection, key, value)
+            return False
+        self._owners[key] = connection
+        connection.keys.add(key)
+        self._down_since.pop(key, None)
+        return self._apply_update(connection, key, value, time)
 
     def _handle_update(
         self, connection: _Connection, frame: Dict[str, Any]
     ) -> Dict[str, Any]:
+        if self._connection_fenced(connection):
+            return self._reject_stale()
         time = self._advance_clock(frame.get("time"))
         refreshed = self._apply_update(
             connection, frame["key"], float(frame["value"]), time
@@ -444,12 +567,29 @@ class CacheServer:
     def _handle_update_batch(
         self, connection: _Connection, frame: Dict[str, Any]
     ) -> Dict[str, Any]:
+        if self._connection_fenced(connection):
+            return self._reject_stale()
         time = self._advance_clock(frame.get("time"))
         refreshes = 0
         for key, value in frame["updates"]:
             if self._apply_update(connection, key, float(value), time):
                 refreshes += 1
         return {"refreshes": refreshes}
+
+    def _connection_fenced(self, connection: _Connection) -> bool:
+        """Whether a newer session superseded this feeder connection."""
+        feeder = connection.feeder_id
+        return (
+            feeder is not None and self._feeder_epochs.get(feeder) != connection.epoch
+        )
+
+    def _reject_stale(self) -> Dict[str, Any]:
+        self.statistics.stale_epoch_rejections += 1
+        return {
+            "ok": False,
+            "error": "stale feeder epoch: a newer session registered this feeder",
+            "stale_epoch": True,
+        }
 
     def _apply_update(
         self, connection: _Connection, key: Hashable, value: float, time: float
@@ -473,10 +613,16 @@ class CacheServer:
             return False
         if time < source.last_update_time:
             raise ProtocolError("updates must arrive in non-decreasing time order")
+        step = abs(value - source.value)
+        gap = time - source.last_update_time if source.update_count > 0 else None
         source.value = value
         source.update_count += 1
         source.last_update_time = time
         self.statistics.updates_applied += 1
+        drift = self._drift.get(key)
+        if drift is None:
+            drift = self._drift[key] = _KeyDrift()
+        drift.observe(step, gap)
         if self._policy_observes_writes:
             self._policy.record_write(key, time)
         interval = source.published_interval
@@ -542,33 +688,194 @@ class CacheServer:
                     hits += 1
                 intervals[key] = entry.interval if entry is not None else UNBOUNDED
 
-        async def fetch_exact(key: Hashable) -> float:
-            return await self._query_initiated_refresh(key, time)
+        refreshed: List[Hashable] = []
 
-        execution = await execute_bounded_query_async(
-            kind, intervals, constraint, fetch_exact
-        )
+        async def fetch_exact(key: Hashable) -> float:
+            value = await self._query_initiated_refresh(key, time)
+            refreshed.append(key)
+            intervals[key] = Interval.exact(value)
+            return value
+
+        # A refresh RPC can race its feeder's death.  When one dies
+        # mid-selection the failed key joins the degraded set and the
+        # selection re-runs over the updated snapshot — refreshes that did
+        # complete keep their exact intervals, so no work repeats and no
+        # hit double-counts.  Each retry fences at least the lost feeder's
+        # keys, so the loop terminates within ``len(keys)`` passes.
+        while True:
+            degraded = [key for key in keys if self._key_down(key)]
+            try:
+                bound = await self._run_selection(
+                    kind, keys, intervals, constraint, time, degraded, fetch_exact
+                )
+                break
+            except _FeederLost:
+                continue
         self.statistics.queries_served += 1
-        bound = execution.result_bound
-        return {
+        response = {
             "low": bound.low,
             "high": bound.high,
-            "refreshed": list(execution.refreshed_keys),
+            "refreshed": refreshed,
             "hits": hits,
             "misses": len(keys) - hits,
         }
+        if degraded:
+            self.statistics.queries_degraded += 1
+            response["degraded"] = True
+            response["degraded_keys"] = degraded
+        return response
+
+    async def _run_selection(
+        self,
+        kind: AggregateKind,
+        keys: List[Hashable],
+        intervals: Dict[Hashable, Interval],
+        constraint: float,
+        time: float,
+        degraded: List[Hashable],
+        fetch_exact,
+    ) -> Interval:
+        """One selection pass; degraded keys answer from widened mirrors.
+
+        The fast path (no degraded keys) is byte-for-byte the original
+        single-cache selection, which is what keeps zero-fault replays
+        bit-identical to the offline simulator.  With degraded keys, the
+        refresh selection runs over the *live* keys only, against the
+        precision budget left after the down keys' fixed widened intervals
+        are accounted for, and the partial bounds merge through the same
+        :func:`merge_aggregate_bounds` the sharded coordinator uses.
+        Degraded keys never install into the cache and never charge refresh
+        costs — their intervals are an honest read-only estimate.
+        """
+        if not degraded:
+            execution = await execute_bounded_query_async(
+                kind, dict(intervals), constraint, fetch_exact
+            )
+            return execution.result_bound
+        down_set = set(degraded)
+        down_intervals = [
+            self._degraded_interval(key, intervals[key], time)
+            for key in keys
+            if key in down_set
+        ]
+        live = {key: intervals[key] for key in keys if key not in down_set}
+        if kind is AggregateKind.AVG:
+            down_partial = sum_bound(down_intervals)
+        else:
+            down_partial = aggregate_bound(kind, down_intervals)
+        if not live:
+            return merge_aggregate_bounds(
+                kind, [down_partial], counts=[len(down_intervals)]
+            )
+        if kind in (AggregateKind.SUM, AggregateKind.AVG):
+            # SUM-space budget: what the live keys may jointly spend after
+            # the down keys' width is taken off the top.  An already-blown
+            # budget (infinite down width) keeps the original budget rather
+            # than refreshing every live key for a constraint that cannot
+            # be met anyway.
+            budget = (
+                constraint if kind is AggregateKind.SUM else constraint * len(keys)
+            )
+            down_width = down_partial.width
+            if math.isinf(down_width):
+                live_constraint = budget
+            else:
+                live_constraint = max(0.0, budget - down_width)
+            selection_kind = AggregateKind.SUM
+        else:
+            # MAX/MIN widths do not add; the live sub-selection keeps the
+            # original constraint and the merge can only widen the result.
+            live_constraint = constraint
+            selection_kind = kind
+        execution = await execute_bounded_query_async(
+            selection_kind, live, live_constraint, fetch_exact
+        )
+        return merge_aggregate_bounds(
+            kind,
+            [execution.result_bound, down_partial],
+            counts=[len(live), len(down_intervals)],
+        )
+
+    def _key_down(self, key: Hashable) -> bool:
+        """Whether a *registered* key currently has no live owner.
+
+        Unknown keys are not "down" — they behave exactly as before this
+        layer existed (unbounded snapshot; a selected refresh errors).
+        """
+        if key not in self._sources:
+            return False
+        owner = self._owners.get(key)
+        return owner is None or owner.closing
+
+    def _degraded_interval(
+        self, key: Hashable, snapshot: Interval, time: float
+    ) -> Interval:
+        """The honest read-only bound for a key whose owner is down."""
+        if snapshot.is_unbounded:
+            snapshot = Interval.exact(self._sources[key].value)
+        allowance = self._degraded_allowance(key, time)
+        if allowance > 0.0:
+            return Interval(snapshot.low - allowance, snapshot.high + allowance)
+        return snapshot
+
+    def _degraded_allowance(self, key: Hashable, time: float) -> float:
+        """Width padding covering a down key's unseen drift.
+
+        The same growth-over-staleness idea as
+        :class:`~repro.intervals.staleness.StalenessBound`, transplanted to
+        value space: while its owner is away a key is assumed to keep
+        stepping no faster than the largest update step the mirror ever
+        observed, no more often than its smallest observed update gap,
+        padded by ``degraded_slack``.  A key that never changed is assumed
+        constant (allowance 0 — which also keeps the pre-existing
+        mirror-fallback tests exact).  No finite bound survives an
+        adversarial source; the seeded chaos suite pins containment for the
+        committed plans.
+        """
+        down_at = self._down_since.get(key)
+        if down_at is None:
+            return 0.0
+        drift = self._drift.get(key)
+        if drift is None or drift.max_step <= 0.0:
+            return 0.0
+        elapsed = time - down_at
+        if elapsed <= 0.0:
+            return 0.0
+        gap = drift.min_gap if math.isfinite(drift.min_gap) else 1.0
+        missed = math.ceil(elapsed / gap)
+        return self._degraded_slack * missed * drift.max_step
+
+    def _mark_connection_down(self, connection: _Connection) -> None:
+        """Stamp when this connection's keys lost their owner (idempotent)."""
+        for key in connection.keys:
+            if self._owners.get(key) is connection:
+                self._down_since.setdefault(key, self._clock)
 
     async def _query_initiated_refresh(self, key: Hashable, time: float) -> float:
         """Fetch the exact value of ``key``: the refresh RPC to its feeder.
 
-        Falls back to the server-side mirror when no feeder currently owns
-        the key (its last pushed value *is* the exact value then).
+        Raises the internal :class:`_FeederLost` retry signal when the
+        owner is gone or dies mid-RPC — the caller's next selection pass
+        treats the key as degraded (widened mirror answer) instead of
+        surfacing ``ConnectionResetError`` to the client.
         """
         source = self._sources[key]
         owner = self._owners.get(key)
-        if owner is not None and not owner.closing:
+        if owner is None or owner.closing:
+            raise _FeederLost(key)
+        try:
             value = await self._refresh_rpc(owner, key)
-            source.value = float(value)
+        except ConnectionResetError:
+            # The feeder died with the refresh in flight.  Count the loss,
+            # fence the connection so this query's retry pass (and every
+            # later query) takes the degraded mirror path, and convert to
+            # the retry signal — the client sees a widened answer, never a
+            # hard error.
+            self.statistics.refreshes_failed += 1
+            owner.closing = True
+            self._mark_connection_down(owner)
+            raise _FeederLost(key) from None
+        source.value = float(value)
         decision = self._policy.on_query_initiated_refresh(key, source.value, time)
         cost = self._network.charge_query_refresh()
         self.statistics.query_refreshes += 1
@@ -600,6 +907,14 @@ class CacheServer:
     ) -> None:
         future = connection.pending.get(frame.get("id"))
         if future is None or future.done():
+            return
+        if self._connection_fenced(connection):
+            # A reconnect superseded this session mid-RPC; its value may
+            # predate the resync and must not be trusted as exact.
+            self.statistics.stale_epoch_rejections += 1
+            future.set_exception(
+                ConnectionResetError("refresh answered by a stale feeder epoch")
+            )
             return
         if frame.get("ok", True) and "value" in frame:
             future.set_result(frame["value"])
@@ -651,6 +966,11 @@ class CacheServer:
             "queries_served": serving.queries_served,
             "queries_rejected": serving.queries_rejected,
             "refresh_rpcs": serving.refresh_rpcs,
+            "refreshes_failed": serving.refreshes_failed,
+            "queries_degraded": serving.queries_degraded,
+            "stale_epoch_rejections": serving.stale_epoch_rejections,
+            "feeder_resyncs": serving.feeder_resyncs,
+            "keys_down": sum(1 for key in self._sources if self._key_down(key)),
             "total_cost": serving.total_cost,
             "messages_sent": self._network.messages_sent,
             "total_latency": self._network.total_latency,

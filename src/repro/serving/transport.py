@@ -23,10 +23,16 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, Optional, Tuple
 
-from repro.serving.protocol import decode_length, decode_payload, encode_frame
+from repro.serving.protocol import HEADER, decode_length, decode_payload, encode_frame
 
 #: Sentinel queued by ``close`` so a blocked ``read_frame`` wakes up as EOF.
 _EOF = None
+
+#: A well-framed but undecodable payload, used by ``write_corrupt_frame`` —
+#: the fault-injection hook (:mod:`repro.serving.faults`) that makes the
+#: *peer's* reader take its ``ProtocolError`` path, as a frame mangled in
+#: flight would.
+_CORRUPT_FRAME = HEADER.pack(2) + b"\xff\xfe"
 
 #: Encoded frames a loopback direction buffers before the writer blocks.
 DEFAULT_LOOPBACK_BUFFER = 128
@@ -53,6 +59,11 @@ class StreamFrameTransport:
     async def write_frame(self, message: Dict[str, Any]) -> None:
         """Write one message and drain (the stream's own backpressure)."""
         self._writer.write(encode_frame(message))
+        await self._writer.drain()
+
+    async def write_corrupt_frame(self) -> None:
+        """Send an undecodable frame (fault injection: a truncated write)."""
+        self._writer.write(_CORRUPT_FRAME)
         await self._writer.drain()
 
     def close(self) -> None:
@@ -105,7 +116,13 @@ class LoopbackFrameTransport:
 
     async def write_frame(self, message: Dict[str, Any]) -> None:
         """Write one encoded frame; blocks while the peer's buffer is full."""
-        frame = encode_frame(message)
+        await self._write_bytes(encode_frame(message))
+
+    async def write_corrupt_frame(self) -> None:
+        """Send an undecodable frame (fault injection: a truncated write)."""
+        await self._write_bytes(_CORRUPT_FRAME)
+
+    async def _write_bytes(self, frame: bytes) -> None:
         await self._outbound.slots.acquire()
         if self._outbound.closed:
             self._outbound.slots.release()

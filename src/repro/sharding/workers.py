@@ -66,7 +66,7 @@ from repro.caching.eviction import EvictionPolicy
 from repro.caching.policies.base import PrecisionPolicy
 from repro.data.merged import merge_timelines
 from repro.data.streams import UpdateStream
-from repro.experiments.runner import persistent_worker_pool
+from repro.experiments.runner import WorkerHandle, persistent_worker_pool
 from repro.intervals.interval import UNBOUNDED, Interval
 from repro.queries.refresh_selection import run_query_refreshes
 from repro.queries.workload import Query
@@ -80,6 +80,78 @@ from repro.simulation.simulator import CacheSimulation
 
 #: One (interval, exact value) exchange entry per owned queried key.
 ExchangeEntry = Tuple[Interval, float]
+
+#: How many times one shard worker may be restarted before the run fails.
+#: A worker that keeps dying is deterministic about it (the replay is), so
+#: more attempts would only loop.
+MAX_WORKER_RESTARTS = 2
+
+
+class _ExchangeSupervisor:
+    """Keeps the shard-worker exchange alive across worker deaths.
+
+    Every reply the coordinator broadcasts (merged tick maps, or windowed
+    ``(commit, refresh_map)`` tuples — the only inbound messages a worker
+    ever consumes) is journaled.  When a worker dies — EOF on receive,
+    broken pipe on send — a fresh process is started with the same target
+    and the journal is replayed to it: the worker deterministically re-runs
+    from the beginning, re-sending the same partials (received and
+    discarded) and receiving the recorded replies, until it stands exactly
+    where its peers are.  This is snapshot-free state resync: a worker's
+    state is a pure function of its (config, sources, replies) inputs,
+    which is the same determinism the equivalence tests pin.  A worker that
+    dies more than :data:`MAX_WORKER_RESTARTS` times fails the run.
+    """
+
+    def __init__(self, handles: Sequence[WorkerHandle], grace: float = 5.0) -> None:
+        self._handles = handles
+        self._journal: List[Any] = []
+        self._grace = grace
+
+    def receive(self, handle: WorkerHandle) -> Tuple[str, Any]:
+        """Receive one worker message, restarting the worker on EOF."""
+        while True:
+            try:
+                tag, payload = handle.recv()
+            except (EOFError, OSError):
+                self._resync(handle, "died mid-exchange")
+                continue
+            if tag == "error":
+                raise RuntimeError(f"shard worker failed:\n{payload}")
+            return tag, payload
+
+    def broadcast(self, reply: Any) -> None:
+        """Journal one coordinator reply and deliver it to every worker."""
+        self._journal.append(reply)
+        for handle in self._handles:
+            try:
+                handle.send(reply)
+            except (BrokenPipeError, OSError):
+                # The replay below covers the just-journaled reply too.
+                self._resync(handle, "died before receiving a reply")
+
+    def _resync(self, handle: WorkerHandle, reason: str) -> None:
+        if handle.restarts >= MAX_WORKER_RESTARTS:
+            raise RuntimeError(
+                f"shard worker {handle.index} died {handle.restarts + 1} times; "
+                "giving up (its failure replays deterministically)"
+            )
+        warnings.warn(
+            f"shard worker {handle.index} {reason}; restarting and replaying "
+            f"{len(self._journal)} exchange replies",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        handle.restart(grace=self._grace)
+        for reply in self._journal:
+            try:
+                tag, payload = handle.recv()
+            except (EOFError, OSError):
+                # Died again mid-replay; recurse (bounded by the restart cap).
+                return self._resync(handle, "died again during resync replay")
+            if tag == "error":
+                raise RuntimeError(f"shard worker failed during resync:\n{payload}")
+            handle.send(reply)
 
 
 class PrebuiltStream(UpdateStream):
@@ -524,24 +596,14 @@ def run_concurrent_shards(
 
     horizon = config.duration + HORIZON_TOLERANCE
     payloads: List[Dict[str, Any]] = []
-    with persistent_worker_pool(targets) as connections:
-
-        def receive(connection) -> Tuple[str, Any]:
-            try:
-                return connection.recv()
-            except EOFError:
-                raise RuntimeError(
-                    "shard worker exited before completing its run"
-                ) from None
-
+    with persistent_worker_pool(targets) as handles:
+        supervisor = _ExchangeSupervisor(handles)
         if config.exchange_window > 1:
-            ticks = _windowed_exchange_loop(config, connections, keys, horizon, receive)
+            ticks = _windowed_exchange_loop(config, handles, keys, horizon, supervisor)
         else:
-            ticks = _tick_exchange_loop(config, connections, horizon, receive)
-        for connection in connections:
-            tag, payload = receive(connection)
-            if tag == "error":
-                raise RuntimeError(f"shard worker failed:\n{payload}")
+            ticks = _tick_exchange_loop(config, handles, horizon, supervisor)
+        for handle in handles:
+            tag, payload = supervisor.receive(handle)
             payloads.append(payload)
 
     return _merge_payloads(config, payloads, populated, worker_count, ticks)
@@ -549,25 +611,22 @@ def run_concurrent_shards(
 
 def _tick_exchange_loop(
     config: SimulationConfig,
-    connections: Sequence[Any],
+    handles: Sequence[WorkerHandle],
     horizon: float,
-    receive,
+    supervisor: _ExchangeSupervisor,
 ) -> int:
     """The original coordinator loop: one merge-and-broadcast per query tick."""
     query_time = config.query_period
     ticks = 0
     while query_time <= horizon:
         partials = []
-        for connection in connections:
-            tag, payload = receive(connection)
-            if tag == "error":
-                raise RuntimeError(f"shard worker failed:\n{payload}")
+        for handle in handles:
+            tag, payload = supervisor.receive(handle)
             partials.append(payload)
         merged: Dict[Hashable, ExchangeEntry] = {}
         for partial in partials:
             merged.update(partial)
-        for connection in connections:
-            connection.send(merged)
+        supervisor.broadcast(merged)
         ticks += 1
         query_time += config.query_period
     return ticks
@@ -599,10 +658,10 @@ def _query_needs_refreshes(query: Query, merged: Dict[Hashable, ExchangeEntry]) 
 
 def _windowed_exchange_loop(
     config: SimulationConfig,
-    connections: Sequence[Any],
+    handles: Sequence[WorkerHandle],
     keys: Sequence[Hashable],
     horizon: float,
-    receive,
+    supervisor: _ExchangeSupervisor,
 ) -> int:
     """Coordinator side of the windowed exchange (``exchange_window > 1``).
 
@@ -628,10 +687,8 @@ def _windowed_exchange_loop(
             tick_times.append(next_time)
             next_time += period
         locals_per_worker = []
-        for connection in connections:
-            tag, payload = receive(connection)
-            if tag == "error":
-                raise RuntimeError(f"shard worker failed:\n{payload}")
+        for handle in handles:
+            tag, payload = supervisor.receive(handle)
             locals_per_worker.append(payload)
         commit = len(tick_times)
         refresh_map: Optional[Dict[Hashable, ExchangeEntry]] = None
@@ -643,8 +700,7 @@ def _windowed_exchange_loop(
                 commit = index
                 refresh_map = merged
                 break
-        for connection in connections:
-            connection.send((commit, refresh_map))
+        supervisor.broadcast((commit, refresh_map))
         if refresh_map is not None:
             ticks += commit + 1
             query_time = tick_times[commit] + period

@@ -85,6 +85,32 @@ class TestLoadOrGenerate:
         # The corrupt file was replaced with a loadable one.
         assert json.loads(path.read_text())["key"]["host_count"] == 2
 
+    def test_truncated_json_is_quarantined(self, tmp_path, trace):
+        # A torn copy: valid JSON prefix, cut mid-payload — the realistic
+        # corruption a crashed writer or truncated filesystem leaves behind.
+        load_or_generate(2, 3, 7, "reference", lambda: trace, cache_dir=tmp_path)
+        path = trace_cache_path(2, 3, 7, "reference", cache_dir=tmp_path)
+        intact = path.read_text()
+        path.write_text(intact[: len(intact) // 2])
+        generate, calls = _generator_calls(trace)
+        result = load_or_generate(2, 3, 7, "reference", generate, cache_dir=tmp_path)
+        assert len(calls) == 1
+        assert result.series == trace.series
+        # The broken bytes were moved aside as evidence, not left to shadow
+        # the regenerated file (which is loadable again).
+        quarantined = path.with_name(f"{path.name}.corrupt")
+        assert quarantined.read_text() == intact[: len(intact) // 2]
+        assert json.loads(path.read_text())["key"]["host_count"] == 2
+        load_or_generate(
+            2, 3, 7, "reference", lambda: pytest.fail("miss"), cache_dir=tmp_path
+        )
+
+    def test_missing_file_is_a_plain_miss_without_quarantine(self, tmp_path, trace):
+        generate, calls = _generator_calls(trace)
+        load_or_generate(2, 3, 7, "reference", generate, cache_dir=tmp_path)
+        assert len(calls) == 1
+        assert not list(tmp_path.glob("*.corrupt"))
+
     def test_key_mismatch_is_a_miss(self, tmp_path, trace):
         path = trace_cache_path(2, 3, 7, "reference", cache_dir=tmp_path)
         load_or_generate(2, 3, 7, "reference", lambda: trace, cache_dir=tmp_path)
@@ -129,6 +155,15 @@ class TestClear:
         load_or_generate(4, 3, 7, "vector", lambda: trace, cache_dir=tmp_path)
         assert clear_trace_cache(cache_dir=tmp_path) == 2
         assert clear_trace_cache(cache_dir=tmp_path) == 0
+
+    def test_clear_removes_quarantined_files_too(self, tmp_path, trace):
+        load_or_generate(2, 3, 7, "reference", lambda: trace, cache_dir=tmp_path)
+        path = trace_cache_path(2, 3, 7, "reference", cache_dir=tmp_path)
+        path.write_text("{truncated")
+        load_or_generate(2, 3, 7, "reference", lambda: trace, cache_dir=tmp_path)
+        assert path.with_name(f"{path.name}.corrupt").exists()
+        assert clear_trace_cache(cache_dir=tmp_path) == 2
+        assert not any(tmp_path.iterdir())
 
     def test_clear_missing_directory(self, tmp_path):
         assert clear_trace_cache(cache_dir=tmp_path / "nope") == 0
