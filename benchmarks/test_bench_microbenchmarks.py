@@ -237,3 +237,46 @@ def test_serving_loopback_query_throughput(benchmark):
 
     report = benchmark(replay)
     assert report.queries > 0
+
+
+def test_gateway_partitioned_query_throughput(benchmark):
+    # The same deterministic replay routed through the partitioned gateway
+    # (two in-process partition servers): measures the gateway hop — key
+    # routing, partition snapshots, global selection, routed refreshes —
+    # relative to test_serving_loopback_query_throughput's direct path.
+    import asyncio
+
+    from repro.data.traffic import SyntheticTrafficTraceGenerator
+    from repro.experiments.workloads import serving_policy, traffic_config
+    from repro.serving.gateway import GatewayServer
+    from repro.serving.loadgen import replay_trace_deterministic
+    from repro.serving.server import CacheServer
+
+    trace = SyntheticTrafficTraceGenerator(
+        host_count=10, duration_seconds=120, seed=7
+    ).generate()
+    config = traffic_config(trace, seed=5).with_changes(warmup=0.0)
+
+    def replay():
+        async def drive():
+            partitions = [
+                CacheServer(
+                    serving_policy(cost_factor=1.0, seed=5),
+                    value_refresh_cost=config.value_refresh_cost,
+                    query_refresh_cost=config.query_refresh_cost,
+                )
+                for _ in range(2)
+            ]
+            gateway = GatewayServer(partitions)
+            await gateway.start()
+            try:
+                return await replay_trace_deterministic(gateway, trace, config)
+            finally:
+                await gateway.close()
+                for partition in partitions:
+                    await partition.close()
+
+        return asyncio.run(drive())
+
+    report = benchmark(replay)
+    assert report.queries > 0

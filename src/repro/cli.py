@@ -43,16 +43,33 @@ kernel or exchange window note on stderr that the flag was ignored.
 The serving layer (:mod:`repro.serving`) adds two more commands::
 
     python -m repro.cli serve --port 7411 --shards 4
+    python -m repro.cli serve --role gateway --partitions 4 --http-port 7412
     python -m repro.cli loadgen --mode deterministic --compare-offline
     python -m repro.cli loadgen --mode concurrent --clients 8
+    python -m repro.cli loadgen --mode open-loop --shape flash --peak-rate 800
+    python -m repro.cli loadgen --target ws://127.0.0.1:7412/ws
 
 ``serve`` hosts an approximate cache behind the length-prefixed JSON
-protocol on TCP; ``loadgen`` replays the synthetic monitoring trace against
-either an in-process loopback server (the default) or a remote ``serve``
-instance (``--connect host:port``), printing hit rate, refresh counts,
-latency percentiles and throughput.  ``--compare-offline`` additionally runs
-the equivalent offline simulation and fails unless the refresh counts and
-hit rate match exactly (deterministic mode only).
+protocol on TCP.  ``--role single`` (default) is one
+:class:`~repro.serving.server.CacheServer`; ``--role gateway`` spawns
+``--partitions N`` CacheServer worker processes and fronts them with the
+routing :class:`~repro.serving.gateway.GatewayServer` (same wire surface,
+supervised restarts); ``--role partition`` is a single cache intended to
+sit behind a gateway.  ``--http-port P`` additionally serves the
+HTTP/WebSocket edge (:mod:`repro.serving.http`) on the same backend.
+
+``loadgen`` replays the synthetic monitoring trace against an in-process
+server (the default; ``--partitions N`` fronts it with an in-process
+gateway) or a remote target: ``--target tcp://host:port`` or
+``--target ws://host:port/ws`` (``--connect host:port`` remains as the
+older spelling of the TCP form).  It prints hit rate, refresh counts,
+latency percentiles and throughput.  ``--compare-offline`` additionally
+runs the equivalent offline simulation and fails unless the refresh counts
+and hit rate match exactly (deterministic mode only).  ``--mode open-loop``
+fires a seeded Poisson arrival schedule (``--shape steady|ramp|flash``,
+Zipf key popularity) that never waits for answers — the honest overload
+model, where rejections and deadline misses are counted instead of
+throttling the offered rate.
 
 ``--fault-plan`` turns either loadgen mode into a chaos run: transports
 drop, truncate, delay and reorder frames on a seeded, replayable schedule
@@ -182,6 +199,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=7411)
     serve_parser.add_argument(
+        "--role",
+        choices=("single", "gateway", "partition"),
+        default="single",
+        help=(
+            "deployment role: 'single' is one cache server (default), "
+            "'gateway' fronts --partitions supervised CacheServer "
+            "processes, 'partition' is a cache meant to sit behind a "
+            "gateway"
+        ),
+    )
+    serve_parser.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        help="partition processes behind the gateway (gateway role only)",
+    )
+    serve_parser.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        dest="http_port",
+        help="also serve the HTTP/WebSocket edge on this port",
+    )
+    serve_parser.add_argument(
         "--shards", type=int, default=1, help="cache shards behind the server"
     )
     serve_parser.add_argument(
@@ -202,7 +243,9 @@ def build_parser() -> argparse.ArgumentParser:
         "loadgen", help="replay the monitoring trace against a serving stack"
     )
     loadgen_parser.add_argument(
-        "--mode", choices=("deterministic", "concurrent"), default="concurrent"
+        "--mode",
+        choices=("deterministic", "concurrent", "open-loop"),
+        default="concurrent",
     )
     loadgen_parser.add_argument("--hosts", type=int, default=25)
     loadgen_parser.add_argument("--duration", type=int, default=300)
@@ -222,6 +265,60 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="HOST:PORT",
         help="drive a remote 'repro serve' instead of an in-process server",
+    )
+    loadgen_parser.add_argument(
+        "--target",
+        default=None,
+        metavar="URL",
+        help=(
+            "drive a remote serving target by URL: tcp://host:port or "
+            "ws://host:port/ws (the HTTP edge); supersedes --connect"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        help=(
+            "front the in-process server with a gateway over this many "
+            "in-process partitions (no --target/--connect)"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--shape",
+        choices=("steady", "ramp", "flash"),
+        default="steady",
+        help="open-loop arrival shape (open-loop mode)",
+    )
+    loadgen_parser.add_argument(
+        "--peak-rate",
+        type=float,
+        default=0.0,
+        dest="peak_rate",
+        help="peak queries/s for ramp and flash shapes (open-loop mode)",
+    )
+    loadgen_parser.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        dest="zipf_s",
+        help="Zipf skew of key popularity (open-loop mode)",
+    )
+    loadgen_parser.add_argument(
+        "--open-duration",
+        type=float,
+        default=2.0,
+        dest="open_duration",
+        help="open-loop run length in wall seconds (open-loop mode)",
+    )
+    loadgen_parser.add_argument(
+        "--constraint",
+        type=float,
+        default=float("inf"),
+        help=(
+            "precision constraint per open-loop query (interval width "
+            "bound; inf = any precision, i.e. never refresh)"
+        ),
     )
     loadgen_parser.add_argument(
         "--compare-offline",
@@ -416,34 +513,93 @@ def _serving_policy(cost_factor: float, seed: int):
 
 
 def _run_serve(args, parser: argparse.ArgumentParser) -> int:
-    """Handler for ``repro serve``: host the cache server over TCP."""
-    from repro.serving.server import CacheServer
-
-    if args.shards < 1:
-        parser.error(f"--shards must be at least 1, got {args.shards}")
-
-    async def serve() -> None:
-        server = CacheServer(
-            _serving_policy(args.cost_factor, args.seed),
-            shards=args.shards,
-            capacity=args.capacity,
-            value_refresh_cost=args.cost_factor,
-            query_refresh_cost=2.0,
-            max_inflight_queries=args.max_inflight,
-        )
-        tcp = await server.start_tcp(args.host, args.port)
-        print(f"serving on {args.host}:{args.port} (shards={args.shards})")
-        try:
-            async with tcp:
-                await tcp.serve_forever()
-        finally:
-            await server.close()
+    """Handler for ``repro serve``: host a serving deployment over TCP."""
+    from repro.serving.api import ServeConfig
 
     try:
-        asyncio.run(serve())
+        config = ServeConfig(
+            role=args.role,
+            host=args.host,
+            port=args.port,
+            http_port=args.http_port,
+            partitions=args.partitions,
+            shards=args.shards,
+            capacity=args.capacity,
+            cost_factor=args.cost_factor,
+            seed=args.seed,
+            max_inflight=args.max_inflight,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+    try:
+        asyncio.run(_serve(config))
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         print("shutting down")
     return 0
+
+
+async def _serve(config) -> None:
+    """Host the deployment one :class:`ServeConfig` describes, until killed."""
+    pool = None
+    if config.role == "gateway":
+        from repro.serving.gateway import GatewayServer
+        from repro.serving.procs import ProcessPartitionPool
+
+        pool = ProcessPartitionPool(
+            config.partitions,
+            {
+                "host": config.host,
+                "shards": config.shards,
+                "capacity": config.capacity,
+                "cost_factor": config.cost_factor,
+                "seed": config.seed,
+                "max_inflight": config.max_inflight,
+            },
+        )
+        loop = asyncio.get_running_loop()
+        targets = await loop.run_in_executor(None, pool.start)
+        backend = GatewayServer(
+            targets, pool=pool, max_inflight_queries=config.max_inflight
+        )
+        await backend.start()
+        backend.start_supervisor()
+        banner = (
+            f"gateway on {config.host}:{config.port} "
+            f"({config.partitions} partitions: {', '.join(targets)})"
+        )
+    else:
+        from repro.serving.server import CacheServer
+
+        backend = CacheServer(
+            _serving_policy(config.cost_factor, config.seed),
+            shards=config.shards,
+            capacity=config.capacity,
+            value_refresh_cost=config.cost_factor,
+            query_refresh_cost=2.0,
+            max_inflight_queries=config.max_inflight,
+        )
+        banner = (
+            f"{config.role} cache on {config.host}:{config.port} "
+            f"(shards={config.shards})"
+        )
+    edge = None
+    tcp = await backend.start_tcp(config.host, config.port)
+    try:
+        if config.http_port:
+            from repro.serving.http import HttpEdge
+
+            edge = HttpEdge(backend)
+            await edge.start(config.host, config.http_port)
+            banner += f", http/ws on {config.host}:{config.http_port}"
+        print(banner)
+        async with tcp:
+            await tcp.serve_forever()
+    finally:
+        if edge is not None:
+            await edge.close()
+        await backend.close()
+        if pool is not None:
+            await asyncio.get_running_loop().run_in_executor(None, pool.stop)
 
 
 def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
@@ -455,23 +611,31 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
     )
     from repro.serving.faults import FaultPlan
     from repro.serving.loadgen import (
-        TcpDialer,
+        OpenLoopProfile,
+        dialer_for_target,
         replay_trace_concurrent,
         replay_trace_deterministic,
+        run_open_loop,
     )
     from repro.serving.server import CacheServer
 
-    if args.compare_offline and (
-        args.mode != "deterministic" or args.connect is not None
-    ):
+    if args.partitions < 1:
+        parser.error(f"--partitions must be at least 1, got {args.partitions}")
+    remote = args.target is not None or args.connect is not None
+    if args.compare_offline and (args.mode != "deterministic" or remote):
         parser.error(
             "--compare-offline needs --mode deterministic and an "
-            "in-process server (no --connect)"
+            "in-process server (no --target/--connect)"
         )
     if args.check_invariant and args.mode != "deterministic":
         parser.error(
             "--check-invariant needs --mode deterministic (concurrent "
             "interleaving has no single ground-truth instant per query)"
+        )
+    if args.partitions > 1 and remote:
+        parser.error(
+            "--partitions builds an in-process gateway; it cannot be "
+            "combined with --target/--connect"
         )
     try:
         fault_plan = (
@@ -500,24 +664,56 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
     trace = traffic_trace(host_count=args.hosts, duration=args.duration, engine=engine)
     config = serving_config(trace, seed=args.seed, shards=args.shards, engine=engine)
 
-    connect_target = None
-    if args.connect is not None:
+    dialer = None
+    if args.target is not None:
+        try:
+            dialer = dialer_for_target(args.target)
+        except ValueError as error:
+            parser.error(f"--target: {error}")
+    elif args.connect is not None:
         host, separator, port_text = args.connect.rpartition(":")
         if not separator or not host or not port_text.isdigit():
             parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
-        connect_target = (host, int(port_text))
+        dialer = dialer_for_target(args.connect)
+
+    profile = None
+    if args.mode == "open-loop":
+        try:
+            profile = OpenLoopProfile(
+                duration_s=args.open_duration,
+                base_rate=args.rate if args.rate > 0 else 200.0,
+                peak_rate=args.peak_rate,
+                shape=args.shape,
+                zipf_s=args.zipf_s,
+                constraint=args.constraint,
+                seed=args.seed,
+            )
+        except ValueError as error:
+            parser.error(str(error))
+
+    def _partition_server():
+        return CacheServer(
+            _serving_policy(1.0, args.seed),
+            shards=args.shards,
+            value_refresh_cost=config.value_refresh_cost,
+            query_refresh_cost=config.query_refresh_cost,
+        )
 
     async def drive():
-        if connect_target is not None:
-            target = TcpDialer(*connect_target)
-            server = None
+        gateway = None
+        partitions = []
+        server = None
+        if dialer is not None:
+            target = dialer
+        elif args.partitions > 1:
+            from repro.serving.gateway import GatewayServer
+
+            partitions = [_partition_server() for _ in range(args.partitions)]
+            gateway = GatewayServer(partitions)
+            await gateway.start()
+            target = gateway
         else:
-            server = CacheServer(
-                _serving_policy(1.0, args.seed),
-                shards=args.shards,
-                value_refresh_cost=config.value_refresh_cost,
-                query_refresh_cost=config.query_refresh_cost,
-            )
+            server = _partition_server()
             target = server
         try:
             if args.mode == "deterministic":
@@ -528,6 +724,16 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
                     fault_plan=fault_plan,
                     check_invariant=args.check_invariant,
                     deadline=args.deadline,
+                )
+            if args.mode == "open-loop":
+                return await run_open_loop(
+                    target,
+                    trace,
+                    config,
+                    profile=profile,
+                    connections=args.clients,
+                    deadline=args.deadline if args.deadline is not None else 2.0,
+                    fault_plan=fault_plan,
                 )
             return await replay_trace_concurrent(
                 target,
@@ -541,6 +747,10 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
                 deadline=args.deadline,
             )
         finally:
+            if gateway is not None:
+                await gateway.close()
+            for partition in partitions:
+                await partition.close()
             if server is not None:
                 await server.close()
 

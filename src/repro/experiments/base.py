@@ -108,6 +108,7 @@ def registry() -> Dict[str, Callable[[], ExperimentResult]]:
         "section45": section45_variations.run,
         "sharded_scaling": sharded_scaling.run,
         "serving_throughput": serving_throughput.run,
+        "serving_partition_sweep": serving_throughput.run_partition_sweep,
         "serving_faults": serving_faults.run,
         "ablations": ablations.run,
     }

@@ -5,31 +5,55 @@ precision-bounded queries over live-updating sources, pulling exact values
 only when a query's constraint cannot be met from cached intervals.  The
 simulator replays that environment offline; this package serves it for real:
 
-* :mod:`repro.serving.protocol` — the length-prefixed JSON wire format,
+* :mod:`repro.serving.protocol` — the length-prefixed JSON wire format and
+  the typed request/response dataclasses (wire-format byte-identical to the
+  raw dicts they replaced),
 * :mod:`repro.serving.transport` — frame transports over TCP streams or an
   in-process loopback (so tests and CI run server plus clients
   deterministically without sockets),
+* :mod:`repro.serving.api` — the one typed client (:class:`Client`), target
+  dialing (``tcp://``, ``ws://``, loopback) and the :class:`ServeConfig`
+  deployment description every ``repro serve`` role is built from,
 * :mod:`repro.serving.execution` — asynchronous bounded-query execution
   reusing the offline refresh-selection logic,
 * :mod:`repro.serving.server` — the asyncio cache server: ``update`` RPCs
   from source feeders, ``query`` RPCs from clients (refresh RPCs are issued
   back to the owning feeder connection when needed), ``stats``, admission
   control and bounded per-connection write queues,
-* :mod:`repro.serving.loadgen` — the trace-replay load harness, with a
-  deterministic mode reproducing the offline simulator's refresh counts and
-  hit rate exactly, and a concurrent mode measuring latency percentiles and
-  throughput.
+* :mod:`repro.serving.gateway` — the partitioned front-end: stable-hash key
+  routing across N partition servers, feeder tunnelling, global policy-free
+  refresh selection (serialized replay is bit-identical to the offline
+  simulator at any partition count), partition supervision and resync,
+* :mod:`repro.serving.procs` — partition/gateway worker processes
+  (:class:`ProcessPartitionPool`, :class:`ServerProcess`),
+* :mod:`repro.serving.http` — the stdlib HTTP/1.1 + RFC 6455 WebSocket
+  edge (``GET /ws`` carries the full duplex protocol; ``POST /query``,
+  ``GET /stats``, ``GET /healthz`` wrap one-shot operations),
+* :mod:`repro.serving.loadgen` — the trace-replay load harness:
+  deterministic mode reproducing the offline simulator's numbers exactly,
+  concurrent mode measuring latency percentiles and throughput, and
+  open-loop mode firing seeded arrival schedules (steady/ramp/flash, Zipf
+  key popularity) at any dialable target.
 
-CLI entry points: ``repro serve`` and ``repro loadgen``; the
-``serving_throughput`` experiment sweeps client counts on the loopback
-transport.  See ``docs/SERVING.md``.
+CLI entry points: ``repro serve --role {single,gateway,partition}`` and
+``repro loadgen``; the ``serving_throughput`` experiment sweeps client
+counts on the loopback transport and ``serving_partition_sweep`` sweeps
+whole multi-process deployments.  See ``docs/SERVING.md``.
 """
 
+from repro.serving.api import Client, ServeConfig, dial
+from repro.serving.gateway import GatewayServer
+from repro.serving.http import HttpEdge, connect_websocket
 from repro.serving.loadgen import (
     LoadgenReport,
+    MultiTargetDialer,
+    OpenLoopProfile,
+    dialer_for_target,
     replay_trace_concurrent,
     replay_trace_deterministic,
+    run_open_loop,
 )
+from repro.serving.procs import ProcessPartitionPool, ServerProcess
 from repro.serving.server import CacheServer, ServingStatistics
 from repro.serving.transport import (
     LoopbackFrameTransport,
@@ -39,11 +63,23 @@ from repro.serving.transport import (
 
 __all__ = [
     "CacheServer",
-    "ServingStatistics",
+    "Client",
+    "GatewayServer",
+    "HttpEdge",
     "LoadgenReport",
-    "replay_trace_deterministic",
-    "replay_trace_concurrent",
     "LoopbackFrameTransport",
+    "MultiTargetDialer",
+    "OpenLoopProfile",
+    "ProcessPartitionPool",
+    "ServeConfig",
+    "ServerProcess",
+    "ServingStatistics",
     "StreamFrameTransport",
+    "connect_websocket",
+    "dial",
+    "dialer_for_target",
     "loopback_pair",
+    "replay_trace_concurrent",
+    "replay_trace_deterministic",
+    "run_open_loop",
 ]

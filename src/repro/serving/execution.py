@@ -14,13 +14,20 @@ deterministic load generator's equivalence test pins.
 
 from __future__ import annotations
 
-from typing import Awaitable, Callable, Dict, Hashable
+import math
+from typing import Awaitable, Callable, Dict, Hashable, List, Sequence
 
 from repro.intervals.interval import Interval
-from repro.queries.aggregates import AggregateKind
+from repro.queries.aggregates import AggregateKind, aggregate_bound, sum_bound
 from repro.queries.refresh_selection import QueryExecution, bounded_query_steps
+from repro.sharding.aggregates import merge_aggregate_bounds
 
 AsyncFetchExact = Callable[[Hashable], Awaitable[float]]
+
+#: ``degrade(key, snapshot_interval)`` — the honest widened bound for a key
+#: whose owner is down (the server's mirror-drift model; the gateway's
+#: partition-reported interval).
+DegradeFn = Callable[[Hashable, Interval], Interval]
 
 
 async def execute_bounded_query_async(
@@ -42,3 +49,78 @@ async def execute_bounded_query_async(
             victim = steps.send(await fetch_exact(victim))
     except StopIteration as stop:
         return stop.value
+
+
+async def execute_partitioned_query(
+    kind: AggregateKind,
+    keys: Sequence[Hashable],
+    intervals: Dict[Hashable, Interval],
+    constraint: float,
+    degraded: Sequence[Hashable],
+    degrade: DegradeFn,
+    fetch_exact: AsyncFetchExact,
+) -> Interval:
+    """One selection pass; degraded keys answer from widened snapshots.
+
+    The shared core of :meth:`CacheServer._execute_query` and the gateway's
+    fan-out query path.  The fast path (no degraded keys) is byte-for-byte
+    the original single-cache selection, which is what keeps zero-fault
+    replays bit-identical to the offline simulator — at the gateway too,
+    since the interval dict there is assembled in query key order from the
+    partitions' snapshots and this function never reassociates the live
+    keys' float arithmetic.  With degraded keys, the refresh selection runs
+    over the *live* keys only, against the precision budget left after the
+    down keys' fixed widened intervals are accounted for, and the partial
+    bounds merge through the same :func:`merge_aggregate_bounds` the
+    sharded coordinator uses.  Degraded keys never refresh and never charge
+    costs — their intervals are an honest read-only estimate from
+    ``degrade``.
+
+    ``fetch_exact`` may raise (the server's ``_FeederLost``; the gateway's
+    key-down signal) — the caller catches, extends ``degraded`` and
+    re-runs.
+    """
+    if not degraded:
+        execution = await execute_bounded_query_async(
+            kind, dict(intervals), constraint, fetch_exact
+        )
+        return execution.result_bound
+    down_set = set(degraded)
+    down_intervals: List[Interval] = [
+        degrade(key, intervals[key]) for key in keys if key in down_set
+    ]
+    live = {key: intervals[key] for key in keys if key not in down_set}
+    if kind is AggregateKind.AVG:
+        down_partial = sum_bound(down_intervals)
+    else:
+        down_partial = aggregate_bound(kind, down_intervals)
+    if not live:
+        return merge_aggregate_bounds(
+            kind, [down_partial], counts=[len(down_intervals)]
+        )
+    if kind in (AggregateKind.SUM, AggregateKind.AVG):
+        # SUM-space budget: what the live keys may jointly spend after
+        # the down keys' width is taken off the top.  An already-blown
+        # budget (infinite down width) keeps the original budget rather
+        # than refreshing every live key for a constraint that cannot
+        # be met anyway.
+        budget = constraint if kind is AggregateKind.SUM else constraint * len(keys)
+        down_width = down_partial.width
+        if math.isinf(down_width):
+            live_constraint = budget
+        else:
+            live_constraint = max(0.0, budget - down_width)
+        selection_kind = AggregateKind.SUM
+    else:
+        # MAX/MIN widths do not add; the live sub-selection keeps the
+        # original constraint and the merge can only widen the result.
+        live_constraint = constraint
+        selection_kind = kind
+    execution = await execute_bounded_query_async(
+        selection_kind, live, live_constraint, fetch_exact
+    )
+    return merge_aggregate_bounds(
+        kind,
+        [execution.result_bound, down_partial],
+        counts=[len(live), len(down_intervals)],
+    )

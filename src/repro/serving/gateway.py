@@ -1,0 +1,586 @@
+"""The partitioned serving gateway.
+
+:class:`GatewayServer` fronts N :class:`~repro.serving.server.CacheServer`
+partitions behind the same wire protocol a single server speaks, so every
+client — the typed :class:`~repro.serving.api.Client`, the load generator,
+the HTTP/WebSocket edge — is deployment-shape agnostic.  Keys are routed by
+:func:`~repro.sharding.partition.stable_key_hash` (the sharded
+coordinator's partitioning, lifted across process boundaries).
+
+**The determinism contract.**  A serialised replay through the gateway is
+bit-identical to the offline simulator at *any* partition count, because
+the gateway re-creates exactly the single-server query pipeline, only
+distributed:
+
+1. *Snapshot* — each partition owning queried keys answers a ``snapshot``
+   op: cached intervals, hit counts and the policy's read observers fire
+   at the partition exactly as a local query's snapshot phase would.
+   The gateway assembles the interval dict **in query key order**, so the
+   float arithmetic of the selection never reassociates.
+2. *Selection* — the gateway runs the shared refresh-selection core
+   (:func:`~repro.serving.execution.execute_partitioned_query`) over the
+   assembled snapshot.  Selection is policy-free (it reads intervals and
+   the constraint), so running it at the gateway rather than inside one
+   cache changes nothing.
+3. *Refresh* — each selected key is a ``refresh_key`` op to its owning
+   partition, which performs the query-initiated refresh (policy decision,
+   cost charge, install) locally, and the refreshes happen in selection
+   order, serialised — the order the offline simulator uses.
+
+**Feeder topology.**  A feeder connection F registering keys spanning
+partitions gets one *upstream* link per touched partition, registered at
+the partition under F's feeder identity.  A partition's refresh RPC rides
+the upstream link back to the gateway, which forwards it to F over the
+real connection (the base class's refresh-RPC machinery).  When F drops,
+its upstream links are closed, and every partition's own PR-6 machinery —
+down-key marking, drift-widened degraded answers, epoch fencing on
+reconnect — engages exactly as if F had been connected directly.
+
+**Supervision.**  Given a pool (:class:`~repro.serving.procs.`
+``ProcessPartitionPool``), :meth:`supervise` polls worker liveness and
+replaces dead partitions, replaying the gateway's key/value mirror into
+the fresh process: keys with a live feeder re-register under that feeder's
+identity (refresh RPCs flow again); orphaned keys are registered and
+immediately released so the partition serves them as honest degraded
+answers rather than forgetting them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import (
+    Any,
+    ClassVar,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.intervals.interval import Interval
+from repro.serving.api import Client, dial
+from repro.serving.execution import execute_partitioned_query
+from repro.serving.protocol import (
+    BoundedAnswer,
+    ProtocolError,
+    QueryRequest,
+    RefreshKey,
+    RegisterAck,
+    RegisterFeeder,
+    Response,
+    Snapshot,
+    SnapshotReply,
+    StatsRequest,
+    Update,
+    UpdateAck,
+    UpdateBatch,
+    UpdateBatchAck,
+    error_response,
+    parse_request,
+)
+from repro.serving.server import (
+    DEFAULT_ADMISSION_QUEUE_LIMIT,
+    DEFAULT_MAX_INFLIGHT_QUERIES,
+    DEFAULT_REFRESH_TIMEOUT,
+    DEFAULT_WRITE_QUEUE_LIMIT,
+    BaseFrameServer,
+    ServingStatistics,
+    _Connection,
+)
+from repro.sharding.partition import partition_keys, shard_index
+
+
+class _KeyDown(Exception):
+    """Internal: a ``refresh_key`` found the key's feeder down.
+
+    The partition answered with its honest degraded interval; the
+    gateway's selection re-runs with the key degraded — the distributed
+    twin of the server's ``_FeederLost`` retry loop.
+    """
+
+    def __init__(self, key: Hashable) -> None:
+        super().__init__(f"feeder down during gateway refresh of {key!r}")
+        self.key = key
+
+
+class GatewayServer(BaseFrameServer):
+    """A routing front-end over hash-partitioned cache servers.
+
+    Parameters
+    ----------
+    targets:
+        One dialable target per partition — anything
+        :func:`repro.serving.api.dial` accepts: an in-process
+        :class:`CacheServer` (tests, the loopback path) or a
+        ``tcp://host:port`` URL (the process pool).
+    pool:
+        Optional supervisor hook (``ProcessPartitionPool``-shaped: the
+        object behind ``targets`` owning worker processes).  Only
+        :meth:`supervise` uses it.
+    max_inflight_queries / admission_queue_limit:
+        Gateway-level admission control — the one overload gate of a
+        partitioned deployment (snapshot/refresh ops bypass the
+        partitions' own gates).
+    """
+
+    _TASK_OPS: ClassVar[FrozenSet[str]] = frozenset({"query"})
+
+    def __init__(
+        self,
+        targets: Sequence[Any],
+        *,
+        pool: Optional[Any] = None,
+        max_inflight_queries: int = DEFAULT_MAX_INFLIGHT_QUERIES,
+        admission_queue_limit: int = DEFAULT_ADMISSION_QUEUE_LIMIT,
+        write_queue_limit: int = DEFAULT_WRITE_QUEUE_LIMIT,
+        refresh_timeout: Optional[float] = DEFAULT_REFRESH_TIMEOUT,
+    ) -> None:
+        super().__init__(
+            write_queue_limit=write_queue_limit, refresh_timeout=refresh_timeout
+        )
+        if not targets:
+            raise ValueError("a gateway needs at least one partition target")
+        if max_inflight_queries < 1:
+            raise ValueError("max_inflight_queries must be at least 1")
+        if admission_queue_limit < 0:
+            raise ValueError("admission_queue_limit must be non-negative")
+        self._targets: List[Any] = list(targets)
+        self._pool = pool
+        self._control: List[Optional[Client]] = [None] * len(self._targets)
+        # Upstream feeder links: (incoming connection, partition) -> Client.
+        self._upstreams: Dict[_Connection, Dict[int, Client]] = {}
+        # The gateway's key/value mirror: last exact value seen per key
+        # (registration or update), for partition-restart resync.
+        self._values: Dict[Hashable, float] = {}
+        self._owners: Dict[Hashable, _Connection] = {}
+        self._query_gate = asyncio.Semaphore(max_inflight_queries)
+        self._admission_queue_limit = admission_queue_limit
+        self._admission_waiting = 0
+        self._supervisor: Optional[asyncio.Task] = None
+        self.statistics = ServingStatistics()
+
+    @property
+    def partition_count(self) -> int:
+        return len(self._targets)
+
+    def partition_of(self, key: Hashable) -> int:
+        """The partition index owning ``key`` (stable hash routing)."""
+        return shard_index(key, len(self._targets))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Open one control link per partition (query/snapshot/stats path)."""
+        for index in range(len(self._targets)):
+            await self._connect_control(index)
+
+    async def _connect_control(self, index: int) -> Client:
+        link = await Client.from_transport(await dial(self._targets[index]))
+        self._control[index] = link
+        return link
+
+    def _control_link(self, index: int) -> Client:
+        link = self._control[index]
+        if link is None:
+            raise ConnectionResetError(f"partition {index} has no control link")
+        return link
+
+    async def close(self) -> None:
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+            try:
+                await self._supervisor
+            except asyncio.CancelledError:
+                pass
+            self._supervisor = None
+        await super().close()
+        for links in list(self._upstreams.values()):
+            for link in links.values():
+                await link.close()
+        self._upstreams.clear()
+        for index, link in enumerate(self._control):
+            if link is not None:
+                await link.close()
+                self._control[index] = None
+
+    # ------------------------------------------------------------------
+    # Connection teardown hooks
+    # ------------------------------------------------------------------
+    async def _connection_lost(self, connection: _Connection) -> None:
+        # Closing the upstream links delivers EOF to every partition this
+        # feeder touched; the partitions mark its keys down and serve
+        # degraded answers — their machinery, not a gateway re-implementation.
+        links = self._upstreams.pop(connection, None)
+        if links:
+            for link in links.values():
+                await link.close()
+
+    def _connection_removed(self, connection: _Connection) -> None:
+        for key in connection.keys:
+            if self._owners.get(key) is connection:
+                del self._owners[key]
+        connection.keys.clear()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, connection: _Connection, frame: Dict[str, Any]) -> None:
+        op = frame.get("op")
+        request_id = frame.get("id")
+        try:
+            request = parse_request(frame)
+            if request is None:
+                reply = error_response(request_id, f"unknown operation {op!r}")
+            elif isinstance(request, Update):
+                reply = await self._handle_update(connection, request)
+            elif isinstance(request, UpdateBatch):
+                reply = await self._handle_update_batch(connection, request)
+            elif isinstance(request, QueryRequest):
+                reply = await self._handle_query(request)
+            elif isinstance(request, RegisterFeeder):
+                reply = await self._handle_register(connection, request)
+            elif isinstance(request, StatsRequest):
+                reply = await self._handle_stats()
+            else:
+                # snapshot / refresh_key / refresh are partition-internal
+                # ops; at the gateway's front door they are unknown.
+                reply = error_response(request_id, f"unknown operation {op!r}")
+        except ConnectionResetError:
+            reply = error_response(request_id, "refresh fetch failed: feeder gone")
+        except Exception as exc:
+            reply = error_response(request_id, f"{type(exc).__name__}: {exc}")
+        if request_id is not None:
+            if isinstance(reply, Response):
+                reply = reply.to_wire()
+            reply.setdefault("id", request_id)
+            reply.setdefault("ok", True)
+            await connection.send(reply)
+
+    # ------------------------------------------------------------------
+    # Upstream feeder links
+    # ------------------------------------------------------------------
+    async def _upstream(self, connection: _Connection, index: int) -> Client:
+        links = self._upstreams.setdefault(connection, {})
+        link = links.get(index)
+        if link is None:
+            link = await Client.from_transport(
+                await dial(self._targets[index]),
+                on_request=self._refresh_forwarder(connection),
+            )
+            links[index] = link
+        return link
+
+    def _refresh_forwarder(self, connection: _Connection):
+        """The upstream link's handler: partition refresh RPC -> feeder."""
+
+        async def forward(frame: Dict[str, Any]) -> Dict[str, Any]:
+            key = frame.get("key")
+            try:
+                value = await self._refresh_rpc(connection, key)
+            except ConnectionResetError as exc:
+                return error_response(frame.get("id"), str(exc))
+            return {"value": value}
+
+        return forward
+
+    # ------------------------------------------------------------------
+    # Feeder operations
+    # ------------------------------------------------------------------
+    async def _handle_register(
+        self, connection: _Connection, request: RegisterFeeder
+    ) -> RegisterAck:
+        epoch: Optional[int] = None
+        if request.feeder is not None:
+            # Gateway-level epoch fencing, same discipline as the server's:
+            # a reconnecting feeder identity supersedes its old session.
+            epoch = self._feeder_epochs.get(request.feeder, 0) + 1
+            self._feeder_epochs[request.feeder] = epoch
+            connection.feeder_id = request.feeder
+            connection.epoch = epoch
+        values = dict(zip(request.keys, request.values))
+        refreshes: Optional[int] = 0 if request.resync else None
+        for index, keys in partition_keys(request.keys, len(self._targets)).items():
+            link = await self._upstream(connection, index)
+            ack = await link.register(
+                keys,
+                [values[key] for key in keys],
+                feeder=request.feeder,
+                resync=request.resync,
+                time=request.time,
+            )
+            if request.resync and ack.refreshes is not None:
+                refreshes += ack.refreshes
+        for key, value in values.items():
+            self._values[key] = float(value)
+            self._owners[key] = connection
+            connection.keys.add(key)
+        if request.resync:
+            self.statistics.feeder_resyncs += 1
+        return RegisterAck(
+            registered=len(request.keys), epoch=epoch, refreshes=refreshes
+        )
+
+    async def _handle_update(self, connection: _Connection, request: Update) -> Any:
+        if self._connection_fenced(connection):
+            return self._reject_stale()
+        link = await self._upstream(connection, self.partition_of(request.key))
+        ack = await link.update(request.key, request.value, time=request.time)
+        self._values[request.key] = float(request.value)
+        self._owners.setdefault(request.key, connection)
+        connection.keys.add(request.key)
+        self.statistics.updates_applied += 1
+        return UpdateAck(refresh=ack.refresh)
+
+    async def _handle_update_batch(
+        self, connection: _Connection, request: UpdateBatch
+    ) -> Any:
+        if self._connection_fenced(connection):
+            return self._reject_stale()
+        groups: Dict[int, List[Tuple[Hashable, float]]] = {}
+        for key, value in request.updates:
+            groups.setdefault(self.partition_of(key), []).append((key, value))
+        # Per-key order is preserved inside each forwarded batch, and the
+        # refresh counts of disjoint partitions commute — so the forwards
+        # can run concurrently without disturbing serialised-replay
+        # bit-identity, and a batch costs the slowest partition rather
+        # than the sum.
+        async def forward(index: int, updates: List[Tuple[Hashable, float]]) -> int:
+            link = await self._upstream(connection, index)
+            ack = await link.update_batch(updates, time=request.time)
+            return ack.refreshes
+
+        refreshes = sum(
+            await asyncio.gather(
+                *(forward(index, updates) for index, updates in groups.items())
+            )
+        )
+        for key, value in request.updates:
+            self._values[key] = float(value)
+            self._owners.setdefault(key, connection)
+            connection.keys.add(key)
+        self.statistics.updates_applied += len(request.updates)
+        return UpdateBatchAck(refreshes=refreshes)
+
+    # ------------------------------------------------------------------
+    # Query execution (snapshot -> global selection -> routed refreshes)
+    # ------------------------------------------------------------------
+    async def _handle_query(self, request: QueryRequest) -> Any:
+        if self._query_gate.locked():
+            if self._admission_waiting >= self._admission_queue_limit:
+                self.statistics.queries_rejected += 1
+                return {
+                    "ok": False,
+                    "error": "overloaded: admission queue full",
+                    "overloaded": True,
+                }
+            self._admission_waiting += 1
+            try:
+                await self._query_gate.acquire()
+            finally:
+                self._admission_waiting -= 1
+        else:
+            await self._query_gate.acquire()
+        try:
+            return await self._execute_query(request)
+        finally:
+            self._query_gate.release()
+
+    async def _execute_query(self, request: QueryRequest) -> BoundedAnswer:
+        keys = list(request.keys)
+        if not keys:
+            raise ProtocolError("a query must touch at least one key")
+        kind = request.aggregate
+        constraint = request.constraint
+        time = request.time
+        groups = partition_keys(keys, len(self._targets))
+
+        async def snapshot(index: int, group: List[Hashable]) -> SnapshotReply:
+            link = self._control_link(index)
+            response = await link.call(
+                Snapshot(keys=tuple(group), constraint=constraint, time=time)
+            )
+            return SnapshotReply.from_wire(response)
+
+        replies = await asyncio.gather(
+            *(snapshot(index, group) for index, group in groups.items())
+        )
+        intervals: Dict[Hashable, Interval] = {}
+        down_bounds: Dict[Hashable, Interval] = {}
+        hits = 0
+        for (index, group), reply in zip(groups.items(), replies):
+            hits += reply.hits
+            for key, (low, high) in zip(group, reply.intervals):
+                intervals[key] = Interval(low, high)
+            for position, (low, high) in zip(reply.down, reply.down_intervals):
+                down_bounds[group[position]] = Interval(low, high)
+        # Re-key the dict into query order: the selection and its final
+        # merge must see the same float-summation order a single server
+        # (and the offline simulator) uses.
+        intervals = {key: intervals[key] for key in keys}
+
+        refreshed: List[Hashable] = []
+
+        async def fetch_exact(key: Hashable) -> float:
+            link = self._control_link(self.partition_of(key))
+            response = await link.call(RefreshKey(key=key, time=time))
+            if response.get("down"):
+                down_bounds[key] = Interval(response["low"], response["high"])
+                raise _KeyDown(key)
+            value = float(response["value"])
+            refreshed.append(key)
+            intervals[key] = Interval.exact(value)
+            self._values[key] = value
+            return value
+
+        while True:
+            degraded = [key for key in keys if key in down_bounds]
+            try:
+                bound = await execute_partitioned_query(
+                    kind,
+                    keys,
+                    intervals,
+                    constraint,
+                    degraded,
+                    lambda key, snapshot: down_bounds[key],
+                    fetch_exact,
+                )
+                break
+            except _KeyDown:
+                continue
+        self.statistics.queries_served += 1
+        if degraded:
+            self.statistics.queries_degraded += 1
+        return BoundedAnswer(
+            low=bound.low,
+            high=bound.high,
+            refreshed=tuple(refreshed),
+            hits=hits,
+            misses=len(keys) - hits,
+            degraded=bool(degraded),
+            degraded_keys=tuple(degraded),
+        )
+
+    # ------------------------------------------------------------------
+    # Stats aggregation
+    # ------------------------------------------------------------------
+    #: Partition counters that sum meaningfully across the deployment.
+    _SUMMED_STATS = (
+        "keys",
+        "cached_entries",
+        "hits",
+        "misses",
+        "insertions",
+        "evictions",
+        "updates_applied",
+        "updates_ignored",
+        "value_refreshes",
+        "query_refreshes",
+        "refresh_rpcs",
+        "refreshes_failed",
+        "stale_epoch_rejections",
+        "feeder_resyncs",
+        "keys_down",
+        "total_cost",
+        "messages_sent",
+        "total_latency",
+    )
+
+    async def _handle_stats(self) -> Dict[str, Any]:
+        partition_stats = await asyncio.gather(
+            *(self._control_link(index).stats() for index in range(len(self._targets)))
+        )
+        merged: Dict[str, Any] = {name: 0 for name in self._SUMMED_STATS}
+        shard_hit_rates: List[float] = []
+        clock = 0.0
+        for stats in partition_stats:
+            for name in self._SUMMED_STATS:
+                merged[name] += stats.get(name, 0)
+            shard_hit_rates.extend(stats.get("shard_hit_rates", []))
+            clock = max(clock, stats.get("clock", 0.0))
+        lookups = merged["hits"] + merged["misses"]
+        serving = self.statistics
+        merged.update(
+            {
+                "clock": clock,
+                "partitions": len(self._targets),
+                "partition_restarts": serving.partition_restarts,
+                "connections": len(self._connections),
+                "hit_rate": (merged["hits"] / lookups) if lookups else 0.0,
+                "shard_hit_rates": shard_hit_rates,
+                "queries_served": serving.queries_served,
+                "queries_rejected": serving.queries_rejected,
+                "queries_degraded": serving.queries_degraded,
+                "gateway_refresh_rpcs": serving.refresh_rpcs,
+                "gateway_stale_epoch_rejections": serving.stale_epoch_rejections,
+            }
+        )
+        return merged
+
+    # ------------------------------------------------------------------
+    # Partition supervision (the process pool's restart path)
+    # ------------------------------------------------------------------
+    def start_supervisor(self, poll_interval: float = 0.25) -> asyncio.Task:
+        """Start the background liveness loop (requires a pool)."""
+        if self._pool is None:
+            raise ValueError("supervision requires a partition pool")
+        self._supervisor = asyncio.ensure_future(self.supervise(poll_interval))
+        return self._supervisor
+
+    async def supervise(self, poll_interval: float = 0.25) -> None:
+        """Poll the pool; restart and resync any dead partition, forever."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(poll_interval)
+            for index in range(len(self._targets)):
+                if self._pool.is_alive(index):
+                    continue
+                target = await loop.run_in_executor(None, self._pool.restart, index)
+                await self.resync_partition(index, target)
+
+    async def resync_partition(self, index: int, target: Any) -> None:
+        """Point partition ``index`` at ``target`` and replay its keys.
+
+        The fresh process is empty; the gateway replays its mirror: keys
+        with a live feeder re-register under that feeder's identity over a
+        fresh upstream link (refresh RPCs flow again), and orphaned keys —
+        their feeder is gone — are registered from the mirror over a
+        throwaway link that is closed immediately, so the partition holds
+        their last values but serves them as degraded answers, exactly the
+        contract a directly-connected server gives keys whose feeder died.
+        """
+        self._targets[index] = target
+        old = self._control[index]
+        if old is not None:
+            await old.close()
+        await self._connect_control(index)
+        self.statistics.partition_restarts += 1
+        by_connection: Dict[Optional[_Connection], List[Hashable]] = {}
+        for key, value in self._values.items():
+            if self.partition_of(key) != index:
+                continue
+            owner = self._owners.get(key)
+            if owner is not None and owner.closing:
+                owner = None
+            by_connection.setdefault(owner, []).append(key)
+        for connection, keys in by_connection.items():
+            values = [self._values[key] for key in keys]
+            if connection is None:
+                orphan = await Client.from_transport(await dial(target))
+                try:
+                    await orphan.register(keys, values)
+                finally:
+                    await orphan.close()
+                continue
+            links = self._upstreams.get(connection)
+            if links is not None:
+                stale = links.pop(index, None)
+                if stale is not None:
+                    await stale.close()
+            link = await self._upstream(connection, index)
+            await link.register(
+                keys, values, feeder=connection.feeder_id
+            )

@@ -38,17 +38,27 @@ returned interval must contain the true aggregate, degraded or not.
 from __future__ import annotations
 
 import asyncio
-import inspect
-import itertools
+import math
 import random
 import time as wall_time
 from dataclasses import dataclass, field
-from typing import Any, Awaitable, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import (
+    Any,
+    Awaitable,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.data.merged import merge_timelines
 from repro.data.streams import TraceStream
 from repro.data.trace import Trace
 from repro.queries.aggregates import AggregateKind
+from repro.serving.api import Client, deprecated_entry_point, dial
 from repro.serving.errors import (
     ConnectionLost,
     DeadlineExceeded,
@@ -56,7 +66,12 @@ from repro.serving.errors import (
     StaleEpochError,
 )
 from repro.serving.faults import FaultPlan, FaultyTransport, SessionFaults
-from repro.serving.protocol import ProtocolError, error_response, is_request
+from repro.serving.protocol import (
+    BoundedAnswer,
+    QueryRequest,
+    RegisterAck,
+    Request,
+)
 from repro.serving.transport import StreamFrameTransport
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import HORIZON_TOLERANCE
@@ -80,12 +95,54 @@ class TcpDialer:
         return StreamFrameTransport(reader, writer)
 
 
+class WsDialer:
+    """Dial adapter for load-generating against the HTTP/WebSocket edge."""
+
+    def __init__(self, url: str) -> None:
+        self.url = url
+
+    async def connect(self) -> Any:
+        from repro.serving.http import connect_websocket
+
+        return await connect_websocket(self.url)
+
+
+class MultiTargetDialer:
+    """Round-robin dial adapter over several serving targets.
+
+    The scaled-edge topology runs N stateless gateway processes over one
+    shared partition pool; spreading the load generator's connections
+    across the gateways exercises it the way a fleet load balancer
+    would.  Each ``connect()`` dials the next target in rotation.
+    """
+
+    def __init__(self, targets: Sequence[str]) -> None:
+        if not targets:
+            raise ValueError("MultiTargetDialer needs at least one target")
+        self._dialers = [dialer_for_target(target) for target in targets]
+        self._next = 0
+
+    async def connect(self) -> Any:
+        dialer = self._dialers[self._next % len(self._dialers)]
+        self._next += 1
+        return await dialer.connect()
+
+
+def dialer_for_target(target: str) -> Any:
+    """A dialer for a ``tcp://host:port`` or ``ws://host:port/path`` URL."""
+    if target.startswith("ws://") or target.startswith("wss://"):
+        return WsDialer(target)
+    if target.startswith("tcp://"):
+        target = target[len("tcp://") :]
+    host, _, port = target.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"cannot parse loadgen target {target!r} as host:port")
+    return TcpDialer(host, int(port))
+
+
 async def _dial(target: Any) -> Any:
-    """Open one connection on a server or dialer (sync or async connect)."""
-    transport = target.connect()
-    if inspect.isawaitable(transport):
-        transport = await transport
-    return transport
+    """Open one connection on a server, dialer, or URL (see ``api.dial``)."""
+    return await dial(target)
 
 
 def percentile(sorted_values: List[float], fraction: float) -> float:
@@ -225,17 +282,13 @@ class LoadgenReport:
         return "\n".join(lines)
 
 
-#: Distinguishes "no per-call deadline given" (use the client default) from
-#: an explicit ``deadline=None`` (wait forever).
-_UNSET_DEADLINE = object()
+class ServingClient(Client):
+    """Deprecated: the pre-gateway name of :class:`repro.serving.api.Client`.
 
-
-class ServingClient:
-    """A protocol client: request/response plus server-initiated RPC serving.
-
-    One background task reads frames and demultiplexes them: responses
-    resolve the matching pending request future; requests (the server's
-    ``refresh`` RPCs on feeder connections) are answered by ``on_request``.
+    A thin shim kept for callers written against PR-5/6: same constructor,
+    same ``open()`` classmethod, same behaviour — every call goes straight
+    to :class:`Client`.  Constructing one emits a :class:`DeprecationWarning`
+    naming the replacement (asserted in ``tests/test_api_client.py``).
     """
 
     def __init__(
@@ -246,14 +299,10 @@ class ServingClient:
         ] = None,
         default_deadline: Optional[float] = None,
     ) -> None:
-        if default_deadline is not None and default_deadline <= 0:
-            raise ValueError("default_deadline must be positive (or None)")
-        self._transport = transport
-        self._on_request = on_request
-        self._default_deadline = default_deadline
-        self._pending: Dict[int, asyncio.Future] = {}
-        self._ids = itertools.count(1)
-        self._reader: Optional[asyncio.Task] = None
+        deprecated_entry_point(
+            "repro.serving.loadgen.ServingClient", "repro.serving.api.Client"
+        )
+        super().__init__(transport, on_request, default_deadline)
 
     @classmethod
     async def open(
@@ -264,105 +313,10 @@ class ServingClient:
         ] = None,
         default_deadline: Optional[float] = None,
     ) -> "ServingClient":
-        """Wrap a connected transport and start its read loop."""
+        """Wrap a connected transport and start its read loop (deprecated)."""
         client = cls(transport, on_request, default_deadline)
         client._reader = asyncio.ensure_future(client._read_loop())
         return client
-
-    async def _read_loop(self) -> None:
-        try:
-            while True:
-                try:
-                    frame = await self._transport.read_frame()
-                except ProtocolError:
-                    # A corrupt frame ends the session like an EOF would;
-                    # pending and future requests fail instead of hanging.
-                    break
-                if frame is None:
-                    break
-                if is_request(frame):
-                    if self._on_request is None:
-                        reply = error_response(
-                            frame.get("id"), "client serves no requests"
-                        )
-                    else:
-                        reply = await self._on_request(frame)
-                        reply.setdefault("id", frame.get("id"))
-                        reply.setdefault("ok", True)
-                    await self._transport.write_frame(reply)
-                else:
-                    future = self._pending.pop(frame.get("id"), None)
-                    if future is not None and not future.done():
-                        future.set_result(frame)
-        finally:
-            # Whatever ended the loop (EOF, corrupt frame, a failing
-            # on_request handler), close the transport so the *server* side
-            # observes EOF and tears the connection down — otherwise a
-            # zombie feeder would swallow refresh RPCs forever.
-            self._transport.close()
-            for future in self._pending.values():
-                if not future.done():
-                    future.set_exception(ConnectionLost("serving connection closed"))
-            self._pending.clear()
-
-    async def request(
-        self, op: str, deadline: Any = _UNSET_DEADLINE, **fields: Any
-    ) -> Dict[str, Any]:
-        """Send one request and await its response.
-
-        ``deadline`` (seconds; default: the client's ``default_deadline``,
-        ``None`` = wait forever) bounds the wait for the response; missing
-        it raises :class:`~repro.serving.errors.DeadlineExceeded` and drops
-        the late response if it ever arrives.  Error replies raise
-        :class:`~repro.serving.errors.RequestRejected` (or its
-        :class:`~repro.serving.errors.StaleEpochError` refinement); dead
-        connections raise :class:`~repro.serving.errors.ConnectionLost`.
-        All three subclass the stdlib exceptions earlier callers caught.
-        """
-        if self._reader is not None and self._reader.done():
-            # The read loop is gone (EOF or corrupt frame): nothing can ever
-            # resolve a new future, so fail fast instead of hanging.
-            raise ConnectionLost("serving connection closed")
-        request_id = next(self._ids)
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending[request_id] = future
-        try:
-            await self._transport.write_frame({"op": op, "id": request_id, **fields})
-        except ConnectionLost:
-            self._pending.pop(request_id, None)
-            raise
-        except (ConnectionResetError, BrokenPipeError) as exc:
-            self._pending.pop(request_id, None)
-            raise ConnectionLost(str(exc)) from exc
-        limit = self._default_deadline if deadline is _UNSET_DEADLINE else deadline
-        if limit is None:
-            response = await future
-        else:
-            try:
-                response = await asyncio.wait_for(future, limit)
-            except asyncio.TimeoutError:
-                self._pending.pop(request_id, None)
-                raise DeadlineExceeded(
-                    f"{op} missed its {limit:g}s deadline"
-                ) from None
-        if not response.get("ok", True) and not response.get("overloaded"):
-            error = f"{op} failed: {response.get('error')}"
-            if response.get("stale_epoch"):
-                raise StaleEpochError(error)
-            raise RequestRejected(error)
-        return response
-
-    async def close(self) -> None:
-        """Close the transport and wait for the read loop to finish.
-
-        A read loop that died on a transport error must not re-raise here:
-        close() runs in ``finally`` blocks whose primary error would be
-        masked, and every sibling client still deserves its close.
-        """
-        self._transport.close()
-        if self._reader is not None:
-            await asyncio.gather(self._reader, return_exceptions=True)
-        await self._transport.wait_closed()
 
 
 def _trace_replay_parts(
@@ -487,28 +441,32 @@ async def replay_trace_deterministic(
             await flush_updates(query_time)
             query = workload.generate(query_time)
             begin = wall_time.perf_counter()
-            response = await querier.request(
-                "query",
-                keys=list(query.keys),
-                aggregate=query.kind.name,
-                constraint=query.constraint,
-                time=query_time,
+            response = await querier.call(
+                QueryRequest(
+                    keys=tuple(query.keys),
+                    aggregate=query.kind,
+                    constraint=query.constraint,
+                    time=query_time,
+                )
             )
-            latencies.append(wall_time.perf_counter() - begin)
+            elapsed = wall_time.perf_counter() - begin
             queries += 1
             if response.get("overloaded"):
+                # Rejected queries carry no answer and did no work; their
+                # (near-zero) turnaround must not drag the latency
+                # percentiles down.
                 rejected += 1
             else:
-                hits += response["hits"]
-                misses += response["misses"]
-                if response.get("degraded"):
+                latencies.append(elapsed)
+                answer = BoundedAnswer.from_wire(response)
+                hits += answer.hits
+                misses += answer.misses
+                if answer.degraded:
                     counters["degraded_answers"] += 1
                 if check_invariant:
                     counters["invariant_checks"] += 1
                     truth = _true_aggregate(query.kind, query.keys, values)
-                    if not _interval_contains(
-                        response["low"], response["high"], truth
-                    ):
+                    if not _interval_contains(answer.low, answer.high, truth):
                         counters["invariant_violations"] += 1
             if (
                 plan.kill_every > 0
@@ -546,16 +504,6 @@ async def replay_trace_deterministic(
         plan=plan,
         faults_injected=dialer.injected(),
     )
-
-
-async def _answer_refresh(
-    values: Dict[Hashable, float], frame: Dict[str, Any]
-) -> Dict[str, Any]:
-    """A feeder's handler for the server's ``refresh`` RPC."""
-    key = frame.get("key")
-    if key not in values:
-        return error_response(frame.get("id"), f"unknown key {key!r}")
-    return {"value": values[key]}
 
 
 class _FaultDialer:
@@ -621,15 +569,17 @@ class _ResilientFeeder:
         self._retry = retry
         self._counters = counters
         self._deadline = deadline
-        self._client: Optional[ServingClient] = None
+        self._client: Optional[Client] = None
         self.epoch = 0
 
     @property
     def is_down(self) -> bool:
         return self._client is None
 
-    async def _answer(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        return await _answer_refresh(self._values, frame)
+    def _refresh_value(self, key: Hashable) -> float:
+        # The server's ``refresh`` RPC handler; KeyError (a key this feeder
+        # does not own) turns into the protocol's error reply in the client.
+        return self._values[key]
 
     async def start(self) -> None:
         """Dial and register the owned keys (a fresh lifecycle)."""
@@ -645,20 +595,18 @@ class _ResilientFeeder:
         while True:
             client = None
             try:
-                client = await ServingClient.open(
+                client = await Client.from_transport(
                     await self._dial(),
-                    on_request=self._answer,
+                    on_refresh=self._refresh_value,
                     default_deadline=self._deadline,
                 )
-                request: Dict[str, Any] = {
-                    "keys": self._keys,
-                    "values": [self._values[key] for key in self._keys],
-                    "feeder": self._feeder_id,
-                }
-                if resync:
-                    request["resync"] = True
-                    request["time"] = time
-                reply = await client.request("register", **request)
+                reply: RegisterAck = await client.register(
+                    self._keys,
+                    [self._values[key] for key in self._keys],
+                    feeder=self._feeder_id,
+                    resync=resync,
+                    time=time if resync else None,
+                )
             except (ConnectionLost, DeadlineExceeded):
                 if client is not None:
                     await client.close()
@@ -669,7 +617,7 @@ class _ResilientFeeder:
                 await asyncio.sleep(self._retry.delay(attempt))
                 continue
             self._client = client
-            self.epoch = reply.get("epoch", 0)
+            self.epoch = reply.epoch or 0
             return
 
     async def send_batch(
@@ -684,7 +632,7 @@ class _ResilientFeeder:
         if self._client is None:
             return False
         try:
-            await self._client.request("update_batch", updates=updates, time=time)
+            await self._client.update_batch(updates, time=time)
             return True
         except (ConnectionLost, DeadlineExceeded, StaleEpochError):
             await self.kill()
@@ -723,12 +671,16 @@ class _ResilientQuerier:
         self._retry = retry
         self._counters = counters
         self._deadline = deadline
-        self._client: Optional[ServingClient] = None
+        self._client: Optional[Client] = None
 
     async def start(self) -> None:
-        self._client = await ServingClient.open(
+        self._client = await Client.from_transport(
             await self._dial(), default_deadline=self._deadline
         )
+
+    async def call(self, message: Request) -> Dict[str, Any]:
+        """Send one typed request with the querier's retry envelope."""
+        return await self.request(message.OP, **message.wire_fields())
 
     async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
         attempt = 0
@@ -882,21 +834,25 @@ async def replay_trace_concurrent(
             for step in range(queries_per_client):
                 query = generator.generate((step + 1) * config.query_period)
                 begin = wall_time.perf_counter()
-                response = await client.request(
-                    "query",
-                    keys=list(query.keys),
-                    aggregate=query.kind.name,
-                    constraint=query.constraint,
+                response = await client.call(
+                    QueryRequest(
+                        keys=tuple(query.keys),
+                        aggregate=query.kind,
+                        constraint=query.constraint,
+                    )
                 )
                 elapsed = wall_time.perf_counter() - begin
-                latencies.append(elapsed)
                 queries += 1
                 if response.get("overloaded"):
+                    # Rejections are counted, not timed (see the
+                    # deterministic loop): percentiles describe answers.
                     rejected += 1
                 else:
-                    hits += response["hits"]
-                    misses += response["misses"]
-                    if response.get("degraded"):
+                    latencies.append(elapsed)
+                    answer = BoundedAnswer.from_wire(response)
+                    hits += answer.hits
+                    misses += answer.misses
+                    if answer.degraded:
                         counters["degraded_answers"] += 1
                 if rate > 0:
                     pace = 1.0 / rate
@@ -905,9 +861,9 @@ async def replay_trace_concurrent(
         finally:
             await client.close()
 
-    probe = await ServingClient.open(await _dial(server))
+    probe = await Client.from_transport(await _dial(server))
     try:
-        baseline = await probe.request("stats")
+        baseline = await probe.stats()
     finally:
         await probe.close()
     feeder_tasks = [asyncio.ensure_future(run_feeder(i)) for i in range(feeders)]
@@ -915,9 +871,9 @@ async def replay_trace_concurrent(
     try:
         await asyncio.gather(*client_tasks)
         await asyncio.gather(*feeder_tasks)
-        probe = await ServingClient.open(await _dial(server))
+        probe = await Client.from_transport(await _dial(server))
         try:
-            stats = await probe.request("stats")
+            stats = await probe.stats()
         finally:
             await probe.close()
     finally:
@@ -943,6 +899,250 @@ async def replay_trace_concurrent(
         rejected=rejected,
         stats=stats,
         wall_seconds=wall_time.perf_counter() - started,
+        counters=counters,
+        plan=plan,
+        faults_injected=dialer.injected(),
+    )
+
+
+#: Open-loop arrival shapes: how the offered rate moves over the run.
+ARRIVAL_SHAPES = ("steady", "ramp", "flash")
+
+
+@dataclass(frozen=True)
+class OpenLoopProfile:
+    """An open-loop workload: arrivals fire on schedule, never waiting.
+
+    Closed-loop clients (``replay_trace_concurrent``) cannot overload a
+    server — each connection waits for its answer, so the offered rate
+    self-throttles exactly when the server slows down.  Open loop is the
+    honest stress model: ``base_rate`` arrivals per wall second are drawn
+    from a seeded Poisson process (thinned where the shape varies the
+    rate), issued whether or not earlier queries have answered.
+
+    * ``steady`` — constant ``base_rate``;
+    * ``ramp`` — linear climb from ``base_rate`` to ``peak_rate`` across
+      the run (finds the knee of the latency curve);
+    * ``flash`` — ``base_rate`` with a flash crowd at ``peak_rate``
+      through the middle fifth of the run (finds recovery behaviour).
+
+    Key popularity is Zipf(``zipf_s``) over the trace's key order — the
+    skew every caching paper assumes — so partitions see realistically
+    unequal load.
+    """
+
+    duration_s: float = 2.0
+    base_rate: float = 200.0
+    peak_rate: float = 0.0
+    shape: str = "steady"
+    zipf_s: float = 1.1
+    keys_per_query: int = 4
+    aggregate: AggregateKind = AggregateKind.SUM
+    constraint: float = math.inf
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shape not in ARRIVAL_SHAPES:
+            raise ValueError(
+                f"shape must be one of {ARRIVAL_SHAPES}, not {self.shape!r}"
+            )
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        if self.keys_per_query < 1:
+            raise ValueError("keys_per_query must be at least 1")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be non-negative")
+
+    def rate_at(self, t: float) -> float:
+        """Offered arrival rate (queries/second) at wall offset ``t``."""
+        peak = max(self.peak_rate, self.base_rate)
+        if self.shape == "ramp":
+            return self.base_rate + (peak - self.base_rate) * (
+                t / self.duration_s
+            )
+        if self.shape == "flash":
+            inside = 0.4 * self.duration_s <= t < 0.6 * self.duration_s
+            return peak if inside else self.base_rate
+        return self.base_rate
+
+    def arrival_times(self) -> List[float]:
+        """The seeded arrival schedule (wall offsets, ascending).
+
+        A Poisson process at the shape's peak rate, thinned down to the
+        instantaneous rate — the standard exact simulation of an
+        inhomogeneous Poisson process, deterministic per seed.
+        """
+        rng = random.Random(f"arrivals:{self.seed}")
+        peak = max(self.peak_rate, self.base_rate)
+        times: List[float] = []
+        t = 0.0
+        while True:
+            t += rng.expovariate(peak)
+            if t >= self.duration_s:
+                return times
+            if rng.random() < self.rate_at(t) / peak:
+                times.append(t)
+
+    def pick_keys(self, keys: List[Hashable], rng: random.Random) -> List[Hashable]:
+        """Draw ``keys_per_query`` distinct keys, Zipf-weighted by rank."""
+        count = min(self.keys_per_query, len(keys))
+        weights = [1.0 / (rank + 1) ** self.zipf_s for rank in range(len(keys))]
+        chosen: List[Hashable] = []
+        taken = set()
+        while len(chosen) < count:
+            (key,) = rng.choices(keys, weights=weights, k=1)
+            if key not in taken:
+                taken.add(key)
+                chosen.append(key)
+        return chosen
+
+
+async def run_open_loop(
+    server: Any,
+    trace: Trace,
+    config: SimulationConfig,
+    *,
+    profile: OpenLoopProfile,
+    connections: int = 4,
+    replay_updates: bool = True,
+    deadline: Optional[float] = 2.0,
+    fault_plan: Optional[FaultPlan] = None,
+) -> LoadgenReport:
+    """Fire the profile's arrival schedule at a server, open loop.
+
+    Queries are issued at their scheduled instants as concurrent tasks
+    round-robined over ``connections`` client connections — a slow answer
+    never delays the next arrival, so offered load is what the profile
+    says, not what the server permits.  Rejections (admission control) and
+    deadline misses are counted; latency percentiles cover answered
+    queries only.  One feeder registers the trace's keys and (with
+    ``replay_updates``) replays the update timelines alongside the
+    arrivals, so refreshes compete with queries for the server like they
+    would in production.
+    """
+    if connections < 1:
+        raise ValueError("connections must be at least 1")
+    plan = fault_plan if fault_plan is not None else FaultPlan()
+    retry = RetryPolicy(seed=plan.seed)
+    dialer = _FaultDialer(server, plan)
+    counters = _new_resilience_counters()
+    keys, values, walk = _trace_replay_parts(trace, config)
+    feeder = _ResilientFeeder(
+        lambda: dialer.dial("feeder"),
+        keys,
+        values,
+        feeder_id="feeder-0",
+        retry=retry,
+        counters=counters,
+        deadline=deadline,
+    )
+    await feeder.start()
+    pool: List[Client] = []
+    for _ in range(connections):
+        pool.append(
+            await Client.from_transport(
+                await dialer.dial("client"), default_deadline=deadline
+            )
+        )
+    rng = random.Random(f"open-loop-keys:{profile.seed}")
+    schedule = [
+        (offset, profile.pick_keys(keys, rng))
+        for offset in profile.arrival_times()
+    ]
+    latencies: List[float] = []
+    queries = updates_sent = hits = misses = rejected = 0
+
+    async def replay_feed() -> None:
+        nonlocal updates_sent
+        events: List[Tuple[Hashable, float, float]] = []
+        walk.advance(
+            config.duration + HORIZON_TOLERANCE,
+            lambda key, time, value: events.append((key, time, value)),
+        )
+        for time, updates in _batch_by_instant(events):
+            for key, value in updates:
+                values[key] = value
+            if await feeder.send_batch(updates, time):
+                updates_sent += len(updates)
+
+    async def issue(client: Client, query_keys: List[Hashable]) -> None:
+        nonlocal queries, hits, misses, rejected
+        queries += 1
+        begin = wall_time.perf_counter()
+        try:
+            response = await client.call(
+                QueryRequest(
+                    keys=tuple(query_keys),
+                    aggregate=profile.aggregate,
+                    constraint=profile.constraint,
+                )
+            )
+        except DeadlineExceeded:
+            counters["deadline_failures"] += 1
+            return
+        except (ConnectionLost, RequestRejected):
+            rejected += 1
+            return
+        if response.get("overloaded"):
+            rejected += 1
+            return
+        latencies.append(wall_time.perf_counter() - begin)
+        answer = BoundedAnswer.from_wire(response)
+        hits += answer.hits
+        misses += answer.misses
+        if answer.degraded:
+            counters["degraded_answers"] += 1
+
+    baseline = await pool[0].stats()
+    started = wall_time.perf_counter()
+    feed_task = (
+        asyncio.ensure_future(replay_feed()) if replay_updates else None
+    )
+    tasks: List[asyncio.Task] = []
+    try:
+        for index, (offset, query_keys) in enumerate(schedule):
+            now = wall_time.perf_counter() - started
+            if offset > now:
+                await asyncio.sleep(offset - now)
+            tasks.append(
+                asyncio.ensure_future(
+                    issue(pool[index % len(pool)], query_keys)
+                )
+            )
+        await asyncio.gather(*tasks)
+        if feed_task is not None:
+            await feed_task
+        wall_seconds = wall_time.perf_counter() - started
+        stats = await pool[0].stats()
+    finally:
+        for task in tasks:
+            if not task.done():
+                task.cancel()
+        if feed_task is not None and not feed_task.done():
+            feed_task.cancel()
+        await asyncio.gather(
+            *tasks,
+            *([feed_task] if feed_task is not None else []),
+            return_exceptions=True,
+        )
+        for client in pool:
+            await client.close()
+        await feeder.close()
+    return _build_report(
+        mode=f"open-loop/{profile.shape}",
+        baseline=baseline,
+        clients=connections,
+        config=config,
+        latencies=latencies,
+        queries=queries,
+        updates_sent=updates_sent,
+        hits=hits,
+        misses=misses,
+        rejected=rejected,
+        stats=stats,
+        wall_seconds=wall_seconds,
         counters=counters,
         plan=plan,
         faults_injected=dialer.injected(),

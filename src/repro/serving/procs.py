@@ -1,0 +1,283 @@
+"""Partition processes: CacheServers spawned and supervised as workers.
+
+:class:`ProcessPartitionPool` runs one :class:`~repro.serving.server.
+CacheServer` per partition in its own OS process, using the same
+:class:`~repro.experiments.runner.WorkerHandle` process management the
+parallel experiment runner uses (spawn, duplex pipe, join → terminate →
+kill escalation).  Each worker binds an ephemeral TCP port and reports it
+over the pipe; the pool exposes ``tcp://`` targets the gateway dials.
+
+The pool is deliberately dumb: it owns *processes*, not protocol state.
+Restart replaces a dead worker with a fresh empty server on a new port —
+re-populating it (the key/value mirror replay, feeder re-registration) is
+the gateway's job (:meth:`GatewayServer.resync_partition`), mirroring how
+``run_concurrent_shards`` leaves resync to its caller.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.runner import WorkerHandle
+
+DEFAULT_START_TIMEOUT = 30.0
+
+
+def partition_worker(connection: Any, spec: Dict[str, Any]) -> None:
+    """Child-process entry: serve one partition until the pipe says stop.
+
+    ``spec`` carries only picklable primitives; the policy is rebuilt
+    in-process from the shared :func:`~repro.experiments.workloads.
+    serving_policy` construction, so a partition behind a gateway runs
+    exactly the policy a single ``repro serve`` would.
+    """
+    import asyncio
+
+    asyncio.run(_serve_partition(connection, spec))
+
+
+def gateway_worker(connection: Any, spec: Dict[str, Any]) -> None:
+    """Child-process entry: a gateway fronting its own partition pool.
+
+    This is the whole ``repro serve --role gateway`` deployment in one
+    child process — the gateway spawns ``spec["partitions"]`` partition
+    grandchildren, supervises them, and reports its public TCP port over
+    the pipe.  The serving-throughput sweep uses it so the deployment
+    competes on its own cores instead of sharing the load generator's
+    interpreter.
+    """
+    import asyncio
+    import multiprocessing
+
+    # WorkerHandle spawns daemonic children, and daemonic processes may
+    # not have children of their own — clear the flag so this deployment
+    # can spawn its partition pool.
+    multiprocessing.current_process().daemon = False
+    asyncio.run(_serve_gateway(connection, spec))
+
+
+async def _serve_gateway(connection: Any, spec: Dict[str, Any]) -> None:
+    import asyncio
+
+    from repro.serving.gateway import GatewayServer
+
+    # With explicit ``targets`` the gateway fronts partitions somebody
+    # else owns — the scaled-edge topology, where several stateless
+    # gateway processes share one partition pool.  Without them it
+    # spawns (and supervises) a private pool: the self-contained
+    # ``repro serve --role gateway`` deployment.
+    targets = spec.get("targets")
+    pool = None if targets else ProcessPartitionPool(spec.get("partitions", 1), spec)
+    loop = asyncio.get_running_loop()
+    try:
+        if pool is not None:
+            targets = await loop.run_in_executor(None, pool.start)
+        gateway = GatewayServer(
+            targets,
+            pool=pool,
+            max_inflight_queries=spec.get("max_inflight", 64),
+        )
+        await gateway.start()
+        tcp = await gateway.start_tcp(spec.get("host", "127.0.0.1"), 0)
+        if pool is not None:
+            gateway.start_supervisor()
+        connection.send({"port": tcp.sockets[0].getsockname()[1]})
+        try:
+            await loop.run_in_executor(None, connection.recv)
+        except (EOFError, OSError):
+            pass
+        await gateway.close()
+    finally:
+        if pool is not None:
+            await loop.run_in_executor(None, pool.stop)
+
+
+async def _serve_partition(connection: Any, spec: Dict[str, Any]) -> None:
+    from repro.experiments.workloads import serving_policy
+    from repro.serving.server import CacheServer
+
+    policy = serving_policy(
+        cost_factor=spec.get("cost_factor", 1.0), seed=spec.get("seed", 0)
+    )
+    server = CacheServer(
+        policy,
+        shards=spec.get("shards", 1),
+        capacity=spec.get("capacity"),
+        max_inflight_queries=spec.get("max_inflight", 64),
+    )
+    tcp = await server.start_tcp(spec.get("host", "127.0.0.1"), 0)
+    port = tcp.sockets[0].getsockname()[1]
+    connection.send({"port": port})
+    import asyncio
+
+    loop = asyncio.get_running_loop()
+    try:
+        # Any message — or EOF/reset when the parent dies — is the stop
+        # signal.
+        await loop.run_in_executor(None, connection.recv)
+    except (EOFError, OSError):
+        pass
+    await server.close()
+
+
+class ProcessPartitionPool:
+    """N partition CacheServer processes behind ``tcp://`` targets.
+
+    ``start()`` spawns every worker and blocks until each has reported its
+    listening port; ``restart(index)`` replaces one worker (fresh process,
+    fresh port) and returns the new target.  Use as a context manager so
+    no partition outlives its pool.
+    """
+
+    def __init__(
+        self,
+        partitions: int,
+        spec: Optional[Dict[str, Any]] = None,
+        *,
+        start_timeout: float = DEFAULT_START_TIMEOUT,
+    ) -> None:
+        if partitions < 1:
+            raise ValueError("partitions must be at least 1")
+        self._spec = dict(spec or {})
+        self._workers: List[WorkerHandle] = [
+            WorkerHandle(index, partition_worker, (self._make_spec(index),))
+            for index in range(partitions)
+        ]
+        self._ports: List[Optional[int]] = [None] * partitions
+        self._start_timeout = start_timeout
+
+    def _make_spec(self, index: int) -> Dict[str, Any]:
+        spec = dict(self._spec)
+        # Partition servers must make identical policy decisions for a key
+        # wherever it lands, so every partition shares the pool's seed.
+        spec.setdefault("seed", 0)
+        spec["partition_index"] = index
+        return spec
+
+    @property
+    def partition_count(self) -> int:
+        return len(self._workers)
+
+    def __enter__(self) -> "ProcessPartitionPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def start(self) -> List[str]:
+        """Spawn every worker; return their ``tcp://`` targets."""
+        for worker in self._workers:
+            worker.start()
+        for index, worker in enumerate(self._workers):
+            self._ports[index] = self._await_port(worker)
+        return self.targets()
+
+    def _await_port(self, worker: WorkerHandle) -> int:
+        if worker.connection is not None and not worker.connection.poll(
+            self._start_timeout
+        ):
+            raise TimeoutError(
+                f"partition {worker.index} did not report its port within "
+                f"{self._start_timeout:g}s"
+            )
+        return int(worker.recv()["port"])
+
+    def target(self, index: int) -> str:
+        port = self._ports[index]
+        if port is None:
+            raise RuntimeError(f"partition {index} is not started")
+        return f"tcp://{self._spec.get('host', '127.0.0.1')}:{port}"
+
+    def targets(self) -> List[str]:
+        return [self.target(index) for index in range(len(self._workers))]
+
+    def is_alive(self, index: int) -> bool:
+        return self._workers[index].is_alive()
+
+    def restart(self, index: int, grace: float = 5.0) -> str:
+        """Replace worker ``index`` with a fresh process; return its target.
+
+        Safe to call from an executor thread (the gateway's supervisor
+        does): it only touches this worker's handle and port slot.
+        """
+        worker = self._workers[index]
+        worker.restart(grace=grace)
+        self._ports[index] = self._await_port(worker)
+        return self.target(index)
+
+    @property
+    def restarts(self) -> int:
+        return sum(worker.restarts for worker in self._workers)
+
+    def kill(self, index: int) -> None:
+        """Hard-kill one worker (tests simulate partition crashes with this)."""
+        worker = self._workers[index]
+        if worker.process is not None:
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+
+    def stop(self, grace: float = 5.0) -> None:
+        """Stop every worker: close pipes (EOF = stop), then escalate."""
+        for worker in self._workers:
+            worker.close_connection()
+        for worker in self._workers:
+            worker.stop(grace=grace)
+
+
+class ServerProcess:
+    """A whole serving deployment in one child process, behind a target.
+
+    ``role="single"`` runs one :class:`CacheServer`; ``role="gateway"``
+    runs a :class:`GatewayServer` that spawns its own partition pool
+    (``spec["partitions"]`` grandchildren).  Either way ``start()`` blocks
+    until the deployment reports its public port and returns a ``tcp://``
+    target, so benchmarks can dial single-server and partitioned
+    deployments through the identical client path.
+    """
+
+    def __init__(
+        self,
+        role: str = "single",
+        spec: Optional[Dict[str, Any]] = None,
+        *,
+        start_timeout: float = DEFAULT_START_TIMEOUT,
+    ) -> None:
+        if role not in ("single", "gateway"):
+            raise ValueError(f"role must be 'single' or 'gateway', not {role!r}")
+        entry = partition_worker if role == "single" else gateway_worker
+        self._spec = dict(spec or {})
+        self._spec.setdefault("seed", 0)
+        self._worker = WorkerHandle(0, entry, (self._spec,))
+        self._start_timeout = start_timeout
+        self._port: Optional[int] = None
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def start(self) -> str:
+        self._worker.start()
+        if self._worker.connection is not None and not self._worker.connection.poll(
+            self._start_timeout
+        ):
+            raise TimeoutError(
+                f"serving deployment did not report its port within "
+                f"{self._start_timeout:g}s"
+            )
+        self._port = int(self._worker.recv()["port"])
+        return self.target()
+
+    def target(self) -> str:
+        if self._port is None:
+            raise RuntimeError("deployment is not started")
+        return f"tcp://{self._spec.get('host', '127.0.0.1')}:{self._port}"
+
+    def is_alive(self) -> bool:
+        return self._worker.is_alive()
+
+    def stop(self, grace: float = 10.0) -> None:
+        self._worker.close_connection()
+        self._worker.stop(grace=grace)

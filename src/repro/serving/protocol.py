@@ -29,13 +29,29 @@ Operations (see ``docs/SERVING.md`` for the full schemas):
     Server statistics snapshot.
 ``refresh``
     Server-to-feeder: fetch the current exact value of one owned key.
+``snapshot`` / ``refresh_key``
+    Gateway-to-partition internals: read a partition's cached intervals
+    for a query (counting hits exactly as a local query would) and
+    perform one query-initiated refresh on the owning partition, so the
+    *gateway* can run the global refresh selection over partitioned keys.
+
+Every operation has a **typed message class** (frozen dataclasses below)
+with ``to_wire()`` / ``from_wire()`` codecs.  The dataclasses are the API;
+the dicts are the wire.  The codecs reproduce the historical dict layouts
+*byte for byte* — field order, conditional omission, and all — which is
+pinned by the golden-frame test (``tests/test_protocol_typed.py``) so the
+typed redesign cannot silently change what goes on the wire.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import struct
-from typing import Any, Dict
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Hashable, Optional, Tuple, Type
+
+from repro.queries.aggregates import AggregateKind
 
 #: Frame header: one network-order unsigned 32-bit payload length.
 HEADER = struct.Struct(">I")
@@ -89,3 +105,497 @@ def error_response(request_id: Any, message: str) -> Dict[str, Any]:
 def is_request(message: Dict[str, Any]) -> bool:
     """Whether a decoded frame is a request (carries ``op``) or a response."""
     return "op" in message
+
+
+# ---------------------------------------------------------------------------
+# Typed messages
+# ---------------------------------------------------------------------------
+#
+# Requests serialise as ``{"op": OP, "id": <id>, **wire_fields()}`` and
+# responses as ``wire_fields()`` alone — the dispatcher appends ``id`` and
+# ``ok`` after the payload, which is where they always sat.  ``from_wire``
+# tolerates the envelope keys (``op``/``id``/``ok``) so a decoded frame can
+# be parsed directly.
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base of all typed requests (messages that carry an ``op``)."""
+
+    OP: ClassVar[str] = ""
+
+    def wire_fields(self) -> Dict[str, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def to_wire(self, request_id: Optional[int] = None) -> Dict[str, Any]:
+        """The wire dict, byte-identical to the historical hand-built one."""
+        message: Dict[str, Any] = {"op": self.OP}
+        if request_id is not None:
+            message["id"] = request_id
+        message.update(self.wire_fields())
+        return message
+
+
+@dataclass(frozen=True)
+class Response:
+    """Base of all typed responses (matched to a request by ``id``)."""
+
+    def wire_fields(self) -> Dict[str, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The response payload; the dispatcher appends ``id`` and ``ok``."""
+        return self.wire_fields()
+
+
+@dataclass(frozen=True)
+class RegisterFeeder(Request):
+    """A feeder announces (or, with ``resync``, re-adopts) its keys."""
+
+    OP: ClassVar[str] = "register"
+
+    keys: Tuple[Hashable, ...]
+    values: Tuple[float, ...]
+    feeder: Optional[str] = None
+    resync: bool = False
+    time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keys", tuple(self.keys))
+        object.__setattr__(self, "values", tuple(self.values))
+        if len(self.keys) != len(self.values):
+            raise ProtocolError("register needs one value per key")
+        if self.resync and self.feeder is None:
+            raise ProtocolError("a resync registration needs a feeder identity")
+
+    def wire_fields(self) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {
+            "keys": list(self.keys),
+            "values": list(self.values),
+        }
+        if self.feeder is not None:
+            fields["feeder"] = self.feeder
+        if self.resync:
+            fields["resync"] = True
+            fields["time"] = self.time
+        return fields
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "RegisterFeeder":
+        try:
+            keys = frame["keys"]
+            values = frame["values"]
+        except KeyError as exc:
+            raise ProtocolError(f"register frame missing {exc}") from None
+        feeder = frame.get("feeder")
+        return cls(
+            keys=tuple(keys),
+            values=tuple(values),
+            feeder=None if feeder is None else str(feeder),
+            resync=bool(frame.get("resync")),
+            time=frame.get("time"),
+        )
+
+
+@dataclass(frozen=True)
+class Update(Request):
+    """One source value changed."""
+
+    OP: ClassVar[str] = "update"
+
+    key: Hashable
+    value: float
+    time: Optional[float] = None
+
+    def wire_fields(self) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {"key": self.key, "value": self.value}
+        if self.time is not None:
+            fields["time"] = self.time
+        return fields
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "Update":
+        try:
+            key = frame["key"]
+            value = frame["value"]
+        except KeyError as exc:
+            raise ProtocolError(f"update frame missing {exc}") from None
+        return cls(key=key, value=float(value), time=frame.get("time"))
+
+
+@dataclass(frozen=True)
+class UpdateBatch(Request):
+    """Many source values changed at one trace instant."""
+
+    OP: ClassVar[str] = "update_batch"
+
+    updates: Tuple[Tuple[Hashable, float], ...]
+    time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "updates", tuple((key, float(value)) for key, value in self.updates)
+        )
+
+    def wire_fields(self) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {
+            "updates": [[key, value] for key, value in self.updates]
+        }
+        if self.time is not None:
+            fields["time"] = self.time
+        return fields
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "UpdateBatch":
+        try:
+            updates = frame["updates"]
+        except KeyError as exc:
+            raise ProtocolError(f"update_batch frame missing {exc}") from None
+        return cls(
+            updates=tuple((key, value) for key, value in updates),
+            time=frame.get("time"),
+        )
+
+
+@dataclass(frozen=True)
+class QueryRequest(Request):
+    """A bounded aggregate over ``keys`` under a precision ``constraint``."""
+
+    OP: ClassVar[str] = "query"
+
+    keys: Tuple[Hashable, ...]
+    aggregate: AggregateKind = AggregateKind.SUM
+    constraint: float = math.inf
+    time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keys", tuple(self.keys))
+
+    def wire_fields(self) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {
+            "keys": list(self.keys),
+            "aggregate": self.aggregate.name,
+            "constraint": self.constraint,
+        }
+        if self.time is not None:
+            fields["time"] = self.time
+        return fields
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "QueryRequest":
+        try:
+            keys = frame["keys"]
+        except KeyError as exc:
+            raise ProtocolError(f"query frame missing {exc}") from None
+        try:
+            aggregate = AggregateKind[str(frame.get("aggregate", "SUM")).upper()]
+        except KeyError:
+            raise ProtocolError(
+                f"unknown aggregate {frame.get('aggregate')!r}"
+            ) from None
+        return cls(
+            keys=tuple(keys),
+            aggregate=aggregate,
+            constraint=float(frame.get("constraint", "inf")),
+            time=frame.get("time"),
+        )
+
+
+@dataclass(frozen=True)
+class StatsRequest(Request):
+    """Ask for the server's statistics snapshot (a plain mapping reply)."""
+
+    OP: ClassVar[str] = "stats"
+
+    def wire_fields(self) -> Dict[str, Any]:
+        return {}
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "StatsRequest":
+        return cls()
+
+
+@dataclass(frozen=True)
+class Refresh(Request):
+    """Server-to-feeder: fetch the current exact value of one owned key."""
+
+    OP: ClassVar[str] = "refresh"
+
+    key: Hashable
+
+    def wire_fields(self) -> Dict[str, Any]:
+        return {"key": self.key}
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "Refresh":
+        try:
+            return cls(key=frame["key"])
+        except KeyError as exc:
+            raise ProtocolError(f"refresh frame missing {exc}") from None
+
+
+@dataclass(frozen=True)
+class Snapshot(Request):
+    """Gateway-to-partition: read cached intervals for a query's keys.
+
+    Counts cache hits/misses and feeds the policy's read observers exactly
+    as the local-query snapshot phase does — the gateway then runs the
+    *global* refresh selection over the union of partition snapshots.
+    """
+
+    OP: ClassVar[str] = "snapshot"
+
+    keys: Tuple[Hashable, ...]
+    constraint: float = math.inf
+    time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keys", tuple(self.keys))
+
+    def wire_fields(self) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {
+            "keys": list(self.keys),
+            "constraint": self.constraint,
+        }
+        if self.time is not None:
+            fields["time"] = self.time
+        return fields
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "Snapshot":
+        try:
+            keys = frame["keys"]
+        except KeyError as exc:
+            raise ProtocolError(f"snapshot frame missing {exc}") from None
+        return cls(
+            keys=tuple(keys),
+            constraint=float(frame.get("constraint", "inf")),
+            time=frame.get("time"),
+        )
+
+
+@dataclass(frozen=True)
+class RefreshKey(Request):
+    """Gateway-to-partition: one query-initiated refresh of an owned key."""
+
+    OP: ClassVar[str] = "refresh_key"
+
+    key: Hashable
+    time: Optional[float] = None
+
+    def wire_fields(self) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {"key": self.key}
+        if self.time is not None:
+            fields["time"] = self.time
+        return fields
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "RefreshKey":
+        try:
+            return cls(key=frame["key"], time=frame.get("time"))
+        except KeyError as exc:
+            raise ProtocolError(f"refresh_key frame missing {exc}") from None
+
+
+@dataclass(frozen=True)
+class RegisterAck(Response):
+    """Reply to ``register``: count adopted, session epoch, resync refreshes."""
+
+    registered: int
+    epoch: Optional[int] = None
+    refreshes: Optional[int] = None
+
+    def wire_fields(self) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {"registered": self.registered}
+        if self.epoch is not None:
+            fields["epoch"] = self.epoch
+        if self.refreshes is not None:
+            fields["refreshes"] = self.refreshes
+        return fields
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "RegisterAck":
+        return cls(
+            registered=int(frame.get("registered", 0)),
+            epoch=frame.get("epoch"),
+            refreshes=frame.get("refreshes"),
+        )
+
+
+@dataclass(frozen=True)
+class UpdateAck(Response):
+    """Reply to ``update``: whether it fired a value-initiated refresh."""
+
+    refresh: bool
+
+    def wire_fields(self) -> Dict[str, Any]:
+        return {"refresh": self.refresh}
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "UpdateAck":
+        return cls(refresh=bool(frame.get("refresh")))
+
+
+@dataclass(frozen=True)
+class UpdateBatchAck(Response):
+    """Reply to ``update_batch``: value-initiated refreshes fired."""
+
+    refreshes: int
+
+    def wire_fields(self) -> Dict[str, Any]:
+        return {"refreshes": self.refreshes}
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "UpdateBatchAck":
+        return cls(refreshes=int(frame.get("refreshes", 0)))
+
+
+@dataclass(frozen=True)
+class BoundedAnswer(Response):
+    """Reply to ``query``: the bounded aggregate plus per-query accounting."""
+
+    low: float
+    high: float
+    refreshed: Tuple[Hashable, ...] = ()
+    hits: int = 0
+    misses: int = 0
+    degraded: bool = False
+    degraded_keys: Tuple[Hashable, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "refreshed", tuple(self.refreshed))
+        object.__setattr__(self, "degraded_keys", tuple(self.degraded_keys))
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def wire_fields(self) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {
+            "low": self.low,
+            "high": self.high,
+            "refreshed": list(self.refreshed),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+        if self.degraded:
+            fields["degraded"] = True
+            fields["degraded_keys"] = list(self.degraded_keys)
+        return fields
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "BoundedAnswer":
+        try:
+            low = frame["low"]
+            high = frame["high"]
+        except KeyError as exc:
+            raise ProtocolError(f"query reply missing {exc}") from None
+        return cls(
+            low=float(low),
+            high=float(high),
+            refreshed=tuple(frame.get("refreshed", ())),
+            hits=int(frame.get("hits", 0)),
+            misses=int(frame.get("misses", 0)),
+            degraded=bool(frame.get("degraded")),
+            degraded_keys=tuple(frame.get("degraded_keys", ())),
+        )
+
+
+@dataclass(frozen=True)
+class RefreshValue(Response):
+    """A feeder's reply to ``refresh``: the current exact value."""
+
+    value: float
+
+    def wire_fields(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "RefreshValue":
+        try:
+            return cls(value=float(frame["value"]))
+        except KeyError as exc:
+            raise ProtocolError(f"refresh reply missing {exc}") from None
+
+
+@dataclass(frozen=True)
+class SnapshotReply(Response):
+    """Reply to ``snapshot``: cached intervals plus down-key annotations.
+
+    ``intervals`` aligns with the request's keys.  ``down`` lists indices
+    (into the request's keys) whose owner is currently down, and
+    ``down_intervals`` their honest degraded bounds — both omitted on the
+    wire when every key is live, which is the bit-identical fast path.
+    """
+
+    intervals: Tuple[Tuple[float, float], ...]
+    hits: int = 0
+    down: Tuple[int, ...] = ()
+    down_intervals: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "intervals", tuple((low, high) for low, high in self.intervals)
+        )
+        object.__setattr__(self, "down", tuple(self.down))
+        object.__setattr__(
+            self,
+            "down_intervals",
+            tuple((low, high) for low, high in self.down_intervals),
+        )
+
+    def wire_fields(self) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {
+            "intervals": [[low, high] for low, high in self.intervals],
+            "hits": self.hits,
+        }
+        if self.down:
+            fields["down"] = list(self.down)
+            fields["down_intervals"] = [
+                [low, high] for low, high in self.down_intervals
+            ]
+        return fields
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "SnapshotReply":
+        try:
+            intervals = frame["intervals"]
+        except KeyError as exc:
+            raise ProtocolError(f"snapshot reply missing {exc}") from None
+        return cls(
+            intervals=tuple((low, high) for low, high in intervals),
+            hits=int(frame.get("hits", 0)),
+            down=tuple(frame.get("down", ())),
+            down_intervals=tuple(
+                (low, high) for low, high in frame.get("down_intervals", ())
+            ),
+        )
+
+
+#: Request classes by wire operation name (the dispatch registry).
+REQUEST_TYPES: Dict[str, Type[Request]] = {
+    cls.OP: cls
+    for cls in (
+        RegisterFeeder,
+        Update,
+        UpdateBatch,
+        QueryRequest,
+        StatsRequest,
+        Refresh,
+        Snapshot,
+        RefreshKey,
+    )
+}
+
+
+def parse_request(frame: Dict[str, Any]) -> Optional[Request]:
+    """Parse a decoded request frame into its typed message.
+
+    Returns ``None`` for an unknown operation (the dispatcher's error reply
+    carries the op name); raises :class:`ProtocolError` for a frame whose
+    shape violates the operation's schema.
+    """
+    request_type = REQUEST_TYPES.get(frame.get("op"))
+    if request_type is None:
+        return None
+    return request_type.from_wire(frame)

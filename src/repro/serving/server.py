@@ -55,23 +55,39 @@ import asyncio
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Set
+from typing import Any, ClassVar, Dict, FrozenSet, Hashable, List, Optional, Set
 
 from repro.caching.cache import ApproximateCache
 from repro.caching.eviction import EvictionPolicy
 from repro.caching.policies.base import PrecisionPolicy
 from repro.caching.source import DataSource
 from repro.intervals.interval import UNBOUNDED, Interval
-from repro.queries.aggregates import AggregateKind, aggregate_bound, sum_bound
-from repro.serving.execution import execute_bounded_query_async
-from repro.serving.protocol import ProtocolError, error_response
+from repro.serving.execution import execute_partitioned_query
+from repro.serving.protocol import (
+    BoundedAnswer,
+    ProtocolError,
+    QueryRequest,
+    Refresh,
+    RefreshKey,
+    RegisterAck,
+    RegisterFeeder,
+    Response,
+    Snapshot,
+    SnapshotReply,
+    StatsRequest,
+    Update,
+    UpdateAck,
+    UpdateBatch,
+    UpdateBatchAck,
+    error_response,
+    parse_request,
+)
 from repro.serving.transport import (
     DEFAULT_LOOPBACK_BUFFER,
     LoopbackFrameTransport,
     StreamFrameTransport,
     loopback_pair,
 )
-from repro.sharding.aggregates import merge_aggregate_bounds
 from repro.sharding.coordinator import ShardedCacheCoordinator
 from repro.simulation.network import NetworkModel
 
@@ -100,6 +116,7 @@ class ServingStatistics:
     queries_degraded: int = 0
     stale_epoch_rejections: int = 0
     feeder_resyncs: int = 0
+    partition_restarts: int = 0
 
     @property
     def refresh_count(self) -> int:
@@ -192,134 +209,39 @@ class _Connection:
         self.pending.clear()
 
 
-class CacheServer:
-    """An online approximate cache speaking the serving protocol.
+class BaseFrameServer:
+    """Connection plumbing shared by :class:`CacheServer` and the gateway.
 
-    Parameters
-    ----------
-    policy:
-        The precision policy deciding refreshed approximations (shared with
-        the offline simulator; e.g. the paper's adaptive policy).
-    shards:
-        ``1`` hosts a single :class:`ApproximateCache`; larger values front
-        a hash-partitioned :class:`ShardedCacheCoordinator` exactly as
-        ``SimulationConfig.shards`` does offline.
-    capacity / eviction_policy:
-        Cache size ``kappa`` and victim-selection override.
-    value_refresh_cost / query_refresh_cost:
-        ``C_vr`` / ``C_qr`` charged per refresh into the Omega-style cost.
-    latency_per_message:
-        Optional modelled per-message delay forwarded to the
-        :class:`NetworkModel` latency accounting.
-    max_inflight_queries / admission_queue_limit / write_queue_limit:
-        Admission control and backpressure knobs (see the module docstring).
-    refresh_timeout:
-        Deadline in seconds on each refresh RPC to a feeder.  Bounds the
-        damage of a connected-but-unresponsive feeder: the feeder is fenced
-        as down, the query answers degraded from the mirror and releases
-        its admission slot instead of wedging forever.  ``None`` disables
-        the deadline.
-    degraded_slack:
-        Safety multiplier on the per-key drift model used to widen answers
-        over keys whose owning feeder is down (see the module docstring).
-        Must be at least 1; larger values give wider but safer degraded
-        intervals.
+    Owns everything about *serving framed connections* — accepting them
+    (loopback and TCP), the per-connection read loop, bounded write-behind,
+    teardown ordering, feeder-epoch fencing, and the server-initiated
+    refresh RPC — while leaving *what the operations mean* to the
+    subclass's ``_dispatch``.  The subclass provides a ``statistics``
+    object with ``connections_opened`` / ``connections_closed`` /
+    ``refresh_rpcs`` / ``stale_epoch_rejections`` counters and may override
+    the ``_connection_lost`` / ``_connection_removed`` teardown hooks.
     """
+
+    #: Operations dispatched as tasks so the connection's read loop stays
+    #: free to deliver refresh-RPC responses (see ``serve_transport``).
+    _TASK_OPS: ClassVar[FrozenSet[str]] = frozenset({"query"})
 
     def __init__(
         self,
-        policy: PrecisionPolicy,
         *,
-        shards: int = 1,
-        capacity: Optional[int] = None,
-        eviction_policy: Optional[EvictionPolicy] = None,
-        value_refresh_cost: float = 1.0,
-        query_refresh_cost: float = 2.0,
-        latency_per_message: float = 0.0,
-        max_inflight_queries: int = DEFAULT_MAX_INFLIGHT_QUERIES,
-        admission_queue_limit: int = DEFAULT_ADMISSION_QUEUE_LIMIT,
         write_queue_limit: int = DEFAULT_WRITE_QUEUE_LIMIT,
         refresh_timeout: Optional[float] = DEFAULT_REFRESH_TIMEOUT,
-        degraded_slack: float = DEFAULT_DEGRADED_SLACK,
     ) -> None:
-        if shards < 1:
-            raise ValueError("shards must be at least 1")
-        if refresh_timeout is not None and refresh_timeout <= 0:
-            raise ValueError("refresh_timeout must be positive (or None)")
-        if degraded_slack < 1.0:
-            raise ValueError("degraded_slack must be at least 1")
-        if max_inflight_queries < 1:
-            raise ValueError("max_inflight_queries must be at least 1")
-        if admission_queue_limit < 0:
-            raise ValueError("admission_queue_limit must be non-negative")
         if write_queue_limit < 1:
             raise ValueError("write_queue_limit must be at least 1")
-        self._policy = policy
-        if shards > 1:
-            self._cache = ShardedCacheCoordinator(
-                shard_count=shards,
-                capacity=capacity,
-                eviction_policy_factory=(
-                    None if eviction_policy is None else (lambda index: eviction_policy)
-                ),
-            )
-        else:
-            self._cache = ApproximateCache(
-                capacity=capacity, eviction_policy=eviction_policy
-            )
-        self._network = NetworkModel(
-            value_refresh_cost=value_refresh_cost,
-            query_refresh_cost=query_refresh_cost,
-            latency_per_message=latency_per_message,
-        )
-        self._sources: Dict[Hashable, DataSource] = {}
-        self._owners: Dict[Hashable, _Connection] = {}
-        self._feeder_epochs: Dict[str, int] = {}
-        self._down_since: Dict[Hashable, float] = {}
-        self._drift: Dict[Hashable, _KeyDrift] = {}
-        self._degraded_slack = degraded_slack
-        self._clock = 0.0
-        self._notify_on_eviction = policy.notifies_source_on_eviction()
-        policy_type = type(policy)
-        self._policy_observes_writes = (
-            policy_type.record_write is not PrecisionPolicy.record_write
-        )
-        self._policy_observes_reads = (
-            policy_type.record_read is not PrecisionPolicy.record_read
-            or policy_type.record_constraint is not PrecisionPolicy.record_constraint
-        )
-        self._refresh_timeout = refresh_timeout
-        self._query_gate = asyncio.Semaphore(max_inflight_queries)
-        self._admission_queue_limit = admission_queue_limit
-        self._admission_waiting = 0
+        if refresh_timeout is not None and refresh_timeout <= 0:
+            raise ValueError("refresh_timeout must be positive (or None)")
         self._write_queue_limit = write_queue_limit
-        self.statistics = ServingStatistics()
+        self._refresh_timeout = refresh_timeout
+        self._feeder_epochs: Dict[str, int] = {}
         self._connections: Set[_Connection] = set()
         self._serve_tasks: Set[asyncio.Task] = set()
         self._tcp_server: Optional[asyncio.AbstractServer] = None
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-    @property
-    def cache(self):
-        """The hosted cache (single or sharded; same surface)."""
-        return self._cache
-
-    @property
-    def network(self) -> NetworkModel:
-        """The cost/latency accounting model."""
-        return self._network
-
-    @property
-    def sources(self) -> Dict[Hashable, DataSource]:
-        """The server-side source mirrors, keyed by value id."""
-        return self._sources
-
-    @property
-    def clock(self) -> float:
-        """The server's logical clock (running maximum of stamped times)."""
-        return self._clock
 
     # ------------------------------------------------------------------
     # Accepting connections
@@ -371,10 +293,10 @@ class CacheServer:
                 if frame is None:
                     break
                 if "op" in frame:
-                    if frame.get("op") == "query":
-                        # Queries run as tasks so the connection's read loop
-                        # stays free to deliver refresh-RPC responses — in
-                        # particular when a query's refresh targets a key
+                    if frame.get("op") in self._TASK_OPS:
+                        # These ops run as tasks so the connection's read
+                        # loop stays free to deliver refresh-RPC responses —
+                        # in particular when a query's refresh targets a key
                         # owned by the *querying* connection itself, which
                         # would otherwise deadlock.  Updates stay inline so
                         # their per-connection ordering is preserved.
@@ -400,15 +322,12 @@ class CacheServer:
         # this connection are dropped silently.
         connection.closing = True
         connection.fail_pending(ConnectionResetError("feeder connection closed"))
-        self._mark_connection_down(connection)
+        await self._connection_lost(connection)
         if connection.request_tasks:
             await asyncio.gather(
                 *list(connection.request_tasks), return_exceptions=True
             )
-        for key in connection.keys:
-            if self._owners.get(key) is connection:
-                del self._owners[key]
-        connection.keys.clear()
+        self._connection_removed(connection)
         if connection.writer_task is not None:
             # Stop the writer; bypass the bounded outbox so shutdown cannot
             # deadlock behind backpressure.
@@ -425,6 +344,13 @@ class CacheServer:
         self._connections.discard(connection)
         self.statistics.connections_closed += 1
 
+    async def _connection_lost(self, connection: _Connection) -> None:
+        """Hook: the connection is closing; pending RPCs just failed."""
+
+    def _connection_removed(self, connection: _Connection) -> None:
+        """Hook: in-flight tasks done; release key ownership state."""
+        connection.keys.clear()
+
     async def close(self) -> None:
         """Close every connection and stop accepting new ones."""
         if self._tcp_server is not None:
@@ -440,23 +366,240 @@ class CacheServer:
                 pass
 
     # ------------------------------------------------------------------
+    # Dispatch (subclass responsibility)
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, connection: _Connection, frame: Dict[str, Any]
+    ) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Feeder-epoch fencing
+    # ------------------------------------------------------------------
+    def _connection_fenced(self, connection: _Connection) -> bool:
+        """Whether a newer session superseded this feeder connection."""
+        feeder = connection.feeder_id
+        return (
+            feeder is not None and self._feeder_epochs.get(feeder) != connection.epoch
+        )
+
+    def _reject_stale(self) -> Dict[str, Any]:
+        self.statistics.stale_epoch_rejections += 1
+        return {
+            "ok": False,
+            "error": "stale feeder epoch: a newer session registered this feeder",
+            "stale_epoch": True,
+        }
+
+    # ------------------------------------------------------------------
+    # Server-initiated refresh RPCs
+    # ------------------------------------------------------------------
+    async def _refresh_rpc(self, owner: _Connection, key: Hashable) -> float:
+        rpc_id = next(owner.rpc_ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        owner.pending[rpc_id] = future
+        self.statistics.refresh_rpcs += 1
+        try:
+            await owner.send(Refresh(key=key).to_wire(rpc_id))
+            if self._refresh_timeout is None:
+                return float(await future)
+            try:
+                return float(await asyncio.wait_for(future, self._refresh_timeout))
+            except asyncio.TimeoutError:
+                raise ConnectionResetError(
+                    f"refresh of {key!r} timed out after "
+                    f"{self._refresh_timeout:g}s (unresponsive feeder)"
+                ) from None
+        finally:
+            owner.pending.pop(rpc_id, None)
+
+    def _complete_refresh_rpc(
+        self, connection: _Connection, frame: Dict[str, Any]
+    ) -> None:
+        future = connection.pending.get(frame.get("id"))
+        if future is None or future.done():
+            return
+        if self._connection_fenced(connection):
+            # A reconnect superseded this session mid-RPC; its value may
+            # predate the resync and must not be trusted as exact.
+            self.statistics.stale_epoch_rejections += 1
+            future.set_exception(
+                ConnectionResetError("refresh answered by a stale feeder epoch")
+            )
+            return
+        if frame.get("ok", True) and "value" in frame:
+            future.set_result(frame["value"])
+        else:
+            future.set_exception(
+                ConnectionResetError(
+                    f"refresh rejected by feeder: {frame.get('error', 'no value')}"
+                )
+            )
+
+
+class CacheServer(BaseFrameServer):
+    """An online approximate cache speaking the serving protocol.
+
+    Parameters
+    ----------
+    policy:
+        The precision policy deciding refreshed approximations (shared with
+        the offline simulator; e.g. the paper's adaptive policy).
+    shards:
+        ``1`` hosts a single :class:`ApproximateCache`; larger values front
+        a hash-partitioned :class:`ShardedCacheCoordinator` exactly as
+        ``SimulationConfig.shards`` does offline.
+    capacity / eviction_policy:
+        Cache size ``kappa`` and victim-selection override.
+    value_refresh_cost / query_refresh_cost:
+        ``C_vr`` / ``C_qr`` charged per refresh into the Omega-style cost.
+    latency_per_message:
+        Optional modelled per-message delay forwarded to the
+        :class:`NetworkModel` latency accounting.
+    max_inflight_queries / admission_queue_limit / write_queue_limit:
+        Admission control and backpressure knobs (see the module docstring).
+    refresh_timeout:
+        Deadline in seconds on each refresh RPC to a feeder.  Bounds the
+        damage of a connected-but-unresponsive feeder: the feeder is fenced
+        as down, the query answers degraded from the mirror and releases
+        its admission slot instead of wedging forever.  ``None`` disables
+        the deadline.
+    degraded_slack:
+        Safety multiplier on the per-key drift model used to widen answers
+        over keys whose owning feeder is down (see the module docstring).
+        Must be at least 1; larger values give wider but safer degraded
+        intervals.
+    """
+
+    def __init__(
+        self,
+        policy: PrecisionPolicy,
+        *,
+        shards: int = 1,
+        capacity: Optional[int] = None,
+        eviction_policy: Optional[EvictionPolicy] = None,
+        value_refresh_cost: float = 1.0,
+        query_refresh_cost: float = 2.0,
+        latency_per_message: float = 0.0,
+        max_inflight_queries: int = DEFAULT_MAX_INFLIGHT_QUERIES,
+        admission_queue_limit: int = DEFAULT_ADMISSION_QUEUE_LIMIT,
+        write_queue_limit: int = DEFAULT_WRITE_QUEUE_LIMIT,
+        refresh_timeout: Optional[float] = DEFAULT_REFRESH_TIMEOUT,
+        degraded_slack: float = DEFAULT_DEGRADED_SLACK,
+    ) -> None:
+        super().__init__(
+            write_queue_limit=write_queue_limit, refresh_timeout=refresh_timeout
+        )
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if degraded_slack < 1.0:
+            raise ValueError("degraded_slack must be at least 1")
+        if max_inflight_queries < 1:
+            raise ValueError("max_inflight_queries must be at least 1")
+        if admission_queue_limit < 0:
+            raise ValueError("admission_queue_limit must be non-negative")
+        self._policy = policy
+        if shards > 1:
+            self._cache = ShardedCacheCoordinator(
+                shard_count=shards,
+                capacity=capacity,
+                eviction_policy_factory=(
+                    None if eviction_policy is None else (lambda index: eviction_policy)
+                ),
+            )
+        else:
+            self._cache = ApproximateCache(
+                capacity=capacity, eviction_policy=eviction_policy
+            )
+        self._network = NetworkModel(
+            value_refresh_cost=value_refresh_cost,
+            query_refresh_cost=query_refresh_cost,
+            latency_per_message=latency_per_message,
+        )
+        self._sources: Dict[Hashable, DataSource] = {}
+        self._owners: Dict[Hashable, _Connection] = {}
+        self._down_since: Dict[Hashable, float] = {}
+        self._drift: Dict[Hashable, _KeyDrift] = {}
+        self._degraded_slack = degraded_slack
+        self._clock = 0.0
+        self._notify_on_eviction = policy.notifies_source_on_eviction()
+        policy_type = type(policy)
+        self._policy_observes_writes = (
+            policy_type.record_write is not PrecisionPolicy.record_write
+        )
+        self._policy_observes_reads = (
+            policy_type.record_read is not PrecisionPolicy.record_read
+            or policy_type.record_constraint is not PrecisionPolicy.record_constraint
+        )
+        self._query_gate = asyncio.Semaphore(max_inflight_queries)
+        self._admission_queue_limit = admission_queue_limit
+        self._admission_waiting = 0
+        self.statistics = ServingStatistics()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache(self):
+        """The hosted cache (single or sharded; same surface)."""
+        return self._cache
+
+    @property
+    def network(self) -> NetworkModel:
+        """The cost/latency accounting model."""
+        return self._network
+
+    @property
+    def sources(self) -> Dict[Hashable, DataSource]:
+        """The server-side source mirrors, keyed by value id."""
+        return self._sources
+
+    @property
+    def clock(self) -> float:
+        """The server's logical clock (running maximum of stamped times)."""
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle hooks (the base class owns the machinery)
+    # ------------------------------------------------------------------
+    _TASK_OPS: ClassVar[FrozenSet[str]] = frozenset({"query", "refresh_key"})
+
+    async def _connection_lost(self, connection: _Connection) -> None:
+        self._mark_connection_down(connection)
+
+    def _connection_removed(self, connection: _Connection) -> None:
+        for key in connection.keys:
+            if self._owners.get(key) is connection:
+                del self._owners[key]
+        connection.keys.clear()
+
+    # ------------------------------------------------------------------
     # Request dispatch
     # ------------------------------------------------------------------
     async def _dispatch(self, connection: _Connection, frame: Dict[str, Any]) -> None:
         op = frame.get("op")
         request_id = frame.get("id")
         try:
-            if op == "update":
-                reply = self._handle_update(connection, frame)
-            elif op == "update_batch":
-                reply = self._handle_update_batch(connection, frame)
-            elif op == "query":
-                reply = await self._handle_query(frame)
-            elif op == "register":
-                reply = self._handle_register(connection, frame)
-            elif op == "stats":
+            request = parse_request(frame)
+            if request is None:
+                reply = error_response(request_id, f"unknown operation {op!r}")
+            elif isinstance(request, Update):
+                reply = self._handle_update(connection, request)
+            elif isinstance(request, UpdateBatch):
+                reply = self._handle_update_batch(connection, request)
+            elif isinstance(request, QueryRequest):
+                reply = await self._handle_query(request)
+            elif isinstance(request, RegisterFeeder):
+                reply = self._handle_register(connection, request)
+            elif isinstance(request, Snapshot):
+                reply = self._handle_snapshot(request)
+            elif isinstance(request, RefreshKey):
+                reply = await self._handle_refresh_key(request)
+            elif isinstance(request, StatsRequest):
                 reply = self._handle_stats()
             else:
+                # ``refresh`` is a server-to-feeder op; a client sending it
+                # gets the same reply an unknown op always got.
                 reply = error_response(request_id, f"unknown operation {op!r}")
         except ConnectionResetError:
             reply = error_response(request_id, "refresh fetch failed: feeder gone")
@@ -467,6 +610,8 @@ class CacheServer:
             # CancelledError is a BaseException and still propagates.
             reply = error_response(request_id, f"{type(exc).__name__}: {exc}")
         if request_id is not None:
+            if isinstance(reply, Response):
+                reply = reply.to_wire()
             reply.setdefault("id", request_id)
             reply.setdefault("ok", True)
             await connection.send(reply)
@@ -475,37 +620,30 @@ class CacheServer:
     # Feeder operations
     # ------------------------------------------------------------------
     def _handle_register(
-        self, connection: _Connection, frame: Dict[str, Any]
-    ) -> Dict[str, Any]:
-        keys = frame["keys"]
-        values = frame["values"]
-        if len(keys) != len(values):
-            raise ProtocolError("register needs one value per key")
-        feeder = frame.get("feeder")
-        resync = bool(frame.get("resync"))
-        if resync and feeder is None:
-            raise ProtocolError("a resync registration needs a feeder identity")
-        reply: Dict[str, Any] = {"registered": len(keys)}
-        if feeder is not None:
+        self, connection: _Connection, request: RegisterFeeder
+    ) -> RegisterAck:
+        epoch: Optional[int] = None
+        refreshes: Optional[int] = None
+        if request.feeder is not None:
             # Mint the next epoch for this feeder identity: any previous
             # session holding it is fenced off from now on.
-            epoch = self._feeder_epochs.get(str(feeder), 0) + 1
-            self._feeder_epochs[str(feeder)] = epoch
-            connection.feeder_id = str(feeder)
+            epoch = self._feeder_epochs.get(request.feeder, 0) + 1
+            self._feeder_epochs[request.feeder] = epoch
+            connection.feeder_id = request.feeder
             connection.epoch = epoch
-            reply["epoch"] = epoch
-        if resync:
-            time = self._advance_clock(frame.get("time"))
+        if request.resync:
+            time = self._advance_clock(request.time)
             refreshes = 0
-            for key, value in zip(keys, values):
+            for key, value in zip(request.keys, request.values):
                 if self._resync_key(connection, key, float(value), time):
                     refreshes += 1
             self.statistics.feeder_resyncs += 1
-            reply["refreshes"] = refreshes
         else:
-            for key, value in zip(keys, values):
+            for key, value in zip(request.keys, request.values):
                 self._register_key(connection, key, float(value))
-        return reply
+        return RegisterAck(
+            registered=len(request.keys), epoch=epoch, refreshes=refreshes
+        )
 
     def _register_key(
         self, connection: _Connection, key: Hashable, value: float
@@ -553,43 +691,24 @@ class CacheServer:
         self._down_since.pop(key, None)
         return self._apply_update(connection, key, value, time)
 
-    def _handle_update(
-        self, connection: _Connection, frame: Dict[str, Any]
-    ) -> Dict[str, Any]:
+    def _handle_update(self, connection: _Connection, request: Update) -> Any:
         if self._connection_fenced(connection):
             return self._reject_stale()
-        time = self._advance_clock(frame.get("time"))
-        refreshed = self._apply_update(
-            connection, frame["key"], float(frame["value"]), time
-        )
-        return {"refresh": refreshed}
+        time = self._advance_clock(request.time)
+        refreshed = self._apply_update(connection, request.key, request.value, time)
+        return UpdateAck(refresh=refreshed)
 
     def _handle_update_batch(
-        self, connection: _Connection, frame: Dict[str, Any]
-    ) -> Dict[str, Any]:
+        self, connection: _Connection, request: UpdateBatch
+    ) -> Any:
         if self._connection_fenced(connection):
             return self._reject_stale()
-        time = self._advance_clock(frame.get("time"))
+        time = self._advance_clock(request.time)
         refreshes = 0
-        for key, value in frame["updates"]:
-            if self._apply_update(connection, key, float(value), time):
+        for key, value in request.updates:
+            if self._apply_update(connection, key, value, time):
                 refreshes += 1
-        return {"refreshes": refreshes}
-
-    def _connection_fenced(self, connection: _Connection) -> bool:
-        """Whether a newer session superseded this feeder connection."""
-        feeder = connection.feeder_id
-        return (
-            feeder is not None and self._feeder_epochs.get(feeder) != connection.epoch
-        )
-
-    def _reject_stale(self) -> Dict[str, Any]:
-        self.statistics.stale_epoch_rejections += 1
-        return {
-            "ok": False,
-            "error": "stale feeder epoch: a newer session registered this feeder",
-            "stale_epoch": True,
-        }
+        return UpdateBatchAck(refreshes=refreshes)
 
     def _apply_update(
         self, connection: _Connection, key: Hashable, value: float, time: float
@@ -638,7 +757,7 @@ class CacheServer:
     # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
-    async def _handle_query(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+    async def _handle_query(self, request: QueryRequest) -> Any:
         if self._query_gate.locked():
             if self._admission_waiting >= self._admission_queue_limit:
                 self.statistics.queries_rejected += 1
@@ -655,38 +774,18 @@ class CacheServer:
         else:
             await self._query_gate.acquire()
         try:
-            return await self._execute_query(frame)
+            return await self._execute_query(request)
         finally:
             self._query_gate.release()
 
-    async def _execute_query(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        keys = frame["keys"]
+    async def _execute_query(self, request: QueryRequest) -> BoundedAnswer:
+        keys = list(request.keys)
         if not keys:
             raise ProtocolError("a query must touch at least one key")
-        kind = AggregateKind[str(frame.get("aggregate", "SUM")).upper()]
-        constraint = float(frame.get("constraint", "inf"))
-        time = self._advance_clock(frame.get("time"))
-        cache_get = self._cache.get
-        intervals = {}
-        hits = 0
-        # The workload lookups — the only cache accesses counted in the hit
-        # rate, exactly as the simulator's ``_run_query`` counts them.
-        if self._policy_observes_reads:
-            record_read = self._policy.record_read
-            record_constraint = self._policy.record_constraint
-            for key in keys:
-                entry = cache_get(key, time)
-                if entry is not None:
-                    hits += 1
-                intervals[key] = entry.interval if entry is not None else UNBOUNDED
-                record_read(key, time, served_from_cache=entry is not None)
-                record_constraint(key, constraint, time)
-        else:
-            for key in keys:
-                entry = cache_get(key, time)
-                if entry is not None:
-                    hits += 1
-                intervals[key] = entry.interval if entry is not None else UNBOUNDED
+        kind = request.aggregate
+        constraint = request.constraint
+        time = self._advance_clock(request.time)
+        intervals, hits = self._snapshot_intervals(keys, constraint, time)
 
         refreshed: List[Hashable] = []
 
@@ -705,96 +804,120 @@ class CacheServer:
         while True:
             degraded = [key for key in keys if self._key_down(key)]
             try:
-                bound = await self._run_selection(
-                    kind, keys, intervals, constraint, time, degraded, fetch_exact
+                bound = await execute_partitioned_query(
+                    kind,
+                    keys,
+                    intervals,
+                    constraint,
+                    degraded,
+                    lambda key, snapshot: self._degraded_interval(
+                        key, snapshot, time
+                    ),
+                    fetch_exact,
                 )
                 break
             except _FeederLost:
                 continue
         self.statistics.queries_served += 1
-        response = {
-            "low": bound.low,
-            "high": bound.high,
-            "refreshed": refreshed,
-            "hits": hits,
-            "misses": len(keys) - hits,
-        }
         if degraded:
             self.statistics.queries_degraded += 1
-            response["degraded"] = True
-            response["degraded_keys"] = degraded
-        return response
+        return BoundedAnswer(
+            low=bound.low,
+            high=bound.high,
+            refreshed=tuple(refreshed),
+            hits=hits,
+            misses=len(keys) - hits,
+            degraded=bool(degraded),
+            degraded_keys=tuple(degraded),
+        )
 
-    async def _run_selection(
-        self,
-        kind: AggregateKind,
-        keys: List[Hashable],
-        intervals: Dict[Hashable, Interval],
-        constraint: float,
-        time: float,
-        degraded: List[Hashable],
-        fetch_exact,
-    ) -> Interval:
-        """One selection pass; degraded keys answer from widened mirrors.
+    def _snapshot_intervals(
+        self, keys: List[Hashable], constraint: float, time: float
+    ) -> "tuple[Dict[Hashable, Interval], int]":
+        """The query's snapshot phase: cached intervals plus the hit count.
 
-        The fast path (no degraded keys) is byte-for-byte the original
-        single-cache selection, which is what keeps zero-fault replays
-        bit-identical to the offline simulator.  With degraded keys, the
-        refresh selection runs over the *live* keys only, against the
-        precision budget left after the down keys' fixed widened intervals
-        are accounted for, and the partial bounds merge through the same
-        :func:`merge_aggregate_bounds` the sharded coordinator uses.
-        Degraded keys never install into the cache and never charge refresh
-        costs — their intervals are an honest read-only estimate.
+        These lookups are the only cache accesses counted in the hit rate,
+        exactly as the simulator's ``_run_query`` counts them — and exactly
+        once per query, whether the selection then runs locally
+        (``query``) or at the gateway (``snapshot``).
         """
-        if not degraded:
-            execution = await execute_bounded_query_async(
-                kind, dict(intervals), constraint, fetch_exact
-            )
-            return execution.result_bound
-        down_set = set(degraded)
+        cache_get = self._cache.get
+        intervals: Dict[Hashable, Interval] = {}
+        hits = 0
+        if self._policy_observes_reads:
+            record_read = self._policy.record_read
+            record_constraint = self._policy.record_constraint
+            for key in keys:
+                entry = cache_get(key, time)
+                if entry is not None:
+                    hits += 1
+                intervals[key] = entry.interval if entry is not None else UNBOUNDED
+                record_read(key, time, served_from_cache=entry is not None)
+                record_constraint(key, constraint, time)
+        else:
+            for key in keys:
+                entry = cache_get(key, time)
+                if entry is not None:
+                    hits += 1
+                intervals[key] = entry.interval if entry is not None else UNBOUNDED
+        return intervals, hits
+
+    # ------------------------------------------------------------------
+    # Gateway internals: partition-side snapshot and single-key refresh
+    # ------------------------------------------------------------------
+    def _handle_snapshot(self, request: Snapshot) -> SnapshotReply:
+        """Snapshot phase of a gateway-routed query, on this partition's keys.
+
+        Counts hits and feeds the policy's read observers exactly as a
+        local query over the same keys would; the *selection* then runs at
+        the gateway over every partition's snapshot, so the global refresh
+        choice is identical to a single server holding all keys.
+        """
+        keys = list(request.keys)
+        if not keys:
+            raise ProtocolError("a snapshot must touch at least one key")
+        time = self._advance_clock(request.time)
+        intervals, hits = self._snapshot_intervals(keys, request.constraint, time)
+        down = [index for index, key in enumerate(keys) if self._key_down(key)]
         down_intervals = [
-            self._degraded_interval(key, intervals[key], time)
-            for key in keys
-            if key in down_set
+            self._degraded_interval(keys[index], intervals[keys[index]], time)
+            for index in down
         ]
-        live = {key: intervals[key] for key in keys if key not in down_set}
-        if kind is AggregateKind.AVG:
-            down_partial = sum_bound(down_intervals)
-        else:
-            down_partial = aggregate_bound(kind, down_intervals)
-        if not live:
-            return merge_aggregate_bounds(
-                kind, [down_partial], counts=[len(down_intervals)]
-            )
-        if kind in (AggregateKind.SUM, AggregateKind.AVG):
-            # SUM-space budget: what the live keys may jointly spend after
-            # the down keys' width is taken off the top.  An already-blown
-            # budget (infinite down width) keeps the original budget rather
-            # than refreshing every live key for a constraint that cannot
-            # be met anyway.
-            budget = (
-                constraint if kind is AggregateKind.SUM else constraint * len(keys)
-            )
-            down_width = down_partial.width
-            if math.isinf(down_width):
-                live_constraint = budget
-            else:
-                live_constraint = max(0.0, budget - down_width)
-            selection_kind = AggregateKind.SUM
-        else:
-            # MAX/MIN widths do not add; the live sub-selection keeps the
-            # original constraint and the merge can only widen the result.
-            live_constraint = constraint
-            selection_kind = kind
-        execution = await execute_bounded_query_async(
-            selection_kind, live, live_constraint, fetch_exact
+        return SnapshotReply(
+            intervals=tuple(
+                (intervals[key].low, intervals[key].high) for key in keys
+            ),
+            hits=hits,
+            down=tuple(down),
+            down_intervals=tuple(
+                (interval.low, interval.high) for interval in down_intervals
+            ),
         )
-        return merge_aggregate_bounds(
-            kind,
-            [execution.result_bound, down_partial],
-            counts=[len(live), len(down_intervals)],
-        )
+
+    async def _handle_refresh_key(self, request: RefreshKey) -> Dict[str, Any]:
+        """One query-initiated refresh on behalf of the gateway's selection.
+
+        Success returns ``{"value": v}`` (the exact value, now installed).
+        A down owner returns ``{"down": true, "low": .., "high": ..}`` —
+        the honest degraded interval — so the gateway can fold the key
+        into its degraded set and re-run its selection, mirroring the
+        local ``_FeederLost`` retry loop.
+        """
+        key = request.key
+        if key not in self._sources:
+            raise ProtocolError(f"refresh_key of unknown key {key!r}")
+        time = self._advance_clock(request.time)
+        try:
+            value = await self._query_initiated_refresh(key, time)
+        except _FeederLost:
+            snapshot = self._current_interval(key, time)
+            interval = self._degraded_interval(key, snapshot, time)
+            return {"down": True, "low": interval.low, "high": interval.high}
+        return {"value": value}
+
+    def _current_interval(self, key: Hashable, time: float) -> Interval:
+        """The key's cached interval *without* touching hit statistics."""
+        return self._cache.approximation(key, time, record_stats=False)
 
     def _key_down(self, key: Hashable) -> bool:
         """Whether a *registered* key currently has no live owner.
@@ -882,48 +1005,6 @@ class CacheServer:
         self.statistics.total_cost += cost
         self._install(key, decision, time)
         return source.value
-
-    async def _refresh_rpc(self, owner: _Connection, key: Hashable) -> float:
-        rpc_id = next(owner.rpc_ids)
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        owner.pending[rpc_id] = future
-        self.statistics.refresh_rpcs += 1
-        try:
-            await owner.send({"op": "refresh", "id": rpc_id, "key": key})
-            if self._refresh_timeout is None:
-                return float(await future)
-            try:
-                return float(await asyncio.wait_for(future, self._refresh_timeout))
-            except asyncio.TimeoutError:
-                raise ConnectionResetError(
-                    f"refresh of {key!r} timed out after "
-                    f"{self._refresh_timeout:g}s (unresponsive feeder)"
-                ) from None
-        finally:
-            owner.pending.pop(rpc_id, None)
-
-    def _complete_refresh_rpc(
-        self, connection: _Connection, frame: Dict[str, Any]
-    ) -> None:
-        future = connection.pending.get(frame.get("id"))
-        if future is None or future.done():
-            return
-        if self._connection_fenced(connection):
-            # A reconnect superseded this session mid-RPC; its value may
-            # predate the resync and must not be trusted as exact.
-            self.statistics.stale_epoch_rejections += 1
-            future.set_exception(
-                ConnectionResetError("refresh answered by a stale feeder epoch")
-            )
-            return
-        if frame.get("ok", True) and "value" in frame:
-            future.set_result(frame["value"])
-        else:
-            future.set_exception(
-                ConnectionResetError(
-                    f"refresh rejected by feeder: {frame.get('error', 'no value')}"
-                )
-            )
 
     # ------------------------------------------------------------------
     # Shared installation path (mirror of the simulator's ``_install``)

@@ -9,7 +9,8 @@ from repro.intervals.interval import UNBOUNDED, Interval
 from repro.queries.aggregates import AggregateKind
 from repro.queries.refresh_selection import execute_bounded_query
 from repro.serving.execution import execute_bounded_query_async
-from repro.serving.loadgen import LoadgenReport, ServingClient, percentile
+from repro.serving.api import Client
+from repro.serving.loadgen import LoadgenReport, percentile
 from repro.serving.protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
@@ -202,8 +203,8 @@ class TestCacheServer:
             async def answer(frame):
                 return {"value": feeder_values[frame["key"]]}
 
-            feeder = await ServingClient.open(server.connect(), on_request=answer)
-            client = await ServingClient.open(server.connect())
+            feeder = await Client.from_transport(server.connect(), on_request=answer)
+            client = await Client.from_transport(server.connect())
             await feeder.request("register", keys=["a", "b"], values=[10.0, 20.0])
             # Nothing cached yet: the first tight query misses and refreshes.
             response = await client.request(
@@ -236,8 +237,8 @@ class TestCacheServer:
             async def answer(frame):
                 return {"value": values[frame["key"]]}
 
-            feeder = await ServingClient.open(server.connect(), on_request=answer)
-            client = await ServingClient.open(server.connect())
+            feeder = await Client.from_transport(server.connect(), on_request=answer)
+            client = await Client.from_transport(server.connect())
             await feeder.request("register", keys=["a"], values=[0.0])
             await client.request(
                 "query", keys=["a"], aggregate="SUM", constraint=0.0, time=1.0
@@ -258,10 +259,10 @@ class TestCacheServer:
     def test_duplicate_update_is_ignored(self):
         async def scenario():
             server = _server()
-            feeder = await ServingClient.open(server.connect())
+            feeder = await Client.from_transport(server.connect())
             await feeder.request("register", keys=["a"], values=[5.0])
             await feeder.request("update", key="a", value=5.0, time=1.0)
-            stats_client = await ServingClient.open(server.connect())
+            stats_client = await Client.from_transport(server.connect())
             stats = await stats_client.request("stats")
             assert stats["updates_ignored"] == 1
             assert stats["updates_applied"] == 0
@@ -274,7 +275,7 @@ class TestCacheServer:
     def test_update_batch_applies_in_order(self):
         async def scenario():
             server = _server()
-            feeder = await ServingClient.open(server.connect())
+            feeder = await Client.from_transport(server.connect())
             response = await feeder.request(
                 "update_batch",
                 updates=[["a", 1.0], ["b", 2.0], ["a", 3.0]],
@@ -299,16 +300,16 @@ class TestCacheServer:
             async def answer(frame):
                 return {"value": 30.0}
 
-            first = await ServingClient.open(server.connect(), on_request=answer)
+            first = await Client.from_transport(server.connect(), on_request=answer)
             await first.request("register", keys=["a"], values=[10.0])
             await first.request("update", key="a", value=30.0, time=500.0)
-            client = await ServingClient.open(server.connect())
+            client = await Client.from_transport(server.connect())
             await client.request(
                 "query", keys=["a"], aggregate="SUM", constraint=0.0, time=600.0
             )
             assert server.sources["a"].last_update_time == 500.0
             await first.close()
-            second = await ServingClient.open(server.connect())
+            second = await Client.from_transport(server.connect())
             await second.request("register", keys=["a"], values=[7.0])
             source = server.sources["a"]
             assert source.value == 7.0
@@ -336,7 +337,7 @@ class TestCacheServer:
             async def answer(frame):
                 return {"value": 42.0}
 
-            peer = await ServingClient.open(server.connect(), on_request=answer)
+            peer = await Client.from_transport(server.connect(), on_request=answer)
             await peer.request("register", keys=["a"], values=[42.0])
             response = await asyncio.wait_for(
                 peer.request(
@@ -378,7 +379,7 @@ class TestCacheServer:
             transport.close()
             await asyncio.wait_for(server.close(), timeout=2.0)
             # The admission slot was released: a fresh client still queries.
-            client = await ServingClient.open(server.connect())
+            client = await Client.from_transport(server.connect())
             response = await client.request(
                 "query", keys=["a"], aggregate="SUM", constraint=0.0, time=2.0
             )
@@ -391,10 +392,10 @@ class TestCacheServer:
     def test_refresh_falls_back_to_mirror_when_feeder_gone(self):
         async def scenario():
             server = _server()
-            feeder = await ServingClient.open(server.connect())
+            feeder = await Client.from_transport(server.connect())
             await feeder.request("register", keys=["a"], values=[7.0])
             await feeder.close()
-            client = await ServingClient.open(server.connect())
+            client = await Client.from_transport(server.connect())
             response = await client.request(
                 "query", keys=["a"], aggregate="SUM", constraint=0.0, time=1.0
             )
@@ -407,7 +408,7 @@ class TestCacheServer:
     def test_unknown_operation_and_bad_query_error(self):
         async def scenario():
             server = _server()
-            client = await ServingClient.open(server.connect())
+            client = await Client.from_transport(server.connect())
             with pytest.raises(RuntimeError, match="unknown operation"):
                 await client.request("frobnicate")
             with pytest.raises(RuntimeError, match="failed"):
@@ -442,10 +443,12 @@ class TestCacheServer:
                 await gate.wait()
                 return {"value": 0.0}
 
-            feeder = await ServingClient.open(server.connect(), on_request=slow_answer)
+            feeder = await Client.from_transport(
+                server.connect(), on_request=slow_answer
+            )
             await feeder.request("register", keys=["a"], values=[0.0])
-            first_client = await ServingClient.open(server.connect())
-            second_client = await ServingClient.open(server.connect())
+            first_client = await Client.from_transport(server.connect())
+            second_client = await Client.from_transport(server.connect())
             # The first query blocks inside its refresh RPC, holding the gate.
             blocked = asyncio.ensure_future(
                 first_client.request(
@@ -473,7 +476,7 @@ class TestCacheServer:
     def test_clean_shutdown_leaves_no_tasks(self):
         async def scenario():
             server = _server()
-            client = await ServingClient.open(server.connect())
+            client = await Client.from_transport(server.connect())
             await client.request("stats")
             await client.close()
             await server.close()
@@ -497,7 +500,7 @@ class TestCacheServer:
             tcp = await server.start_tcp("127.0.0.1", 0)
             port = tcp.sockets[0].getsockname()[1]
             reader, writer = await asyncio.open_connection("127.0.0.1", port)
-            client = await ServingClient.open(StreamFrameTransport(reader, writer))
+            client = await Client.from_transport(StreamFrameTransport(reader, writer))
             stats = await client.request("stats")
             assert stats["connections"] == 1
             await client.close()
@@ -521,11 +524,11 @@ class TestCacheServer:
             async def answer(frame):
                 return {"value": values[frame["key"]]}
 
-            feeder = await ServingClient.open(server.connect(), on_request=answer)
+            feeder = await Client.from_transport(server.connect(), on_request=answer)
             await feeder.request(
                 "register", keys=keys, values=[float(i) for i in range(16)]
             )
-            client = await ServingClient.open(server.connect())
+            client = await Client.from_transport(server.connect())
             await client.request(
                 "query", keys=keys, aggregate="SUM", constraint=0.0, time=1.0
             )

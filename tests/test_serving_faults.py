@@ -32,9 +32,9 @@ from repro.serving.errors import (
     StaleEpochError,
 )
 from repro.serving.faults import FaultPlan, FaultyTransport
+from repro.serving.api import Client
 from repro.serving.loadgen import (
     RetryPolicy,
-    ServingClient,
     replay_trace_deterministic,
 )
 from repro.serving.protocol import ProtocolError
@@ -178,13 +178,13 @@ class TestFaultyTransport:
 
 
 # ----------------------------------------------------------------------
-# ServingClient: deadlines, typed errors
+# Client: deadlines, typed errors
 # ----------------------------------------------------------------------
-class TestServingClientResilience:
+class TestClientResilience:
     def test_deadline_fires_instead_of_hanging(self):
         async def scenario():
             client_end, server_end = loopback_pair()
-            client = await ServingClient.open(client_end, default_deadline=0.05)
+            client = await Client.from_transport(client_end, default_deadline=0.05)
             # The "server" reads the request and never answers — without a
             # deadline this request would hang forever.
             with pytest.raises(DeadlineExceeded) as failure:
@@ -198,7 +198,7 @@ class TestServingClientResilience:
     def test_per_request_deadline_overrides_the_default(self):
         async def scenario():
             client_end, server_end = loopback_pair()
-            client = await ServingClient.open(client_end, default_deadline=30.0)
+            client = await Client.from_transport(client_end, default_deadline=30.0)
 
             async def answer_late():
                 frame = await server_end.read_frame()
@@ -216,7 +216,7 @@ class TestServingClientResilience:
     def test_requests_fail_fast_once_the_connection_died(self):
         async def scenario():
             client_end, server_end = loopback_pair()
-            client = await ServingClient.open(client_end)
+            client = await Client.from_transport(client_end)
             server_end.close()
             await asyncio.sleep(0.01)
             with pytest.raises(ConnectionLost):
@@ -228,7 +228,7 @@ class TestServingClientResilience:
     def test_error_replies_raise_typed_rejections(self):
         async def scenario():
             server = CacheServer(StaticWidthPolicy(width=10.0))
-            client = await ServingClient.open(server.connect())
+            client = await Client.from_transport(server.connect())
             try:
                 with pytest.raises(RequestRejected) as failure:
                     await client.request("no_such_op")
@@ -262,7 +262,7 @@ async def _feeder_client(server, values, feeder_id="feeder-0", resync=False,
     async def answer(frame):
         return {"value": values[frame["key"]]}
 
-    client = await ServingClient.open(server.connect(), on_request=answer)
+    client = await Client.from_transport(server.connect(), on_request=answer)
     request = {
         "keys": list(values),
         "values": [values[key] for key in values],
@@ -304,7 +304,7 @@ class TestFeederEpochs:
             server = _server()
             values = {"a": 10.0}
             feeder, _ = await _feeder_client(server, values)
-            querier = await ServingClient.open(server.connect())
+            querier = await Client.from_transport(server.connect())
             # Publish an interval around 10.0.
             await querier.request(
                 "query", keys=["a"], aggregate="SUM", constraint=100.0, time=1.0
@@ -336,7 +336,7 @@ class TestDegradedAnswers:
             server = _server()
             values = {"a": 10.0}
             feeder, _ = await _feeder_client(server, values)
-            querier = await ServingClient.open(server.connect())
+            querier = await Client.from_transport(server.connect())
             await feeder.close()
             await asyncio.sleep(0.01)
             # Feeder down: the mirror answers, tagged degraded — never an
@@ -374,7 +374,7 @@ class TestDegradedAnswers:
                 )
             await feeder.close()
             await asyncio.sleep(0.01)
-            querier = await ServingClient.open(server.connect())
+            querier = await Client.from_transport(server.connect())
             response = await querier.request(
                 "query", keys=["a"], aggregate="SUM", constraint=1.0, time=13.0
             )
@@ -404,7 +404,7 @@ class TestDegradedAnswers:
                 }
             )
             assert (await transport.read_frame())["ok"] is True
-            querier = await ServingClient.open(server.connect())
+            querier = await Client.from_transport(server.connect())
             query = asyncio.ensure_future(
                 querier.request(
                     "query", keys=["a"], aggregate="SUM", constraint=0.0, time=1.0
