@@ -95,6 +95,173 @@ def test_sum_refresh_selection_throughput(benchmark):
     assert isinstance(refreshed, list)
 
 
+def test_columnar_sum_selection_throughput(benchmark):
+    # The columnar twin of test_sum_refresh_selection_throughput: the same
+    # 200-interval SUM selection off a width array (the layout the columnar
+    # simulator core and the shared-memory exchange hand in directly).
+    import numpy as np
+
+    from repro.queries.refresh_selection import select_sum_refreshes_columnar
+
+    rng = random.Random(2)
+    intervals = [
+        Interval.centered(rng.uniform(0, 100), rng.uniform(0, 50))
+        for _ in range(200)
+    ]
+    keys = list(range(200))
+    widths = np.array([interval.width for interval in intervals])
+
+    def select():
+        return select_sum_refreshes_columnar(keys, widths, constraint=500.0)
+
+    refreshed = benchmark(select)
+    assert isinstance(refreshed, list)
+
+
+#: Scale of the exchange-transport microbenchmarks: a 100-host population
+#: queried at full fan-out, 2 simulated workers, 200 query ticks per round.
+EXCHANGE_BENCH_HOSTS = 100
+EXCHANGE_BENCH_TICKS = 200
+
+
+def _exchange_bench_ticks():
+    """Pre-draw the query sequence and per-worker owned entries.
+
+    Workload generation and the owned-entry cache lookups are common to both
+    transports (``_tick_local`` runs identically either way), so the
+    benchmarks hoist them and time only the per-tick exchange: encode, the
+    pipe round-trips, the coordinator merge, and each worker's refresh
+    screen over the merged state.
+    """
+    from repro.queries.constraints import PrecisionConstraintGenerator
+    from repro.queries.workload import QueryWorkload
+
+    keys = [f"host-{index}" for index in range(EXCHANGE_BENCH_HOSTS)]
+    workload = QueryWorkload(
+        keys=keys,
+        query_size=EXCHANGE_BENCH_HOSTS,
+        period=1.0,
+        constraint_generator=PrecisionConstraintGenerator(
+            average=20.0, variation=1.0, rng=random.Random(5)
+        ),
+        rng=random.Random(4),
+    )
+    rng = random.Random(7)
+    intervals = {
+        key: Interval.centered(rng.uniform(0, 100), rng.uniform(0, 50))
+        for key in keys
+    }
+    values = {key: rng.uniform(0, 100) for key in keys}
+    owner = {key: index % 2 for index, key in enumerate(keys)}
+    ticks = []
+    time = 1.0
+    for _ in range(EXCHANGE_BENCH_TICKS):
+        query = workload.generate(time)
+        time += 1.0
+        locals_by_worker = tuple(
+            {
+                key: (intervals[key], values[key])
+                for key in query.keys
+                if owner[key] == worker
+            }
+            for worker in range(2)
+        )
+        owners = [owner[key] for key in query.keys]
+        ticks.append((query, locals_by_worker, owners))
+    return ticks
+
+
+def test_exchange_pipe_tick_throughput(benchmark):
+    # The pickled-pair exchange, per tick: each worker sends its owned
+    # (interval, exact value) map, the coordinator merges and broadcasts the
+    # merged map, and each worker decodes it and runs the SUM refresh
+    # screen.  Both sides run in one process (as they time-share the 1-core
+    # benchmark box anyway), over real multiprocessing pipes.
+    import multiprocessing
+
+    from repro.queries.refresh_selection import select_sum_refreshes
+
+    ticks = _exchange_bench_ticks()
+
+    def run_ticks():
+        pipes = [multiprocessing.Pipe() for _ in range(2)]
+        try:
+            for query, locals_by_worker, owners in ticks:
+                for (_, worker_end), local in zip(pipes, locals_by_worker):
+                    worker_end.send(("tick", local))
+                merged = {}
+                for coordinator_end, _ in pipes:
+                    _, partial = coordinator_end.recv()
+                    merged.update(partial)
+                for coordinator_end, _ in pipes:
+                    coordinator_end.send(merged)
+                for _, worker_end in pipes:
+                    reply = worker_end.recv()
+                    intervals = {key: reply[key][0] for key in query.keys}
+                    select_sum_refreshes(intervals, query.constraint)
+        finally:
+            for coordinator_end, worker_end in pipes:
+                coordinator_end.close()
+                worker_end.close()
+        return len(ticks)
+
+    count = benchmark(run_ticks)
+    assert count == EXCHANGE_BENCH_TICKS
+
+
+def test_exchange_shm_tick_throughput(benchmark):
+    # The shared-memory exchange on the same ticks: workers encode owned
+    # rows into their plane, pipes carry only constant-size tokens, the
+    # coordinator merges with one fancy-indexed copy, and each worker
+    # screens widths straight off the merged plane (no decode).  Compare
+    # against test_exchange_pipe_tick_throughput for the transport speedup.
+    import multiprocessing
+
+    import numpy as np
+
+    from repro.queries.refresh_selection import select_sum_refreshes_columnar
+    from repro.sharding.workers import ExchangeArray, ShmWorkerExchange
+
+    ticks = _exchange_bench_ticks()
+
+    def run_ticks():
+        pipes = [multiprocessing.Pipe() for _ in range(2)]
+        exchange = ExchangeArray(2, 1, EXCHANGE_BENCH_HOSTS)
+        views = [ShmWorkerExchange(exchange, plane) for plane in range(2)]
+        planes = exchange.array
+        merged_rows = planes[-1, 0]
+        positions = np.arange(EXCHANGE_BENCH_HOSTS)
+        try:
+            for query, locals_by_worker, owners in ticks:
+                for (_, worker_end), view, local in zip(
+                    pipes, views, locals_by_worker
+                ):
+                    view.write_tick(0, query, local)
+                    worker_end.send(("tick", None))
+                for coordinator_end, _ in pipes:
+                    coordinator_end.recv()
+                merged_rows[:] = planes[owners, 0, positions]
+                for coordinator_end, _ in pipes:
+                    coordinator_end.send(None)
+                for (_, worker_end), view in zip(pipes, views):
+                    worker_end.recv()
+                    rows = view.merged_rows(0)
+                    widths = rows[:, 1] - rows[:, 0]
+                    select_sum_refreshes_columnar(
+                        query.keys, widths, query.constraint
+                    )
+        finally:
+            for coordinator_end, worker_end in pipes:
+                coordinator_end.close()
+                worker_end.close()
+            exchange.close()
+            exchange.unlink()
+        return len(ticks)
+
+    count = benchmark(run_ticks)
+    assert count == EXCHANGE_BENCH_TICKS
+
+
 def test_trace_generation_reference_throughput(benchmark):
     trace = benchmark(_generate_trace, "reference")
     assert len(trace.keys) == BENCH_TRACE_HOSTS

@@ -10,6 +10,9 @@ Usage::
     python -m repro.cli run section45 --shards 4 --shard-workers 2
     python -m repro.cli run section45 --engine vector
     python -m repro.cli run section45 --kernel scheduler
+    python -m repro.cli run section45 --core object
+    python -m repro.cli run section45 --shards 4 --shard-workers 2 --exchange-transport pipe
+    python -m repro.cli run figure03 --profile figure03.prof
     python -m repro.cli run-all --workers 4
 
 ``--workers N`` fans the multi-configuration experiments out over N worker
@@ -36,6 +39,18 @@ bit-identical and faster) or the general heap scheduler fallback.
 ``--exchange-window W`` batches the shard workers' per-query-tick exchange
 over windows of W ticks (:mod:`repro.sharding.workers`), cutting pipe
 round-trips; results are identical for every window size.
+
+``--core {columnar,object}`` selects the cache-state representation
+(:mod:`repro.simulation.config`): the numpy struct-of-arrays columnar hot
+path (default) or the paper-exact per-object compat mode — bit-identical
+results either way.  ``--exchange-transport {shm,pipe}`` selects how
+concurrent shard workers exchange per-tick rows: one shared-memory array
+swap (default) or the pickled-pipe compat protocol.  Both set the
+process-wide config defaults, so they apply to every sub-run.
+
+``--profile FILE`` dumps a :mod:`cProfile` of the run to ``FILE``
+(``run-all`` derives one file per experiment from it; with ``--workers``
+pools only the parent process is profiled).
 
 Experiments whose plans do not take a shard count, worker count, engine,
 kernel or exchange window note on stderr that the flag was ignored.
@@ -86,12 +101,21 @@ import argparse
 import asyncio
 import importlib.metadata
 import inspect
+import os
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.data.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.experiments.base import ExperimentResult, format_table, registry
 from repro.experiments.runner import plan_registry, run_plan
+from repro.simulation.config import (
+    CORE_NAMES,
+    DEFAULT_CORE,
+    DEFAULT_EXCHANGE_TRANSPORT,
+    EXCHANGE_TRANSPORT_NAMES,
+    set_default_core,
+    set_default_exchange_transport,
+)
 from repro.simulation.kernel import DEFAULT_KERNEL, KERNEL_NAMES
 
 
@@ -191,6 +215,39 @@ def build_parser() -> argparse.ArgumentParser:
                 "batch the shard workers' per-query-tick exchange over "
                 "windows of this many ticks (default 1 = synchronise every "
                 "tick; results are identical for every window size)"
+            ),
+        )
+        subparser.add_argument(
+            "--core",
+            choices=CORE_NAMES,
+            default=None,
+            help=(
+                "cache-state representation "
+                f"(default: {DEFAULT_CORE}; 'columnar' is the numpy "
+                "struct-of-arrays hot path, 'object' the paper-exact "
+                "per-object compat mode; results are bit-identical)"
+            ),
+        )
+        subparser.add_argument(
+            "--exchange-transport",
+            choices=EXCHANGE_TRANSPORT_NAMES,
+            default=None,
+            dest="exchange_transport",
+            help=(
+                "shard-worker exchange transport "
+                f"(default: {DEFAULT_EXCHANGE_TRANSPORT}; 'shm' swaps rows "
+                "through one shared-memory array, 'pipe' pickles the full "
+                "payload over the worker pipes; results are identical)"
+            ),
+        )
+        subparser.add_argument(
+            "--profile",
+            default=None,
+            metavar="FILE",
+            help=(
+                "dump a cProfile of the run to FILE (run-all derives one "
+                "file per experiment; --workers pools profile the parent "
+                "process only)"
             ),
         )
     serve_parser = subparsers.add_parser(
@@ -427,6 +484,41 @@ def _run_experiment(
     return runner(**forwarded)
 
 
+def _profile_destination(base: str, experiment_id: Optional[str]) -> str:
+    """The dump path for one run: ``run`` uses ``base`` verbatim, ``run-all``
+    derives ``<stem>-<experiment_id><ext>`` so every experiment keeps its own
+    profile."""
+    if experiment_id is None:
+        return base
+    stem, extension = os.path.splitext(base)
+    return f"{stem}-{experiment_id}{extension or '.prof'}"
+
+
+def _run_profiled(
+    profile: Optional[str],
+    experiment_id: Optional[str],
+    run: Callable[[], ExperimentResult],
+) -> ExperimentResult:
+    """Run one experiment, dumping a :mod:`cProfile` when ``--profile`` asks.
+
+    The stats file is written even when the run raises, so a profile of the
+    work done up to a failure survives it.
+    """
+    if profile is None:
+        return run()
+    import cProfile
+
+    destination = _profile_destination(profile, experiment_id)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return run()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(destination)
+        print(f"profile written to {destination}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = build_parser()
@@ -451,6 +543,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     exchange_window = getattr(args, "exchange_window", None)
     if exchange_window is not None and exchange_window < 1:
         parser.error(f"--exchange-window must be at least 1, got {exchange_window}")
+    if getattr(args, "core", None) is not None:
+        set_default_core(args.core)
+    if getattr(args, "exchange_transport", None) is not None:
+        set_default_exchange_transport(args.exchange_transport)
     if args.command == "serve":
         return _run_serve(args, parser)
     if args.command == "loadgen":
@@ -468,10 +564,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        print(
-            format_table(
-                _run_experiment(
-                    args.experiment,
+        result = _run_profiled(
+            args.profile,
+            None,
+            lambda: _run_experiment(
+                args.experiment,
+                args.workers,
+                args.shards,
+                args.engine,
+                shard_workers=args.shard_workers,
+                kernel=args.kernel,
+                chunk_size=args.chunk_size,
+                exchange_window=args.exchange_window,
+            ),
+        )
+        print(format_table(result))
+        return 0
+    if args.command == "run-all":
+        for experiment_id in sorted(experiments):
+            result = _run_profiled(
+                args.profile,
+                experiment_id,
+                lambda experiment_id=experiment_id: _run_experiment(
+                    experiment_id,
                     args.workers,
                     args.shards,
                     args.engine,
@@ -479,26 +594,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     kernel=args.kernel,
                     chunk_size=args.chunk_size,
                     exchange_window=args.exchange_window,
-                )
+                ),
             )
-        )
-        return 0
-    if args.command == "run-all":
-        for experiment_id in sorted(experiments):
-            print(
-                format_table(
-                    _run_experiment(
-                        experiment_id,
-                        args.workers,
-                        args.shards,
-                        args.engine,
-                        shard_workers=args.shard_workers,
-                        kernel=args.kernel,
-                        chunk_size=args.chunk_size,
-                        exchange_window=args.exchange_window,
-                    )
-                )
-            )
+            print(format_table(result))
             print()
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -67,6 +67,8 @@ from repro.serving.protocol import (
     UpdateBatchAck,
     error_response,
     is_request,
+    query_fields,
+    update_batch_fields,
 )
 
 #: Distinguishes "no per-call deadline given" (use the client default) from
@@ -278,10 +280,11 @@ class Client:
         deadline: Any = _UNSET_DEADLINE,
     ) -> BoundedAnswer:
         """One bounded aggregate; raises ``RequestRejected`` on overload."""
-        request = QueryRequest(
-            keys=tuple(keys), aggregate=aggregate, constraint=constraint, time=time
+        # Hot path: build the wire fields directly (byte-identical to the
+        # ``QueryRequest`` codec, pinned in ``tests/test_protocol_typed.py``).
+        response = await self.request(
+            QueryRequest.OP, deadline, **query_fields(keys, aggregate, constraint, time)
         )
-        response = await self.call(request, deadline)
         if response.get("overloaded"):
             raise RequestRejected(f"query rejected: {response.get('error')}")
         return BoundedAnswer.from_wire(response)
@@ -326,8 +329,10 @@ class Client:
         deadline: Any = _UNSET_DEADLINE,
     ) -> UpdateBatchAck:
         """Push one instant's update batch."""
-        request = UpdateBatch(updates=tuple(updates), time=time)
-        return UpdateBatchAck.from_wire(await self.call(request, deadline))
+        response = await self.request(
+            UpdateBatch.OP, deadline, **update_batch_fields(updates, time)
+        )
+        return UpdateBatchAck.from_wire(response)
 
     async def stats(self, deadline: Any = _UNSET_DEADLINE) -> Dict[str, Any]:
         """The server's statistics snapshot (a plain mapping)."""

@@ -599,3 +599,95 @@ def parse_request(frame: Dict[str, Any]) -> Optional[Request]:
     if request_type is None:
         return None
     return request_type.from_wire(frame)
+
+
+# ---------------------------------------------------------------------------
+# Hot-path codecs
+# ---------------------------------------------------------------------------
+#
+# ``query`` and ``update_batch`` dominate a trace replay (every other op is
+# per-connection setup or diagnostics).  Their generic path validates twice:
+# ``from_wire`` coerces the fields, then the dataclass ``__init__`` runs
+# ``__post_init__`` and re-coerces the same tuples.  The helpers below do the
+# coercion exactly once — the decoder builds the frozen instances through
+# ``__new__`` after checking the frame has the canonical client-emitted
+# shape, and the encoders build the ``wire_fields()`` dicts without
+# constructing a dataclass at all.  Any frame that is not canonical (wrong
+# container type, non-numeric constraint, lowercase aggregate name, …) falls
+# back to :func:`parse_request`, so error messages and tolerance for odd but
+# valid frames are byte-identical to the generic path.  Equivalence is
+# pinned by ``tests/test_protocol_typed.py::TestFastPath``.
+
+#: Canonical aggregate wire names (what ``QueryRequest.wire_fields`` emits).
+_AGGREGATES_BY_WIRE: Dict[str, AggregateKind] = {
+    kind.name: kind for kind in AggregateKind
+}
+
+
+def parse_request_fast(frame: Dict[str, Any]) -> Optional[Request]:
+    """:func:`parse_request` with a fast path for ``query``/``update_batch``.
+
+    Semantically identical to :func:`parse_request` on every frame; the hot
+    ops skip the double coercion when the frame has the canonical shape.
+    """
+    op = frame.get("op")
+    if op == "query":
+        keys = frame.get("keys")
+        aggregate = _AGGREGATES_BY_WIRE.get(frame.get("aggregate", "SUM"))
+        if type(keys) is list and aggregate is not None:
+            constraint = frame.get("constraint", math.inf)
+            kind = type(constraint)
+            if kind is not float:
+                # ``type`` identity, so bool (a JSON ``true``) falls back.
+                if kind is not int:
+                    return parse_request(frame)
+                constraint = float(constraint)
+            request = QueryRequest.__new__(QueryRequest)
+            set_field = object.__setattr__
+            set_field(request, "keys", tuple(keys))
+            set_field(request, "aggregate", aggregate)
+            set_field(request, "constraint", constraint)
+            set_field(request, "time", frame.get("time"))
+            return request
+    elif op == "update_batch":
+        updates = frame.get("updates")
+        if type(updates) is list:
+            try:
+                pairs = tuple((key, float(value)) for key, value in updates)
+            except (TypeError, ValueError):
+                return parse_request(frame)
+            request = UpdateBatch.__new__(UpdateBatch)
+            set_field = object.__setattr__
+            set_field(request, "updates", pairs)
+            set_field(request, "time", frame.get("time"))
+            return request
+    return parse_request(frame)
+
+
+def query_fields(
+    keys: Any,
+    aggregate: AggregateKind,
+    constraint: float,
+    time: Optional[float] = None,
+) -> Dict[str, Any]:
+    """``QueryRequest(...).wire_fields()`` without building the dataclass."""
+    fields: Dict[str, Any] = {
+        "keys": list(keys),
+        "aggregate": aggregate.name,
+        "constraint": constraint,
+    }
+    if time is not None:
+        fields["time"] = time
+    return fields
+
+
+def update_batch_fields(
+    updates: Any, time: Optional[float] = None
+) -> Dict[str, Any]:
+    """``UpdateBatch(...).wire_fields()`` without building the dataclass."""
+    fields: Dict[str, Any] = {
+        "updates": [[key, float(value)] for key, value in updates]
+    }
+    if time is not None:
+        fields["time"] = time
+    return fields

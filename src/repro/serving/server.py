@@ -80,7 +80,7 @@ from repro.serving.protocol import (
     UpdateBatch,
     UpdateBatchAck,
     error_response,
-    parse_request,
+    parse_request_fast,
 )
 from repro.serving.transport import (
     DEFAULT_LOOPBACK_BUFFER,
@@ -580,7 +580,7 @@ class CacheServer(BaseFrameServer):
         op = frame.get("op")
         request_id = frame.get("id")
         try:
-            request = parse_request(frame)
+            request = parse_request_fast(frame)
             if request is None:
                 reply = error_response(request_id, f"unknown operation {op!r}")
             elif isinstance(request, Update):

@@ -52,6 +52,7 @@ import traceback
 import warnings
 from typing import (
     Any,
+    Callable,
     Dict,
     Hashable,
     List,
@@ -61,14 +62,26 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
+try:  # pragma: no cover - stdlib on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    _shared_memory = None
+
 from repro.caching.cache import CacheStatistics
+from repro.caching.columnar import _reconstruct_interval
 from repro.caching.eviction import EvictionPolicy
 from repro.caching.policies.base import PrecisionPolicy
 from repro.data.merged import merge_timelines
 from repro.data.streams import UpdateStream
 from repro.experiments.runner import WorkerHandle, persistent_worker_pool
 from repro.intervals.interval import UNBOUNDED, Interval
-from repro.queries.refresh_selection import run_query_refreshes
+from repro.queries.aggregates import AggregateKind
+from repro.queries.refresh_selection import (
+    run_query_refreshes,
+    select_sum_refreshes_columnar,
+)
 from repro.queries.workload import Query
 from repro.sharding.coordinator import merge_cache_statistics
 from repro.sharding.partition import stable_key_hash
@@ -80,6 +93,174 @@ from repro.simulation.simulator import CacheSimulation
 
 #: One (interval, exact value) exchange entry per owned queried key.
 ExchangeEntry = Tuple[Interval, float]
+
+
+class ExchangeMeter:
+    """Counts the bytes the coordinator pickles through exchange pipes.
+
+    Disabled by default (the hot loops skip it on one attribute check);
+    benchmarks and the transport-regression tests enable it to compare the
+    pickled-pair pipe exchange against the shared-memory transport, whose
+    control messages are constant-size.  ``ticks`` counts query ticks so the
+    headline figure — pickle bytes per tick — is a simple division.
+    """
+
+    __slots__ = ("enabled", "bytes_pickled", "messages", "ticks")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.reset()
+
+    def reset(self) -> None:
+        self.bytes_pickled = 0
+        self.messages = 0
+        self.ticks = 0
+
+    def record(self, payload: Any, count: int = 1) -> None:
+        """Charge ``payload``'s pickled size ``count`` times."""
+        self.bytes_pickled += (
+            len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)) * count
+        )
+        self.messages += count
+
+
+#: Module-level meter instrumenting the coordinator's exchange traffic.
+EXCHANGE_METER = ExchangeMeter()
+
+#: Below this query fan-out the exchange's numpy paths (fancy-indexed encode
+#: and the coordinator's gather) fall back to scalar loops: the vectorised
+#: forms pay a fixed setup cost that only amortises across enough rows.
+#: Sized like the columnar core's hybrid scan limit — the paper's workloads
+#: query 10 values, comfortably inside the scalar regime; the 100-host
+#: exchange benchmarks sit well above it.
+_SCALAR_FANOUT_LIMIT = 16
+
+
+class ExchangeArray:
+    """The shard exchange's shared-memory block: one float64 plane per party.
+
+    Shape ``(workers + 1, slots, rows, 3)``: plane ``w`` carries worker
+    ``w``'s owned rows for the current tick (or window of ticks — ``slots``
+    is the maximum window size), the last plane carries the coordinator's
+    merged rows.  A row is ``[interval low, interval high, exact value]``
+    for one position of the tick's query — both sides regenerate the
+    identical query sequence from the config seed, so a row's position *is*
+    its key and no keys ever cross the wire.  Unpublished entries are the
+    ``(-inf, +inf)`` unbounded encoding.
+
+    Lifecycle: the coordinator creates (and finally unlinks) the segment
+    before spawning the pool; workers attach by name — the name travels in
+    the worker's spawn arguments, so a supervisor restart re-attaches the
+    replacement process automatically — and close their mapping on exit.
+    Worker attaches re-register the name with the resource tracker (a 3.11
+    quirk; ``track=False`` arrives in 3.13), which is harmless here: the
+    tracker process is shared across the fork tree and its cache is a set,
+    so the duplicate registrations collapse and the creator's ``unlink``
+    clears the single entry.  Workers must *not* unregister on their own —
+    that would strip the creator's registration from the shared tracker and
+    leave the final unlink complaining about an unknown name.
+    """
+
+    __slots__ = ("array", "name", "_shm")
+
+    def __init__(
+        self, workers: int, slots: int, rows: int, name: Optional[str] = None
+    ) -> None:
+        if _shared_memory is None:  # pragma: no cover - gated by callers
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        shape = (workers + 1, max(1, slots), max(1, rows), 3)
+        size = int(np.prod(shape)) * np.dtype(np.float64).itemsize
+        if name is None:
+            self._shm = _shared_memory.SharedMemory(create=True, size=size)
+        else:
+            self._shm = _shared_memory.SharedMemory(name=name)
+        self.array = np.ndarray(shape, dtype=np.float64, buffer=self._shm.buf)
+        self.name = self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (workers and coordinator)."""
+        self.array = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (creator only)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class ShmWorkerExchange:
+    """One worker's encode/decode view of the :class:`ExchangeArray`."""
+
+    __slots__ = ("_array", "_plane")
+
+    def __init__(self, exchange: ExchangeArray, plane: int) -> None:
+        self._array = exchange.array
+        self._plane = plane
+
+    def write_tick(
+        self, slot: int, query: Query, local: Dict[Hashable, ExchangeEntry]
+    ) -> None:
+        """Encode the owned entries of one tick at the query's positions."""
+        positions: List[int] = []
+        encoded: List[Tuple[float, float, float]] = []
+        get = local.get
+        for position, key in enumerate(query.keys):
+            entry = get(key)
+            if entry is not None:
+                interval, value = entry
+                positions.append(position)
+                encoded.append((interval.low, interval.high, value))
+        if not positions:
+            return
+        rows = self._array[self._plane, slot]
+        if len(positions) < _SCALAR_FANOUT_LIMIT:
+            # Small fan-out: per-row stores beat the fancy-indexing setup.
+            for position, row in zip(positions, encoded):
+                rows[position] = row
+        else:
+            rows[positions] = encoded
+
+    def merged_rows(self, slot: int = 0) -> np.ndarray:
+        """The coordinator's merged rows for ``slot``, as a live view.
+
+        Safe to read without copying: the strict per-tick alternation means
+        the coordinator never rewrites the merged plane until this worker
+        sends its next exchange message.
+        """
+        return self._array[-1, slot]
+
+    def read_merged(
+        self,
+        query: Query,
+        slot: int = 0,
+        local: Optional[Dict[Hashable, ExchangeEntry]] = None,
+    ) -> Dict[Hashable, ExchangeEntry]:
+        """Decode the coordinator's merged rows back into the exchange map.
+
+        ``local`` — the worker's own owned entries for this tick — is an
+        optional decode shortcut: the merged rows for those keys are the
+        float64 image of exactly these pairs (the worker wrote them, the
+        coordinator copied them), so reusing the live objects skips their
+        ``Interval`` reconstruction without changing a single bit.
+        """
+        # ``tolist()`` converts the plane in one C pass; per-element float()
+        # on numpy scalars is several times slower at query fan-out sizes.
+        rows = self._array[-1, slot].tolist()
+        merged: Dict[Hashable, ExchangeEntry] = {}
+        if local:
+            for position, key in enumerate(query.keys):
+                entry = local.get(key)
+                if entry is None:
+                    low, high, value = rows[position]
+                    entry = (_reconstruct_interval(low, high), value)
+                merged[key] = entry
+        else:
+            for position, key in enumerate(query.keys):
+                low, high, value = rows[position]
+                merged[key] = (_reconstruct_interval(low, high), value)
+        return merged
 
 #: How many times one shard worker may be restarted before the run fails.
 #: A worker that keeps dying is deterministic about it (the replay is), so
@@ -120,9 +301,17 @@ class _ExchangeSupervisor:
                 raise RuntimeError(f"shard worker failed:\n{payload}")
             return tag, payload
 
-    def broadcast(self, reply: Any) -> None:
-        """Journal one coordinator reply and deliver it to every worker."""
-        self._journal.append(reply)
+    def broadcast(self, reply: Any, journal_entry: Any = None) -> None:
+        """Journal one coordinator reply and deliver it to every worker.
+
+        The shared-memory transport sends constant-size control tokens whose
+        payload lives in the exchange array — which the next tick overwrites,
+        so the token alone could never be replayed.  It passes
+        ``journal_entry``: either the replayable pipe-equivalent value or a
+        zero-argument callable producing it (materialised only if a resync
+        actually happens, keeping the hot path copy-light).
+        """
+        self._journal.append(reply if journal_entry is None else journal_entry)
         for handle in self._handles:
             try:
                 handle.send(reply)
@@ -143,7 +332,7 @@ class _ExchangeSupervisor:
             stacklevel=4,
         )
         handle.restart(grace=self._grace)
-        for reply in self._journal:
+        for entry in self._journal:
             try:
                 tag, payload = handle.recv()
             except (EOFError, OSError):
@@ -151,7 +340,10 @@ class _ExchangeSupervisor:
                 return self._resync(handle, "died again during resync replay")
             if tag == "error":
                 raise RuntimeError(f"shard worker failed during resync:\n{payload}")
-            handle.send(reply)
+            # Shared-memory replies journal lazily (see broadcast); the
+            # replayed worker receives the materialised pipe-equivalent
+            # value, so resync never depends on overwritten exchange planes.
+            handle.send(entry() if callable(entry) else entry)
 
 
 class PrebuiltStream(UpdateStream):
@@ -195,12 +387,18 @@ class ShardWorkerSimulation(CacheSimulation):
         eviction_policy: Optional[EvictionPolicy],
         workload_keys: Sequence[Hashable],
         channel: Any,
+        exchange: Optional[ShmWorkerExchange] = None,
     ) -> None:
         super().__init__(
             config, streams, policy, eviction_policy, workload_keys=workload_keys
         )
         self._owned = frozenset(streams.keys())
         self._channel = channel
+        # With a shared-memory exchange attached the pipe carries only
+        # constant-size control messages; the interval/value payload rides
+        # the ExchangeArray planes (None replies mean "decode the merged
+        # plane"; a non-None reply is a resync replay's materialised map).
+        self._exchange = exchange
 
     def _tick_local(self, time: float) -> Tuple[Query, Dict[Hashable, ExchangeEntry]]:
         """Generate the tick's query and collect the owned exchange pairs.
@@ -264,12 +462,64 @@ class ShardWorkerSimulation(CacheSimulation):
 
         run_query_refreshes(query.kind, intervals, query.constraint, fetch_exact)
 
+    def _select_and_refresh_rows(
+        self,
+        query: Query,
+        time: float,
+        exchange: ShmWorkerExchange,
+        local: Dict[Hashable, ExchangeEntry],
+        slot: int = 0,
+    ) -> None:
+        """Run refresh selection straight off the merged exchange rows.
+
+        SUM/AVG selection (:func:`select_sum_refreshes_columnar`) needs only
+        the interval widths — which are one vectorised subtraction over the
+        merged plane — and ``run_query_refreshes`` discards the fetched
+        values on that path, so remote fetches are no-ops and the merged
+        dict never needs to be materialised.  The width array is the float64
+        image of exactly the widths the decoded intervals would carry
+        (``high - low`` on identical operands), so the selected keys — and
+        therefore every owned refresh and policy draw — are bit-identical to
+        the decoded path, which MAX/MIN still takes.
+        """
+        constraint = query.constraint
+        if math.isinf(constraint):
+            return
+        kind = query.kind
+        if kind is AggregateKind.SUM or kind is AggregateKind.AVG:
+            rows = exchange.merged_rows(slot)
+            widths = rows[:, 1] - rows[:, 0]
+            limit = (
+                constraint * len(query.keys)
+                if kind is AggregateKind.AVG
+                else constraint
+            )
+            owned = self._owned
+            for key in select_sum_refreshes_columnar(query.keys, widths, limit):
+                if key in owned:
+                    self._query_initiated_refresh(key, time)
+            return
+        self._select_and_refresh(
+            query, time, exchange.read_merged(query, slot, local=local)
+        )
+
     def _run_query(self, time: float) -> None:
         query, local = self._tick_local(time)
         channel = self._channel
-        channel.send(("tick", local))
-        merged: Dict[Hashable, ExchangeEntry] = channel.recv()
-        self._select_and_refresh(query, time, merged)
+        exchange = self._exchange
+        if exchange is not None:
+            exchange.write_tick(0, query, local)
+            channel.send(("tick", None))
+            reply = channel.recv()
+            if reply is None:
+                self._select_and_refresh_rows(query, time, exchange, local)
+            else:
+                # Resync replay: the supervisor re-sent the materialised map.
+                self._select_and_refresh(query, time, reply)
+        else:
+            channel.send(("tick", local))
+            merged = channel.recv()
+            self._select_and_refresh(query, time, merged)
 
     def run_worker(self) -> Dict[str, Any]:
         """Run the sub-simulation and return the mergeable partial payload."""
@@ -303,19 +553,30 @@ class ExchangeWindowController:
     larger than 1 pays a snapshot, and a truncation before the window's
     last tick additionally pays a restore-and-replay:
 
-    * **grow** multiplicatively (up to the configured limit) only after two
-      *consecutive* fully committed windows — one quiet tick inside a
-      refresh-heavy stretch is common and must not balloon the window;
+    * **grow** multiplicatively (up to the configured limit) only after a
+      streak of *consecutive* fully committed windows — one quiet tick
+      inside a refresh-heavy stretch is common and must not balloon the
+      window.  The required streak itself backs off: it starts at 2 and
+      doubles (to at most 64) every time a grown window's snapshot turns out
+      wasted — i.e. the window truncated before its last tick — so a
+      workload that keeps punishing growth attempts sees them exponentially
+      rarely, while a genuinely quiet stretch still escalates quickly;
     * **shrink** a truncated window to exactly the stretch that was usable:
       the committed ticks plus the refreshing tick (which needs no rollback
       when it is the last of its window).
 
     Under refresh-heavy load the window therefore settles at 1, where the
-    protocol degenerates to the per-tick exchange with no snapshots at all,
-    while refresh-free stretches escalate to the full window quickly.
+    protocol degenerates to the per-tick exchange with no snapshots at all
+    (the snapshot was this protocol's dominant cost on refresh-heavy runs —
+    see ``docs/PERFORMANCE.md``), while refresh-free stretches amortise one
+    round-trip over up to ``limit`` ticks.
     """
 
-    __slots__ = ("limit", "window", "_streak")
+    __slots__ = ("limit", "window", "_streak", "_grow_at")
+
+    #: Ceiling for the growth-streak backoff: even a maximally punished
+    #: controller retries a window of 2 after this many quiet windows.
+    MAX_GROW_AT = 64
 
     def __init__(self, limit: int) -> None:
         self.limit = limit
@@ -324,14 +585,19 @@ class ExchangeWindowController:
         # its way to the limit within a handful of windows.
         self.window = 1
         self._streak = 0
+        self._grow_at = 2
 
     def observe(self, tick_count: int, commit: int) -> None:
         """Advance the controller past one closed window."""
         if commit >= tick_count:
             self._streak += 1
-            if self._streak >= 2:
+            if self._streak >= self._grow_at:
                 self.window = min(self.limit, max(self.window, 1) * 2)
         else:
+            if tick_count > 1:
+                # The grown window paid a snapshot and still truncated:
+                # back off the next growth attempt.
+                self._grow_at = min(self.MAX_GROW_AT, self._grow_at * 2)
             self._streak = 0
             self.window = max(1, commit + 1)
 
@@ -398,20 +664,41 @@ class WindowedShardWorkerSimulation(ShardWorkerSimulation):
             snapshot = self._snapshot(walk, processed) if len(ticks) > 1 else None
             queries: List[Query] = []
             locals_per_tick: List[Dict[Hashable, ExchangeEntry]] = []
+            exchange = self._exchange
             for tick in ticks:
                 processed += walk.advance(tick, self._apply_update)
                 query, local = self._tick_local(tick)
+                if exchange is not None:
+                    exchange.write_tick(len(queries), query, local)
                 queries.append(query)
                 locals_per_tick.append(local)
                 processed += 1
-            channel.send(("window", locals_per_tick))
-            commit, refresh_map = channel.recv()
+            if exchange is not None:
+                channel.send(("window", None))
+                commit, refresh_map = channel.recv()
+            else:
+                channel.send(("window", locals_per_tick))
+                commit, refresh_map = channel.recv()
+
+            def select_commit(query: Query, tick: float) -> None:
+                # A live shared-memory reply leaves the truncating tick's
+                # merged rows on the coordinator plane (selection runs off
+                # them without decoding); a non-None map is either the pipe
+                # transport's merged map or a resync replay's materialised
+                # rows.
+                if refresh_map is not None:
+                    self._select_and_refresh(query, tick, refresh_map)
+                else:
+                    self._select_and_refresh_rows(
+                        query, tick, exchange, locals_per_tick[commit]
+                    )
+
             if commit >= len(ticks):
                 query_time = next_time
             elif commit == len(ticks) - 1:
                 # Only the last tick refreshes: its query half already ran,
                 # nothing beyond it was executed — select and move on.
-                self._select_and_refresh(queries[commit], ticks[commit], refresh_map)
+                select_commit(queries[commit], ticks[commit])
                 query_time = ticks[commit] + period
             else:
                 processed = self._restore(snapshot, walk)
@@ -422,7 +709,7 @@ class WindowedShardWorkerSimulation(ShardWorkerSimulation):
                 tick = ticks[commit]
                 processed += walk.advance(tick, self._apply_update)
                 query, _ = self._tick_local(tick)
-                self._select_and_refresh(query, tick, refresh_map)
+                select_commit(query, tick)
                 processed += 1
                 query_time = tick + period
             controller.observe(len(ticks), commit)
@@ -478,13 +765,26 @@ def _worker_main(
     policy: PrecisionPolicy,
     eviction_policy: Optional[EvictionPolicy],
     workload_keys: Sequence[Hashable],
+    exchange_spec: Optional[Tuple[str, int, int, int, int]] = None,
 ) -> None:
-    """Worker process entry point: run the sub-simulation, report, exit."""
+    """Worker process entry point: run the sub-simulation, report, exit.
+
+    ``exchange_spec`` — ``(segment name, workers, slots, rows, plane)`` —
+    attaches the shared-memory exchange; it rides the spawn arguments, so a
+    supervisor restart re-attaches the replacement process to the same
+    segment with no extra negotiation.
+    """
+    exchange_array: Optional[ExchangeArray] = None
     try:
         streams = {
             key: PrebuiltStream(initial_value, timeline)
             for key, (initial_value, timeline) in sources.items()
         }
+        exchange: Optional[ShmWorkerExchange] = None
+        if exchange_spec is not None:
+            name, workers, slots, rows, plane = exchange_spec
+            exchange_array = ExchangeArray(workers, slots, rows, name=name)
+            exchange = ShmWorkerExchange(exchange_array, plane)
         simulation_class = (
             WindowedShardWorkerSimulation
             if config.exchange_window > 1
@@ -497,6 +797,7 @@ def _worker_main(
             eviction_policy=eviction_policy,
             workload_keys=workload_keys,
             channel=channel,
+            exchange=exchange,
         )
         channel.send(("done", simulation.run_worker()))
     except BaseException:  # pragma: no cover - exercised via crash tests
@@ -506,6 +807,8 @@ def _worker_main(
             pass
         raise
     finally:
+        if exchange_array is not None:
+            exchange_array.close()
         channel.close()
 
 
@@ -571,6 +874,34 @@ def run_concurrent_shards(
         keys_by_worker[shard_of[key] % worker_count].append(key)
     populated = [index for index in range(worker_count) if keys_by_worker[index]]
 
+    # Shared-memory transport: one ExchangeArray created (and finally
+    # unlinked) here, attached by every worker via its spawn arguments.
+    # Row positions are query positions, so the planes are sized by the
+    # workload's fixed query fan-out; the windowed protocol needs one slot
+    # per tick of the largest window.
+    use_shm = config.exchange_transport == "shm" and _shared_memory is not None
+    exchange: Optional[ExchangeArray] = None
+    plane_of_key: Optional[Dict[Hashable, int]] = None
+    exchange_specs: Dict[int, Tuple[str, int, int, int, int]] = {}
+    if use_shm:
+        slots = config.exchange_window if config.exchange_window > 1 else 1
+        # The workload clamps its fan-out to the key population, so the row
+        # count is the *effective* query size, constant across ticks.
+        row_count = min(config.query_size, len(keys))
+        exchange = ExchangeArray(len(populated), slots, row_count)
+        plane_index = {worker: plane for plane, worker in enumerate(populated)}
+        plane_of_key = {
+            key: plane_index[shard_of[key] % worker_count] for key in keys
+        }
+        for index in populated:
+            exchange_specs[index] = (
+                exchange.name,
+                len(populated),
+                slots,
+                row_count,
+                plane_index[index],
+            )
+
     worker_config = config.with_changes(shard_workers=0)
     targets = []
     for index in populated:
@@ -590,43 +921,151 @@ def run_concurrent_shards(
                     policy,
                     eviction_policy,
                     keys,
+                    exchange_specs.get(index),
                 ),
             )
         )
 
     horizon = config.duration + HORIZON_TOLERANCE
     payloads: List[Dict[str, Any]] = []
-    with persistent_worker_pool(targets) as handles:
-        supervisor = _ExchangeSupervisor(handles)
-        if config.exchange_window > 1:
-            ticks = _windowed_exchange_loop(config, handles, keys, horizon, supervisor)
-        else:
-            ticks = _tick_exchange_loop(config, handles, horizon, supervisor)
-        for handle in handles:
-            tag, payload = supervisor.receive(handle)
-            payloads.append(payload)
+    try:
+        with persistent_worker_pool(targets) as handles:
+            supervisor = _ExchangeSupervisor(handles)
+            if config.exchange_window > 1:
+                ticks = _windowed_exchange_loop(
+                    config, handles, keys, horizon, supervisor, exchange, plane_of_key
+                )
+            else:
+                ticks = _tick_exchange_loop(
+                    config, handles, keys, horizon, supervisor, exchange, plane_of_key
+                )
+            for handle in handles:
+                tag, payload = supervisor.receive(handle)
+                payloads.append(payload)
+    finally:
+        if exchange is not None:
+            exchange.close()
+            exchange.unlink()
 
     return _merge_payloads(config, payloads, populated, worker_count, ticks)
+
+
+def _make_gather(planes: np.ndarray, query_size: int) -> Callable[[List[int], int], None]:
+    """Build the coordinator's merge: worker planes -> the merged plane.
+
+    Returns ``gather(owners, slot)`` copying row ``p`` of worker plane
+    ``owners[p]`` at slot ``slot`` into the merged plane's slot-0 row ``p``
+    (the merged plane always publishes at slot 0 — that is where workers
+    decode, whichever window slot truncated).  One fancy-indexed copy at
+    real fan-outs; a scalar row loop below :data:`_SCALAR_FANOUT_LIMIT`,
+    where the fancy-indexing setup dominates.
+    """
+    merged_rows = planes[-1, 0]
+    if query_size < _SCALAR_FANOUT_LIMIT:
+
+        def gather(owners: List[int], slot: int) -> None:
+            for position, owner in enumerate(owners):
+                merged_rows[position] = planes[owner, slot, position]
+
+    else:
+        positions = np.arange(query_size)
+
+        def gather(owners: List[int], slot: int) -> None:
+            merged_rows[:] = planes[owners, slot, positions]
+
+    return gather
+
+
+def _rows_to_map(
+    keys: Sequence[Hashable], rows: np.ndarray
+) -> Dict[Hashable, ExchangeEntry]:
+    """Decode exchange rows into the pipe transport's merged map shape."""
+    return {
+        key: (
+            _reconstruct_interval(float(rows[position, 0]), float(rows[position, 1])),
+            float(rows[position, 2]),
+        )
+        for position, key in enumerate(keys)
+    }
+
+
+def _journal_rows(keys: Tuple[Hashable, ...], rows: np.ndarray) -> Callable[[], Any]:
+    """Journal entry for a shm tick reply: copies now, materialises on resync."""
+    snapshot = rows.copy()
+
+    def materialise() -> Dict[Hashable, ExchangeEntry]:
+        return _rows_to_map(keys, snapshot)
+
+    return materialise
+
+
+def _journal_window(
+    commit: int, keys: Tuple[Hashable, ...], rows: np.ndarray
+) -> Callable[[], Any]:
+    """Journal entry for a truncated shm window reply."""
+    snapshot = rows.copy()
+
+    def materialise() -> Tuple[int, Dict[Hashable, ExchangeEntry]]:
+        return commit, _rows_to_map(keys, snapshot)
+
+    return materialise
 
 
 def _tick_exchange_loop(
     config: SimulationConfig,
     handles: Sequence[WorkerHandle],
+    keys: Sequence[Hashable],
     horizon: float,
     supervisor: _ExchangeSupervisor,
+    exchange: Optional[ExchangeArray] = None,
+    plane_of_key: Optional[Dict[Hashable, int]] = None,
 ) -> int:
-    """The original coordinator loop: one merge-and-broadcast per query tick."""
+    """The per-tick coordinator loop: one merge-and-broadcast per query tick.
+
+    Pipe transport merges the workers' pickled partial maps; the
+    shared-memory transport instead regenerates the tick's query (both sides
+    draw the identical sequence from the config seed), gathers each
+    position's row from its owning worker's plane into the merged plane with
+    one fancy-indexed copy, and broadcasts a constant-size ``None`` token.
+    """
+    meter = EXCHANGE_METER
     query_time = config.query_period
     ticks = 0
+    if exchange is None:
+        while query_time <= horizon:
+            partials = []
+            for handle in handles:
+                tag, payload = supervisor.receive(handle)
+                if meter.enabled:
+                    meter.record((tag, payload))
+                partials.append(payload)
+            merged: Dict[Hashable, ExchangeEntry] = {}
+            for partial in partials:
+                merged.update(partial)
+            supervisor.broadcast(merged)
+            if meter.enabled:
+                meter.record(merged, count=len(handles))
+                meter.ticks += 1
+            ticks += 1
+            query_time += config.query_period
+        return ticks
+    assert plane_of_key is not None
+    workload = config.build_workload(keys)
+    planes = exchange.array
+    merged_rows = planes[-1, 0]
+    gather = _make_gather(planes, workload.query_size)
     while query_time <= horizon:
-        partials = []
         for handle in handles:
             tag, payload = supervisor.receive(handle)
-            partials.append(payload)
-        merged: Dict[Hashable, ExchangeEntry] = {}
-        for partial in partials:
-            merged.update(partial)
-        supervisor.broadcast(merged)
+            if meter.enabled:
+                meter.record((tag, payload))
+        query = workload.generate(query_time)
+        owners = [plane_of_key[key] for key in query.keys]
+        gather(owners, 0)
+        supervisor.broadcast(None, journal_entry=_journal_rows(query.keys, merged_rows))
+        if meter.enabled:
+            meter.record(None, count=len(handles))
+            meter.ticks += 1
         ticks += 1
         query_time += config.query_period
     return ticks
@@ -656,12 +1095,33 @@ def _query_needs_refreshes(query: Query, merged: Dict[Hashable, ExchangeEntry]) 
     return fetched
 
 
+def _rows_need_refreshes(query: Query, rows: np.ndarray) -> bool:
+    """:func:`_query_needs_refreshes` evaluated straight off exchange rows.
+
+    SUM/AVG — the overwhelmingly common probe — goes through the columnar
+    selector, whose vectorised screen is bit-faithful to the scalar
+    selection (see :func:`select_sum_refreshes_columnar`); other aggregates
+    decode the rows and reuse the map-based probe.
+    """
+    constraint = query.constraint
+    if math.isinf(constraint):
+        return False
+    kind = query.kind
+    if kind is AggregateKind.SUM or kind is AggregateKind.AVG:
+        widths = rows[:, 1] - rows[:, 0]
+        limit = constraint * len(query.keys) if kind is AggregateKind.AVG else constraint
+        return bool(select_sum_refreshes_columnar(query.keys, widths, limit))
+    return _query_needs_refreshes(query, _rows_to_map(query.keys, rows))
+
+
 def _windowed_exchange_loop(
     config: SimulationConfig,
     handles: Sequence[WorkerHandle],
     keys: Sequence[Hashable],
     horizon: float,
     supervisor: _ExchangeSupervisor,
+    exchange: Optional[ExchangeArray] = None,
+    plane_of_key: Optional[Dict[Hashable, int]] = None,
 ) -> int:
     """Coordinator side of the windowed exchange (``exchange_window > 1``).
 
@@ -675,11 +1135,17 @@ def _windowed_exchange_loop(
     RNG stays in lock-step with the workers because exactly the committed
     ticks and the truncating tick have been generated when a window closes.
     """
+    meter = EXCHANGE_METER
     workload = config.build_workload(keys)
     period = config.query_period
     controller = ExchangeWindowController(config.exchange_window)
     query_time = period
     ticks = 0
+    if exchange is not None:
+        assert plane_of_key is not None
+        planes = exchange.array
+        merged_rows = planes[-1, 0]
+        gather = _make_gather(planes, workload.query_size)
     while query_time <= horizon:
         tick_times: List[float] = []
         next_time = query_time
@@ -689,19 +1155,49 @@ def _windowed_exchange_loop(
         locals_per_worker = []
         for handle in handles:
             tag, payload = supervisor.receive(handle)
+            if meter.enabled:
+                meter.record((tag, payload))
             locals_per_worker.append(payload)
         commit = len(tick_times)
         refresh_map: Optional[Dict[Hashable, ExchangeEntry]] = None
-        for index, tick in enumerate(tick_times):
-            merged: Dict[Hashable, ExchangeEntry] = {}
-            for worker_locals in locals_per_worker:
-                merged.update(worker_locals[index])
-            if _query_needs_refreshes(workload.generate(tick), merged):
-                commit = index
-                refresh_map = merged
-                break
-        supervisor.broadcast((commit, refresh_map))
-        if refresh_map is not None:
+        refresh_keys: Optional[Tuple[Hashable, ...]] = None
+        if exchange is None:
+            for index, tick in enumerate(tick_times):
+                merged: Dict[Hashable, ExchangeEntry] = {}
+                for worker_locals in locals_per_worker:
+                    merged.update(worker_locals[index])
+                if _query_needs_refreshes(workload.generate(tick), merged):
+                    commit = index
+                    refresh_map = merged
+                    break
+            supervisor.broadcast((commit, refresh_map))
+            if meter.enabled:
+                meter.record((commit, refresh_map), count=len(handles))
+        else:
+            # Gather each probed tick's rows into the merged plane; when a
+            # tick truncates the window the plane already holds exactly the
+            # refresh map the workers will decode.
+            for index, tick in enumerate(tick_times):
+                query = workload.generate(tick)
+                owners = [plane_of_key[key] for key in query.keys]
+                gather(owners, index)
+                if _rows_need_refreshes(query, merged_rows):
+                    commit = index
+                    refresh_keys = query.keys
+                    break
+            if refresh_keys is not None:
+                supervisor.broadcast(
+                    (commit, None),
+                    journal_entry=_journal_window(commit, refresh_keys, merged_rows),
+                )
+            else:
+                supervisor.broadcast((commit, None))
+            if meter.enabled:
+                meter.record((commit, None), count=len(handles))
+        truncated = refresh_map is not None or refresh_keys is not None
+        if meter.enabled:
+            meter.ticks += (commit + 1) if truncated else len(tick_times)
+        if truncated:
             ticks += commit + 1
             query_time = tick_times[commit] + period
         else:

@@ -10,7 +10,7 @@ random seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Hashable, Optional, Sequence, Tuple
 
 from repro.data.engine import DEFAULT_ENGINE, ENGINE_NAMES, StreamEngine, get_engine
@@ -20,6 +20,60 @@ from repro.simulation.kernel import DEFAULT_KERNEL, KERNEL_NAMES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.queries.workload import QueryWorkload
+
+#: The valid ``SimulationConfig.core`` values: the numpy struct-of-arrays
+#: columnar hot path (default) and the paper-exact per-object compat mode.
+#: Both produce bit-identical results; ``"object"`` is the reference
+#: implementation the columnar path is diffed against.
+CORE_NAMES = ("columnar", "object")
+DEFAULT_CORE = "columnar"
+
+#: The valid ``SimulationConfig.exchange_transport`` values for concurrent
+#: shard-worker runs: ``"shm"`` (default) swaps per-tick interval/value rows
+#: through one ``multiprocessing.shared_memory`` array plus a small control
+#: message; ``"pipe"`` pickles the full payload over the worker pipes (the
+#: pre-PR8 protocol, kept as the fallback/compat transport).
+EXCHANGE_TRANSPORT_NAMES = ("shm", "pipe")
+DEFAULT_EXCHANGE_TRANSPORT = "shm"
+
+_default_core = DEFAULT_CORE
+_default_exchange_transport = DEFAULT_EXCHANGE_TRANSPORT
+
+
+def set_default_core(name: str) -> None:
+    """Set the process-wide default for ``SimulationConfig.core``.
+
+    Experiment plans build their configs internally, so the CLI's ``--core``
+    flag sets this module default instead of threading a keyword through
+    every plan factory.  Configs constructed afterwards (including in worker
+    processes, which receive already-built configs by pickle) pick it up via
+    the field's ``default_factory``.
+    """
+    global _default_core
+    if name not in CORE_NAMES:
+        raise ValueError(f"unknown core {name!r}; available: {', '.join(CORE_NAMES)}")
+    _default_core = name
+
+
+def get_default_core() -> str:
+    """The current process-wide default for ``SimulationConfig.core``."""
+    return _default_core
+
+
+def set_default_exchange_transport(name: str) -> None:
+    """Set the process-wide default for ``SimulationConfig.exchange_transport``."""
+    global _default_exchange_transport
+    if name not in EXCHANGE_TRANSPORT_NAMES:
+        raise ValueError(
+            f"unknown exchange transport {name!r}; available: "
+            f"{', '.join(EXCHANGE_TRANSPORT_NAMES)}"
+        )
+    _default_exchange_transport = name
+
+
+def get_default_exchange_transport() -> str:
+    """The current process-wide default for ``SimulationConfig.exchange_transport``."""
+    return _default_exchange_transport
 
 
 @dataclass(frozen=True)
@@ -90,6 +144,23 @@ class SimulationConfig:
         when constructing streams and record it here so a run's provenance
         travels with its config.  Callers wiring streams by hand must build
         them against :meth:`stream_engine` themselves.
+    core:
+        Hot-state layout of the simulation run.  ``"columnar"`` (the default)
+        mirrors the cache/source state into numpy struct-of-arrays so the
+        batch kernel's bound maintenance and SUM/AVG refresh selection
+        vectorise across keys; ``"object"`` forces the paper-exact per-object
+        walk everywhere (the compat mode the figure tables were originally
+        generated under).  Results are bit-identical either way — the
+        columnar path silently falls back to the object path whenever an
+        observable (interval sampling, policy read/write observers, bounded
+        capacity, sharding) requires per-event object semantics.
+    exchange_transport:
+        Transport of the concurrent shard-worker exchange.  ``"shm"`` (the
+        default) publishes per-tick interval/value rows through one
+        ``multiprocessing.shared_memory`` array and sends only a small
+        control message per round-trip; ``"pipe"`` pickles the payloads over
+        the worker pipes (the original protocol).  Bit-identical results;
+        ignored unless ``shard_workers > 1``.
     value_refresh_cost / query_refresh_cost:
         ``C_vr`` and ``C_qr`` charged per refresh.
     seed:
@@ -114,6 +185,8 @@ class SimulationConfig:
     exchange_window: int = 1
     engine: str = DEFAULT_ENGINE
     kernel: str = DEFAULT_KERNEL
+    core: str = field(default_factory=get_default_core)
+    exchange_transport: str = field(default_factory=get_default_exchange_transport)
     value_refresh_cost: float = 1.0
     query_refresh_cost: float = 2.0
     seed: int = 0
@@ -181,6 +254,15 @@ class SimulationConfig:
             raise ValueError(
                 f"unknown engine {self.engine!r}; available: "
                 f"{', '.join(ENGINE_NAMES)}"
+            )
+        if self.core not in CORE_NAMES:
+            raise ValueError(
+                f"unknown core {self.core!r}; available: {', '.join(CORE_NAMES)}"
+            )
+        if self.exchange_transport not in EXCHANGE_TRANSPORT_NAMES:
+            raise ValueError(
+                f"unknown exchange transport {self.exchange_transport!r}; "
+                f"available: {', '.join(EXCHANGE_TRANSPORT_NAMES)}"
             )
         if self.value_refresh_cost <= 0 or self.query_refresh_cost <= 0:
             raise ValueError("refresh costs must be positive")

@@ -100,6 +100,36 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "section45", "--kernel", "turbo"])
 
+    def test_run_accepts_core(self):
+        args = build_parser().parse_args(["run", "section45", "--core", "object"])
+        assert args.core == "object"
+
+    def test_core_defaults_to_none(self):
+        args = build_parser().parse_args(["run", "section45"])
+        assert args.core is None and args.exchange_transport is None
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "section45", "--core", "rowwise"])
+
+    def test_run_accepts_exchange_transport(self):
+        args = build_parser().parse_args(
+            ["run", "section45", "--exchange-transport", "pipe"]
+        )
+        assert args.exchange_transport == "pipe"
+
+    def test_unknown_exchange_transport_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "section45", "--exchange-transport", "carrier-pigeon"]
+            )
+
+    def test_run_accepts_profile(self):
+        args = build_parser().parse_args(
+            ["run", "section45", "--profile", "run.prof"]
+        )
+        assert args.profile == "run.prof"
+
 
 class TestMain:
     def test_list_prints_experiment_ids(self, capsys):
@@ -140,6 +170,71 @@ class TestMain:
         assert main(["run", "section45", "--shards", "4", "--shard-workers", "2"]) == 0
         concurrent = capsys.readouterr().out
         assert concurrent == unsharded
+
+    def test_run_section45_core_object_matches_columnar(self, capsys):
+        # The compat-mode acceptance diff: the paper-exact object core and
+        # the columnar core print byte-identical tables (CI's columnar-smoke
+        # job runs the same diff via the CLI).
+        from repro.simulation import config as simulation_config
+
+        assert main(["run", "section45"]) == 0
+        columnar = capsys.readouterr().out
+        try:
+            assert main(["run", "section45", "--core", "object"]) == 0
+            compat = capsys.readouterr().out
+        finally:
+            simulation_config.set_default_core(simulation_config.DEFAULT_CORE)
+        assert compat == columnar
+
+    def test_run_section45_pipe_transport_matches_shm(self, capsys):
+        from repro.simulation import config as simulation_config
+
+        assert main(["run", "section45", "--shards", "4", "--shard-workers", "2"]) == 0
+        shm = capsys.readouterr().out
+        try:
+            assert (
+                main(
+                    [
+                        "run",
+                        "section45",
+                        "--shards",
+                        "4",
+                        "--shard-workers",
+                        "2",
+                        "--exchange-transport",
+                        "pipe",
+                    ]
+                )
+                == 0
+            )
+            pipe = capsys.readouterr().out
+        finally:
+            simulation_config.set_default_exchange_transport(
+                simulation_config.DEFAULT_EXCHANGE_TRANSPORT
+            )
+        assert pipe == shm
+
+    def test_run_profile_dumps_stats(self, capsys, tmp_path):
+        import pstats
+
+        destination = tmp_path / "table1.prof"
+        assert main(["run", "table1", "--profile", str(destination)]) == 0
+        capsys.readouterr()
+        assert destination.exists()
+        # The dump is a loadable cProfile stats file, not just bytes.
+        pstats.Stats(str(destination))
+
+    def test_run_all_profile_derives_per_experiment_paths(self, tmp_path):
+        from repro.cli import _profile_destination
+
+        base = str(tmp_path / "all.prof")
+        assert _profile_destination(base, "figure03") == str(
+            tmp_path / "all-figure03.prof"
+        )
+        assert _profile_destination(str(tmp_path / "all"), "table1") == str(
+            tmp_path / "all-table1.prof"
+        )
+        assert _profile_destination(base, None) == base
 
     def test_kernel_scheduler_matches_default_batch(self, capsys):
         # The batch kernel is the default; the scheduler fallback must print

@@ -34,6 +34,9 @@ from repro.serving.protocol import (
     decode_payload,
     encode_frame,
     parse_request,
+    parse_request_fast,
+    query_fields,
+    update_batch_fields,
 )
 
 
@@ -248,3 +251,95 @@ class TestValidation:
     def test_query_unknown_aggregate(self):
         with pytest.raises(ProtocolError, match="unknown aggregate"):
             parse_request({"op": "query", "keys": ["a"], "aggregate": "MEDIAN"})
+
+
+class TestFastPath:
+    """The hot-path codecs match the generic typed path frame for frame.
+
+    ``parse_request_fast`` must return a message *equal* to the generic
+    parse on every frame (and fall back to it — same errors, same
+    tolerance — whenever a frame is not the canonical client-emitted
+    shape); the field helpers must emit bytes identical to the dataclass
+    codecs.
+    """
+
+    CANONICAL_FRAMES = [
+        {"op": "query", "id": 1, "keys": ["a", "b"], "aggregate": "SUM",
+         "constraint": 5.0, "time": 2.0},
+        {"op": "query", "id": 2, "keys": [], "aggregate": "AVG",
+         "constraint": math.inf},
+        {"op": "query", "id": 3, "keys": ["k"], "aggregate": "MAX",
+         "constraint": 7},  # int constraint coerces to 7.0 on both paths
+        {"op": "update_batch", "id": 4,
+         "updates": [["h0", 1.0], ["h1", 2.5]], "time": 4.0},
+        {"op": "update_batch", "id": 5, "updates": []},
+        {"op": "update_batch", "id": 6, "updates": [["h0", 3]]},
+    ]
+
+    FALLBACK_FRAMES = [
+        {"op": "query", "keys": ["a"], "aggregate": "sum"},  # lowercase name
+        {"op": "query", "keys": ("a",)},  # non-list container
+        {"op": "query", "keys": ["a"], "constraint": True},  # bool constraint
+        {"op": "update_batch", "updates": (("h0", 1.0),)},
+        {"op": "update", "key": "h0", "value": 1.0},  # cold op
+        {"op": "register", "keys": ["a"], "values": [1.0]},
+        {"op": "stats"},
+    ]
+
+    @pytest.mark.parametrize("frame", CANONICAL_FRAMES + FALLBACK_FRAMES)
+    def test_fast_parse_matches_generic(self, frame):
+        fast = parse_request_fast(dict(frame))
+        generic = parse_request(dict(frame))
+        assert fast == generic
+        assert type(fast) is type(generic)
+
+    def test_fast_parse_coerces_like_post_init(self):
+        fast = parse_request_fast(
+            {"op": "update_batch", "updates": [["h0", 3]], "time": 1.0}
+        )
+        assert fast.updates == (("h0", 3.0),)
+        assert type(fast.updates[0][1]) is float
+        query = parse_request_fast(
+            {"op": "query", "keys": ["a"], "constraint": 7}
+        )
+        assert query.constraint == 7.0 and type(query.constraint) is float
+
+    def test_fast_parse_unknown_op(self):
+        assert parse_request_fast({"op": "bogus"}) is None
+
+    @pytest.mark.parametrize(
+        "frame,match",
+        [
+            ({"op": "query"}, "missing"),
+            ({"op": "query", "keys": ["a"], "aggregate": "MEDIAN"},
+             "unknown aggregate"),
+            ({"op": "update_batch"}, "missing"),
+        ],
+    )
+    def test_fast_parse_error_parity(self, frame, match):
+        with pytest.raises(ProtocolError, match=match):
+            parse_request_fast(frame)
+
+    def test_query_fields_bytes_identical(self):
+        for keys, aggregate, constraint, time in [
+            (("a", "b"), AggregateKind.SUM, 5.0, 2.0),
+            ((), AggregateKind.AVG, math.inf, None),
+            (("k",), AggregateKind.MIN, 0.25, 0.0),
+        ]:
+            typed = QueryRequest(
+                keys=keys, aggregate=aggregate, constraint=constraint, time=time
+            )
+            fast = {"op": QueryRequest.OP, "id": 9,
+                    **query_fields(keys, aggregate, constraint, time)}
+            assert encode_frame(fast) == encode_frame(typed.to_wire(9))
+
+    def test_update_batch_fields_bytes_identical(self):
+        for updates, time in [
+            ((("h0", 1.0), ("h1", 2.5)), 4.0),
+            ((), None),
+            ((("h0", 3),), 0.5),  # int value coerces to 3.0 on both paths
+        ]:
+            typed = UpdateBatch(updates=updates, time=time)
+            fast = {"op": UpdateBatch.OP, "id": 11,
+                    **update_batch_fields(updates, time)}
+            assert encode_frame(fast) == encode_frame(typed.to_wire(11))

@@ -246,3 +246,52 @@ def test_merge_cache_statistics_rollup():
     assert coordinator.statistics == merge_cache_statistics(
         coordinator.shard_statistics
     )
+
+
+# ---------------------------------------------------------------------------
+# Exchange transports (PR 8): shared-memory rows vs pickled pipes
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("exchange_window", [1, 4])
+def test_pipe_transport_equals_shm(exchange_window):
+    """Both transports are wire-level implementations of one exchange: the
+    merged results must match field for field at every window size."""
+    shm = CacheSimulation(
+        _config(4, 2, exchange_window=exchange_window, exchange_transport="shm"),
+        _walk_streams(8),
+        _adaptive_policy(),
+    ).run()
+    pipe = CacheSimulation(
+        _config(4, 2, exchange_window=exchange_window, exchange_transport="pipe"),
+        _walk_streams(8),
+        _adaptive_policy(),
+    ).run()
+    _assert_results_equal(shm, pipe)
+
+
+def test_shm_transport_drops_pickled_bytes_per_tick():
+    """The headline exchange saving: the shared-memory transport moves the
+    per-tick rows out of the pickled control messages, so the coordinator's
+    pickle traffic per query tick drops by well over the 10x acceptance
+    floor (the interval payload scales with fan-out; the token does not)."""
+    from repro.sharding.workers import EXCHANGE_METER
+
+    def measure(transport):
+        EXCHANGE_METER.reset()
+        EXCHANGE_METER.enabled = True
+        try:
+            CacheSimulation(
+                _config(4, 2, exchange_transport=transport),
+                _walk_streams(8),
+                _adaptive_policy(),
+            ).run()
+            assert EXCHANGE_METER.ticks > 0
+            return EXCHANGE_METER.bytes_pickled / EXCHANGE_METER.ticks
+        finally:
+            EXCHANGE_METER.enabled = False
+            EXCHANGE_METER.reset()
+
+    pipe_bytes_per_tick = measure("pipe")
+    shm_bytes_per_tick = measure("shm")
+    assert shm_bytes_per_tick * 10 <= pipe_bytes_per_tick
