@@ -406,6 +406,51 @@ def test_serving_loopback_query_throughput(benchmark):
     assert report.queries > 0
 
 
+def test_serving_loopback_wal_throughput(benchmark):
+    # The identical replay with the write-ahead log on (fresh WAL directory
+    # per round, default checkpoint cadence, the crash-safe 'checkpoint'
+    # fsync policy): the WAL-on vs WAL-off delta against
+    # test_serving_loopback_query_throughput is the price of durability.
+    import asyncio
+    import shutil
+    import tempfile
+
+    from repro.data.traffic import SyntheticTrafficTraceGenerator
+    from repro.experiments.workloads import serving_policy, traffic_config
+    from repro.serving.durability import PartitionDurability
+    from repro.serving.loadgen import replay_trace_deterministic
+    from repro.serving.server import CacheServer
+
+    trace = SyntheticTrafficTraceGenerator(
+        host_count=10, duration_seconds=120, seed=7
+    ).generate()
+    config = traffic_config(trace, seed=5).with_changes(warmup=0.0)
+
+    def replay():
+        wal_dir = tempfile.mkdtemp(prefix="bench-wal-")
+
+        async def drive():
+            server = CacheServer(
+                serving_policy(cost_factor=1.0, seed=5),
+                value_refresh_cost=config.value_refresh_cost,
+                query_refresh_cost=config.query_refresh_cost,
+                durability=PartitionDurability(wal_dir),
+            )
+            try:
+                return await replay_trace_deterministic(server, trace, config)
+            finally:
+                await server.close()
+
+        try:
+            return asyncio.run(drive())
+        finally:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
+    report = benchmark(replay)
+    assert report.queries > 0
+    assert report.server_stats["wal_records"] > 0
+
+
 def test_gateway_partitioned_query_throughput(benchmark):
     # The same deterministic replay routed through the partitioned gateway
     # (two in-process partition servers): measures the gateway hop — key

@@ -93,6 +93,16 @@ clients retry with backoff.  ``--check-invariant`` (deterministic mode)
 audits every answer against the ground-truth aggregate and exits non-zero
 if any returned interval excludes it — the paper's containment guarantee,
 verified under fire.
+
+``serve --wal-dir DIR`` makes partition state durable: every mutating op
+is appended to a per-partition write-ahead log and periodically folded
+into a snapshot checkpoint (``--checkpoint-every``, ``--wal-fsync``); a
+SIGKILLed partition replays snapshot+WAL on restart and recovers its
+exact state (:mod:`repro.serving.durability`).  ``loadgen
+--partition-procs N`` drives that path end to end: a supervised gateway
+over N durable partition *processes*, which a fault plan with
+``part_kill_every`` SIGKILLs mid-run — the replayed report must stay
+byte-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -107,6 +117,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.data.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.experiments.base import ExperimentResult, format_table, registry
+from repro.serving.durability import DEFAULT_CHECKPOINT_EVERY, FSYNC_POLICIES
 from repro.experiments.runner import plan_registry, run_plan
 from repro.simulation.config import (
     CORE_NAMES,
@@ -296,6 +307,36 @@ def build_parser() -> argparse.ArgumentParser:
         dest="max_inflight",
         help="admission control: maximum concurrently executing queries",
     )
+    serve_parser.add_argument(
+        "--wal-dir",
+        default=None,
+        dest="wal_dir",
+        metavar="DIR",
+        help=(
+            "make partition state durable: write-ahead log + snapshot "
+            "checkpoints under DIR, replayed on restart (default: no WAL)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=DEFAULT_CHECKPOINT_EVERY,
+        dest="checkpoint_every",
+        metavar="N",
+        help="fold the WAL into a snapshot every N records (with --wal-dir)",
+    )
+    serve_parser.add_argument(
+        "--wal-fsync",
+        choices=FSYNC_POLICIES,
+        default="checkpoint",
+        dest="wal_fsync",
+        help=(
+            "WAL fsync policy: 'always' fsyncs every record (power-loss "
+            "safe), 'checkpoint' flushes per record and fsyncs at "
+            "checkpoints (crash-safe, the default), 'never' leaves "
+            "flushing to the OS"
+        ),
+    )
     loadgen_parser = subparsers.add_parser(
         "loadgen", help="replay the monitoring trace against a serving stack"
     )
@@ -340,6 +381,42 @@ def build_parser() -> argparse.ArgumentParser:
             "front the in-process server with a gateway over this many "
             "in-process partitions (no --target/--connect)"
         ),
+    )
+    loadgen_parser.add_argument(
+        "--partition-procs",
+        type=int,
+        default=0,
+        dest="partition_procs",
+        help=(
+            "front the replay with a supervised gateway over this many "
+            "partition *processes* (deterministic mode; required for "
+            "fault-plan partition kills; no --target/--connect)"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--wal-dir",
+        default=None,
+        dest="wal_dir",
+        metavar="DIR",
+        help=(
+            "WAL + checkpoint directory for --partition-procs (default: "
+            "a fresh temporary directory)"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=DEFAULT_CHECKPOINT_EVERY,
+        dest="checkpoint_every",
+        metavar="N",
+        help="checkpoint cadence for --partition-procs WALs",
+    )
+    loadgen_parser.add_argument(
+        "--wal-fsync",
+        choices=FSYNC_POLICIES,
+        default="checkpoint",
+        dest="wal_fsync",
+        help="WAL fsync policy for --partition-procs (see 'serve')",
     )
     loadgen_parser.add_argument(
         "--shape",
@@ -394,9 +471,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help=(
             "inject deterministic faults: 'key=value,...' with keys seed, "
-            "drop, truncate, delay, delay_ms, reorder, kill_every, outage "
-            "(e.g. 'seed=7,drop=0.05,kill_every=40,outage=3'); 'none' "
-            "disables injection"
+            "drop, truncate, delay, delay_ms, reorder, kill_every, outage, "
+            "part_kill_every, part_kills "
+            "(e.g. 'seed=7,drop=0.05,kill_every=40,outage=3'; "
+            "'part_kill_every=10,part_kills=2' SIGKILLs pool partitions — "
+            "needs --partition-procs); 'none' disables injection"
         ),
     )
     loadgen_parser.add_argument(
@@ -626,6 +705,9 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
             cost_factor=args.cost_factor,
             seed=args.seed,
             max_inflight=args.max_inflight,
+            wal_dir=args.wal_dir,
+            checkpoint_every=args.checkpoint_every,
+            wal_fsync=args.wal_fsync,
         )
     except ValueError as error:
         parser.error(str(error))
@@ -643,17 +725,19 @@ async def _serve(config) -> None:
         from repro.serving.gateway import GatewayServer
         from repro.serving.procs import ProcessPartitionPool
 
-        pool = ProcessPartitionPool(
-            config.partitions,
-            {
-                "host": config.host,
-                "shards": config.shards,
-                "capacity": config.capacity,
-                "cost_factor": config.cost_factor,
-                "seed": config.seed,
-                "max_inflight": config.max_inflight,
-            },
-        )
+        spec = {
+            "host": config.host,
+            "shards": config.shards,
+            "capacity": config.capacity,
+            "cost_factor": config.cost_factor,
+            "seed": config.seed,
+            "max_inflight": config.max_inflight,
+        }
+        if config.wal_dir:
+            spec["wal_dir"] = config.wal_dir
+            spec["checkpoint_every"] = config.checkpoint_every
+            spec["wal_fsync"] = config.wal_fsync
+        pool = ProcessPartitionPool(config.partitions, spec)
         loop = asyncio.get_running_loop()
         targets = await loop.run_in_executor(None, pool.start)
         backend = GatewayServer(
@@ -668,6 +752,16 @@ async def _serve(config) -> None:
     else:
         from repro.serving.server import CacheServer
 
+        durability = None
+        if config.wal_dir:
+            from repro.serving.durability import PartitionDurability
+
+            durability = PartitionDurability(
+                config.wal_dir,
+                0,
+                checkpoint_every=config.checkpoint_every,
+                fsync=config.wal_fsync,
+            )
         backend = CacheServer(
             _serving_policy(config.cost_factor, config.seed),
             shards=config.shards,
@@ -675,11 +769,14 @@ async def _serve(config) -> None:
             value_refresh_cost=config.cost_factor,
             query_refresh_cost=2.0,
             max_inflight_queries=config.max_inflight,
+            durability=durability,
         )
         banner = (
             f"{config.role} cache on {config.host}:{config.port} "
             f"(shards={config.shards})"
         )
+    if config.wal_dir:
+        banner += f", wal in {config.wal_dir}"
     edge = None
     tcp = await backend.start_tcp(config.host, config.port)
     try:
@@ -735,12 +832,33 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
             "--partitions builds an in-process gateway; it cannot be "
             "combined with --target/--connect"
         )
+    if args.partition_procs < 0:
+        parser.error("--partition-procs must be non-negative")
+    if args.partition_procs:
+        if remote:
+            parser.error(
+                "--partition-procs spawns its own partition pool; it cannot "
+                "be combined with --target/--connect"
+            )
+        if args.partitions > 1:
+            parser.error("--partition-procs and --partitions are exclusive")
+        if args.mode != "deterministic":
+            parser.error("--partition-procs needs --mode deterministic")
     try:
         fault_plan = (
             FaultPlan.parse(args.fault_plan) if args.fault_plan is not None else None
         )
     except ValueError as error:
         parser.error(f"--fault-plan: {error}")
+    if (
+        fault_plan is not None
+        and fault_plan.partition_kill_every > 0
+        and not args.partition_procs
+    ):
+        parser.error(
+            "fault-plan partition kills (part_kill_every) need "
+            "--partition-procs N: only pool partitions can be SIGKILLed"
+        )
     if args.mode == "deterministic":
         # The deterministic replay is one serialized feeder + querier; say
         # so instead of silently absorbing concurrency flags (mirrors how
@@ -801,8 +919,35 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
         gateway = None
         partitions = []
         server = None
+        pool = None
         if dialer is not None:
             target = dialer
+        elif args.partition_procs:
+            import tempfile
+
+            from repro.serving.gateway import GatewayServer
+            from repro.serving.procs import ProcessPartitionPool
+
+            # Durability is always on for the process pool: it is what makes
+            # a SIGKILLed partition recover the exact state a kill-free run
+            # would hold, so chaos replays stay byte-identical.
+            wal_dir = args.wal_dir or tempfile.mkdtemp(prefix="repro-wal-")
+            pool = ProcessPartitionPool(
+                args.partition_procs,
+                {
+                    "seed": args.seed,
+                    "shards": args.shards,
+                    "wal_dir": wal_dir,
+                    "checkpoint_every": args.checkpoint_every,
+                    "wal_fsync": args.wal_fsync,
+                },
+            )
+            loop = asyncio.get_running_loop()
+            targets = await loop.run_in_executor(None, pool.start)
+            gateway = GatewayServer(targets, pool=pool)
+            await gateway.start()
+            gateway.start_supervisor()
+            target = gateway
         elif args.partitions > 1:
             from repro.serving.gateway import GatewayServer
 
@@ -822,6 +967,7 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
                     fault_plan=fault_plan,
                     check_invariant=args.check_invariant,
                     deadline=args.deadline,
+                    partition_pool=pool,
                 )
             if args.mode == "open-loop":
                 return await run_open_loop(
@@ -851,6 +997,10 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
                 await partition.close()
             if server is not None:
                 await server.close()
+            if pool is not None:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, pool.stop
+                )
 
     report = asyncio.run(drive())
     print(report.describe())

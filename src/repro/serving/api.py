@@ -45,6 +45,7 @@ from typing import (
 )
 
 from repro.queries.aggregates import AggregateKind
+from repro.serving.durability import DEFAULT_CHECKPOINT_EVERY, FSYNC_POLICIES
 from repro.serving.errors import (
     ConnectionLost,
     DeadlineExceeded,
@@ -454,6 +455,14 @@ class ServeConfig:
 
     ``http_port`` additionally serves the HTTP/WebSocket edge on the same
     backend (``0``/``None`` disables it).
+
+    ``wal_dir`` makes the partition state durable: every state-mutating op
+    is appended to a per-partition write-ahead log under that directory and
+    periodically folded into a snapshot checkpoint (every
+    ``checkpoint_every`` records), so a SIGKILLed partition recovers its
+    exact state on restart.  ``wal_fsync`` picks the flush policy
+    (``always`` / ``checkpoint`` / ``never`` — see
+    :mod:`repro.serving.durability`).
     """
 
     role: str = "single"
@@ -466,6 +475,9 @@ class ServeConfig:
     cost_factor: float = 1.0
     seed: int = 0
     max_inflight: int = 64
+    wal_dir: Optional[str] = None
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+    wal_fsync: str = "checkpoint"
 
     def __post_init__(self) -> None:
         if self.role not in SERVE_ROLES:
@@ -480,6 +492,13 @@ class ServeConfig:
             raise ValueError("shards must be at least 1")
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        if self.wal_fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"wal_fsync must be one of {FSYNC_POLICIES}, not "
+                f"{self.wal_fsync!r}"
+            )
 
 
 def deprecated_entry_point(old: str, new: str) -> None:

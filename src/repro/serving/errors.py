@@ -14,6 +14,7 @@ handlers — the server's dispatch fallback, tests catching ``RuntimeError``
 from __future__ import annotations
 
 import asyncio
+from typing import Dict
 
 
 class ServingError(Exception):
@@ -46,3 +47,22 @@ class StaleEpochError(RequestRejected):
     The only recovery is a fresh registration (which mints the next epoch);
     retrying the rejected operation on this session can never succeed.
     """
+
+
+class SupervisionExhausted(ServingError, RuntimeError):
+    """A supervised worker died more times than its restart budget allows.
+
+    Raised by :class:`~repro.serving.procs.ProcessPartitionPool` and the
+    shard-worker :class:`~repro.sharding.workers._ExchangeSupervisor` in
+    place of the bare ``RuntimeError`` they used to raise (still caught by
+    handlers matching ``RuntimeError``).  ``crashes`` maps each worker
+    index to its crash count at the moment supervision gave up; ``index``
+    is the worker whose death exhausted the budget.  A gateway catching
+    this downgrades the partition to permanent-degraded: its keys answer
+    from the divergence-widened mirror instead of erroring.
+    """
+
+    def __init__(self, message: str, *, index: int, crashes: Dict[int, int]) -> None:
+        super().__init__(message)
+        self.index = index
+        self.crashes = dict(crashes)

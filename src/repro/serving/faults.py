@@ -24,7 +24,10 @@ injects the transport-level faults:
 Feeder **kills** (``kill_every`` update batches, then ``outage_queries``
 queries of downtime before the reconnect-and-resync) are scheduled by the
 load generator from the same plan — they are protocol-level events, not
-transport ones.
+transport ones.  Partition **kills** (``partition_kill_every`` update
+batches, SIGKILL of a seeded-random pool partition, at most
+``partition_kills`` times) are likewise scheduled by the load generator,
+and exercise the WAL/checkpoint recovery path end to end.
 
 The CLI accepts a compact spec (``--fault-plan``)::
 
@@ -68,9 +71,19 @@ _SPEC_ALIASES = {
     "kill": "kill_every",
     "outage": "outage_queries",
     "outage_queries": "outage_queries",
+    "part_kill_every": "partition_kill_every",
+    "partition_kill_every": "partition_kill_every",
+    "part_kills": "partition_kills",
+    "partition_kills": "partition_kills",
 }
 
-_INT_FIELDS = {"seed", "kill_every", "outage_queries"}
+_INT_FIELDS = {
+    "seed",
+    "kill_every",
+    "outage_queries",
+    "partition_kill_every",
+    "partition_kills",
+}
 
 
 @dataclass(frozen=True)
@@ -86,6 +99,13 @@ class FaultPlan:
     reorder_window: float = DEFAULT_REORDER_WINDOW
     kill_every: int = 0
     outage_queries: int = 0
+    #: SIGKILL a pool partition every N update batches (0 = never), at most
+    #: ``partition_kills`` times (0 = unbounded).  The victim partition is
+    #: drawn from the plan's own seeded stream, and kills land *between*
+    #: awaited protocol ops — seeded frame positions, not wall clock — so a
+    #: chaos replay kills the same partitions at the same points every run.
+    partition_kill_every: int = 0
+    partition_kills: int = 0
 
     def __post_init__(self) -> None:
         for name in ("drop_rate", "truncate_rate", "delay_rate", "reorder_rate"):
@@ -98,6 +118,10 @@ class FaultPlan:
             raise ValueError("delay_seconds must be >= 0, reorder_window > 0")
         if self.kill_every < 0 or self.outage_queries < 0:
             raise ValueError("kill_every and outage_queries must be non-negative")
+        if self.partition_kill_every < 0 or self.partition_kills < 0:
+            raise ValueError(
+                "partition_kill_every and partition_kills must be non-negative"
+            )
 
     @property
     def is_zero(self) -> bool:
@@ -108,6 +132,7 @@ class FaultPlan:
             and self.delay_rate == 0.0
             and self.reorder_rate == 0.0
             and self.kill_every == 0
+            and self.partition_kill_every == 0
         )
 
     def session(self, role: str, index: int) -> "SessionFaults":

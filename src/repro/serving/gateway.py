@@ -48,6 +48,7 @@ answers rather than forgetting them.
 from __future__ import annotations
 
 import asyncio
+import math
 from typing import (
     Any,
     ClassVar,
@@ -62,11 +63,13 @@ from typing import (
 
 from repro.intervals.interval import Interval
 from repro.serving.api import Client, dial
+from repro.serving.errors import SupervisionExhausted
 from repro.serving.execution import execute_partitioned_query
 from repro.serving.protocol import (
     BoundedAnswer,
     ProtocolError,
     QueryRequest,
+    Recovered,
     RefreshKey,
     RegisterAck,
     RegisterFeeder,
@@ -83,14 +86,33 @@ from repro.serving.protocol import (
 )
 from repro.serving.server import (
     DEFAULT_ADMISSION_QUEUE_LIMIT,
+    DEFAULT_DEGRADED_SLACK,
     DEFAULT_MAX_INFLIGHT_QUERIES,
     DEFAULT_REFRESH_TIMEOUT,
     DEFAULT_WRITE_QUEUE_LIMIT,
     BaseFrameServer,
     ServingStatistics,
     _Connection,
+    _KeyDrift,
 )
 from repro.sharding.partition import partition_keys, shard_index
+
+#: How long a query waits for a recovering partition before answering its
+#: keys from the gateway's own divergence-widened mirror.  Recovery of a
+#: durable partition is typically sub-second, so the default keeps chaos
+#: replays bit-identical to uninterrupted runs; tests set 0 to force the
+#: mirror-degraded path.
+DEFAULT_RECOVERY_GRACE = 30.0
+
+#: Per-partition health states the gateway tracks (see ``health()``):
+#: ``ok`` — live, ops route normally; ``recovering`` — the supervisor is
+#: restarting it, writes wait and queries wait up to ``recovery_grace``;
+#: ``degraded`` — its restart budget is exhausted, its keys answer from
+#: the mirror forever; ``down`` — dead with no pool to restart it.
+PARTITION_STATES = ("ok", "recovering", "degraded", "down")
+
+#: Connection failures that mean "the partition behind this link is gone".
+_LINK_ERRORS = (ConnectionResetError, BrokenPipeError, EOFError, OSError)
 
 
 class _KeyDown(Exception):
@@ -124,6 +146,12 @@ class GatewayServer(BaseFrameServer):
         Gateway-level admission control — the one overload gate of a
         partitioned deployment (snapshot/refresh ops bypass the
         partitions' own gates).
+    recovery_grace:
+        How long a query waits for a ``recovering`` partition before its
+        keys are answered from the gateway's mirror as degraded intervals.
+        Writes wait without a deadline (they must not be dropped or
+        reordered); a partition that exhausts its restart budget releases
+        them to the mirror-only path.
     """
 
     _TASK_OPS: ClassVar[FrozenSet[str]] = frozenset({"query"})
@@ -137,6 +165,7 @@ class GatewayServer(BaseFrameServer):
         admission_queue_limit: int = DEFAULT_ADMISSION_QUEUE_LIMIT,
         write_queue_limit: int = DEFAULT_WRITE_QUEUE_LIMIT,
         refresh_timeout: Optional[float] = DEFAULT_REFRESH_TIMEOUT,
+        recovery_grace: float = DEFAULT_RECOVERY_GRACE,
     ) -> None:
         super().__init__(
             write_queue_limit=write_queue_limit, refresh_timeout=refresh_timeout
@@ -147,6 +176,8 @@ class GatewayServer(BaseFrameServer):
             raise ValueError("max_inflight_queries must be at least 1")
         if admission_queue_limit < 0:
             raise ValueError("admission_queue_limit must be non-negative")
+        if recovery_grace < 0:
+            raise ValueError("recovery_grace must be non-negative")
         self._targets: List[Any] = list(targets)
         self._pool = pool
         self._control: List[Optional[Client]] = [None] * len(self._targets)
@@ -161,6 +192,24 @@ class GatewayServer(BaseFrameServer):
         self._admission_waiting = 0
         self._supervisor: Optional[asyncio.Task] = None
         self.statistics = ServingStatistics()
+        # Per-partition recovery state: health string, a "routable" event
+        # ops wait on (set except while recovering), and the gateway clock
+        # at which the partition last went unroutable (degraded widths).
+        self._recovery_grace = recovery_grace
+        self._health: List[str] = ["ok"] * len(self._targets)
+        self._routable: List[asyncio.Event] = []
+        for _ in self._targets:
+            event = asyncio.Event()
+            event.set()
+            self._routable.append(event)
+        self._partition_down_since: Dict[int, float] = {}
+        # The gateway's own drift envelope per key — the same empirical
+        # widening model the partitions keep, so mirror-degraded answers
+        # honour the containment contract even with the partition gone.
+        self._drift: Dict[Hashable, _KeyDrift] = {}
+        self._last_update_time: Dict[Hashable, float] = {}
+        self._degraded_slack = DEFAULT_DEGRADED_SLACK
+        self._clock = 0.0
 
     @property
     def partition_count(self) -> int:
@@ -188,6 +237,123 @@ class GatewayServer(BaseFrameServer):
         if link is None:
             raise ConnectionResetError(f"partition {index} has no control link")
         return link
+
+    # ------------------------------------------------------------------
+    # Partition health (the recovery state machine)
+    # ------------------------------------------------------------------
+    def partition_state(self, index: int) -> str:
+        """This partition's health: one of :data:`PARTITION_STATES`."""
+        return self._health[index]
+
+    def _note_partition_failure(self, index: int) -> None:
+        """An op (or the supervisor) found partition ``index`` unreachable.
+
+        With a pool the partition becomes ``recovering`` — ops queue on its
+        routable event until the supervisor brings it back (or gives up,
+        downgrading it to ``degraded``).  Without a pool nobody will ever
+        restart it, so it goes straight to terminal ``down``.
+        """
+        if self._health[index] != "ok":
+            return
+        self._partition_down_since.setdefault(index, self._clock)
+        if self._pool is not None:
+            self._health[index] = "recovering"
+            self._routable[index].clear()
+        else:
+            self._health[index] = "down"
+
+    def _mark_partition_ok(self, index: int) -> None:
+        self._health[index] = "ok"
+        self._partition_down_since.pop(index, None)
+        self._routable[index].set()
+
+    def _mark_partition_degraded(self, index: int) -> None:
+        """Terminal: restart budget exhausted; release queued ops to the
+        mirror-only path."""
+        self._health[index] = "degraded"
+        self._partition_down_since.setdefault(index, self._clock)
+        self._routable[index].set()
+
+    def _partition_routable(self, index: int) -> bool:
+        """Whether ops may currently be forwarded to partition ``index``."""
+        return self._health[index] == "ok"
+
+    async def _await_partition(
+        self, index: int, timeout: Optional[float] = None
+    ) -> bool:
+        """Wait for ``index`` to become routable; False means answer from
+        the mirror (terminal state, or the recovery grace ran out)."""
+        if self._health[index] == "ok":
+            return True
+        if self._health[index] in ("degraded", "down"):
+            return False
+        if timeout is not None and timeout <= 0:
+            return False
+        try:
+            await asyncio.wait_for(
+                asyncio.shield(self._routable[index].wait()), timeout
+            )
+        except asyncio.TimeoutError:
+            pass
+        return self._health[index] == "ok"
+
+    async def _drop_upstream(self, connection: _Connection, index: int) -> None:
+        """Forget a dead upstream link so the retry dials the new target."""
+        links = self._upstreams.get(connection)
+        if links is not None:
+            stale = links.pop(index, None)
+            if stale is not None:
+                await stale.close()
+
+    # ------------------------------------------------------------------
+    # The mirror's drift model (mirror-degraded answers)
+    # ------------------------------------------------------------------
+    def _advance_clock(self, time: Optional[float]) -> None:
+        if time is not None and time > self._clock:
+            self._clock = time
+
+    def _observe_value(
+        self, key: Hashable, value: float, time: Optional[float]
+    ) -> None:
+        """Fold one exact value into the mirror and its drift envelope."""
+        old = self._values.get(key)
+        if old is not None and value != old:
+            drift = self._drift.get(key)
+            if drift is None:
+                drift = self._drift[key] = _KeyDrift()
+            last = self._last_update_time.get(key)
+            gap = time - last if (time is not None and last is not None) else None
+            drift.observe(abs(value - old), gap)
+        self._values[key] = float(value)
+        if time is not None:
+            self._last_update_time[key] = time
+
+    def _mirror_degraded_interval(
+        self, key: Hashable, time: Optional[float]
+    ) -> Interval:
+        """The honest bound for a key whose partition is unreachable.
+
+        The partition-side :meth:`CacheServer._degraded_interval` widening
+        model, run from the gateway's own mirror: last exact value padded
+        by (largest observed step × potentially missed updates ×
+        ``degraded_slack``).  A key the mirror never saw is unbounded —
+        the same honesty a single server gives an unknown key.
+        """
+        value = self._values.get(key)
+        if value is None:
+            return Interval(-math.inf, math.inf)
+        down_at = self._partition_down_since.get(self.partition_of(key))
+        now = time if time is not None else self._clock
+        drift = self._drift.get(key)
+        if down_at is None or drift is None or drift.max_step <= 0.0:
+            return Interval.exact(value)
+        elapsed = now - down_at
+        if elapsed <= 0.0:
+            return Interval.exact(value)
+        gap = drift.min_gap if math.isfinite(drift.min_gap) else 1.0
+        missed = math.ceil(elapsed / gap)
+        allowance = self._degraded_slack * missed * drift.max_step
+        return Interval(value - allowance, value + allowance)
 
     async def close(self) -> None:
         if self._supervisor is not None:
@@ -303,19 +469,30 @@ class GatewayServer(BaseFrameServer):
             connection.epoch = epoch
         values = dict(zip(request.keys, request.values))
         refreshes: Optional[int] = 0 if request.resync else None
+        self._advance_clock(request.time)
         for index, keys in partition_keys(request.keys, len(self._targets)).items():
-            link = await self._upstream(connection, index)
-            ack = await link.register(
-                keys,
-                [values[key] for key in keys],
-                feeder=request.feeder,
-                resync=request.resync,
-                time=request.time,
-            )
-            if request.resync and ack.refreshes is not None:
-                refreshes += ack.refreshes
+            # A recovering partition blocks the registration (like writes);
+            # a terminal one is mirror-only, the registration still
+            # succeeds against the gateway state below.
+            while await self._await_partition(index):
+                try:
+                    link = await self._upstream(connection, index)
+                    ack = await link.register(
+                        keys,
+                        [values[key] for key in keys],
+                        feeder=request.feeder,
+                        resync=request.resync,
+                        time=request.time,
+                    )
+                except _LINK_ERRORS:
+                    await self._drop_upstream(connection, index)
+                    self._note_partition_failure(index)
+                    continue
+                if request.resync and ack.refreshes is not None:
+                    refreshes += ack.refreshes
+                break
         for key, value in values.items():
-            self._values[key] = float(value)
+            self._observe_value(key, float(value), request.time)
             self._owners[key] = connection
             connection.keys.add(key)
         if request.resync:
@@ -327,13 +504,27 @@ class GatewayServer(BaseFrameServer):
     async def _handle_update(self, connection: _Connection, request: Update) -> Any:
         if self._connection_fenced(connection):
             return self._reject_stale()
-        link = await self._upstream(connection, self.partition_of(request.key))
-        ack = await link.update(request.key, request.value, time=request.time)
-        self._values[request.key] = float(request.value)
+        self._advance_clock(request.time)
+        index = self.partition_of(request.key)
+        refresh = False
+        # Writes wait out a recovery (re-sent updates fold idempotently:
+        # the recovered partition already replayed any it had applied);
+        # a terminal partition takes them into the mirror only.
+        while await self._await_partition(index):
+            try:
+                link = await self._upstream(connection, index)
+                ack = await link.update(request.key, request.value, time=request.time)
+            except _LINK_ERRORS:
+                await self._drop_upstream(connection, index)
+                self._note_partition_failure(index)
+                continue
+            refresh = ack.refresh
+            break
+        self._observe_value(request.key, float(request.value), request.time)
         self._owners.setdefault(request.key, connection)
         connection.keys.add(request.key)
         self.statistics.updates_applied += 1
-        return UpdateAck(refresh=ack.refresh)
+        return UpdateAck(refresh=refresh)
 
     async def _handle_update_batch(
         self, connection: _Connection, request: UpdateBatch
@@ -343,15 +534,26 @@ class GatewayServer(BaseFrameServer):
         groups: Dict[int, List[Tuple[Hashable, float]]] = {}
         for key, value in request.updates:
             groups.setdefault(self.partition_of(key), []).append((key, value))
+        self._advance_clock(request.time)
+
         # Per-key order is preserved inside each forwarded batch, and the
         # refresh counts of disjoint partitions commute — so the forwards
         # can run concurrently without disturbing serialised-replay
         # bit-identity, and a batch costs the slowest partition rather
-        # than the sum.
+        # than the sum.  The retry wraps each partition's forward, never
+        # the gather: siblings that already applied must not be re-sent
+        # (re-sends would fold idempotently anyway, but why churn).
         async def forward(index: int, updates: List[Tuple[Hashable, float]]) -> int:
-            link = await self._upstream(connection, index)
-            ack = await link.update_batch(updates, time=request.time)
-            return ack.refreshes
+            while await self._await_partition(index):
+                try:
+                    link = await self._upstream(connection, index)
+                    ack = await link.update_batch(updates, time=request.time)
+                except _LINK_ERRORS:
+                    await self._drop_upstream(connection, index)
+                    self._note_partition_failure(index)
+                    continue
+                return ack.refreshes
+            return 0  # terminal partition: mirror-only
 
         refreshes = sum(
             await asyncio.gather(
@@ -359,7 +561,7 @@ class GatewayServer(BaseFrameServer):
             )
         )
         for key, value in request.updates:
-            self._values[key] = float(value)
+            self._observe_value(key, float(value), request.time)
             self._owners.setdefault(key, connection)
             connection.keys.add(key)
         self.statistics.updates_applied += len(request.updates)
@@ -398,12 +600,27 @@ class GatewayServer(BaseFrameServer):
         time = request.time
         groups = partition_keys(keys, len(self._targets))
 
-        async def snapshot(index: int, group: List[Hashable]) -> SnapshotReply:
-            link = self._control_link(index)
-            response = await link.call(
-                Snapshot(keys=tuple(group), constraint=constraint, time=time)
-            )
-            return SnapshotReply.from_wire(response)
+        self._advance_clock(time)
+
+        async def snapshot(
+            index: int, group: List[Hashable]
+        ) -> Optional[SnapshotReply]:
+            # None means "answer this partition's keys from the mirror":
+            # it is terminally degraded/down, or still recovering after
+            # ``recovery_grace``.  A transient failure flips it to
+            # recovering and retries — when recovery wins the race the
+            # answer is exactly the uninterrupted one.
+            while await self._await_partition(index, self._recovery_grace):
+                link = self._control_link(index)
+                try:
+                    response = await link.call(
+                        Snapshot(keys=tuple(group), constraint=constraint, time=time)
+                    )
+                except _LINK_ERRORS:
+                    self._note_partition_failure(index)
+                    continue
+                return SnapshotReply.from_wire(response)
+            return None
 
         replies = await asyncio.gather(
             *(snapshot(index, group) for index, group in groups.items())
@@ -412,6 +629,12 @@ class GatewayServer(BaseFrameServer):
         down_bounds: Dict[Hashable, Interval] = {}
         hits = 0
         for (index, group), reply in zip(groups.items(), replies):
+            if reply is None:
+                for key in group:
+                    bound = self._mirror_degraded_interval(key, time)
+                    intervals[key] = bound
+                    down_bounds[key] = bound
+                continue
             hits += reply.hits
             for key, (low, high) in zip(group, reply.intervals):
                 intervals[key] = Interval(low, high)
@@ -425,16 +648,25 @@ class GatewayServer(BaseFrameServer):
         refreshed: List[Hashable] = []
 
         async def fetch_exact(key: Hashable) -> float:
-            link = self._control_link(self.partition_of(key))
-            response = await link.call(RefreshKey(key=key, time=time))
-            if response.get("down"):
-                down_bounds[key] = Interval(response["low"], response["high"])
-                raise _KeyDown(key)
-            value = float(response["value"])
-            refreshed.append(key)
-            intervals[key] = Interval.exact(value)
-            self._values[key] = value
-            return value
+            index = self.partition_of(key)
+            while await self._await_partition(index, self._recovery_grace):
+                link = self._control_link(index)
+                try:
+                    response = await link.call(RefreshKey(key=key, time=time))
+                except _LINK_ERRORS:
+                    self._note_partition_failure(index)
+                    continue
+                if response.get("down"):
+                    down_bounds[key] = Interval(response["low"], response["high"])
+                    raise _KeyDown(key)
+                value = float(response["value"])
+                refreshed.append(key)
+                intervals[key] = Interval.exact(value)
+                self._values[key] = value
+                return value
+            # The partition went unroutable under this query's feet.
+            down_bounds[key] = self._mirror_degraded_interval(key, time)
+            raise _KeyDown(key)
 
         while True:
             degraded = [key for key in keys if key in down_bounds]
@@ -489,18 +721,49 @@ class GatewayServer(BaseFrameServer):
         "total_latency",
     )
 
+    #: Durability counters summed across partitions into the merged stats.
+    _SUMMED_WAL_STATS = (
+        "wal_records",
+        "wal_bytes",
+        "wal_records_replayed",
+        "wal_torn_tails",
+        "checkpoints",
+    )
+
     async def _handle_stats(self) -> Dict[str, Any]:
+        async def partition(index: int) -> Dict[str, Any]:
+            # An unroutable partition contributes nothing rather than
+            # failing the whole stats op.
+            if not self._partition_routable(index):
+                return {}
+            try:
+                return await self._control_link(index).stats()
+            except _LINK_ERRORS:
+                self._note_partition_failure(index)
+                return {}
+
         partition_stats = await asyncio.gather(
-            *(self._control_link(index).stats() for index in range(len(self._targets)))
+            *(partition(index) for index in range(len(self._targets)))
         )
         merged: Dict[str, Any] = {name: 0 for name in self._SUMMED_STATS}
+        merged.update({name: 0 for name in self._SUMMED_WAL_STATS})
         shard_hit_rates: List[float] = []
         clock = 0.0
+        durable = False
+        checkpoint_age: Optional[float] = None
         for stats in partition_stats:
             for name in self._SUMMED_STATS:
                 merged[name] += stats.get(name, 0)
+            for name in self._SUMMED_WAL_STATS:
+                merged[name] += stats.get(name, 0)
             shard_hit_rates.extend(stats.get("shard_hit_rates", []))
             clock = max(clock, stats.get("clock", 0.0))
+            durable = durable or bool(stats.get("durable"))
+            age = stats.get("last_checkpoint_age")
+            if age is not None:
+                checkpoint_age = age if checkpoint_age is None else max(
+                    checkpoint_age, age
+                )
         lookups = merged["hits"] + merged["misses"]
         serving = self.statistics
         merged.update(
@@ -508,6 +771,9 @@ class GatewayServer(BaseFrameServer):
                 "clock": clock,
                 "partitions": len(self._targets),
                 "partition_restarts": serving.partition_restarts,
+                "partition_health": list(self._health),
+                "durable": durable,
+                "last_checkpoint_age": checkpoint_age,
                 "connections": len(self._connections),
                 "hit_rate": (merged["hits"] / lookups) if lookups else 0.0,
                 "shard_hit_rates": shard_hit_rates,
@@ -520,6 +786,27 @@ class GatewayServer(BaseFrameServer):
         )
         return merged
 
+    def health(self) -> Dict[str, Any]:
+        """Per-partition liveness/recovery state for ``GET /healthz``."""
+        partitions: List[Dict[str, Any]] = []
+        for index in range(len(self._targets)):
+            entry: Dict[str, Any] = {
+                "index": index,
+                "state": self._health[index],
+                "restarts": 0,
+            }
+            if self._pool is not None:
+                restarts = getattr(self._pool, "worker_restarts", None)
+                if restarts is not None:
+                    entry["restarts"] = restarts(index)
+            partitions.append(entry)
+        return {
+            "ok": all(entry["state"] == "ok" for entry in partitions),
+            "role": "gateway",
+            "partitions": partitions,
+            "partition_restarts": self.statistics.partition_restarts,
+        }
+
     # ------------------------------------------------------------------
     # Partition supervision (the process pool's restart path)
     # ------------------------------------------------------------------
@@ -531,26 +818,50 @@ class GatewayServer(BaseFrameServer):
         return self._supervisor
 
     async def supervise(self, poll_interval: float = 0.25) -> None:
-        """Poll the pool; restart and resync any dead partition, forever."""
+        """Poll the pool; restart and resync any dead partition, forever.
+
+        A partition that burns through its restart budget
+        (:class:`~repro.serving.errors.SupervisionExhausted`) is downgraded
+        to terminal ``degraded`` — its keys answer from the gateway mirror
+        forever, its siblings stay supervised, and the client contract
+        ("answers widen, never err") holds throughout.
+        """
         loop = asyncio.get_running_loop()
         while True:
             await asyncio.sleep(poll_interval)
             for index in range(len(self._targets)):
-                if self._pool.is_alive(index):
+                if self._health[index] == "degraded":
                     continue
-                target = await loop.run_in_executor(None, self._pool.restart, index)
+                if self._pool.is_alive(index) and self._health[index] == "ok":
+                    continue
+                self._note_partition_failure(index)
+                try:
+                    target = await loop.run_in_executor(
+                        None, self._pool.restart, index
+                    )
+                except SupervisionExhausted:
+                    self._mark_partition_degraded(index)
+                    continue
                 await self.resync_partition(index, target)
 
     async def resync_partition(self, index: int, target: Any) -> None:
-        """Point partition ``index`` at ``target`` and replay its keys.
+        """Point partition ``index`` at ``target``, resync it, mark it ok.
 
-        The fresh process is empty; the gateway replays its mirror: keys
-        with a live feeder re-register under that feeder's identity over a
-        fresh upstream link (refresh RPCs flow again), and orphaned keys —
-        their feeder is gone — are registered from the mirror over a
-        throwaway link that is closed immediately, so the partition holds
-        their last values but serves them as degraded answers, exactly the
-        contract a directly-connected server gives keys whose feeder died.
+        Two shapes of fresh process:
+
+        * **Durable restart** — the partition replayed its snapshot+WAL in
+          its constructor and already holds every key, interval, counter
+          and down-stamp.  The gateway only re-registers live feeders'
+          keys over fresh upstream links (``resync`` registration: equal
+          values fold as no-ops, refresh RPCs flow again); orphaned keys
+          are left exactly as recovery rebuilt them.  A final
+          ``recovered`` handshake makes the partition checkpoint its
+          recovered state before live routing resumes.
+        * **Blank restart** (no WAL) — the gateway replays its mirror:
+          keys with a live feeder re-register under that feeder's
+          identity, and orphaned keys are registered over a throwaway
+          link that is closed immediately, so the partition holds their
+          last values but serves them as honest degraded answers.
         """
         self._targets[index] = target
         old = self._control[index]
@@ -558,6 +869,8 @@ class GatewayServer(BaseFrameServer):
             await old.close()
         await self._connect_control(index)
         self.statistics.partition_restarts += 1
+        stats = await self._control_link(index).stats()
+        durable = bool(stats.get("durable")) and stats.get("keys", 0) > 0
         by_connection: Dict[Optional[_Connection], List[Hashable]] = {}
         for key, value in self._values.items():
             if self.partition_of(key) != index:
@@ -569,6 +882,12 @@ class GatewayServer(BaseFrameServer):
         for connection, keys in by_connection.items():
             values = [self._values[key] for key in keys]
             if connection is None:
+                if durable:
+                    # Recovery already rebuilt orphaned keys — with their
+                    # real intervals, drift envelopes and (wider, safer)
+                    # original down-stamps.  A mirror replay would only
+                    # clobber that with a fresh-registration lifecycle.
+                    continue
                 orphan = await Client.from_transport(await dial(target))
                 try:
                     await orphan.register(keys, values)
@@ -582,5 +901,8 @@ class GatewayServer(BaseFrameServer):
                     await stale.close()
             link = await self._upstream(connection, index)
             await link.register(
-                keys, values, feeder=connection.feeder_id
+                keys, values, feeder=connection.feeder_id, resync=durable
             )
+        if durable:
+            await self._control_link(index).call(Recovered())
+        self._mark_partition_ok(index)

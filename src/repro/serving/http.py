@@ -221,7 +221,7 @@ class HttpEdge:
             elif path == "/stats" and method == "GET":
                 await self._respond_json(writer, 200, await self._op({"op": "stats"}))
             elif path == "/healthz" and method == "GET":
-                await self._respond_json(writer, 200, {"ok": True})
+                await self._respond_json(writer, 200, self._health())
             else:
                 await self._respond_json(
                     writer,
@@ -238,6 +238,19 @@ class HttpEdge:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
+
+    def _health(self) -> Dict[str, Any]:
+        """Liveness: the backend's ``health()`` surface when it has one.
+
+        A gateway reports per-partition ``ok``/``recovering``/``degraded``/
+        ``down`` with restart counts; a single server reports its keys,
+        down-keys and durability counters.  Backends without a ``health``
+        method keep the bare liveness probe.
+        """
+        health = getattr(self._backend, "health", None)
+        if health is None:
+            return {"ok": True}
+        return health()
 
     async def _query(self, body: bytes) -> Dict[str, Any]:
         frame = dict(decode_payload(body))

@@ -224,6 +224,7 @@ class LoadgenReport:
     deadline_failures: int = 0
     invariant_checks: int = 0
     invariant_violations: int = 0
+    partition_kills: int = 0
     fault_plan: str = "none"
     faults_injected: Dict[str, int] = field(default_factory=dict)
     server_stats: Dict[str, Any] = field(default_factory=dict)
@@ -240,6 +241,35 @@ class LoadgenReport:
     def refresh_count(self) -> int:
         """Total refreshes of both kinds the run caused."""
         return self.value_refreshes + self.query_refreshes
+
+    def deterministic_summary(self) -> Dict[str, Any]:
+        """The wall-clock-free report fields, byte-comparable across runs.
+
+        A seeded chaos replay that recovers correctly must reproduce
+        exactly these fields from an uninterrupted run of the same seed —
+        the recovery-equivalence tests diff this dict.  Wall time,
+        latency percentiles and throughput are excluded (nondeterministic
+        by nature), as are the raw server stats (connection-era counters
+        like ``connections`` and ``feeder_resyncs`` legitimately differ
+        across a crash).
+        """
+        return {
+            "mode": self.mode,
+            "clients": self.clients,
+            "queries": self.queries,
+            "updates_sent": self.updates_sent,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "value_refreshes": self.value_refreshes,
+            "query_refreshes": self.query_refreshes,
+            "queries_rejected": self.queries_rejected,
+            "total_cost": self.total_cost,
+            "omega": self.omega,
+            "degraded_answers": self.degraded_answers,
+            "invariant_checks": self.invariant_checks,
+            "invariant_violations": self.invariant_violations,
+        }
 
     def describe(self) -> str:
         """Multi-line human-readable summary (the CLI's output)."""
@@ -274,6 +304,8 @@ class LoadgenReport:
                 f"degraded={self.degraded_answers} "
                 f"deadline_failures={self.deadline_failures}"
             )
+        if self.partition_kills:
+            lines.append(f"partition_kills={self.partition_kills}")
         if self.invariant_checks:
             lines.append(
                 f"invariant: violations={self.invariant_violations} "
@@ -354,6 +386,7 @@ async def replay_trace_deterministic(
     check_invariant: bool = False,
     deadline: Optional[float] = None,
     retry: Optional[RetryPolicy] = None,
+    partition_pool: Optional[Any] = None,
 ) -> LoadgenReport:
     """Replay the offline event sequence through a server, serialised.
 
@@ -374,6 +407,15 @@ async def replay_trace_deterministic(
     — the paper's containment guarantee, under fire.  A kill+reconnect
     with ``outage_queries=0`` loses nothing and resyncs to an unchanged
     mirror, which keeps even that replay bit-identical to the offline run.
+
+    With a ``partition_pool`` (the :class:`~repro.serving.procs.`
+    ``ProcessPartitionPool`` behind a supervised gateway ``server``), the
+    plan's ``partition_kill_every`` schedule SIGKILLs a seeded-random
+    partition between awaited ops.  Durable partitions (``wal_dir``)
+    replay their snapshot+WAL on restart and the gateway blocks the
+    replay's ops until the resync handshake completes, so even *this*
+    replay reproduces the no-crash run's :meth:`LoadgenReport.
+    deterministic_summary` byte for byte.
     """
     plan = fault_plan if fault_plan is not None else FaultPlan()
     retry = retry if retry is not None else RetryPolicy(seed=plan.seed)
@@ -400,6 +442,10 @@ async def replay_trace_deterministic(
     latencies: List[float] = []
     queries = updates_sent = hits = misses = rejected = 0
     batches_sent = kills_done = outage_remaining = 0
+    partition_kills_done = 0
+    # The victim sequence is its own seeded stream, so adding partition
+    # kills to a plan never shifts the transport-fault draws.
+    partition_kill_rng = random.Random(f"faults:{plan.seed}:partition-kills")
     last_flush = 0.0
     try:
         await querier.start()
@@ -479,6 +525,26 @@ async def replay_trace_deterministic(
                 kills_done += 1
                 await feeder.kill()
                 outage_remaining = plan.outage_queries
+            if (
+                partition_pool is not None
+                and plan.partition_kill_every > 0
+                and (
+                    plan.partition_kills == 0
+                    or partition_kills_done < plan.partition_kills
+                )
+                and batches_sent // plan.partition_kill_every
+                > partition_kills_done
+            ):
+                # SIGKILL a seeded-random partition *between* awaited ops:
+                # no frame is in flight, so the WAL replay plus the
+                # gateway's blocking recovery keep the run's answers
+                # identical to an uninterrupted one (see the docstring).
+                partition_kills_done += 1
+                victim = partition_kill_rng.randrange(
+                    partition_pool.partition_count
+                )
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, partition_pool.kill, victim)
             query_time += period
         if feeder.is_down:
             await feeder.reconnect(last_flush)
@@ -503,6 +569,7 @@ async def replay_trace_deterministic(
         counters=counters,
         plan=plan,
         faults_injected=dialer.injected(),
+        partition_kills=partition_kills_done,
     )
 
 
@@ -1166,6 +1233,7 @@ def _build_report(
     counters: Optional[Dict[str, int]] = None,
     plan: Optional[FaultPlan] = None,
     faults_injected: Optional[Dict[str, int]] = None,
+    partition_kills: int = 0,
 ) -> LoadgenReport:
     ordered = sorted(latencies)
     counters = counters if counters is not None else _new_resilience_counters()
@@ -1203,6 +1271,7 @@ def _build_report(
         deadline_failures=counters["deadline_failures"],
         invariant_checks=counters["invariant_checks"],
         invariant_violations=counters["invariant_violations"],
+        partition_kills=partition_kills,
         fault_plan=plan.describe() if plan is not None else "none",
         faults_injected=dict(faults_injected or {}),
         server_stats=dict(stats),

@@ -19,8 +19,12 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.experiments.runner import WorkerHandle
+from repro.serving.errors import SupervisionExhausted
 
 DEFAULT_START_TIMEOUT = 30.0
+
+#: Per-worker restart budget before the pool gives up on a partition.
+DEFAULT_MAX_RESTARTS = 16
 
 
 def partition_worker(connection: Any, spec: Dict[str, Any]) -> None:
@@ -92,6 +96,29 @@ async def _serve_gateway(connection: Any, spec: Dict[str, Any]) -> None:
             await loop.run_in_executor(None, pool.stop)
 
 
+def _spec_durability(spec: Dict[str, Any]) -> Optional[Any]:
+    """Build the partition's durability layer from its spec, when asked.
+
+    ``wal_dir`` switches durability on; ``checkpoint_every`` and
+    ``wal_fsync`` tune it.  The WAL files are keyed by ``partition_index``
+    so a pool's partitions share one directory.
+    """
+    wal_dir = spec.get("wal_dir")
+    if not wal_dir:
+        return None
+    from repro.serving.durability import (
+        DEFAULT_CHECKPOINT_EVERY,
+        PartitionDurability,
+    )
+
+    return PartitionDurability(
+        wal_dir,
+        spec.get("partition_index", 0),
+        checkpoint_every=spec.get("checkpoint_every", DEFAULT_CHECKPOINT_EVERY),
+        fsync=spec.get("wal_fsync", "checkpoint"),
+    )
+
+
 async def _serve_partition(connection: Any, spec: Dict[str, Any]) -> None:
     from repro.experiments.workloads import serving_policy
     from repro.serving.server import CacheServer
@@ -99,11 +126,16 @@ async def _serve_partition(connection: Any, spec: Dict[str, Any]) -> None:
     policy = serving_policy(
         cost_factor=spec.get("cost_factor", 1.0), seed=spec.get("seed", 0)
     )
+    # Recovery happens inside the constructor: a restarted partition
+    # replays its snapshot+WAL through the live apply paths *before* the
+    # port report below, so the gateway never dials a half-recovered
+    # server.
     server = CacheServer(
         policy,
         shards=spec.get("shards", 1),
         capacity=spec.get("capacity"),
         max_inflight_queries=spec.get("max_inflight", 64),
+        durability=_spec_durability(spec),
     )
     tcp = await server.start_tcp(spec.get("host", "127.0.0.1"), 0)
     port = tcp.sockets[0].getsockname()[1]
@@ -135,9 +167,13 @@ class ProcessPartitionPool:
         spec: Optional[Dict[str, Any]] = None,
         *,
         start_timeout: float = DEFAULT_START_TIMEOUT,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
     ) -> None:
         if partitions < 1:
             raise ValueError("partitions must be at least 1")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        self._max_restarts = max_restarts
         self._spec = dict(spec or {})
         self._workers: List[WorkerHandle] = [
             WorkerHandle(index, partition_worker, (self._make_spec(index),))
@@ -199,9 +235,20 @@ class ProcessPartitionPool:
         """Replace worker ``index`` with a fresh process; return its target.
 
         Safe to call from an executor thread (the gateway's supervisor
-        does): it only touches this worker's handle and port slot.
+        does): it only touches this worker's handle and port slot.  Raises
+        :class:`~repro.serving.errors.SupervisionExhausted` once the
+        worker has burned through its restart budget — the caller (the
+        gateway) then downgrades the partition to permanent-degraded
+        instead of restarting it forever.
         """
         worker = self._workers[index]
+        if worker.restarts >= self._max_restarts:
+            raise SupervisionExhausted(
+                f"partition {index} died {worker.restarts + 1} times; "
+                f"restart budget ({self._max_restarts}) exhausted, giving up",
+                index=index,
+                crashes=self.crash_history(),
+            )
         worker.restart(grace=grace)
         self._ports[index] = self._await_port(worker)
         return self.target(index)
@@ -209,6 +256,13 @@ class ProcessPartitionPool:
     @property
     def restarts(self) -> int:
         return sum(worker.restarts for worker in self._workers)
+
+    def crash_history(self) -> Dict[int, int]:
+        """Restart count per worker index (the supervision audit trail)."""
+        return {worker.index: worker.restarts for worker in self._workers}
+
+    def worker_restarts(self, index: int) -> int:
+        return self._workers[index].restarts
 
     def kill(self, index: int) -> None:
         """Hard-kill one worker (tests simulate partition crashes with this)."""

@@ -398,6 +398,26 @@ class RefreshKey(Request):
 
 
 @dataclass(frozen=True)
+class Recovered(Request):
+    """Gateway-to-partition: crash recovery and resync are complete.
+
+    The partition acknowledges by taking a checkpoint — folding the
+    replayed WAL and the resync registrations into its snapshot, so the
+    next crash replays from here — and reports its recovery counters.
+    The gateway cuts the partition back to live routing on this ack.
+    """
+
+    OP: ClassVar[str] = "recovered"
+
+    def wire_fields(self) -> Dict[str, Any]:
+        return {}
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "Recovered":
+        return cls()
+
+
+@dataclass(frozen=True)
 class RegisterAck(Response):
     """Reply to ``register``: count adopted, session epoch, resync refreshes."""
 
@@ -584,6 +604,7 @@ REQUEST_TYPES: Dict[str, Type[Request]] = {
         Refresh,
         Snapshot,
         RefreshKey,
+        Recovered,
     )
 }
 

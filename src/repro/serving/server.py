@@ -62,11 +62,13 @@ from repro.caching.eviction import EvictionPolicy
 from repro.caching.policies.base import PrecisionPolicy
 from repro.caching.source import DataSource
 from repro.intervals.interval import UNBOUNDED, Interval
+from repro.serving.durability import PartitionDurability
 from repro.serving.execution import execute_partitioned_query
 from repro.serving.protocol import (
     BoundedAnswer,
     ProtocolError,
     QueryRequest,
+    Recovered,
     Refresh,
     RefreshKey,
     RegisterAck,
@@ -207,6 +209,20 @@ class _Connection:
             if not future.done():
                 future.set_exception(error)
         self.pending.clear()
+
+
+class _ReplayOwner:
+    """Duck-typed :class:`_Connection` stand-in that owns keys during WAL
+    replay.  Recovery drops its ownerships once the replay is done — a
+    recovered key has no live feeder until one re-registers."""
+
+    __slots__ = ("keys", "closing", "feeder_id", "epoch")
+
+    def __init__(self) -> None:
+        self.keys: Set[Hashable] = set()
+        self.closing = False
+        self.feeder_id: Optional[str] = None
+        self.epoch = 0
 
 
 class BaseFrameServer:
@@ -469,6 +485,13 @@ class CacheServer(BaseFrameServer):
         over keys whose owning feeder is down (see the module docstring).
         Must be at least 1; larger values give wider but safer degraded
         intervals.
+    durability:
+        Optional :class:`~repro.serving.durability.PartitionDurability`.
+        When given, construction first recovers the snapshot+WAL state the
+        directory holds (replayed through the same apply paths live
+        traffic uses, so the recovered server is field-for-field the one
+        that crashed), then every state-mutating op is write-ahead logged
+        and checkpointed per the durability object's policy.
     """
 
     def __init__(
@@ -486,6 +509,7 @@ class CacheServer(BaseFrameServer):
         write_queue_limit: int = DEFAULT_WRITE_QUEUE_LIMIT,
         refresh_timeout: Optional[float] = DEFAULT_REFRESH_TIMEOUT,
         degraded_slack: float = DEFAULT_DEGRADED_SLACK,
+        durability: Optional[PartitionDurability] = None,
     ) -> None:
         super().__init__(
             write_queue_limit=write_queue_limit, refresh_timeout=refresh_timeout
@@ -535,6 +559,9 @@ class CacheServer(BaseFrameServer):
         self._admission_queue_limit = admission_queue_limit
         self._admission_waiting = 0
         self.statistics = ServingStatistics()
+        self._durability = durability
+        if durability is not None:
+            self._recover_durable_state()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -558,6 +585,158 @@ class CacheServer(BaseFrameServer):
     def clock(self) -> float:
         """The server's logical clock (running maximum of stamped times)."""
         return self._clock
+
+    @property
+    def durability(self) -> Optional[PartitionDurability]:
+        """The WAL/checkpoint layer, when this server is durable."""
+        return self._durability
+
+    async def close(self) -> None:
+        await super().close()
+        if self._durability is not None:
+            self._durability.close()
+
+    # ------------------------------------------------------------------
+    # Durability: write-ahead logging, checkpoints and crash recovery
+    # ------------------------------------------------------------------
+    def _capture_durable_state(self) -> Dict[str, Any]:
+        """Everything a checkpoint must carry to resume mid-stream.
+
+        Connection-bound state (owners, live sessions) is deliberately
+        absent: after a crash every connection is gone, so recovery marks
+        all keys down and lets feeders (or the gateway's resync) re-adopt
+        them through the normal register path.
+        """
+        return {
+            "sources": self._sources,
+            "cache": self._cache,
+            "drift": self._drift,
+            "down_since": dict(self._down_since),
+            "clock": self._clock,
+            "epochs": dict(self._feeder_epochs),
+            "statistics": self.statistics,
+            "network": self._network,
+            "policy": self._policy,
+        }
+
+    def _restore_durable_state(self, state: Dict[str, Any]) -> None:
+        self._sources = state["sources"]
+        self._cache = state["cache"]
+        self._drift = state["drift"]
+        self._down_since = dict(state["down_since"])
+        self._clock = state["clock"]
+        self._feeder_epochs.clear()
+        self._feeder_epochs.update(state["epochs"])
+        self.statistics = state["statistics"]
+        self._network = state["network"]
+        self._policy = state["policy"]
+        self._notify_on_eviction = self._policy.notifies_source_on_eviction()
+
+    def _recover_durable_state(self) -> None:
+        state, records = self._durability.load()
+        if state is not None:
+            self._restore_durable_state(state)
+        owner = _ReplayOwner()
+        for record in records:
+            self._replay_record(owner, record)
+        # Replay ownership is synthetic: every recovered key is down until
+        # a live feeder (or the gateway resync) re-registers it.  Keys
+        # whose down-stamp survived in the snapshot/WAL keep the earlier
+        # (wider, safer) timestamp.
+        self._owners.clear()
+        for key in self._sources:
+            self._down_since.setdefault(key, self._clock)
+
+    def _replay_record(self, owner: _ReplayOwner, record: Dict[str, Any]) -> None:
+        """Re-apply one WAL record through the live code paths.
+
+        Replay drives the same methods live traffic does — policy calls,
+        cost charges, installs and statistics fire in original order, so
+        the policy's RNG stream and every counter reconstruct exactly.
+        """
+        kind = record["k"]
+        try:
+            if kind == "u":
+                time = self._advance_clock(record["t"])
+                self._apply_update(owner, record["key"], record["v"], time)
+            elif kind == "ub":
+                time = self._advance_clock(record["t"])
+                for key, value in record["u"]:
+                    self._apply_update(owner, key, value, time)
+            elif kind == "snap":
+                time = self._advance_clock(record["t"])
+                self._snapshot_intervals(list(record["keys"]), record["c"], time)
+            elif kind == "qr":
+                time = self._advance_clock(record["t"])
+                key = record["key"]
+                source = self._sources[key]
+                source.value = float(record["v"])
+                decision = self._policy.on_query_initiated_refresh(
+                    key, source.value, time
+                )
+                cost = self._network.charge_query_refresh()
+                self.statistics.query_refreshes += 1
+                self.statistics.total_cost += cost
+                self._install(key, decision, time)
+            elif kind == "reg":
+                feeder = record.get("f")
+                if feeder is not None:
+                    self._feeder_epochs[feeder] = (
+                        self._feeder_epochs.get(feeder, 0) + 1
+                    )
+                if record.get("r"):
+                    time = self._advance_clock(record["t"])
+                    for key, value in zip(record["keys"], record["vals"]):
+                        self._resync_key(owner, key, float(value), time)
+                    self.statistics.feeder_resyncs += 1
+                else:
+                    for key, value in zip(record["keys"], record["vals"]):
+                        self._register_key(owner, key, float(value))
+            elif kind == "down":
+                for key in record["keys"]:
+                    self._down_since.setdefault(key, record["t"])
+        except ProtocolError:
+            # The live apply rejected this op identically (e.g. an
+            # out-of-order update) after its record was written; the
+            # partial mutations up to the raise match the live run's.
+            pass
+
+    def _durable_checkpoint_if_due(self) -> None:
+        durability = self._durability
+        if durability is not None and durability.checkpoint_due:
+            durability.checkpoint(self._capture_durable_state(), self._clock)
+
+    def _handle_recovered(self) -> Dict[str, Any]:
+        """The gateway's post-resync handshake: checkpoint and report.
+
+        Taking a checkpoint here folds the recovery itself (replayed WAL
+        plus resync registrations) into the snapshot, so the *next* crash
+        replays from the recovered state instead of the whole history.
+        """
+        durability = self._durability
+        if durability is not None:
+            durability.checkpoint(self._capture_durable_state(), self._clock)
+        return {
+            "checkpointed": durability is not None,
+            "keys": len(self._sources),
+            "records_replayed": (
+                durability.records_replayed if durability is not None else 0
+            ),
+        }
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness/recovery surface behind the HTTP edge's ``/healthz``."""
+        payload: Dict[str, Any] = {
+            "ok": True,
+            "role": "cache",
+            "state": "ok",
+            "keys": len(self._sources),
+            "keys_down": sum(1 for key in self._sources if self._key_down(key)),
+            "clock": self._clock,
+        }
+        if self._durability is not None:
+            payload["durability"] = self._durability.stats_fields(self._clock)
+        return payload
 
     # ------------------------------------------------------------------
     # Connection lifecycle hooks (the base class owns the machinery)
@@ -597,6 +776,8 @@ class CacheServer(BaseFrameServer):
                 reply = await self._handle_refresh_key(request)
             elif isinstance(request, StatsRequest):
                 reply = self._handle_stats()
+            elif isinstance(request, Recovered):
+                reply = self._handle_recovered()
             else:
                 # ``refresh`` is a server-to-feeder op; a client sending it
                 # gets the same reply an unknown op always got.
@@ -633,14 +814,39 @@ class CacheServer(BaseFrameServer):
             connection.epoch = epoch
         if request.resync:
             time = self._advance_clock(request.time)
+            if self._durability is not None:
+                self._durability.append(
+                    {
+                        "k": "reg",
+                        "f": request.feeder,
+                        "r": 1,
+                        "e": epoch,
+                        "t": time,
+                        "keys": list(request.keys),
+                        "vals": [float(value) for value in request.values],
+                    }
+                )
             refreshes = 0
             for key, value in zip(request.keys, request.values):
                 if self._resync_key(connection, key, float(value), time):
                     refreshes += 1
             self.statistics.feeder_resyncs += 1
         else:
+            if self._durability is not None:
+                self._durability.append(
+                    {
+                        "k": "reg",
+                        "f": request.feeder,
+                        "r": 0,
+                        "e": epoch,
+                        "t": None,
+                        "keys": list(request.keys),
+                        "vals": [float(value) for value in request.values],
+                    }
+                )
             for key, value in zip(request.keys, request.values):
                 self._register_key(connection, key, float(value))
+        self._durable_checkpoint_if_due()
         return RegisterAck(
             registered=len(request.keys), epoch=epoch, refreshes=refreshes
         )
@@ -695,7 +901,18 @@ class CacheServer(BaseFrameServer):
         if self._connection_fenced(connection):
             return self._reject_stale()
         time = self._advance_clock(request.time)
+        if self._durability is not None:
+            self._durability.append(
+                {
+                    "k": "u",
+                    "key": request.key,
+                    "v": request.value,
+                    "e": connection.epoch,
+                    "t": time,
+                }
+            )
         refreshed = self._apply_update(connection, request.key, request.value, time)
+        self._durable_checkpoint_if_due()
         return UpdateAck(refresh=refreshed)
 
     def _handle_update_batch(
@@ -704,10 +921,20 @@ class CacheServer(BaseFrameServer):
         if self._connection_fenced(connection):
             return self._reject_stale()
         time = self._advance_clock(request.time)
+        if self._durability is not None:
+            self._durability.append(
+                {
+                    "k": "ub",
+                    "u": [[key, value] for key, value in request.updates],
+                    "e": connection.epoch,
+                    "t": time,
+                }
+            )
         refreshes = 0
         for key, value in request.updates:
             if self._apply_update(connection, key, value, time):
                 refreshes += 1
+        self._durable_checkpoint_if_due()
         return UpdateBatchAck(refreshes=refreshes)
 
     def _apply_update(
@@ -785,6 +1012,13 @@ class CacheServer(BaseFrameServer):
         kind = request.aggregate
         constraint = request.constraint
         time = self._advance_clock(request.time)
+        if self._durability is not None:
+            # The snapshot phase mutates state too — hit/miss statistics,
+            # access times, the policy's read observers — so it is logged
+            # like any other op; the refreshes it triggers log themselves.
+            self._durability.append(
+                {"k": "snap", "keys": keys, "c": constraint, "t": time}
+            )
         intervals, hits = self._snapshot_intervals(keys, constraint, time)
 
         refreshed: List[Hashable] = []
@@ -821,6 +1055,7 @@ class CacheServer(BaseFrameServer):
         self.statistics.queries_served += 1
         if degraded:
             self.statistics.queries_degraded += 1
+        self._durable_checkpoint_if_due()
         return BoundedAnswer(
             low=bound.low,
             high=bound.high,
@@ -877,7 +1112,12 @@ class CacheServer(BaseFrameServer):
         if not keys:
             raise ProtocolError("a snapshot must touch at least one key")
         time = self._advance_clock(request.time)
+        if self._durability is not None:
+            self._durability.append(
+                {"k": "snap", "keys": keys, "c": request.constraint, "t": time}
+            )
         intervals, hits = self._snapshot_intervals(keys, request.constraint, time)
+        self._durable_checkpoint_if_due()
         down = [index for index, key in enumerate(keys) if self._key_down(key)]
         down_intervals = [
             self._degraded_interval(keys[index], intervals[keys[index]], time)
@@ -913,6 +1153,7 @@ class CacheServer(BaseFrameServer):
             snapshot = self._current_interval(key, time)
             interval = self._degraded_interval(key, snapshot, time)
             return {"down": True, "low": interval.low, "high": interval.high}
+        self._durable_checkpoint_if_due()
         return {"value": value}
 
     def _current_interval(self, key: Hashable, time: float) -> Interval:
@@ -970,9 +1211,16 @@ class CacheServer(BaseFrameServer):
 
     def _mark_connection_down(self, connection: _Connection) -> None:
         """Stamp when this connection's keys lost their owner (idempotent)."""
+        stamped: List[Hashable] = []
         for key in connection.keys:
-            if self._owners.get(key) is connection:
-                self._down_since.setdefault(key, self._clock)
+            if self._owners.get(key) is connection and key not in self._down_since:
+                self._down_since[key] = self._clock
+                stamped.append(key)
+        if stamped and self._durability is not None:
+            # Down-stamps shape degraded-answer widths, so they are state:
+            # losing them across a crash would narrow (i.e. break) the
+            # containment bound of keys already down before the crash.
+            self._durability.append({"k": "down", "keys": stamped, "t": self._clock})
 
     async def _query_initiated_refresh(self, key: Hashable, time: float) -> float:
         """Fetch the exact value of ``key``: the refresh RPC to its feeder.
@@ -998,6 +1246,13 @@ class CacheServer(BaseFrameServer):
             owner.closing = True
             self._mark_connection_down(owner)
             raise _FeederLost(key) from None
+        if self._durability is not None:
+            # The fetched exact value cannot be re-fetched at replay (the
+            # feeder RPC is gone), so the record carries it; the policy
+            # decision and install replay through the same code below.
+            self._durability.append(
+                {"k": "qr", "key": key, "v": float(value), "t": time}
+            )
         source.value = float(value)
         decision = self._policy.on_query_initiated_refresh(key, source.value, time)
         cost = self._network.charge_query_refresh()
@@ -1026,10 +1281,28 @@ class CacheServer(BaseFrameServer):
     # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
+    #: WAL/checkpoint counter defaults, so the stats surface is uniform
+    #: whether or not the server is durable (the gateway sums them).
+    _DURABILITY_STATS_OFF: ClassVar[Dict[str, Any]] = {
+        "durable": False,
+        "wal_records": 0,
+        "wal_bytes": 0,
+        "wal_records_replayed": 0,
+        "wal_torn_tails": 0,
+        "checkpoints": 0,
+        "snapshot_restored": False,
+        "last_checkpoint_age": None,
+    }
+
     def _handle_stats(self) -> Dict[str, Any]:
         cache_stats = self._cache.statistics
         serving = self.statistics
+        if self._durability is not None:
+            durability_stats = self._durability.stats_fields(self._clock)
+        else:
+            durability_stats = dict(self._DURABILITY_STATS_OFF)
         return {
+            **durability_stats,
             "clock": self._clock,
             "keys": len(self._sources),
             "cached_entries": len(self._cache),

@@ -321,9 +321,15 @@ class _ExchangeSupervisor:
 
     def _resync(self, handle: WorkerHandle, reason: str) -> None:
         if handle.restarts >= MAX_WORKER_RESTARTS:
-            raise RuntimeError(
+            # Imported lazily: the sharding layer must not depend on the
+            # serving package at import time.
+            from repro.serving.errors import SupervisionExhausted
+
+            raise SupervisionExhausted(
                 f"shard worker {handle.index} died {handle.restarts + 1} times; "
-                "giving up (its failure replays deterministically)"
+                "giving up (its failure replays deterministically)",
+                index=handle.index,
+                crashes={h.index: h.restarts for h in self._handles},
             )
         warnings.warn(
             f"shard worker {handle.index} {reason}; restarting and replaying "

@@ -337,6 +337,48 @@ class TestServingParser:
         with pytest.raises(SystemExit):
             main(["loadgen", "--mode", "concurrent", "--compare-offline"])
 
+    def test_serve_wal_defaults_and_options(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.wal_dir is None
+        assert args.checkpoint_every == 256
+        assert args.wal_fsync == "checkpoint"
+        args = build_parser().parse_args(
+            ["serve", "--wal-dir", "/tmp/w", "--checkpoint-every", "8",
+             "--wal-fsync", "never"]
+        )
+        assert args.wal_dir == "/tmp/w"
+        assert args.checkpoint_every == 8
+        assert args.wal_fsync == "never"
+
+    def test_serve_rejects_bad_wal_options(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--checkpoint-every", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--wal-fsync", "sometimes"])
+
+    def test_partition_procs_needs_deterministic_mode(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--mode", "concurrent", "--partition-procs", "2"])
+
+    def test_partition_procs_excludes_remote_and_partitions(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["loadgen", "--mode", "deterministic", "--partition-procs",
+                 "2", "--connect", "localhost:1"]
+            )
+        with pytest.raises(SystemExit):
+            main(
+                ["loadgen", "--mode", "deterministic", "--partition-procs",
+                 "2", "--partitions", "2"]
+            )
+
+    def test_partition_kill_plan_needs_partition_procs(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["loadgen", "--mode", "deterministic", "--fault-plan",
+                 "part_kill_every=10"]
+            )
+
     def test_run_accepts_exchange_window(self):
         args = build_parser().parse_args(["run", "section45", "--exchange-window", "8"])
         assert args.exchange_window == 8
@@ -371,6 +413,40 @@ class TestServingMain:
         output = capsys.readouterr().out
         assert "MATCH" in output and "MISMATCH" not in output
         assert "hit_rate=" in output
+
+    def test_loadgen_partition_procs_survives_kills(self, capsys, tmp_path):
+        # The whole durability path through the CLI: a 2-process pool with
+        # WALs, one seeded SIGKILL mid-replay, recovery, and a report that
+        # still matches the offline simulator exactly.
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--mode",
+                    "deterministic",
+                    "--hosts",
+                    "8",
+                    "--duration",
+                    "50",
+                    "--partition-procs",
+                    "2",
+                    "--wal-dir",
+                    str(tmp_path),
+                    "--checkpoint-every",
+                    "32",
+                    "--fault-plan",
+                    "seed=11,part_kill_every=10,part_kills=1",
+                    "--check-invariant",
+                    "--compare-offline",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "partition_kills=1" in output
+        assert "violations=0" in output
+        assert "MATCH" in output and "MISMATCH" not in output
+        assert (tmp_path / "partition-0.wal").exists()
 
     def test_loadgen_concurrent_reports_latency(self, capsys):
         assert (

@@ -19,6 +19,7 @@ from repro.serving.protocol import (
     BoundedAnswer,
     ProtocolError,
     QueryRequest,
+    Recovered,
     Refresh,
     RefreshKey,
     RefreshValue,
@@ -114,6 +115,11 @@ class TestGoldenFrames:
             b'{"op":"refresh","id":11,"key":"h2"}'
         )
 
+    def test_recovered(self):
+        assert encode_frame(Recovered().to_wire(8)) == golden(
+            b'{"op":"recovered","id":8}'
+        )
+
     def test_bounded_answer(self):
         answer = BoundedAnswer(
             low=10.0, high=12.0, refreshed=("h1",), hits=3, misses=1
@@ -190,6 +196,7 @@ class TestRoundTrips:
             Refresh(key="x"),
             Snapshot(keys=("a", "b"), constraint=10.0, time=2.0),
             RefreshKey(key="a", time=2.0),
+            Recovered(),
         ],
     )
     def test_request_round_trip(self, message):

@@ -183,6 +183,47 @@ class TestHttpRoutes:
         assert stats_status == 200
         assert "hit_rate" in stats
         assert health_status == 200
+        assert health["ok"] is True
+        assert health["role"] == "cache"
+        assert health["state"] == "ok"
+        assert health["keys"] == 0
+        assert "durability" not in health  # no WAL configured
+
+    def test_healthz_reports_durability_counters(self, tmp_path):
+        from repro.serving.durability import PartitionDurability
+
+        async def drive():
+            server = CacheServer(
+                serving_policy(), durability=PartitionDurability(tmp_path)
+            )
+            edge, port = await _edge(server)
+            try:
+                return await _http(port, _request("GET", "/healthz"))
+            finally:
+                await edge.close()
+                await server.close()
+
+        status, health = asyncio.run(drive())
+        assert status == 200
+        durability = health["durability"]
+        assert durability["durable"] is True
+        assert durability["wal_records"] == 0
+        assert durability["snapshot_restored"] is False
+
+    def test_healthz_on_backend_without_health_surface(self):
+        class Minimal:
+            async def _execute(self, request):  # pragma: no cover
+                raise NotImplementedError
+
+        async def drive():
+            edge, port = await _edge(Minimal())
+            try:
+                return await _http(port, _request("GET", "/healthz"))
+            finally:
+                await edge.close()
+
+        status, health = asyncio.run(drive())
+        assert status == 200
         assert health == {"ok": True}
 
     def test_unknown_route_is_404(self):

@@ -228,7 +228,9 @@ def test_killed_worker_is_restarted_and_resynced(
 
 def test_repeatedly_dying_worker_fails_the_run(tmp_path, monkeypatch):
     """A worker that dies on every incarnation exhausts its restart budget
-    and surfaces a RuntimeError instead of looping forever."""
+    and surfaces a typed :class:`SupervisionExhausted` (still a
+    RuntimeError for old callers) instead of looping forever."""
+    from repro.serving.errors import SupervisionExhausted
 
     original = shard_workers._worker_main
 
@@ -238,7 +240,11 @@ def test_repeatedly_dying_worker_fails_the_run(tmp_path, monkeypatch):
 
     monkeypatch.setattr(shard_workers, "_worker_main", always_dying)
     with pytest.warns(RuntimeWarning):
-        with pytest.raises(RuntimeError, match="giving up"):
+        with pytest.raises(RuntimeError, match="giving up") as excinfo:
             CacheSimulation(
                 _config(4, 2), _walk_streams(8), _adaptive_policy()
             ).run()
+    error = excinfo.value
+    assert isinstance(error, SupervisionExhausted)
+    assert error.index in error.crashes
+    assert error.crashes[error.index] == shard_workers.MAX_WORKER_RESTARTS
