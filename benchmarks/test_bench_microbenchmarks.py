@@ -406,6 +406,44 @@ def test_serving_loopback_query_throughput(benchmark):
     assert report.queries > 0
 
 
+def test_serving_loopback_metrics_throughput(benchmark):
+    # The identical replay with the full metrics registry ENABLED (every
+    # stats collector registered, the query-keys histogram observing each
+    # query): the delta against test_serving_loopback_query_throughput is
+    # the price of observability, which the PR-10 acceptance bounds at 5%.
+    import asyncio
+
+    from repro.data.traffic import SyntheticTrafficTraceGenerator
+    from repro.experiments.workloads import serving_policy, traffic_config
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serving.loadgen import replay_trace_deterministic
+    from repro.serving.server import CacheServer
+
+    trace = SyntheticTrafficTraceGenerator(
+        host_count=10, duration_seconds=120, seed=7
+    ).generate()
+    config = traffic_config(trace, seed=5).with_changes(warmup=0.0)
+
+    def replay():
+        async def drive():
+            server = CacheServer(
+                serving_policy(cost_factor=1.0, seed=5),
+                value_refresh_cost=config.value_refresh_cost,
+                query_refresh_cost=config.query_refresh_cost,
+                registry=MetricsRegistry(enabled=True),
+            )
+            try:
+                return await replay_trace_deterministic(server, trace, config)
+            finally:
+                await server.close()
+
+        return asyncio.run(drive())
+
+    report = benchmark(replay)
+    assert report.queries > 0
+    assert report.hit_rate >= 0
+
+
 def test_serving_loopback_wal_throughput(benchmark):
     # The identical replay with the write-ahead log on (fresh WAL directory
     # per round, default checkpoint cadence, the crash-safe 'checkpoint'

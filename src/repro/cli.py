@@ -103,6 +103,23 @@ exact state (:mod:`repro.serving.durability`).  ``loadgen
 over N durable partition *processes*, which a fault plan with
 ``part_kill_every`` SIGKILLs mid-run — the replayed report must stay
 byte-identical to an uninterrupted one.
+
+Observability (:mod:`repro.obs`) is off by default and shared by ``serve``
+and ``loadgen``: ``--metrics`` enables the process metrics registry
+(scrapeable as Prometheus text via ``GET /metrics`` on the HTTP edge and
+the ``metrics`` protocol op, merged across partitions at the gateway),
+``--trace`` the deterministic span tracer, ``--flightrec-dir DIR`` crash
+flight-recorder dumps (``*.flightrec.json``), and ``--log-level`` /
+``--log-file`` JSON-lines logging stamped with seed, role and partition.
+All five reach spawned partition processes.  ``repro obs SOURCE``
+pretty-prints a metrics exposition — from a scrape URL
+(``http://host:port/metrics``), a ``host:port`` shorthand, or a saved
+text file — optionally summing away label dimensions (``--aggregate``)::
+
+    python -m repro.cli serve --role gateway --partitions 4 \
+        --http-port 7412 --metrics
+    python -m repro.cli obs http://127.0.0.1:7412/metrics
+    python -m repro.cli obs 127.0.0.1:7412 --aggregate partition
 """
 
 from __future__ import annotations
@@ -261,9 +278,57 @@ def build_parser() -> argparse.ArgumentParser:
                 "process only)"
             ),
         )
+    def _add_obs_arguments(subparser: argparse.ArgumentParser) -> None:
+        """The shared observability flags (``serve`` and ``loadgen``)."""
+        subparser.add_argument(
+            "--metrics",
+            action="store_true",
+            help=(
+                "enable the process metrics registry (scrape via GET "
+                "/metrics on the HTTP edge or the 'metrics' protocol op; "
+                "spawned partitions inherit it)"
+            ),
+        )
+        subparser.add_argument(
+            "--trace",
+            action="store_true",
+            help=(
+                "record deterministic trace spans (span ids derive from "
+                "connection/frame ordinals, never the clock)"
+            ),
+        )
+        subparser.add_argument(
+            "--flightrec-dir",
+            default=None,
+            dest="flightrec_dir",
+            metavar="DIR",
+            help=(
+                "dump the span ring as DIR/<role>-<detail>.flightrec.json "
+                "on crashes and partition outages (implies --trace)"
+            ),
+        )
+        subparser.add_argument(
+            "--log-level",
+            choices=("critical", "error", "warning", "info", "debug"),
+            default=None,
+            dest="log_level",
+            help="emit JSON-lines logs at this level (default: logging off)",
+        )
+        subparser.add_argument(
+            "--log-file",
+            default=None,
+            dest="log_file",
+            metavar="FILE",
+            help=(
+                "write JSON-lines logs to FILE instead of stderr "
+                "(partitions write FILE with a .partitionN suffix)"
+            ),
+        )
+
     serve_parser = subparsers.add_parser(
         "serve", help="host an approximate-cache server over TCP"
     )
+    _add_obs_arguments(serve_parser)
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=7411)
     serve_parser.add_argument(
@@ -340,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_parser = subparsers.add_parser(
         "loadgen", help="replay the monitoring trace against a serving stack"
     )
+    _add_obs_arguments(loadgen_parser)
     loadgen_parser.add_argument(
         "--mode",
         choices=("deterministic", "concurrent", "open-loop"),
@@ -493,6 +559,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-operation client deadline in seconds (default: none)",
     )
+    obs_parser = subparsers.add_parser(
+        "obs", help="pretty-print a /metrics exposition (URL or file)"
+    )
+    obs_parser.add_argument(
+        "source",
+        help=(
+            "where to read the exposition: an http(s) URL, a host:port "
+            "(fetches http://host:port/metrics), or a text file path"
+        ),
+    )
+    obs_parser.add_argument(
+        "--aggregate",
+        action="append",
+        default=None,
+        metavar="LABEL",
+        help=(
+            "sum the samples across this label dimension (repeatable), "
+            "e.g. --aggregate partition collapses per-partition series"
+        ),
+    )
+    obs_parser.add_argument(
+        "--filter",
+        default=None,
+        dest="name_filter",
+        metavar="SUBSTRING",
+        help="only show metrics whose name contains SUBSTRING",
+    )
     return parser
 
 
@@ -630,6 +723,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve(args, parser)
     if args.command == "loadgen":
         return _run_loadgen(args, parser)
+    if args.command == "obs":
+        return _run_obs(args, parser)
     experiments = registry()
     if args.command == "list":
         for experiment_id in sorted(experiments):
@@ -708,6 +803,11 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
             wal_dir=args.wal_dir,
             checkpoint_every=args.checkpoint_every,
             wal_fsync=args.wal_fsync,
+            metrics=args.metrics,
+            trace=args.trace,
+            flightrec_dir=args.flightrec_dir,
+            log_level=args.log_level,
+            log_file=args.log_file,
         )
     except ValueError as error:
         parser.error(str(error))
@@ -718,8 +818,25 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _obs_spec(source: Any) -> Dict[str, Any]:
+    """The picklable observability spec keys from a config/args object."""
+    spec: Dict[str, Any] = {}
+    for name in ("metrics", "trace", "flightrec_dir", "log_level", "log_file"):
+        value = getattr(source, name, None)
+        if value:
+            spec[name] = value
+    return spec
+
+
 async def _serve(config) -> None:
     """Host the deployment one :class:`ServeConfig` describes, until killed."""
+    from repro.serving.procs import _configure_observability
+
+    # The foreground process configures its own observability exactly like
+    # a spawned worker would; partition processes get the same spec keys.
+    _configure_observability(
+        {**_obs_spec(config), "seed": config.seed}, config.role
+    )
     pool = None
     if config.role == "gateway":
         from repro.serving.gateway import GatewayServer
@@ -732,6 +849,7 @@ async def _serve(config) -> None:
             "cost_factor": config.cost_factor,
             "seed": config.seed,
             "max_inflight": config.max_inflight,
+            **_obs_spec(config),
         }
         if config.wal_dir:
             spec["wal_dir"] = config.wal_dir
@@ -786,6 +904,23 @@ async def _serve(config) -> None:
             edge = HttpEdge(backend)
             await edge.start(config.host, config.http_port)
             banner += f", http/ws on {config.host}:{config.http_port}"
+        from repro.obs.logging import get_logger
+
+        get_logger("cli").info(
+            "serving",
+            extra={
+                "fields": {
+                    "deployment": config.role,
+                    "host": config.host,
+                    "port": config.port,
+                    "http_port": config.http_port,
+                    "partitions": config.partitions
+                    if config.role == "gateway"
+                    else None,
+                    "metrics": config.metrics,
+                }
+            },
+        )
         print(banner)
         async with tcp:
             await tcp.serve_forever()
@@ -876,6 +1011,9 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
                     f"feeder/querier pair; {flag} ignored",
                     file=sys.stderr,
                 )
+    from repro.serving.procs import _configure_observability
+
+    _configure_observability({**_obs_spec(args), "seed": args.seed}, "loadgen")
     engine = args.engine if args.engine is not None else DEFAULT_ENGINE
     trace = traffic_trace(host_count=args.hosts, duration=args.duration, engine=engine)
     config = serving_config(trace, seed=args.seed, shards=args.shards, engine=engine)
@@ -940,6 +1078,7 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
                     "wal_dir": wal_dir,
                     "checkpoint_every": args.checkpoint_every,
                     "wal_fsync": args.wal_fsync,
+                    **_obs_spec(args),
                 },
             )
             loop = asyncio.get_running_loop()
@@ -1003,6 +1142,23 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
                 )
 
     report = asyncio.run(drive())
+    if args.metrics:
+        # Publishing is write-only and happens after the replay finished,
+        # so the printed report is byte-identical with metrics on or off.
+        report.publish()
+    from repro.obs.logging import get_logger
+
+    get_logger("cli").info(
+        "loadgen complete",
+        extra={
+            "fields": {
+                "mode": args.mode,
+                "queries": report.queries,
+                "updates_sent": report.updates_sent,
+                "invariant_violations": report.invariant_violations,
+            }
+        },
+    )
     print(report.describe())
     if args.check_invariant and report.invariant_violations:
         print(
@@ -1031,6 +1187,76 @@ def _run_loadgen(args, parser: argparse.ArgumentParser) -> int:
         )
         if not matches:
             return 1
+    return 0
+
+
+def _fetch_exposition(source: str) -> str:
+    """Read Prometheus text from a URL, ``host:port``, or a file path."""
+    if not (source.startswith("http://") or source.startswith("https://")):
+        if os.path.exists(source):
+            with open(source, "r", encoding="utf-8") as handle:
+                return handle.read()
+        # A bare host:port means "scrape its HTTP edge".
+        source = f"http://{source}/metrics"
+    import urllib.request
+
+    with urllib.request.urlopen(source, timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
+def _format_metric_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:g}"
+
+
+def _run_obs(args, parser: argparse.ArgumentParser) -> int:
+    """Handler for ``repro obs``: pretty-print a metrics exposition."""
+    from repro.obs.prom import parse_text
+
+    try:
+        text = _fetch_exposition(args.source)
+    except OSError as error:
+        print(f"cannot read {args.source!r}: {error}", file=sys.stderr)
+        return 1
+    try:
+        types_by_name, samples = parse_text(text)
+    except ValueError as error:
+        print(f"cannot parse exposition: {error}", file=sys.stderr)
+        return 1
+    dropped = set(args.aggregate or ())
+    if "le" in dropped:
+        parser.error("--aggregate le would corrupt histogram buckets")
+    # Sum across the dropped label dimensions (cumulative bucket counts and
+    # counters sum exactly; summed gauges are a deliberate roll-up).
+    totals: Dict[Any, float] = {}
+    for name, labels, value in samples:
+        if args.name_filter and args.name_filter not in name:
+            continue
+        kept = tuple(
+            sorted(item for item in labels.items() if item[0] not in dropped)
+        )
+        totals[(name, kept)] = totals.get((name, kept), 0.0) + value
+    if not totals:
+        print("no samples" + (f" matching {args.name_filter!r}" if args.name_filter else ""))
+        return 0
+    def kind_of(name: str) -> str:
+        # Histogram samples scrape as <name>_bucket/_sum/_count; the TYPE
+        # header names the base metric.
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and base in types_by_name:
+                return types_by_name[base]
+        return types_by_name.get(name, "untyped")
+
+    last_name = None
+    for (name, kept), value in sorted(totals.items()):
+        if name != last_name:
+            print(f"{name} ({kind_of(name)})")
+            last_name = name
+        rendered = ", ".join(f'{key}="{val}"' for key, val in kept)
+        label_text = f"{{{rendered}}} " if rendered else ""
+        print(f"  {label_text}{_format_metric_value(value)}")
     return 0
 
 

@@ -1,0 +1,126 @@
+"""Structured JSON-lines logging for every process in a deployment.
+
+One formatter, one configuration entry point.  Each record renders as a
+single JSON object carrying the run context that makes multi-process logs
+mergeable after the fact: the run ``seed``, the process ``role``
+(``gateway`` / ``partition`` / ``loadgen`` / ...), and the ``partition``
+index where one applies.  ``configure_logging`` is called once per process
+— by the CLI for the foreground process, by the worker entrypoints in
+``serving/procs.py`` for spawned children — so a gateway deployment's logs
+concatenate into one stream that sorts and filters by those fields.
+
+``captureWarnings(True)`` routes ``warnings.warn(...)`` (the serving
+stack's resync / supervision ``RuntimeWarning``s) into the same stream as
+``py.warnings`` records instead of bare stderr lines.  The warnings remain
+*warnings* — tests pin them with ``pytest.warns`` — this only changes how
+they surface when a deployment configures logging.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import logging.handlers
+import sys
+from typing import Any, Dict, Optional
+
+__all__ = ["JsonLinesFormatter", "LOG_LEVELS", "configure_logging", "get_logger"]
+
+#: Root of the package logger hierarchy configured here.
+ROOT_LOGGER = "repro"
+
+# Library-style default: a process that never calls configure_logging must
+# stay silent (no logging.lastResort stderr lines for WARNING+ records from
+# the serving stack's instrumentation).
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+#: The level names ``configure_logging`` accepts (lowercase).
+LOG_LEVELS = frozenset({"critical", "error", "warning", "info", "debug"})
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Render each record as one JSON line with static run-context fields."""
+
+    def __init__(
+        self,
+        *,
+        seed: Optional[int] = None,
+        role: Optional[str] = None,
+        partition: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.static_fields: Dict[str, Any] = {}
+        if seed is not None:
+            self.static_fields["seed"] = seed
+        if role is not None:
+            self.static_fields["role"] = role
+        if partition is not None:
+            self.static_fields["partition"] = partition
+
+    def format(self, record: logging.Record) -> str:
+        payload: Dict[str, Any] = {
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(self.static_fields)
+        extra = getattr(record, "fields", None)
+        if isinstance(extra, dict):
+            payload.update(extra)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the package hierarchy (``repro.<name>``)."""
+    if name.startswith(ROOT_LOGGER):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(
+    level: str = "warning",
+    log_file: Optional[str] = None,
+    *,
+    seed: Optional[int] = None,
+    role: Optional[str] = None,
+    partition: Optional[int] = None,
+    capture_warnings: bool = True,
+) -> logging.Logger:
+    """Point the ``repro`` logger tree at one JSON-lines handler.
+
+    Reconfigures idempotently (earlier handlers installed here are
+    replaced), so worker respawns and repeated CLI invocations inside one
+    process never double-log.  Returns the configured root package logger.
+    """
+    if level.lower() not in LOG_LEVELS:
+        raise ValueError(f"unknown log level: {level!r}")
+    numeric = getattr(logging, level.upper())
+    formatter = JsonLinesFormatter(seed=seed, role=role, partition=partition)
+    if log_file:
+        handler: logging.Handler = logging.FileHandler(log_file)
+    else:
+        handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(formatter)
+    handler.set_name("repro-obs-json")
+
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(numeric)
+    root.propagate = False
+    for existing in list(root.handlers):
+        if existing.get_name() == "repro-obs-json":
+            root.removeHandler(existing)
+            existing.close()
+    root.addHandler(handler)
+
+    if capture_warnings:
+        logging.captureWarnings(True)
+        warn_logger = logging.getLogger("py.warnings")
+        warn_logger.propagate = False
+        for existing in list(warn_logger.handlers):
+            if existing.get_name() == "repro-obs-json":
+                warn_logger.removeHandler(existing)
+        warn_logger.addHandler(handler)
+    return root

@@ -1,0 +1,182 @@
+"""Prometheus text exposition: render a registry snapshot, parse a scrape.
+
+The renderer emits the text format (version 0.0.4) from the JSON-able
+snapshots of :mod:`repro.obs.metrics`: ``# HELP`` / ``# TYPE`` headers, one
+sample line per series, histograms as cumulative ``_bucket{le="..."}``
+series plus ``_sum`` and ``_count``.  Floats round-trip through ``repr``
+(the same rule as the serving wire format) so a parsed scrape reproduces
+the sampled values exactly — pinned by the hypothesis round-trip test in
+``tests/test_obs_prom.py``.
+
+The parser reads the subset the renderer emits (plus tolerant whitespace
+and unknown comment lines), returning flat samples the ``repro obs``
+pretty-printer and the round-trip tests consume.  It is a scrape debugging
+tool, not a general Prometheus client.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["flatten_snapshot", "parse_text", "render_snapshot"]
+
+#: One parsed sample: (metric name, labels, value).
+Sample = Tuple[str, Dict[str, str], float]
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):  # pragma: no cover - registries never store NaN
+        return "NaN"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_snapshot(snapshot: Dict[str, Any]) -> str:
+    """A registry snapshot as Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in snapshot.get("metrics", ()):
+        name = metric["name"]
+        kind = metric["kind"]
+        help_text = metric.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in metric.get("samples", ()):
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                for le, cumulative in sample["buckets"]:
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(float(le))
+                    lines.append(
+                        f"{name}_bucket{_render_labels(bucket_labels)} "
+                        f"{_format_value(float(cumulative))}"
+                    )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} "
+                    f"{_format_value(float(sample['sum']))}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} "
+                    f"{_format_value(float(sample['count']))}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels)} "
+                    f"{_format_value(float(sample['value']))}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def flatten_snapshot(snapshot: Dict[str, Any]) -> List[Sample]:
+    """The flat samples a scrape of ``snapshot`` parses back to."""
+    samples: List[Sample] = []
+    for metric in snapshot.get("metrics", ()):
+        name = metric["name"]
+        for sample in metric.get("samples", ()):
+            labels = {k: str(v) for k, v in sample.get("labels", {}).items()}
+            if metric["kind"] == "histogram":
+                for le, cumulative in sample["buckets"]:
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(float(le))
+                    samples.append((f"{name}_bucket", bucket_labels, float(cumulative)))
+                samples.append((f"{name}_sum", dict(labels), float(sample["sum"])))
+                samples.append((f"{name}_count", dict(labels), float(sample["count"])))
+            else:
+                samples.append((name, labels, float(sample["value"])))
+    return samples
+
+
+def _parse_value(text: str) -> float:
+    stripped = text.strip()
+    if stripped == "+Inf":
+        return math.inf
+    if stripped == "-Inf":
+        return -math.inf
+    if stripped == "NaN":  # pragma: no cover - renderer never emits it
+        return math.nan
+    return float(stripped)
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    index = 0
+    length = len(text)
+    while index < length:
+        equals = text.index("=", index)
+        name = text[index:equals].strip().lstrip(",").strip()
+        if text[equals + 1] != '"':
+            raise ValueError(f"unquoted label value after {name!r}")
+        chars: List[str] = []
+        cursor = equals + 2
+        while True:
+            char = text[cursor]
+            if char == "\\":
+                escape = text[cursor + 1]
+                chars.append(
+                    {"\\": "\\", '"': '"', "n": "\n"}.get(escape, "\\" + escape)
+                )
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            chars.append(char)
+            cursor += 1
+        labels[name] = "".join(chars)
+        index = cursor + 1
+    return labels
+
+
+def parse_text(text: str) -> Tuple[Dict[str, str], List[Sample]]:
+    """Parse a scrape into ``(types by metric name, flat samples)``.
+
+    Raises ``ValueError`` on lines the renderer's dialect cannot produce.
+    """
+    types: Dict[str, str] = {}
+    samples: List[Sample] = []
+    # Split on newline only: the exposition format breaks lines with "\n",
+    # and quoted label values may legally contain other Unicode line
+    # boundaries (U+2028 etc.) that str.splitlines() would split on.
+    for raw_line in text.split("\n"):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3].strip()
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_text, value_text = rest.rsplit("}", 1)
+            samples.append(
+                (name.strip(), _parse_labels(label_text), _parse_value(value_text))
+            )
+        else:
+            try:
+                name, value_text = line.rsplit(None, 1)
+            except ValueError:
+                raise ValueError(f"malformed sample line: {raw_line!r}") from None
+            samples.append((name.strip(), {}, _parse_value(value_text)))
+    return types, samples

@@ -60,6 +60,7 @@ from repro.serving.protocol import (
     RefreshValue,
     RegisterAck,
     RegisterFeeder,
+    MetricsRequest,
     Request,
     StatsRequest,
     Update,
@@ -339,6 +340,15 @@ class Client:
         """The server's statistics snapshot (a plain mapping)."""
         return await self.call(StatsRequest(), deadline)
 
+    async def metrics(self, deadline: Any = _UNSET_DEADLINE) -> Dict[str, Any]:
+        """The server's metrics-registry snapshot (``repro.obs`` shape).
+
+        A gateway answers with its own registry merged with every routable
+        partition's; a partition answers with its local registry alone.
+        The reply is empty (``{"metrics": []}``) when metrics are disabled.
+        """
+        return await self.call(MetricsRequest(), deadline)
+
     async def subscribe_stats(
         self, period: float, *, count: Optional[int] = None
     ) -> AsyncIterator[Dict[str, Any]]:
@@ -463,6 +473,13 @@ class ServeConfig:
     exact state on restart.  ``wal_fsync`` picks the flush policy
     (``always`` / ``checkpoint`` / ``never`` — see
     :mod:`repro.serving.durability`).
+
+    The observability knobs (:mod:`repro.obs`) — ``metrics`` enables the
+    process metrics registry (scrapeable via ``GET /metrics`` on the HTTP
+    edge and the ``metrics`` protocol op), ``trace`` the deterministic
+    span tracer, ``flightrec_dir`` crash flight-recorder dumps;
+    ``log_level``/``log_file`` configure JSON-lines logging.  All reach
+    spawned partition processes too (:mod:`repro.serving.procs`).
     """
 
     role: str = "single"
@@ -478,6 +495,11 @@ class ServeConfig:
     wal_dir: Optional[str] = None
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
     wal_fsync: str = "checkpoint"
+    metrics: bool = False
+    trace: bool = False
+    flightrec_dir: Optional[str] = None
+    log_level: Optional[str] = None
+    log_file: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.role not in SERVE_ROLES:
@@ -499,6 +521,14 @@ class ServeConfig:
                 f"wal_fsync must be one of {FSYNC_POLICIES}, not "
                 f"{self.wal_fsync!r}"
             )
+        if self.log_level is not None:
+            from repro.obs.logging import LOG_LEVELS
+
+            if self.log_level.lower() not in LOG_LEVELS:
+                raise ValueError(
+                    f"log_level must be one of {sorted(LOG_LEVELS)}, not "
+                    f"{self.log_level!r}"
+                )
 
 
 def deprecated_entry_point(old: str, new: str) -> None:

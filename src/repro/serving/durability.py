@@ -53,6 +53,19 @@ import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.metrics import REGISTRY, SIZE_BUCKETS
+
+#: Framed size of each appended WAL record, in bytes.  A process-registry
+#: histogram (one handle shared by every partition in the process; in the
+#: pool deployment each partition process labels its own registry), sized
+#: by the power-of-two buckets — record frames are tens to hundreds of
+#: bytes, checkpoint-bound registration records reach the kilobyte range.
+_WAL_RECORD_BYTES = REGISTRY.histogram(
+    "repro_wal_record_bytes",
+    "Framed size of each WAL record appended.",
+    buckets=SIZE_BUCKETS,
+)
+
 __all__ = [
     "DEFAULT_CHECKPOINT_EVERY",
     "FSYNC_POLICIES",
@@ -236,6 +249,7 @@ class PartitionDurability:
         self.records_appended += 1
         self.bytes_appended += len(frame)
         self._records_since_checkpoint += 1
+        _WAL_RECORD_BYTES.observe(float(len(frame)))
 
     @property
     def checkpoint_due(self) -> bool:

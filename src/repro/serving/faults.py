@@ -44,7 +44,22 @@ import random
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Optional
 
+from repro.obs.metrics import REGISTRY
 from repro.serving.errors import ConnectionLost
+
+#: Registry counters for injected faults, one series per fault kind.  They
+#: run alongside the per-session ``counters`` dicts (which tests and the
+#: loadgen report read back directly) and give chaos runs a scrapeable
+#: whole-process total; recording draws nothing, so the seeded fault
+#: streams are untouched by the registry's state.
+_FAULTS_INJECTED = {
+    kind: REGISTRY.counter(
+        "repro_faults_injected_total",
+        "Transport faults injected by the deterministic fault plan.",
+        kind=kind,
+    )
+    for kind in ("drop", "truncate", "delay", "reorder")
+}
 
 #: Default injected delivery delay, seconds.
 DEFAULT_DELAY_SECONDS = 0.002
@@ -209,9 +224,11 @@ class SessionFaults:
         draw = self._rng.random()
         if draw < plan.drop_rate:
             self.counters["drops"] += 1
+            _FAULTS_INJECTED["drop"].inc()
             return "drop"
         if draw < plan.drop_rate + plan.truncate_rate:
             self.counters["truncations"] += 1
+            _FAULTS_INJECTED["truncate"].inc()
             return "truncate"
         return None
 
@@ -222,6 +239,7 @@ class SessionFaults:
             return 0.0
         if self._rng.random() < plan.delay_rate:
             self.counters["delays"] += 1
+            _FAULTS_INJECTED["delay"].inc()
             return plan.delay_seconds
         return 0.0
 
@@ -279,6 +297,7 @@ class FaultyTransport:
             if follower is None:
                 return frame
             faults.counters["reorders"] += 1
+            _FAULTS_INJECTED["reorder"].inc()
             self._held = frame
             return follower
         return frame

@@ -62,11 +62,20 @@ from typing import (
 )
 
 from repro.intervals.interval import Interval
+from repro.obs.metrics import (
+    REGISTRY,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.logging import get_logger
+from repro.obs.trace import TRACER
 from repro.serving.api import Client, dial
 from repro.serving.errors import SupervisionExhausted
 from repro.serving.execution import execute_partitioned_query
 from repro.serving.protocol import (
     BoundedAnswer,
+    MetricsRequest,
     ProtocolError,
     QueryRequest,
     Recovered,
@@ -90,12 +99,15 @@ from repro.serving.server import (
     DEFAULT_MAX_INFLIGHT_QUERIES,
     DEFAULT_REFRESH_TIMEOUT,
     DEFAULT_WRITE_QUEUE_LIMIT,
+    _STATS_COUNTER_METRICS,
     BaseFrameServer,
     ServingStatistics,
     _Connection,
     _KeyDrift,
 )
 from repro.sharding.partition import partition_keys, shard_index
+
+_LOG = get_logger("serving.gateway")
 
 #: How long a query waits for a recovering partition before answering its
 #: keys from the gateway's own divergence-widened mirror.  Recovery of a
@@ -166,6 +178,7 @@ class GatewayServer(BaseFrameServer):
         write_queue_limit: int = DEFAULT_WRITE_QUEUE_LIMIT,
         refresh_timeout: Optional[float] = DEFAULT_REFRESH_TIMEOUT,
         recovery_grace: float = DEFAULT_RECOVERY_GRACE,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(
             write_queue_limit=write_queue_limit, refresh_timeout=refresh_timeout
@@ -210,6 +223,8 @@ class GatewayServer(BaseFrameServer):
         self._last_update_time: Dict[Hashable, float] = {}
         self._degraded_slack = DEFAULT_DEGRADED_SLACK
         self._clock = 0.0
+        self._registry = REGISTRY if registry is None else registry
+        self._register_metrics()
 
     @property
     def partition_count(self) -> int:
@@ -218,6 +233,107 @@ class GatewayServer(BaseFrameServer):
     def partition_of(self, key: Hashable) -> int:
         """The partition index owning ``key`` (stable hash routing)."""
         return shard_index(key, len(self._targets))
+
+    # ------------------------------------------------------------------
+    # Metrics (repro.obs): gateway-local handles plus partition aggregation
+    # ------------------------------------------------------------------
+    #: The slice of the shared counter catalog the gateway itself maintains
+    #: (its registry's ``role`` label keeps these series distinct from the
+    #: partitions' identically named ones).
+    _GATEWAY_COUNTER_FIELDS = frozenset(
+        {
+            "updates_applied",
+            "updates_ignored",
+            "queries_served",
+            "queries_rejected",
+            "queries_degraded",
+            "refresh_rpcs",
+            "refreshes_failed",
+            "stale_epoch_rejections",
+            "feeder_resyncs",
+            "connections_opened",
+            "connections_closed",
+            "partition_restarts",
+        }
+    )
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry this gateway publishes into."""
+        return self._registry
+
+    def _register_metrics(self) -> None:
+        registry = self._registry
+        self._metric_counters = {
+            field: registry.counter(name, help_text)
+            for field, name, help_text in _STATS_COUNTER_METRICS
+            if field in self._GATEWAY_COUNTER_FIELDS
+        }
+        self._metric_connections = registry.gauge(
+            "repro_connections", "Connections currently open."
+        )
+        self._metric_clock = registry.gauge(
+            "repro_logical_clock", "The server's logical clock."
+        )
+        self._metric_partitions = registry.gauge(
+            "repro_gateway_partitions", "Partitions behind this gateway."
+        )
+        self._metric_unroutable = registry.gauge(
+            "repro_gateway_partitions_unroutable",
+            "Partitions currently not in the ok state.",
+        )
+        self._fanout_histogram = registry.histogram(
+            "repro_gateway_fanout_partitions",
+            "Partitions touched per routed query.",
+            buckets=SIZE_BUCKETS,
+        )
+        registry.collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time: mirror gateway-local totals into registry handles.
+
+        Deliberately partition-RPC-free (collectors are synchronous); the
+        cross-partition view is assembled by :meth:`_handle_metrics`, which
+        fetches and merges per-partition snapshots over the control links.
+        """
+        serving = self.statistics
+        for field, counter in self._metric_counters.items():
+            counter.set_total(float(getattr(serving, field)))
+        self._metric_connections.set(float(len(self._connections)))
+        self._metric_clock.set(self._clock)
+        self._metric_partitions.set(float(len(self._targets)))
+        self._metric_unroutable.set(
+            float(sum(1 for state in self._health if state != "ok"))
+        )
+
+    async def _handle_metrics(self) -> Dict[str, Any]:
+        """The gateway's registry merged with every reachable partition's.
+
+        A partition sharing this process's registry object (the in-process
+        loopback shape) is already present in the gateway's own snapshot
+        and is skipped, so nothing is counted twice.
+        """
+
+        async def fetch(index: int) -> Optional[Dict[str, Any]]:
+            target = self._targets[index]
+            if not isinstance(target, str) and (
+                getattr(target, "registry", None) is self._registry
+            ):
+                return None
+            if not self._partition_routable(index):
+                return None
+            try:
+                return await self._control_link(index).metrics()
+            except _LINK_ERRORS:
+                self._note_partition_failure(index)
+                return None
+
+        fetched = await asyncio.gather(
+            *(fetch(index) for index in range(len(self._targets)))
+        )
+        snapshots = [self._registry.snapshot()]
+        snapshots.extend(snapshot for snapshot in fetched if snapshot)
+        return merge_snapshots(snapshots)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -255,14 +371,37 @@ class GatewayServer(BaseFrameServer):
         """
         if self._health[index] != "ok":
             return
+        if TRACER.enabled:
+            # SIGKILL leaves the dead partition nothing to dump, so the
+            # survivor's recent spans are the crash's flight record: the
+            # last frames the gateway exchanged before noticing the death.
+            TRACER.dump(
+                f"partition{index}-unreachable",
+                reason=f"partition {index} unreachable at clock {self._clock:g}",
+            )
         self._partition_down_since.setdefault(index, self._clock)
         if self._pool is not None:
             self._health[index] = "recovering"
             self._routable[index].clear()
         else:
             self._health[index] = "down"
+        _LOG.warning(
+            "partition unreachable",
+            extra={
+                "fields": {
+                    "partition": index,
+                    "state": self._health[index],
+                    "clock": self._clock,
+                }
+            },
+        )
 
     def _mark_partition_ok(self, index: int) -> None:
+        if self._health[index] != "ok":
+            _LOG.info(
+                "partition routable again",
+                extra={"fields": {"partition": index, "clock": self._clock}},
+            )
         self._health[index] = "ok"
         self._partition_down_since.pop(index, None)
         self._routable[index].set()
@@ -273,6 +412,10 @@ class GatewayServer(BaseFrameServer):
         self._health[index] = "degraded"
         self._partition_down_since.setdefault(index, self._clock)
         self._routable[index].set()
+        _LOG.error(
+            "partition degraded (restart budget exhausted)",
+            extra={"fields": {"partition": index, "clock": self._clock}},
+        )
 
     def _partition_routable(self, index: int) -> bool:
         """Whether ops may currently be forwarded to partition ``index``."""
@@ -372,6 +515,7 @@ class GatewayServer(BaseFrameServer):
             if link is not None:
                 await link.close()
                 self._control[index] = None
+        self._registry.remove_collector(self._collect_metrics)
 
     # ------------------------------------------------------------------
     # Connection teardown hooks
@@ -411,6 +555,8 @@ class GatewayServer(BaseFrameServer):
                 reply = await self._handle_register(connection, request)
             elif isinstance(request, StatsRequest):
                 reply = await self._handle_stats()
+            elif isinstance(request, MetricsRequest):
+                reply = await self._handle_metrics()
             else:
                 # snapshot / refresh_key / refresh are partition-internal
                 # ops; at the gateway's front door they are unknown.
@@ -599,6 +745,7 @@ class GatewayServer(BaseFrameServer):
         constraint = request.constraint
         time = request.time
         groups = partition_keys(keys, len(self._targets))
+        self._fanout_histogram.observe(float(len(groups)))
 
         self._advance_clock(time)
 
@@ -782,6 +929,14 @@ class GatewayServer(BaseFrameServer):
                 "queries_degraded": serving.queries_degraded,
                 "gateway_refresh_rpcs": serving.refresh_rpcs,
                 "gateway_stale_epoch_rejections": serving.stale_epoch_rejections,
+                # Gateway-local connection churn and the count of partitions
+                # that contributed nothing above — without these a merged
+                # snapshot with unreachable partitions silently under-counts.
+                "gateway_connections_opened": serving.connections_opened,
+                "gateway_connections_closed": serving.connections_closed,
+                "partitions_unreachable": sum(
+                    1 for state in self._health if state != "ok"
+                ),
             }
         )
         return merged

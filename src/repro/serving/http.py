@@ -12,7 +12,10 @@ HTTP/1.1 server and an RFC 6455 WebSocket implementation, just enough for
 * ``POST /query`` — one bounded aggregate per request for curl-grade
   clients: the JSON body is the ``query`` operation's fields, the JSON
   response is the answer frame.
-* ``GET /stats`` and ``GET /healthz`` — observability endpoints.
+* ``GET /metrics`` — the backend's metrics registry as Prometheus text
+  (a gateway merges every reachable partition's registry into the scrape).
+* ``GET /stats`` and ``GET /healthz`` — the legacy dict snapshot (see the
+  deprecation note in ``docs/SERVING.md``) and the cheap liveness probe.
 
 The JSON dialect is the wire protocol's: floats round-trip through
 ``repr`` and non-finite values use the ``Infinity`` extension, so the
@@ -220,6 +223,8 @@ class HttpEdge:
                 await self._respond_json(writer, 200, await self._query(body))
             elif path == "/stats" and method == "GET":
                 await self._respond_json(writer, 200, await self._op({"op": "stats"}))
+            elif path == "/metrics" and method == "GET":
+                await self._respond_metrics(writer)
             elif path == "/healthz" and method == "GET":
                 await self._respond_json(writer, 200, self._health())
             else:
@@ -251,6 +256,29 @@ class HttpEdge:
         if health is None:
             return {"ok": True}
         return health()
+
+    async def _respond_metrics(self, writer: asyncio.StreamWriter) -> None:
+        """``GET /metrics``: the backend's registry as Prometheus text.
+
+        The snapshot rides the ``metrics`` protocol op, so a gateway
+        backend answers with its registry merged with every reachable
+        partition's — the scrape sees the whole deployment.
+        """
+        from repro.obs.prom import render_snapshot
+
+        snapshot = await self._op({"op": "metrics"})
+        body = render_snapshot(snapshot).encode("utf-8")
+        writer.write(
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("ascii")
+            + body
+        )
+        await writer.drain()
 
     async def _query(self, body: bytes) -> Dict[str, Any]:
         frame = dict(decode_payload(body))

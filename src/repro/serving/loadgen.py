@@ -56,6 +56,7 @@ from typing import (
 
 from repro.data.merged import merge_timelines
 from repro.data.streams import TraceStream
+from repro.obs.metrics import LATENCY_BUCKETS_SECONDS, REGISTRY
 from repro.data.trace import Trace
 from repro.queries.aggregates import AggregateKind
 from repro.serving.api import Client, deprecated_entry_point, dial
@@ -270,6 +271,30 @@ class LoadgenReport:
             "invariant_checks": self.invariant_checks,
             "invariant_violations": self.invariant_violations,
         }
+
+    def publish(self, registry: Any = None) -> None:
+        """Publish this report's headline numbers into a metrics registry.
+
+        Gauges under ``repro_loadgen_*``, labelled by replay ``mode`` — a
+        finished run is a point-in-time outcome.  Purely write-only: the
+        registry never feeds back into the replay, so the deterministic
+        summary stays byte-identical with metrics on or off.  With the
+        registry disabled (the default) this is a no-op.
+        """
+        registry = REGISTRY if registry is None else registry
+        for name, help_text, value in (
+            ("repro_loadgen_queries", "Queries the run issued.", self.queries),
+            ("repro_loadgen_queries_rejected", "Admission-control rejections observed.", self.queries_rejected),
+            ("repro_loadgen_updates_sent", "Source updates the feeders delivered.", self.updates_sent),
+            ("repro_loadgen_hit_rate", "Client-observed workload hit rate.", self.hit_rate),
+            ("repro_loadgen_omega", "Cost per simulated time unit (Omega).", self.omega),
+            ("repro_loadgen_throughput_qps", "Queries per wall second.", self.throughput_qps),
+            ("repro_loadgen_p50_latency_ms", "Median answered-query latency.", self.p50_latency_ms),
+            ("repro_loadgen_p99_latency_ms", "99th-percentile answered-query latency.", self.p99_latency_ms),
+            ("repro_loadgen_degraded_answers", "Answers served degraded from the mirror.", self.degraded_answers),
+            ("repro_loadgen_invariant_violations", "Containment-check failures.", self.invariant_violations),
+        ):
+            registry.gauge(name, help_text, mode=self.mode).set(float(value))
 
     def describe(self) -> str:
         """Multi-line human-readable summary (the CLI's output)."""
@@ -1237,6 +1262,18 @@ def _build_report(
 ) -> LoadgenReport:
     ordered = sorted(latencies)
     counters = counters if counters is not None else _new_resilience_counters()
+    if REGISTRY.enabled:
+        # Fill the client-side latency distribution once per run, after the
+        # replay loop finished — never on the query hot path, and never in
+        # a way the replay could read back.
+        histogram = REGISTRY.histogram(
+            "repro_loadgen_latency_seconds",
+            "Client-observed latency of answered queries.",
+            buckets=LATENCY_BUCKETS_SECONDS,
+            mode=mode,
+        )
+        for value in latencies:
+            histogram.observe(value)
 
     def counted(field_name: str) -> float:
         # The server's counters are all-time totals; subtracting the

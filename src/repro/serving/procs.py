@@ -27,6 +27,60 @@ DEFAULT_START_TIMEOUT = 30.0
 DEFAULT_MAX_RESTARTS = 16
 
 
+def _configure_observability(
+    spec: Dict[str, Any], role: str, partition: Optional[int] = None
+) -> None:
+    """Arm the child process's observability from its (picklable) spec.
+
+    Spec keys — all optional, all off by default so a bare spec behaves
+    exactly as before:
+
+    * ``metrics`` — enable the process metrics registry, stamped with
+      ``role`` (and ``partition``) constant labels so the gateway's merged
+      snapshot keeps each process's series distinct.
+    * ``trace`` / ``flightrec_dir`` — enable the deterministic tracer; with
+      a directory, crashes dump the span ring as ``*.flightrec.json``.
+    * ``log_level`` / ``log_file`` — JSON-lines logging carrying the run
+      seed and this process's identity.  Partitions write per-partition
+      files (``run.log`` → ``run.partition2.log``) so concurrent writers
+      never interleave.
+    """
+    if spec.get("metrics"):
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.enable()
+        if partition is None:
+            REGISTRY.set_constant_labels(role=role)
+        else:
+            REGISTRY.set_constant_labels(role=role, partition=str(partition))
+    if spec.get("trace") or spec.get("flightrec_dir"):
+        from repro.obs.trace import configure_tracer
+
+        configure_tracer(
+            role=role if partition is None else f"{role}{partition}",
+            enabled=True,
+            flightrec_dir=spec.get("flightrec_dir"),
+        )
+    if spec.get("log_level") or spec.get("log_file"):
+        from pathlib import Path
+
+        from repro.obs.logging import configure_logging
+
+        log_file = spec.get("log_file")
+        if log_file and partition is not None:
+            path = Path(log_file)
+            log_file = str(
+                path.with_name(f"{path.stem}.{role}{partition}{path.suffix}")
+            )
+        configure_logging(
+            spec.get("log_level") or "warning",
+            log_file,
+            seed=spec.get("seed"),
+            role=role,
+            partition=partition,
+        )
+
+
 def partition_worker(connection: Any, spec: Dict[str, Any]) -> None:
     """Child-process entry: serve one partition until the pipe says stop.
 
@@ -65,6 +119,7 @@ async def _serve_gateway(connection: Any, spec: Dict[str, Any]) -> None:
 
     from repro.serving.gateway import GatewayServer
 
+    _configure_observability(spec, "gateway")
     # With explicit ``targets`` the gateway fronts partitions somebody
     # else owns — the scaled-edge topology, where several stateless
     # gateway processes share one partition pool.  Without them it
@@ -121,35 +176,49 @@ def _spec_durability(spec: Dict[str, Any]) -> Optional[Any]:
 
 async def _serve_partition(connection: Any, spec: Dict[str, Any]) -> None:
     from repro.experiments.workloads import serving_policy
+    from repro.obs.trace import crash_dump_scope
     from repro.serving.server import CacheServer
 
+    _configure_observability(
+        spec, "partition", partition=spec.get("partition_index", 0)
+    )
     policy = serving_policy(
         cost_factor=spec.get("cost_factor", 1.0), seed=spec.get("seed", 0)
     )
-    # Recovery happens inside the constructor: a restarted partition
-    # replays its snapshot+WAL through the live apply paths *before* the
-    # port report below, so the gateway never dials a half-recovered
-    # server.
-    server = CacheServer(
-        policy,
-        shards=spec.get("shards", 1),
-        capacity=spec.get("capacity"),
-        max_inflight_queries=spec.get("max_inflight", 64),
-        durability=_spec_durability(spec),
-    )
-    tcp = await server.start_tcp(spec.get("host", "127.0.0.1"), 0)
-    port = tcp.sockets[0].getsockname()[1]
-    connection.send({"port": port})
-    import asyncio
+    # The whole serve lifetime sits inside the crash-dump scope: an
+    # exception escaping the partition leaves its span ring behind as a
+    # ``*.flightrec.json`` (no-op unless the spec set ``flightrec_dir``).
+    with crash_dump_scope("crash"):
+        # Recovery happens inside the constructor: a restarted partition
+        # replays its snapshot+WAL through the live apply paths *before*
+        # the port report below, so the gateway never dials a
+        # half-recovered server.
+        server = CacheServer(
+            policy,
+            shards=spec.get("shards", 1),
+            capacity=spec.get("capacity"),
+            max_inflight_queries=spec.get("max_inflight", 64),
+            durability=_spec_durability(spec),
+        )
+        tcp = await server.start_tcp(spec.get("host", "127.0.0.1"), 0)
+        port = tcp.sockets[0].getsockname()[1]
+        from repro.obs.logging import get_logger
 
-    loop = asyncio.get_running_loop()
-    try:
-        # Any message — or EOF/reset when the parent dies — is the stop
-        # signal.
-        await loop.run_in_executor(None, connection.recv)
-    except (EOFError, OSError):
-        pass
-    await server.close()
+        get_logger("serving.procs").info(
+            "partition serving",
+            extra={"fields": {"port": port, "wal": bool(spec.get("wal_dir"))}},
+        )
+        connection.send({"port": port})
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        try:
+            # Any message — or EOF/reset when the parent dies — is the
+            # stop signal.
+            await loop.run_in_executor(None, connection.recv)
+        except (EOFError, OSError):
+            pass
+        await server.close()
 
 
 class ProcessPartitionPool:

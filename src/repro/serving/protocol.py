@@ -27,6 +27,9 @@ Operations (see ``docs/SERVING.md`` for the full schemas):
     Bounded aggregate over ``keys`` with a precision ``constraint``.
 ``stats``
     Server statistics snapshot.
+``metrics``
+    Metrics-registry snapshot (``repro.obs``); the gateway merges the
+    per-partition snapshots it fetches with this op into its own.
 ``refresh``
     Server-to-feeder: fetch the current exact value of one owned key.
 ``snapshot`` / ``refresh_key``
@@ -316,6 +319,20 @@ class StatsRequest(Request):
 
 
 @dataclass(frozen=True)
+class MetricsRequest(Request):
+    """Ask for the server's metrics-registry snapshot (JSON-able mapping)."""
+
+    OP: ClassVar[str] = "metrics"
+
+    def wire_fields(self) -> Dict[str, Any]:
+        return {}
+
+    @classmethod
+    def from_wire(cls, frame: Dict[str, Any]) -> "MetricsRequest":
+        return cls()
+
+
+@dataclass(frozen=True)
 class Refresh(Request):
     """Server-to-feeder: fetch the current exact value of one owned key."""
 
@@ -601,6 +618,7 @@ REQUEST_TYPES: Dict[str, Type[Request]] = {
         UpdateBatch,
         QueryRequest,
         StatsRequest,
+        MetricsRequest,
         Refresh,
         Snapshot,
         RefreshKey,

@@ -55,17 +55,20 @@ import asyncio
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Any, ClassVar, Dict, FrozenSet, Hashable, List, Optional, Set
+from typing import Any, ClassVar, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.caching.cache import ApproximateCache
 from repro.caching.eviction import EvictionPolicy
 from repro.caching.policies.base import PrecisionPolicy
 from repro.caching.source import DataSource
 from repro.intervals.interval import UNBOUNDED, Interval
+from repro.obs.metrics import REGISTRY, SIZE_BUCKETS, MetricsRegistry
+from repro.obs.trace import TRACER
 from repro.serving.durability import PartitionDurability
 from repro.serving.execution import execute_partitioned_query
 from repro.serving.protocol import (
     BoundedAnswer,
+    MetricsRequest,
     ProtocolError,
     QueryRequest,
     Recovered,
@@ -98,6 +101,54 @@ DEFAULT_ADMISSION_QUEUE_LIMIT = 256
 DEFAULT_WRITE_QUEUE_LIMIT = 128
 DEFAULT_REFRESH_TIMEOUT = 30.0
 DEFAULT_DEGRADED_SLACK = 4.0
+
+# ---------------------------------------------------------------------------
+# Metric catalog (docs/OBSERVABILITY.md documents every entry)
+# ---------------------------------------------------------------------------
+# Each entry maps a cumulative ``/stats`` field to its registry metric; a
+# scrape-time collector mirrors the current totals into the handles, so the
+# serving hot paths stay untouched.  The gateway and the partitions expose
+# the same names — their registries carry distinguishing ``role`` /
+# ``partition`` constant labels, so merged series never collide.
+_STATS_COUNTER_METRICS: Tuple[Tuple[str, str, str], ...] = (
+    ("updates_applied", "repro_updates_applied_total", "Source updates applied to the mirror."),
+    ("updates_ignored", "repro_updates_ignored_total", "Stale or unknown-key updates dropped."),
+    ("value_refreshes", "repro_value_refreshes_total", "Value-initiated refreshes installed."),
+    ("query_refreshes", "repro_query_refreshes_total", "Query-initiated refreshes installed."),
+    ("queries_served", "repro_queries_served_total", "Bounded queries answered."),
+    ("queries_rejected", "repro_queries_rejected_total", "Queries rejected by admission control."),
+    ("refresh_rpcs", "repro_refresh_rpcs_total", "Refresh RPCs issued to feeders."),
+    ("refreshes_failed", "repro_refreshes_failed_total", "Refresh RPCs that failed or timed out."),
+    ("queries_degraded", "repro_queries_degraded_total", "Queries answered with widened intervals."),
+    ("stale_epoch_rejections", "repro_stale_epoch_rejections_total", "Frames fenced off as stale feeder epochs."),
+    ("feeder_resyncs", "repro_feeder_resyncs_total", "Feeder resync registrations handled."),
+    ("connections_opened", "repro_connections_opened_total", "Serving connections accepted."),
+    ("connections_closed", "repro_connections_closed_total", "Serving connections torn down."),
+    ("partition_restarts", "repro_partition_restarts_total", "Partition restarts observed by supervision."),
+    ("hits", "repro_cache_hits_total", "Cache hits (interval satisfied the constraint)."),
+    ("misses", "repro_cache_misses_total", "Cache misses (refresh was required)."),
+    ("insertions", "repro_cache_insertions_total", "Cache insertions."),
+    ("evictions", "repro_cache_evictions_total", "Cache evictions."),
+    ("total_cost", "repro_refresh_cost_total", "Accumulated refresh cost (the paper's Omega units)."),
+    ("messages_sent", "repro_network_messages_total", "Messages charged to the network model."),
+    ("total_latency", "repro_network_latency_seconds_total", "Modelled network latency accumulated."),
+    ("wal_records", "repro_wal_records_total", "WAL records appended."),
+    ("wal_bytes", "repro_wal_bytes_total", "WAL bytes appended."),
+    ("wal_records_replayed", "repro_wal_replayed_records_total", "WAL records replayed during recovery."),
+    ("wal_torn_tails", "repro_wal_torn_tails_total", "Torn WAL tails truncated during recovery."),
+    ("checkpoints", "repro_wal_checkpoints_total", "Checkpoints taken."),
+)
+
+_STATS_GAUGE_METRICS: Tuple[Tuple[str, str, str], ...] = (
+    ("clock", "repro_logical_clock", "The server's logical clock."),
+    ("keys", "repro_keys", "Keys with a registered source mirror."),
+    ("cached_entries", "repro_cache_entries", "Entries currently cached."),
+    ("connections", "repro_connections", "Connections currently open."),
+    ("keys_down", "repro_keys_down", "Keys whose owning feeder is down."),
+    ("hit_rate", "repro_cache_hit_rate", "All-time cache hit rate."),
+    ("durable", "repro_wal_enabled", "1 when a WAL/checkpoint layer is attached."),
+    ("last_checkpoint_age", "repro_wal_last_checkpoint_age", "Logical time since the last checkpoint (-1 when none)."),
+)
 
 
 @dataclass
@@ -169,6 +220,12 @@ class _Connection:
         )
         self.pending: Dict[int, asyncio.Future] = {}
         self.rpc_ids = itertools.count(1)
+        # Accept ordinal on this server (1-based) and the count of request
+        # frames read so far: together they are the deterministic span
+        # coordinates for tracing (``repro.obs.trace``) — positional, never
+        # temporal, so a serialized replay re-derives identical span IDs.
+        self.ordinal = 0
+        self.frames_read = 0
         self.keys: Set[Hashable] = set()
         self.writer_task: Optional[asyncio.Task] = None
         self.request_tasks: Set[asyncio.Task] = set()
@@ -300,6 +357,8 @@ class BaseFrameServer:
         connection.writer_task = asyncio.ensure_future(connection.run_writer())
         self._connections.add(connection)
         self.statistics.connections_opened += 1
+        connection.ordinal = self.statistics.connections_opened
+        tracer = TRACER
         try:
             while True:
                 try:
@@ -309,6 +368,14 @@ class BaseFrameServer:
                 if frame is None:
                     break
                 if "op" in frame:
+                    connection.frames_read += 1
+                    if tracer.enabled:
+                        tracer.record(
+                            "rpc",
+                            conn=connection.ordinal,
+                            frame=connection.frames_read,
+                            op=frame.get("op"),
+                        )
                     if frame.get("op") in self._TASK_OPS:
                         # These ops run as tasks so the connection's read
                         # loop stays free to deliver refresh-RPC responses —
@@ -415,6 +482,15 @@ class BaseFrameServer:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         owner.pending[rpc_id] = future
         self.statistics.refresh_rpcs += 1
+        if TRACER.enabled:
+            # The RPC id is the frame position on the server-initiated
+            # direction of this connection — deterministic like frames read.
+            TRACER.record(
+                "refresh_rpc",
+                conn=owner.ordinal,
+                frame=f"r{rpc_id}",
+                key=repr(key),
+            )
         try:
             await owner.send(Refresh(key=key).to_wire(rpc_id))
             if self._refresh_timeout is None:
@@ -492,6 +568,13 @@ class CacheServer(BaseFrameServer):
         traffic uses, so the recovered server is field-for-field the one
         that crashed), then every state-mutating op is write-ahead logged
         and checkpointed per the durability object's policy.
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` this server
+        publishes into (defaults to the process registry).  A scrape-time
+        collector mirrors the ``/stats`` totals into registry handles —
+        the serving hot paths are untouched, so a disabled registry (the
+        default) costs nothing and an enabled one costs one branch per
+        instrumented site.
     """
 
     def __init__(
@@ -510,6 +593,7 @@ class CacheServer(BaseFrameServer):
         refresh_timeout: Optional[float] = DEFAULT_REFRESH_TIMEOUT,
         degraded_slack: float = DEFAULT_DEGRADED_SLACK,
         durability: Optional[PartitionDurability] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(
             write_queue_limit=write_queue_limit, refresh_timeout=refresh_timeout
@@ -562,6 +646,8 @@ class CacheServer(BaseFrameServer):
         self._durability = durability
         if durability is not None:
             self._recover_durable_state()
+        self._registry = REGISTRY if registry is None else registry
+        self._register_metrics()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -595,6 +681,50 @@ class CacheServer(BaseFrameServer):
         await super().close()
         if self._durability is not None:
             self._durability.close()
+        self._registry.remove_collector(self._collect_metrics)
+
+    # ------------------------------------------------------------------
+    # Metrics (repro.obs): handles plus the scrape-time collector
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry this server publishes into."""
+        return self._registry
+
+    def _register_metrics(self) -> None:
+        registry = self._registry
+        self._metric_counters = {
+            field: registry.counter(name, help_text)
+            for field, name, help_text in _STATS_COUNTER_METRICS
+        }
+        self._metric_gauges = {
+            field: registry.gauge(name, help_text)
+            for field, name, help_text in _STATS_GAUGE_METRICS
+        }
+        self._query_keys_histogram = registry.histogram(
+            "repro_query_keys",
+            "Keys touched per bounded query.",
+            buckets=SIZE_BUCKETS,
+        )
+        registry.collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time: mirror the cumulative stats into registry handles."""
+        stats = self._handle_stats()
+        serving = self.statistics
+        stats["connections_opened"] = serving.connections_opened
+        stats["connections_closed"] = serving.connections_closed
+        stats["partition_restarts"] = serving.partition_restarts
+        for field, counter in self._metric_counters.items():
+            counter.set_total(float(stats[field]))
+        for field, gauge in self._metric_gauges.items():
+            value = stats[field]
+            if value is None:
+                value = -1.0
+            gauge.set(float(value))
+
+    def _handle_metrics(self) -> Dict[str, Any]:
+        return self._registry.snapshot()
 
     # ------------------------------------------------------------------
     # Durability: write-ahead logging, checkpoints and crash recovery
@@ -776,6 +906,8 @@ class CacheServer(BaseFrameServer):
                 reply = await self._handle_refresh_key(request)
             elif isinstance(request, StatsRequest):
                 reply = self._handle_stats()
+            elif isinstance(request, MetricsRequest):
+                reply = self._handle_metrics()
             elif isinstance(request, Recovered):
                 reply = self._handle_recovered()
             else:
@@ -1009,6 +1141,7 @@ class CacheServer(BaseFrameServer):
         keys = list(request.keys)
         if not keys:
             raise ProtocolError("a query must touch at least one key")
+        self._query_keys_histogram.observe(float(len(keys)))
         kind = request.aggregate
         constraint = request.constraint
         time = self._advance_clock(request.time)

@@ -77,6 +77,7 @@ from repro.data.merged import merge_timelines
 from repro.data.streams import UpdateStream
 from repro.experiments.runner import WorkerHandle, persistent_worker_pool
 from repro.intervals.interval import UNBOUNDED, Interval
+from repro.obs.metrics import REGISTRY
 from repro.queries.aggregates import AggregateKind
 from repro.queries.refresh_selection import (
     run_query_refreshes,
@@ -95,37 +96,33 @@ from repro.simulation.simulator import CacheSimulation
 ExchangeEntry = Tuple[Interval, float]
 
 
-class ExchangeMeter:
-    """Counts the bytes the coordinator pickles through exchange pipes.
-
-    Disabled by default (the hot loops skip it on one attribute check);
-    benchmarks and the transport-regression tests enable it to compare the
-    pickled-pair pipe exchange against the shared-memory transport, whose
-    control messages are constant-size.  ``ticks`` counts query ticks so the
-    headline figure — pickle bytes per tick — is a simple division.
-    """
-
-    __slots__ = ("enabled", "bytes_pickled", "messages", "ticks")
-
-    def __init__(self) -> None:
-        self.enabled = False
-        self.reset()
-
-    def reset(self) -> None:
-        self.bytes_pickled = 0
-        self.messages = 0
-        self.ticks = 0
-
-    def record(self, payload: Any, count: int = 1) -> None:
-        """Charge ``payload``'s pickled size ``count`` times."""
-        self.bytes_pickled += (
-            len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)) * count
-        )
-        self.messages += count
+# Exchange-traffic metrics (the old bespoke ``ExchangeMeter``, absorbed by
+# ``repro.obs``).  Disabled with the process registry — the hot loops gate
+# the pickling measurement on one ``REGISTRY.enabled`` check, exactly the
+# discipline the meter's ``enabled`` flag enforced — and read back the same
+# headline figure: pickle bytes per query tick, the number the shm-vs-pipe
+# transport regression test pins.
+_EXCHANGE_BYTES = REGISTRY.counter(
+    "repro_exchange_bytes_pickled_total",
+    "Bytes the exchange coordinator pickles through control pipes.",
+)
+_EXCHANGE_MESSAGES = REGISTRY.counter(
+    "repro_exchange_messages_total",
+    "Control messages the exchange coordinator sends or receives.",
+)
+_EXCHANGE_TICKS = REGISTRY.counter(
+    "repro_exchange_ticks_total",
+    "Query ticks the exchange coordinator has driven.",
+)
 
 
-#: Module-level meter instrumenting the coordinator's exchange traffic.
-EXCHANGE_METER = ExchangeMeter()
+def _record_exchange(payload: Any, count: int = 1) -> None:
+    """Charge ``payload``'s pickled size ``count`` times (callers gate on
+    ``REGISTRY.enabled`` so the pickling is never paid when nobody looks)."""
+    _EXCHANGE_BYTES.inc(
+        len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)) * count
+    )
+    _EXCHANGE_MESSAGES.inc(count)
 
 #: Below this query fan-out the exchange's numpy paths (fancy-indexed encode
 #: and the coordinator's gather) fall back to scalar loops: the vectorised
@@ -1034,7 +1031,7 @@ def _tick_exchange_loop(
     position's row from its owning worker's plane into the merged plane with
     one fancy-indexed copy, and broadcasts a constant-size ``None`` token.
     """
-    meter = EXCHANGE_METER
+    registry = REGISTRY
     query_time = config.query_period
     ticks = 0
     if exchange is None:
@@ -1042,16 +1039,16 @@ def _tick_exchange_loop(
             partials = []
             for handle in handles:
                 tag, payload = supervisor.receive(handle)
-                if meter.enabled:
-                    meter.record((tag, payload))
+                if registry.enabled:
+                    _record_exchange((tag, payload))
                 partials.append(payload)
             merged: Dict[Hashable, ExchangeEntry] = {}
             for partial in partials:
                 merged.update(partial)
             supervisor.broadcast(merged)
-            if meter.enabled:
-                meter.record(merged, count=len(handles))
-                meter.ticks += 1
+            if registry.enabled:
+                _record_exchange(merged, count=len(handles))
+                _EXCHANGE_TICKS.inc()
             ticks += 1
             query_time += config.query_period
         return ticks
@@ -1063,15 +1060,15 @@ def _tick_exchange_loop(
     while query_time <= horizon:
         for handle in handles:
             tag, payload = supervisor.receive(handle)
-            if meter.enabled:
-                meter.record((tag, payload))
+            if registry.enabled:
+                _record_exchange((tag, payload))
         query = workload.generate(query_time)
         owners = [plane_of_key[key] for key in query.keys]
         gather(owners, 0)
         supervisor.broadcast(None, journal_entry=_journal_rows(query.keys, merged_rows))
-        if meter.enabled:
-            meter.record(None, count=len(handles))
-            meter.ticks += 1
+        if registry.enabled:
+            _record_exchange(None, count=len(handles))
+            _EXCHANGE_TICKS.inc()
         ticks += 1
         query_time += config.query_period
     return ticks
@@ -1141,7 +1138,7 @@ def _windowed_exchange_loop(
     RNG stays in lock-step with the workers because exactly the committed
     ticks and the truncating tick have been generated when a window closes.
     """
-    meter = EXCHANGE_METER
+    registry = REGISTRY
     workload = config.build_workload(keys)
     period = config.query_period
     controller = ExchangeWindowController(config.exchange_window)
@@ -1161,8 +1158,8 @@ def _windowed_exchange_loop(
         locals_per_worker = []
         for handle in handles:
             tag, payload = supervisor.receive(handle)
-            if meter.enabled:
-                meter.record((tag, payload))
+            if registry.enabled:
+                _record_exchange((tag, payload))
             locals_per_worker.append(payload)
         commit = len(tick_times)
         refresh_map: Optional[Dict[Hashable, ExchangeEntry]] = None
@@ -1177,8 +1174,8 @@ def _windowed_exchange_loop(
                     refresh_map = merged
                     break
             supervisor.broadcast((commit, refresh_map))
-            if meter.enabled:
-                meter.record((commit, refresh_map), count=len(handles))
+            if registry.enabled:
+                _record_exchange((commit, refresh_map), count=len(handles))
         else:
             # Gather each probed tick's rows into the merged plane; when a
             # tick truncates the window the plane already holds exactly the
@@ -1198,11 +1195,11 @@ def _windowed_exchange_loop(
                 )
             else:
                 supervisor.broadcast((commit, None))
-            if meter.enabled:
-                meter.record((commit, None), count=len(handles))
+            if registry.enabled:
+                _record_exchange((commit, None), count=len(handles))
         truncated = refresh_map is not None or refresh_keys is not None
-        if meter.enabled:
-            meter.ticks += (commit + 1) if truncated else len(tick_times)
+        if registry.enabled:
+            _EXCHANGE_TICKS.inc((commit + 1) if truncated else len(tick_times))
         if truncated:
             ticks += commit + 1
             query_time = tick_times[commit] + period

@@ -84,6 +84,31 @@ class SimulationResult:
         """Total refreshes of both kinds in the measured period."""
         return self.value_refresh_count + self.query_refresh_count
 
+    def publish(self, registry=None) -> None:
+        """Publish this result's headline numbers into a metrics registry.
+
+        Gauges under ``repro_sim_*`` — a finished run is a point-in-time
+        outcome, not a running total — so an offline simulation driven by
+        the CLI is scrapeable/pretty-printable through the same ``repro
+        obs`` surface as a live deployment.  With the registry disabled
+        (the default) this is a no-op.
+        """
+        from repro.obs.metrics import REGISTRY
+
+        registry = REGISTRY if registry is None else registry
+        for name, help_text, value in (
+            ("repro_sim_cost_rate", "Average cost per time unit (Omega).", self.cost_rate),
+            ("repro_sim_duration", "Measured (post warm-up) duration.", self.duration),
+            ("repro_sim_total_cost", "Total cost over the measured period.", self.total_cost),
+            ("repro_sim_value_refreshes", "Value-initiated refreshes measured.", self.value_refresh_count),
+            ("repro_sim_query_refreshes", "Query-initiated refreshes measured.", self.query_refresh_count),
+            ("repro_sim_queries", "Queries executed in the measured period.", self.query_count),
+            ("repro_sim_cache_hit_rate", "Workload cache hit rate.", self.cache_hit_rate),
+            ("repro_sim_hit_rate_skew", "Max-min spread of per-shard hit rates.", self.hit_rate_skew),
+            ("repro_sim_events_processed", "Simulation events executed overall.", self.events_processed),
+        ):
+            registry.gauge(name, help_text).set(float(value))
+
 
 class MetricsCollector:
     """Accumulates refresh costs, discarding everything before the warm-up end.

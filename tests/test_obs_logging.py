@@ -1,0 +1,129 @@
+"""JSON-lines logging: one parseable record per line, run context attached.
+
+``configure_logging`` is called once per process; its records must carry
+the run seed, role and partition so multi-process deployment logs merge
+after the fact, and reconfiguring must never double-install handlers
+(worker respawns call it again).  ``warnings.warn`` routes into the same
+stream as ``py.warnings`` records.
+"""
+
+import json
+import logging
+import warnings
+
+import pytest
+
+from repro.obs.logging import (
+    LOG_LEVELS,
+    ROOT_LOGGER,
+    JsonLinesFormatter,
+    configure_logging,
+    get_logger,
+)
+
+
+@pytest.fixture(autouse=True)
+def _teardown_handlers():
+    yield
+    for name in (ROOT_LOGGER, "py.warnings"):
+        logger = logging.getLogger(name)
+        for handler in list(logger.handlers):
+            if handler.get_name() == "repro-obs-json":
+                logger.removeHandler(handler)
+                handler.close()
+    logging.captureWarnings(False)
+
+
+def _records(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestFormatter:
+    def test_static_fields_and_extra_fields(self):
+        formatter = JsonLinesFormatter(seed=7, role="gateway", partition=2)
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "hello %s", ("world",), None
+        )
+        record.fields = {"clock": 4.0}
+        payload = json.loads(formatter.format(record))
+        assert payload == {
+            "clock": 4.0,
+            "level": "INFO",
+            "logger": "repro.test",
+            "message": "hello world",
+            "partition": 2,
+            "role": "gateway",
+            "seed": 7,
+        }
+
+    def test_exception_fields(self):
+        formatter = JsonLinesFormatter()
+        try:
+            raise ValueError("bad")
+        except ValueError:
+            import sys
+
+            record = logging.LogRecord(
+                "repro.test", logging.ERROR, __file__, 1, "died", (), sys.exc_info()
+            )
+        payload = json.loads(formatter.format(record))
+        assert payload["exc_type"] == "ValueError"
+        assert "bad" in payload["exc"]
+
+
+class TestConfigureLogging:
+    def test_records_carry_run_context(self, tmp_path):
+        log_file = tmp_path / "run.log"
+        configure_logging(
+            "info", str(log_file), seed=11, role="partition", partition=3
+        )
+        get_logger("serving").info("applied", extra={"fields": {"count": 5}})
+        (record,) = _records(log_file)
+        assert record["seed"] == 11
+        assert record["role"] == "partition"
+        assert record["partition"] == 3
+        assert record["count"] == 5
+        assert record["logger"] == "repro.serving"
+
+    def test_level_filtering(self, tmp_path):
+        log_file = tmp_path / "run.log"
+        configure_logging("warning", str(log_file))
+        get_logger("x").info("dropped")
+        get_logger("x").warning("kept")
+        records = _records(log_file)
+        assert [r["message"] for r in records] == ["kept"]
+
+    def test_reconfigure_is_idempotent(self, tmp_path):
+        first = tmp_path / "a.log"
+        second = tmp_path / "b.log"
+        configure_logging("info", str(first))
+        configure_logging("info", str(second))
+        get_logger("x").info("once")
+        handlers = [
+            h
+            for h in logging.getLogger(ROOT_LOGGER).handlers
+            if h.get_name() == "repro-obs-json"
+        ]
+        assert len(handlers) == 1
+        assert first.read_text() == ""
+        assert len(_records(second)) == 1
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("loud")
+        assert "warning" in LOG_LEVELS
+
+    def test_warnings_route_into_the_stream(self, tmp_path):
+        log_file = tmp_path / "run.log"
+        configure_logging("warning", str(log_file), role="loadgen")
+        with warnings.catch_warnings():
+            warnings.simplefilter("always")
+            warnings.warn("resync lost updates", RuntimeWarning)
+        (record,) = _records(log_file)
+        assert record["logger"] == "py.warnings"
+        assert "resync lost updates" in record["message"]
+        assert record["role"] == "loadgen"
+
+    def test_get_logger_namespaces_under_repro(self):
+        assert get_logger("serving").name == "repro.serving"
+        assert get_logger("repro.obs").name == "repro.obs"

@@ -1,0 +1,135 @@
+"""Deterministic trace spans and the crash flight recorder.
+
+Span IDs derive from (role, connection ordinal, frame position) — never the
+clock, never randomness — so the same call sequence records the identical
+event stream on every run.  The flight recorder is a bounded ring whose
+dump format these tests pin (``flightrec_version`` and all), and
+``crash_dump_scope`` must leave a dump behind exactly when a block dies.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    DEFAULT_RING_SIZE,
+    FlightRecorder,
+    Tracer,
+    configure_tracer,
+    crash_dump_scope,
+    span_id,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_process_tracer():
+    yield
+    configure_tracer(role="proc", enabled=False, flightrec_dir=None)
+
+
+class TestSpanId:
+    def test_positional_identity(self):
+        assert span_id("partition0", 3, 17) == "partition0:3:17"
+        assert span_id("gateway", 1, "r2") == "gateway:1:r2"
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_counts_drops(self):
+        recorder = FlightRecorder(size=3)
+        for index in range(5):
+            recorder.append({"span": f"s{index}"})
+        assert [e["span"] for e in recorder.events()] == ["s2", "s3", "s4"]
+        assert recorder.dropped == 2
+        recorder.clear()
+        assert recorder.events() == []
+        assert recorder.dropped == 0
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            FlightRecorder(size=0)
+
+    def test_dump_format(self, tmp_path):
+        recorder = FlightRecorder(size=2)
+        recorder.append({"span": "a:1:1", "name": "rpc"})
+        path = recorder.dump(
+            tmp_path / "x.flightrec.json", role="partition0", reason="testing"
+        )
+        payload = json.loads(path.read_text())
+        assert payload["flightrec_version"] == 1
+        assert payload["role"] == "partition0"
+        assert payload["reason"] == "testing"
+        assert payload["dropped"] == 0
+        assert payload["events"] == [{"span": "a:1:1", "name": "rpc"}]
+        assert recorder.dumps_written == 1
+
+    def test_dump_creates_parent_directories(self, tmp_path):
+        recorder = FlightRecorder()
+        path = recorder.dump(
+            tmp_path / "nested" / "deep.flightrec.json", role="r", reason="x"
+        )
+        assert path.exists()
+
+
+class TestTracer:
+    def test_disabled_record_is_a_noop(self):
+        tracer = Tracer()
+        assert tracer.record("rpc", conn=1, frame=1) == ""
+        assert tracer.recorder.events() == []
+
+    def test_record_returns_deterministic_id_and_appends(self):
+        tracer = Tracer(enabled=True, role="gateway")
+        sid = tracer.record("rpc", conn=2, frame=5, op="query")
+        assert sid == "gateway:2:5"
+        (event,) = tracer.recorder.events()
+        assert event == {"span": "gateway:2:5", "name": "rpc", "op": "query"}
+
+    def test_parent_linkage(self):
+        tracer = Tracer(enabled=True, role="p0")
+        parent = tracer.record("rpc", conn=1, frame=1)
+        tracer.record("refresh_rpc", conn=1, frame="r1", parent=parent)
+        events = tracer.recorder.events()
+        assert events[1]["parent"] == parent
+
+    def test_same_sequence_records_identical_streams(self):
+        def run():
+            tracer = Tracer(enabled=True, role="partition1")
+            for frame in range(4):
+                tracer.record("rpc", conn=0, frame=frame, op="update")
+            return tracer.recorder.events()
+
+        assert run() == run()
+
+    def test_dump_without_directory_is_noop(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.dump("crash", reason="x") is None
+
+
+class TestConfigureAndCrashScope:
+    def test_configure_tracer_mutates_the_process_tracer(self, tmp_path):
+        tracer = configure_tracer(
+            role="partition2", flightrec_dir=tmp_path, ring_size=7
+        )
+        assert tracer.enabled
+        assert tracer.role == "partition2"
+        assert tracer.recorder.ring.maxlen == 7
+        assert tracer.flightrec_dir == tmp_path
+
+    def test_crash_dump_scope_dumps_and_reraises(self, tmp_path):
+        configure_tracer(role="partition0", flightrec_dir=tmp_path)
+        with pytest.raises(RuntimeError, match="boom"):
+            with crash_dump_scope("crash") as tracer:
+                tracer.record("rpc", conn=0, frame=1, op="query")
+                raise RuntimeError("boom")
+        dump = tmp_path / "partition0-crash.flightrec.json"
+        payload = json.loads(dump.read_text())
+        assert payload["reason"] == "RuntimeError: boom"
+        assert payload["events"][0]["span"] == "partition0:0:1"
+
+    def test_clean_exit_leaves_no_dump(self, tmp_path):
+        configure_tracer(role="partition0", flightrec_dir=tmp_path)
+        with crash_dump_scope("crash"):
+            pass
+        assert list(tmp_path.iterdir()) == []
+
+    def test_default_ring_size_is_bounded(self):
+        assert Tracer().recorder.ring.maxlen == DEFAULT_RING_SIZE

@@ -274,23 +274,27 @@ def test_shm_transport_drops_pickled_bytes_per_tick():
     """The headline exchange saving: the shared-memory transport moves the
     per-tick rows out of the pickled control messages, so the coordinator's
     pickle traffic per query tick drops by well over the 10x acceptance
-    floor (the interval payload scales with fan-out; the token does not)."""
-    from repro.sharding.workers import EXCHANGE_METER
+    floor (the interval payload scales with fan-out; the token does not).
+    The coordinator's traffic is metered by the ``repro.obs`` registry
+    counters that replaced the old bespoke exchange meter."""
+    from repro.obs.metrics import REGISTRY
 
     def measure(transport):
-        EXCHANGE_METER.reset()
-        EXCHANGE_METER.enabled = True
+        REGISTRY.reset()
+        REGISTRY.enable()
         try:
             CacheSimulation(
                 _config(4, 2, exchange_transport=transport),
                 _walk_streams(8),
                 _adaptive_policy(),
             ).run()
-            assert EXCHANGE_METER.ticks > 0
-            return EXCHANGE_METER.bytes_pickled / EXCHANGE_METER.ticks
+            ticks = REGISTRY.value("repro_exchange_ticks_total")
+            assert ticks > 0
+            assert REGISTRY.value("repro_exchange_messages_total") > 0
+            return REGISTRY.value("repro_exchange_bytes_pickled_total") / ticks
         finally:
-            EXCHANGE_METER.enabled = False
-            EXCHANGE_METER.reset()
+            REGISTRY.disable()
+            REGISTRY.reset()
 
     pipe_bytes_per_tick = measure("pipe")
     shm_bytes_per_tick = measure("shm")
